@@ -1,0 +1,76 @@
+"""FIG4 -- Figure 4: stationary phase-error density and BER vs. noise level.
+
+The paper's Figure 4 shows two runs of the analysis: with the nominal eye
+jitter the "noise levels are so small that the CDR system has negligible
+BER"; with the standard deviation of ``n_w`` increased 10x "the BER
+increases to [a large value]".  Each plot is annotated with
+``COUNTER / STDnw / MAXnr / BER`` and ``Size / Iter / Matrixformtime /
+Solvetime`` lines.
+
+This benchmark reproduces both design points end to end, prints the same
+annotation lines plus the two densities, and asserts the shape claims:
+
+* the nominal-noise BER is "negligible" (many orders below spec);
+* the 10x-noise BER is larger by several orders of magnitude;
+* both densities integrate to one and the noisy density is the convolved
+  (wider) version of the phase-error density.
+"""
+
+import numpy as np
+import pytest
+
+from repro import analyze_cdr
+from repro.core import format_pdf_ascii
+
+
+def run_point(spec, solver="multigrid"):
+    return analyze_cdr(spec, solver=solver, tol=1e-10)
+
+
+class TestFig4:
+    def test_bench_nominal_noise(self, benchmark, fig_spec):
+        spec = fig_spec()  # STDnw = 0.02
+        analysis = benchmark.pedantic(
+            lambda: run_point(spec), rounds=1, iterations=1
+        )
+        print("\n[FIG4-top] nominal noise")
+        values, probs = analysis.phase_error_pdf()
+        print(format_pdf_ascii(values, probs, title="phase error PDF"))
+        print(analysis.report())
+        benchmark.extra_info["ber"] = analysis.ber
+        # "the noise levels are so small that the CDR system has
+        # negligible BER"
+        assert analysis.ber < 1e-12
+
+    def test_bench_10x_noise(self, benchmark, fig_spec):
+        spec = fig_spec(nw_std=0.2)  # 10x STDnw
+        analysis = benchmark.pedantic(
+            lambda: run_point(spec), rounds=1, iterations=1
+        )
+        print("\n[FIG4-bottom] 10x eye-opening noise")
+        values, probs = analysis.phase_error_pdf()
+        print(format_pdf_ascii(values, probs, title="phase error PDF"))
+        svalues, sprobs = analysis.sampled_phase_pdf()
+        print(format_pdf_ascii(svalues, sprobs, title="Phi + n_w PDF"))
+        print(analysis.report())
+        benchmark.extra_info["ber"] = analysis.ber
+        assert analysis.ber > 1e-7
+
+    def test_noise_ratio_shape(self, fig_spec):
+        quiet = run_point(fig_spec(), solver="direct")
+        loud = run_point(fig_spec(nw_std=0.2), solver="direct")
+        print("\n[FIG4] BER(10x STDnw) / BER(1x STDnw) = "
+              f"{loud.ber / max(quiet.ber, 1e-300):.3e}")
+        # "When the standard deviation ... is increased [10] times, the
+        # BER increases to [a large value]": many orders of magnitude.
+        assert loud.ber > quiet.ber * 1e6
+
+    def test_densities_consistent(self, fig_spec):
+        analysis = run_point(fig_spec(nw_std=0.2), solver="direct")
+        values, probs = analysis.phase_error_pdf()
+        svalues, sprobs = analysis.sampled_phase_pdf()
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+        assert sprobs.sum() == pytest.approx(1.0, abs=1e-9)
+        var_phi = np.dot(values**2, probs) - np.dot(values, probs) ** 2
+        var_s = np.dot(svalues**2, sprobs) - np.dot(svalues, sprobs) ** 2
+        assert var_s > var_phi  # convolution widens

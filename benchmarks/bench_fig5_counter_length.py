@@ -1,0 +1,96 @@
+"""FIG5 -- Figure 5: effect of the loop-filter counter length on BER.
+
+"We study the effect of the counter overflow length on the BER
+performance, all noise levels being held constant ... We observe that the
+best BER performance is obtained when counter length is set to 8 ...  When
+the length is set [small] the loop has high bandwidth.  The system tends
+to follow the dominant noise source, n_w, and as a consequence detection
+errors occur.  When the length is set [large], the effect of the noise
+source n_r becomes predominant: the loop response becomes too slow to
+follow the drift caused by n_r and, again, bit errors occur ... there is
+an optimal counter length for given levels of noise."
+
+The exact SONET noise tables of the paper are lost; with our parametric
+tables the optimum lands at a different (but interior) counter length.
+The asserted shape claims:
+
+* BER is U-shaped in counter length: an interior length beats both the
+  shortest and the longest swept lengths;
+* the long-counter penalty is driven by n_r (slip rate explodes);
+* the short-counter penalty is driven by n_w (phase dither tracks it).
+"""
+
+import pytest
+
+from repro import CDRSpec, sweep_counter_length
+from repro.core import format_table
+
+LENGTHS = [1, 2, 4, 8, 16, 32]
+
+
+def fig5_spec():
+    # A coarse phase-select step (8 phases) makes bang-bang dither expensive
+    # for high-bandwidth loops; the drift punishes slow ones.
+    return CDRSpec(
+        n_phase_points=64,
+        n_clock_phases=8,
+        transition_density=0.5,
+        max_run_length=2,
+        nw_std=0.1,
+        nw_atoms=11,
+        nr_max=0.016,
+        nr_mean=0.008,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_records():
+    return sweep_counter_length(fig5_spec(), LENGTHS, solver="direct")
+
+
+class TestFig5:
+    def test_bench_counter_sweep(self, benchmark):
+        records = benchmark.pedantic(
+            lambda: sweep_counter_length(fig5_spec(), LENGTHS, solver="direct"),
+            rounds=1,
+            iterations=1,
+        )
+        print("\n[FIG5] BER vs counter length")
+        print(format_table(
+            records,
+            columns=["counter_length", "ber", "slip_rate", "phase_rms",
+                     "n_states", "solve_time_s"],
+        ))
+        best = min(records, key=lambda r: r["ber"])
+        print(f"optimal counter length: {best['counter_length']} "
+              f"(paper's example: 8 for its noise tables)")
+        for rec in records:
+            print(f"  length {rec['counter_length']:>2}: "
+                  f"{rec['ber'] / best['ber']:8.2f}x the optimal BER")
+
+    def test_interior_optimum(self, sweep_records):
+        bers = [r["ber"] for r in sweep_records]
+        best_idx = bers.index(min(bers))
+        assert 0 < best_idx < len(bers) - 1, (
+            "optimal counter length must be interior (U-shape)"
+        )
+        # Both penalties are material, as in the paper (4.5x / 10x there).
+        assert bers[0] > 2.0 * bers[best_idx]
+        assert bers[-1] > 2.0 * bers[best_idx]
+
+    def test_long_counter_penalty_is_drift_driven(self, sweep_records):
+        best = min(sweep_records, key=lambda r: r["ber"])
+        longest = sweep_records[-1]
+        # "the loop response becomes too slow to follow the drift caused
+        # by n_r": cycle slips explode for the longest counter.
+        assert longest["slip_rate"] > 100.0 * max(best["slip_rate"], 1e-300)
+
+    def test_short_counter_penalty_is_nw_driven(self):
+        """With the drift removed entirely, the short-counter penalty
+        remains (it is caused by n_w dither), while the long-counter
+        penalty disappears."""
+        spec = fig5_spec().replace(nr_mean=0.0, nr_max=1e-4)
+        records = sweep_counter_length(spec, [1, 8, 32], solver="direct")
+        bers = [r["ber"] for r in records]
+        assert bers[0] > bers[1]        # short still pays the dither tax
+        assert bers[2] <= bers[1] * 10  # long no longer catastrophic

@@ -1,0 +1,117 @@
+"""TAB-MC -- the infeasibility-of-simulation claim (paper introduction).
+
+"For SONET/SDH applications it is not uncommon to have BER requirements in
+the order of [1e-10+].  Such specifications are practically impossible to
+verify through straightforward simulation because of the extremely long
+sequence that would need to be simulated in order to get meaningful error
+statistics."
+
+This benchmark:
+
+1. validates the analysis against Monte-Carlo at a simulation-accessible
+   BER (the two must agree within the MC confidence interval);
+2. times both approaches at that design point;
+3. prints the extrapolated simulation cost down to 1e-12 BER, versus the
+   (flat) analysis cost.
+
+Shape claims checked:
+
+* MC and analysis agree where MC is feasible;
+* required MC symbols scale as 1/BER, so the cost ratio
+  analysis/simulation diverges as the BER spec tightens;
+* at 1e-10 the extrapolated MC time exceeds the analysis time by > 1e6x.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CDRSpec, analyze_cdr
+from repro.cdr import required_symbols_for_ber, simulate_cdr
+from repro.core import format_table
+
+
+def mc_spec():
+    return CDRSpec(
+        n_phase_points=64,
+        n_clock_phases=16,
+        counter_length=2,
+        max_run_length=3,
+        nw_std=0.17,
+        nw_atoms=11,
+        nr_max=0.03,
+        nr_mean=0.008,
+    )
+
+
+def run_mc(spec, n_symbols, seed=11):
+    rng = np.random.default_rng(seed)
+    return simulate_cdr(
+        grid=spec.grid,
+        nw=spec.nw_distribution(),
+        nr=spec.nr_distribution(),
+        counter_length=spec.counter_length,
+        phase_step_units=spec.phase_step_units,
+        data_source=spec.data_source(),
+        n_symbols=n_symbols,
+        warmup_symbols=5_000,
+        rng=rng,
+    )
+
+
+@pytest.fixture(scope="module")
+def validation():
+    spec = mc_spec()
+    analysis = analyze_cdr(spec, solver="direct")
+    mc = run_mc(spec, 300_000)
+    return spec, analysis, mc
+
+
+class TestMCCrossover:
+    def test_bench_analysis(self, benchmark):
+        spec = mc_spec()
+        analysis = benchmark.pedantic(
+            lambda: analyze_cdr(spec, solver="direct"), rounds=3, iterations=1
+        )
+        benchmark.extra_info["ber"] = analysis.ber_discrete
+
+    def test_bench_monte_carlo_100k(self, benchmark):
+        spec = mc_spec()
+        res = benchmark.pedantic(
+            lambda: run_mc(spec, 100_000), rounds=1, iterations=1
+        )
+        benchmark.extra_info["ber"] = res.ber
+
+    def test_agreement_at_accessible_ber(self, validation):
+        spec, analysis, mc = validation
+        lo, hi = mc.ber_confidence_interval(z=3.5)
+        print(f"\n[TAB-MC] analysis BER {analysis.ber_discrete:.4e}, "
+              f"MC BER {mc.ber:.4e}, 3.5-sigma CI [{lo:.4e}, {hi:.4e}]")
+        assert analysis.ber_discrete > 1e-3  # MC-accessible by design
+        assert lo <= analysis.ber_discrete <= hi
+
+    def test_extrapolated_cost_wall(self, validation):
+        spec, analysis, mc = validation
+        analysis_cost = analysis.form_time + analysis.solve_time
+        sym_per_s = mc.n_symbols / mc.sim_time
+        rows = []
+        for target in (1e-4, 1e-6, 1e-8, 1e-10, 1e-12):
+            n = required_symbols_for_ber(target)
+            mc_seconds = n / sym_per_s
+            rows.append(
+                {
+                    "target_ber": f"{target:.0e}",
+                    "mc_symbols": n,
+                    "mc_hours": mc_seconds / 3600.0,
+                    "mc_over_analysis": mc_seconds / analysis_cost,
+                }
+            )
+        print("\n[TAB-MC] extrapolated Monte-Carlo cost "
+              f"(this host: {sym_per_s:.0f} symbols/s, "
+              f"analysis: {analysis_cost:.2f}s)")
+        print(format_table(rows))
+        # Required symbols scale 1/BER...
+        assert rows[2]["mc_symbols"] == pytest.approx(
+            100.0 * rows[1]["mc_symbols"], rel=0.01
+        )
+        # ...so the 1e-10 spec is a wall for simulation but not analysis.
+        assert rows[3]["mc_over_analysis"] > 1e6

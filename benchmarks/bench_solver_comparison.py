@@ -1,0 +1,133 @@
+"""TAB-SOLVE -- the paper's solver-performance claims.
+
+The paper reports, per analysis run, the state-space size, the number of
+multigrid cycles ("Iter"), and the matrix-form / solve CPU times, and
+claims the dedicated multi-level method "is capable of solving million
+state problems in less than an hour" where "standard iterative
+techniques ... do not exploit the properties of MCs".
+
+This benchmark sweeps the model size (by refining the phase grid, exactly
+how the paper's problems grow) on a *stiff* design point -- long counter,
+small noise, the regime the method was built for -- and compares the
+paper's multigrid against power iteration, weighted Jacobi, Gauss-Seidel
+and preconditioned GMRES.
+
+Shape claims checked:
+
+* multigrid V-cycle count stays nearly flat as the state space grows 8x,
+  while its per-cycle cost is O(nnz) -- the paper's scalability argument;
+* stationary iterative baselines need orders of magnitude more sweeps
+  than multigrid needs cycles;
+* all solvers agree on the answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CDRSpec
+from repro.core import format_table
+from repro.markov import (
+    solve_gauss_seidel,
+    solve_jacobi,
+    solve_multigrid,
+    solve_power,
+)
+
+TOL = 1e-9
+
+
+def stiff_spec(n_phase_points):
+    return CDRSpec(
+        n_phase_points=n_phase_points,
+        n_clock_phases=16,
+        counter_length=16,
+        max_run_length=2,
+        nw_std=0.01,
+        nw_atoms=9,
+        nr_max=0.002,
+        nr_mean=0.0005,
+    )
+
+
+def run_multigrid(model, tol=TOL):
+    return solve_multigrid(
+        model.chain.P,
+        strategy=model.multigrid_strategy(),
+        tol=tol,
+        nu_pre=8,
+        nu_post=8,
+        max_cycles=500,
+    )
+
+
+@pytest.fixture(scope="module")
+def size_sweep():
+    sizes = [64, 128, 256, 512]
+    rows = []
+    for M in sizes:
+        model = stiff_spec(M).build_model()
+        mg = run_multigrid(model)
+        pw = solve_power(model.chain.P, tol=TOL, max_iter=500_000)
+        rows.append(
+            {
+                "M": M,
+                "n_states": model.n_states,
+                "mg_cycles": mg.iterations,
+                "mg_time_s": mg.solve_time,
+                "power_iters": pw.iterations,
+                "power_time_s": pw.solve_time,
+                "agree": float(np.abs(mg.distribution - pw.distribution).sum()),
+            }
+        )
+    return rows
+
+
+class TestSolverScaling:
+    def test_bench_multigrid_mid(self, benchmark):
+        model = stiff_spec(256).build_model()
+        res = benchmark.pedantic(lambda: run_multigrid(model), rounds=1, iterations=1)
+        benchmark.extra_info["cycles"] = res.iterations
+        assert res.converged
+
+    def test_bench_power_mid(self, benchmark):
+        model = stiff_spec(256).build_model()
+        res = benchmark.pedantic(
+            lambda: solve_power(model.chain.P, tol=TOL, max_iter=500_000),
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["iterations"] = res.iterations
+        assert res.converged
+
+    def test_bench_jacobi_mid(self, benchmark):
+        model = stiff_spec(256).build_model()
+        res = benchmark.pedantic(
+            lambda: solve_jacobi(model.chain.P, tol=TOL, max_iter=500_000),
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["iterations"] = res.iterations
+        assert res.converged
+
+    def test_bench_gauss_seidel_mid(self, benchmark):
+        model = stiff_spec(256).build_model()
+        res = benchmark.pedantic(
+            lambda: solve_gauss_seidel(model.chain.P, tol=TOL, max_iter=100_000),
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["iterations"] = res.iterations
+        assert res.converged
+
+    def test_cycle_count_flat_with_size(self, size_sweep):
+        print("\n[TAB-SOLVE] multigrid vs power iteration, stiff CDR chain")
+        print(format_table(size_sweep))
+        cycles = [r["mg_cycles"] for r in size_sweep]
+        # 8x growth in states: cycle count may wobble but must not scale
+        # with the problem (allow 2x).
+        assert max(cycles) <= 2 * max(cycles[0], 1) + 10
+
+    def test_multigrid_needs_far_fewer_iterations(self, size_sweep):
+        for row in size_sweep:
+            assert row["power_iters"] > 10 * row["mg_cycles"], row
+
+    def test_solvers_agree(self, size_sweep):
+        for row in size_sweep:
+            assert row["agree"] < 1e-6, row

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Why the paper exists: Markov-chain analysis vs. Monte-Carlo simulation.
+
+At simulation-accessible error rates the two must agree -- and do.  Then
+the script extrapolates the simulation cost down to SONET-grade BER
+(1e-10 and below) and prints the wall the paper's introduction describes:
+"It is not feasible to predict such error rates with straightforward,
+simulation based, approaches."
+
+Run:  python examples/analysis_vs_montecarlo.py
+"""
+
+import numpy as np
+
+from repro import CDRSpec, analyze_cdr
+from repro.cdr import required_symbols_for_ber, simulate_cdr
+from repro.core import format_table
+
+
+def main() -> None:
+    # A noisy design point so Monte Carlo converges in seconds.
+    spec = CDRSpec(
+        n_phase_points=64,
+        n_clock_phases=16,
+        counter_length=2,
+        max_run_length=3,
+        nw_std=0.17,
+        nw_atoms=11,
+        nr_max=0.03,
+        nr_mean=0.008,
+    )
+    print(spec.describe())
+    print()
+
+    analysis = analyze_cdr(spec, solver="direct")
+    print("Markov-chain analysis:")
+    print(analysis.report())
+    print()
+
+    rng = np.random.default_rng(2000)
+    mc = simulate_cdr(
+        grid=spec.grid,
+        nw=spec.nw_distribution(),
+        nr=spec.nr_distribution(),
+        counter_length=spec.counter_length,
+        phase_step_units=spec.phase_step_units,
+        data_source=spec.data_source(),
+        n_symbols=400_000,
+        warmup_symbols=5_000,
+        rng=rng,
+    )
+    print("Monte-Carlo simulation:")
+    print(mc.summary())
+    lo, hi = mc.ber_confidence_interval(z=3.0)
+    agrees = lo <= analysis.ber_discrete <= hi
+    print(f"analysis BER {analysis.ber_discrete:.3e} inside MC 3-sigma CI: {agrees}")
+    print()
+
+    # The extrapolation that motivates the whole method.
+    print("Monte-Carlo cost extrapolation (+-10% at 95% confidence):")
+    sym_per_s = mc.n_symbols / mc.sim_time
+    rows = []
+    for target in (1e-4, 1e-6, 1e-8, 1e-10, 1e-12):
+        n = required_symbols_for_ber(target)
+        rows.append(
+            {
+                "target BER": f"{target:.0e}",
+                "symbols needed": f"{n:.2e}",
+                "sim time at this host": f"{n / sym_per_s / 3600.0:.2e} hours",
+            }
+        )
+    print(format_table(rows))
+    print()
+    print(f"...versus {analysis.form_time + analysis.solve_time:.2f} seconds for the analysis,")
+    print("independent of the BER magnitude.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Sinusoidal-jitter frequency response of the phase-selection loop.
+
+The paper notes that deterministic sinusoidal jitter can be mimicked by
+"assigning the amplitude distribution of n_r appropriately" -- an
+approximation valid only when the loop cannot track the sinusoid.  The
+Markov-modulated extension (`repro.cdr.modulated`) models the sinusoid as
+a *hidden rotating state*, so the loop's tracking is captured exactly.
+
+This example sweeps the sinusoid's period at fixed amplitude and prints
+the BER and peak phase error per period -- the analysis-domain version of
+a jitter-tolerance frequency mask: slow jitter is tracked (flat, benign),
+jitter faster than the loop bandwidth is not (BER wall).  The white-noise
+(amplitude-distribution) approximation is printed alongside to show where
+the paper's shortcut becomes accurate: at high modulation frequencies.
+
+Run:  python examples/sinusoidal_jitter_transfer.py
+"""
+
+import numpy as np
+
+from repro.cdr import (
+    PhaseGrid,
+    build_cdr_chain,
+    build_modulated_cdr_chain,
+    sinusoidal_drift_source,
+)
+from repro.core import format_table
+from repro.core.measures import bit_error_rate, phase_statistics
+from repro.markov import solve_direct
+from repro.noise import DiscreteDistribution, eye_opening_noise, sinusoidal_jitter
+
+
+def main() -> None:
+    grid = PhaseGrid(32)
+    nw = eye_opening_noise(0.06, n_atoms=7)
+    nr = DiscreteDistribution([-grid.step, 0.0, grid.step], [0.25, 0.5, 0.25])
+    amplitude = 0.12
+    common = dict(
+        grid=grid, nw=nw, nr=nr, counter_length=2, phase_step_units=2,
+        max_run_length=2,
+    )
+
+    rows = []
+    for period in (128, 64, 32, 16, 8, 4):
+        sj = sinusoidal_drift_source("sj", amplitude, period)
+        model = build_modulated_cdr_chain(drift_source=sj, **common)
+        eta = solve_direct(model.chain.P).distribution
+        stats = phase_statistics(model, eta)
+        rows.append(
+            {
+                "SJ_period_symbols": period,
+                "SJ_freq_per_symbol": 1.0 / period,
+                "ber": bit_error_rate(model, eta),
+                "phase_rms": stats["rms_ui"],
+                "n_states": model.n_states,
+            }
+        )
+    print(f"sinusoidal jitter, amplitude {amplitude} UI, hidden-state model:")
+    print(format_table(rows))
+    print()
+
+    # The paper's white-noise shortcut: fold the arcsine amplitude law of
+    # the sinusoid into the per-symbol drift distribution.
+    sj_white = sinusoidal_jitter(amplitude, n_atoms=9)
+    # per-symbol increments, not absolute amplitude: differentiate by
+    # treating the increment as bounded by the max slope 2*pi*A/T at the
+    # fastest swept period.
+    approx = build_cdr_chain(
+        grid=grid,
+        nw=nw.convolve(sj_white),  # high-frequency limit: SJ closes the eye
+        nr=nr,
+        counter_length=2,
+        phase_step_units=2,
+        max_run_length=2,
+    )
+    eta = solve_direct(approx.chain.P).distribution
+    print("white-noise (amplitude-distribution) approximation of the same SJ:")
+    print(f"  BER = {bit_error_rate(approx, eta):.3e}")
+    print()
+    print("Reading: below the loop bandwidth (long periods) the loop tracks")
+    print("the sinusoid and the BER stays near the no-SJ floor; above it the")
+    print("BER converges toward the white-noise approximation — exactly the")
+    print("regime where the paper's amplitude-distribution trick is valid.")
+
+
+if __name__ == "__main__":
+    main()

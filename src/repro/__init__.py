@@ -1,0 +1,75 @@
+"""repro -- stochastic modeling and performance evaluation of digital CDR circuits.
+
+A from-scratch reproduction of A. Demir & P. Feldmann, "Stochastic Modeling
+and Performance Evaluation for Digital Clock and Data Recovery Circuits"
+(DATE 2000): non-Monte-Carlo BER and cycle-slip analysis of the digital
+phase-selection loop of clock-data-recovery circuits, via finite-state
+machines with Markov-chain stochastic inputs and a multi-level aggregation
+(multigrid) stationary solver.
+
+Quickstart::
+
+    from repro import CDRSpec, analyze_cdr
+
+    spec = CDRSpec(counter_length=8, nw_std=0.02, nr_max=0.008)
+    analysis = analyze_cdr(spec)
+    print(analysis.report())
+    print(f"BER = {analysis.ber:.3e}")
+
+Subpackages
+-----------
+``repro.noise``
+    Discretized jitter / drift distributions.
+``repro.markov``
+    Markov-chain engine: sparse TPMs, classification, stationary solvers
+    (power / Jacobi / Gauss-Seidel / Krylov / direct / multigrid),
+    lumping, first-passage, transient and correlation analysis.
+``repro.fsm``
+    FSMs, stochastic sources, synchronous network composition, Kronecker
+    descriptors.
+``repro.cdr``
+    The CDR circuit model, Monte-Carlo baseline, sweeps.
+``repro.core``
+    The end-to-end analyzer and performance measures.
+"""
+
+from repro.core import (
+    AcquisitionAnalysis,
+    CDRAnalysis,
+    CDRSpec,
+    analyze_acquisition,
+    analyze_cdr,
+    analyze_model,
+    lock_probability_curve,
+)
+from repro.cdr.sweep import (
+    optimal_counter_length,
+    sweep_counter_length,
+    sweep_parameter,
+)
+from repro.cdr.tolerance import (
+    ToleranceResult,
+    bisect_tolerance,
+    random_jitter_tolerance,
+    sinusoidal_jitter_tolerance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDRSpec",
+    "CDRAnalysis",
+    "analyze_cdr",
+    "analyze_model",
+    "AcquisitionAnalysis",
+    "analyze_acquisition",
+    "lock_probability_curve",
+    "sweep_parameter",
+    "sweep_counter_length",
+    "optimal_counter_length",
+    "ToleranceResult",
+    "bisect_tolerance",
+    "random_jitter_tolerance",
+    "sinusoidal_jitter_tolerance",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Data-statistics sources for CDR analysis.
+
+"The first FSM models the data statistics taken from SONET system
+specifications" (paper, Examples).  "The input data stream is usually
+specified in terms of the longest possible bit sequence with no transitions
+and a maximal drift in frequency" (paper, Section 2).
+
+The bang-bang phase detector only acts on *data transitions*, so the
+canonical source emits a transition indicator per symbol:
+:func:`transition_run_length_source` is a run-length-limited Markov source
+whose hidden state counts symbols since the last transition and forces a
+transition once the specified longest run is reached (as SONET scramblers
+statistically guarantee).  :func:`nrz_bit_source` is the bit-level variant
+(emits the actual bit) for phase detectors that keep previous-data state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.stochastic import IIDSource, MarkovSource
+from repro.markov.chain import MarkovChain
+from repro.noise.distributions import DiscreteDistribution
+
+__all__ = [
+    "transition_run_length_source",
+    "bernoulli_transition_source",
+    "nrz_bit_source",
+    "stationary_transition_density",
+]
+
+
+def transition_run_length_source(
+    name: str,
+    transition_density: float,
+    max_run_length: int,
+) -> MarkovSource:
+    """Run-length-limited transition-indicator source.
+
+    Hidden state ``r`` counts symbols since the last transition (``r = 0``
+    means a transition happens in the current symbol).  From state ``r``
+    the next symbol is a transition with probability ``transition_density``
+    except at ``r = max_run_length - 1``, where a transition is forced.
+    Emits 1 on transition symbols and 0 otherwise.
+
+    Parameters
+    ----------
+    transition_density:
+        Per-symbol transition probability of the (scrambled) data, in
+        ``(0, 1]``.  Random NRZ data has density 0.5.
+    max_run_length:
+        The "longest possible bit sequence with no transitions" from the
+        system spec; state count equals this value.
+    """
+    if not 0.0 < transition_density <= 1.0:
+        raise ValueError("transition_density must be in (0, 1]")
+    if max_run_length < 1:
+        raise ValueError("max_run_length must be at least 1")
+    L = int(max_run_length)
+    P = np.zeros((L, L))
+    for r in range(L):
+        p_t = 1.0 if r == L - 1 else transition_density
+        P[r, 0] = p_t
+        if r < L - 1:
+            P[r, r + 1] = 1.0 - p_t
+    chain = MarkovChain(P)
+    return MarkovSource(
+        name, chain, emit=[1 if r == 0 else 0 for r in range(L)], initial_state=0
+    )
+
+
+def bernoulli_transition_source(name: str, transition_density: float) -> IIDSource:
+    """Memoryless transition source (no run-length limit)."""
+    if not 0.0 < transition_density <= 1.0:
+        raise ValueError("transition_density must be in (0, 1]")
+    return IIDSource(
+        name,
+        DiscreteDistribution([0.0, 1.0], [1.0 - transition_density, transition_density]),
+    )
+
+
+def nrz_bit_source(
+    name: str,
+    transition_density: float,
+    max_run_length: int,
+) -> MarkovSource:
+    """Bit-level run-length-limited source (emits the bit, not the indicator).
+
+    Hidden state ``(bit, r)``; used with phase detectors that carry
+    previous-data state (the paper's Figure 2 shows "Prev Data" as a phase
+    detector input).
+    """
+    if not 0.0 < transition_density <= 1.0:
+        raise ValueError("transition_density must be in (0, 1]")
+    if max_run_length < 1:
+        raise ValueError("max_run_length must be at least 1")
+    L = int(max_run_length)
+    n = 2 * L  # state (bit, r) -> index bit * L + r
+    P = np.zeros((n, n))
+    for bit in range(2):
+        for r in range(L):
+            i = bit * L + r
+            p_t = 1.0 if r == L - 1 else transition_density
+            P[i, (1 - bit) * L + 0] = p_t
+            if r < L - 1:
+                P[i, bit * L + (r + 1)] = 1.0 - p_t
+    chain = MarkovChain(P)
+    return MarkovSource(
+        name,
+        chain,
+        emit=[i // L for i in range(n)],
+        initial_state=0,
+    )
+
+
+def stationary_transition_density(source: MarkovSource) -> float:
+    """Exact stationary probability that a symbol is a transition.
+
+    For transition-indicator sources this is the stationary mass of the
+    emitting states; a useful closed-loop check against the requested
+    density (they differ when the run-length limit binds).
+    """
+    from repro.markov.solvers.direct import solve_direct
+
+    eta = solve_direct(source.chain.P).distribution
+    return float(
+        sum(eta[i] for i in range(source.n_states) if source.symbol(i) == 1)
+    )

@@ -1,0 +1,76 @@
+"""Digital loop filters for the phase-selection loop.
+
+"[The phase detector's] output is the input to an up-down counter FSM that
+models the loop filter.  The counter produces an UP-DOWN signal when it
+overflows" (paper, Examples).  The counter length is *the* loop-bandwidth
+knob the paper's Figure 5 sweeps: a short counter follows the eye-opening
+noise ``n_w`` (too much bandwidth), a long one cannot track the ``n_r``
+drift (too little).
+"""
+
+from __future__ import annotations
+
+from repro.fsm.machine import FSM
+
+__all__ = ["updown_counter", "passthrough_filter", "counter_state_count"]
+
+
+def counter_state_count(counter_length: int) -> int:
+    """Number of states of an up/down counter of the given length."""
+    if counter_length < 1:
+        raise ValueError("counter_length must be at least 1")
+    return 2 * counter_length - 1
+
+
+def updown_counter(name: str, counter_length: int) -> FSM:
+    """Saturating up/down counter with overflow outputs.
+
+    States are integer counts in ``[-(N-1), N-1]`` for ``N =
+    counter_length``.  Input: the phase-detector output in {-1, 0, +1}.
+    When the running count would reach ``+N`` the counter emits ``+1``
+    (step the phase select by one increment) and resets to zero;
+    symmetrically ``-N`` emits ``-1``.  Otherwise it emits ``0``.
+
+    ``counter_length = 1`` degenerates to a pass-through: every non-null
+    phase-detector decision immediately steps the phase.
+    """
+    N = int(counter_length)
+    if N < 1:
+        raise ValueError("counter_length must be at least 1")
+
+    def bump(state: int, inp) -> int:
+        o = int(inp)
+        if o not in (-1, 0, 1):
+            raise ValueError(f"{name}: filter input must be -1, 0 or +1, got {inp!r}")
+        return state + o
+
+    def transition_fn(state: int, inp) -> int:
+        v = bump(state, inp)
+        return 0 if abs(v) >= N else v
+
+    def output_fn(state: int, inp) -> int:
+        v = bump(state, inp)
+        if v >= N:
+            return 1
+        if v <= -N:
+            return -1
+        return 0
+
+    return FSM(
+        name,
+        states=list(range(-(N - 1), N)),
+        initial_state=0,
+        transition_fn=transition_fn,
+        output_fn=output_fn,
+    )
+
+
+def passthrough_filter(name: str = "filter") -> FSM:
+    """No filtering: the phase-detector output directly steps the phase."""
+    return FSM(
+        name,
+        states=[0],
+        initial_state=0,
+        transition_fn=lambda state, inp: 0,
+        output_fn=lambda state, inp: int(inp),
+    )

@@ -1,0 +1,228 @@
+"""Monte-Carlo simulation of the CDR difference equations.
+
+The paper's whole point is that BER-grade statistics *cannot* be obtained
+this way ("It is not feasible to predict such error rates with
+straightforward, simulation based, approaches") -- but a trustworthy
+simulator is the indispensable baseline: it validates the Markov-chain
+analysis at high error rates and quantifies, in the benchmark harness, how
+the simulation cost explodes as the target BER drops.
+
+Two modes:
+
+* ``discretized`` -- simulates exactly the discretized system the chain
+  models (phase on the grid, noises drawn from the discretized atoms), so
+  estimates must converge to the chain's predictions;
+* ``continuous`` -- simulates the underlying continuous-phase system
+  (Gaussian ``n_w``, un-quantized ``n_r``), quantifying the discretization
+  error of the modeling step itself.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cdr.phase_error import PhaseGrid
+from repro.fsm.stochastic import MarkovSource
+from repro.noise.distributions import DiscreteDistribution
+
+__all__ = ["MonteCarloResult", "simulate_cdr", "required_symbols_for_ber"]
+
+
+@dataclass
+class MonteCarloResult:
+    """Outcome of a Monte-Carlo CDR run."""
+
+    n_symbols: int
+    n_errors: int
+    n_slips: int
+    sim_time: float
+    mode: str
+    phase_mean: float
+    phase_rms: float
+
+    @property
+    def ber(self) -> float:
+        """Point estimate of the bit-error rate."""
+        return self.n_errors / self.n_symbols
+
+    @property
+    def slip_rate(self) -> float:
+        return self.n_slips / self.n_symbols
+
+    def ber_confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Wilson score interval for the BER at confidence ``z`` sigmas."""
+        n, k = self.n_symbols, self.n_errors
+        if n == 0:
+            return (0.0, 1.0)
+        p = k / n
+        denom = 1.0 + z * z / n
+        center = (p + z * z / (2 * n)) / denom
+        half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+        return (max(0.0, center - half), min(1.0, center + half))
+
+    def summary(self) -> str:
+        lo, hi = self.ber_confidence_interval()
+        return (
+            f"MC[{self.mode}]: {self.n_symbols} symbols, "
+            f"BER {self.ber:.3e} (95% CI [{lo:.3e}, {hi:.3e}]), "
+            f"{self.n_slips} slips, {self.sim_time:.2f}s"
+        )
+
+
+def required_symbols_for_ber(
+    target_ber: float, relative_ci_halfwidth: float = 0.1, z: float = 1.96
+) -> float:
+    """Symbols needed to estimate ``target_ber`` to the given relative CI.
+
+    The binomial variance argument behind the paper's motivation: at
+    BER = 1e-10 with a +-10% confidence requirement this exceeds 1e13
+    symbols -- "practically impossible to verify through straightforward
+    simulation".
+    """
+    if not 0.0 < target_ber < 1.0:
+        raise ValueError("target_ber must be in (0, 1)")
+    if relative_ci_halfwidth <= 0:
+        raise ValueError("relative_ci_halfwidth must be positive")
+    return (z / relative_ci_halfwidth) ** 2 * (1.0 - target_ber) / target_ber
+
+
+def simulate_cdr(
+    grid: PhaseGrid,
+    nw: DiscreteDistribution,
+    nr: DiscreteDistribution,
+    counter_length: int,
+    phase_step_units: int,
+    data_source: MarkovSource,
+    n_symbols: int,
+    rng: np.random.Generator,
+    mode: str = "discretized",
+    nw_std_continuous: Optional[float] = None,
+    initial_phase_index: Optional[int] = None,
+    warmup_symbols: int = 0,
+) -> MonteCarloResult:
+    """Simulate the phase-selection loop symbol by symbol.
+
+    Parameters mirror :func:`repro.cdr.model.build_cdr_chain`; additional:
+
+    n_symbols:
+        Measured symbols (after warm-up).
+    mode:
+        ``"discretized"`` or ``"continuous"`` (see module docstring).
+    nw_std_continuous:
+        Gaussian sigma for continuous mode; defaults to ``nw.std()``.
+    warmup_symbols:
+        Symbols discarded before statistics are gathered (lock
+        acquisition transient).
+    """
+    if mode not in ("discretized", "continuous"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if n_symbols < 1:
+        raise ValueError("n_symbols must be positive")
+    N = int(counter_length)
+    if N < 1:
+        raise ValueError("counter_length must be at least 1")
+    g_units = int(phase_step_units)
+    step = grid.step
+    M = grid.n_points
+    total = warmup_symbols + n_symbols
+
+    start = time.perf_counter()
+
+    # Pre-draw all randomness (vectorized); the loop itself is the
+    # irreducible sequential part of the feedback system.
+    data_states = data_source.chain.simulate(
+        total, rng, data_source.initial_state
+    )
+    transitions = np.array(
+        [data_source.symbol(int(s)) for s in range(data_source.n_states)]
+    )[data_states[:total]]
+
+    if mode == "discretized":
+        w_samples = nw.sample(rng, size=total)
+        nr_steps = grid.quantize_to_steps(nr)
+        r_samples = nr_steps.sample(rng, size=total).astype(np.int64)
+    else:
+        sigma = nw.std() if nw_std_continuous is None else float(nw_std_continuous)
+        w_samples = rng.normal(0.0, sigma, size=total)
+        r_samples = nr.sample(rng, size=total)
+
+    if initial_phase_index is None:
+        initial_phase_index = M // 2
+
+    n_errors = 0
+    n_slips = 0
+    phase_sum = 0.0
+    phase_sq_sum = 0.0
+
+    if mode == "discretized":
+        m = int(initial_phase_index)
+        c = 0
+        for k in range(total):
+            phi = -0.5 + (m + 0.5) * step
+            noisy = phi + w_samples[k]
+            measuring = k >= warmup_symbols
+            if measuring:
+                phase_sum += phi
+                phase_sq_sum += phi * phi
+                if abs(noisy) > 0.5:
+                    n_errors += 1
+            o = 0
+            if transitions[k]:
+                o = 1 if noisy > 0.0 else (-1 if noisy < 0.0 else 0)
+            v = c + o
+            direction = 0
+            if v >= N:
+                direction, c = 1, 0
+            elif v <= -N:
+                direction, c = -1, 0
+            else:
+                c = v
+            raw = m - g_units * direction + int(r_samples[k])
+            if measuring and (raw < 0 or raw >= M):
+                n_slips += 1
+            m = raw % M
+    else:
+        phi = -0.5 + (initial_phase_index + 0.5) * step
+        g_ui = g_units * step
+        c = 0
+        for k in range(total):
+            noisy = phi + w_samples[k]
+            measuring = k >= warmup_symbols
+            if measuring:
+                phase_sum += phi
+                phase_sq_sum += phi * phi
+                if abs(noisy) > 0.5:
+                    n_errors += 1
+            o = 0
+            if transitions[k]:
+                o = 1 if noisy > 0.0 else (-1 if noisy < 0.0 else 0)
+            v = c + o
+            direction = 0
+            if v >= N:
+                direction, c = 1, 0
+            elif v <= -N:
+                direction, c = -1, 0
+            else:
+                c = v
+            raw = phi - g_ui * direction + r_samples[k]
+            if measuring and not (-0.5 <= raw < 0.5):
+                n_slips += 1
+            phi = PhaseGrid.wrap_value(raw)
+
+    elapsed = time.perf_counter() - start
+    mean = phase_sum / n_symbols
+    var = max(phase_sq_sum / n_symbols - mean * mean, 0.0)
+    return MonteCarloResult(
+        n_symbols=n_symbols,
+        n_errors=n_errors,
+        n_slips=n_slips,
+        sim_time=elapsed,
+        mode=mode,
+        phase_mean=mean,
+        phase_rms=math.sqrt(var + mean * mean),
+    )

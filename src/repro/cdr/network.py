@@ -1,0 +1,88 @@
+"""The CDR loop as a generic FSM network (paper Figure 2, literally).
+
+This builds the same model as :func:`repro.cdr.model.build_cdr_chain` but
+through the generic composition engine of :mod:`repro.fsm.network`: a data
+source, the ``n_w`` and ``n_r`` noise sources, the bang-bang phase
+detector, the up/down counter, and the phase-error accumulator, wired
+exactly as in the paper's Figure 2.  It is dramatically slower to compile
+(per-state Python exploration vs. vectorized assembly) and is used to
+cross-validate the vectorized builder on small configurations -- the two
+must produce identical stationary phase-error distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cdr.data_source import transition_run_length_source
+from repro.cdr.loop_filter import updown_counter
+from repro.cdr.phase_detector import bang_bang_phase_detector
+from repro.cdr.phase_error import PhaseGrid, phase_accumulator_fsm
+from repro.fsm.network import FSMNetwork, NetworkChain
+from repro.fsm.stochastic import IIDSource, MarkovSource
+from repro.noise.distributions import DiscreteDistribution
+
+__all__ = ["build_cdr_network", "compile_cdr_network"]
+
+
+def build_cdr_network(
+    grid: PhaseGrid,
+    nw: DiscreteDistribution,
+    nr: DiscreteDistribution,
+    counter_length: int,
+    phase_step_units: int,
+    data_source: Optional[MarkovSource] = None,
+    transition_density: float = 0.5,
+    max_run_length: int = 3,
+) -> FSMNetwork:
+    """Wire the Figure-2 network; see
+    :func:`repro.cdr.model.build_cdr_chain` for the parameter meanings.
+
+    The phase accumulator is a Moore machine, so its current value is
+    pre-published each step and the detector/counter/accumulator feedback
+    loop closes without a combinational cycle.
+
+    Registers two events:
+
+    * ``"slip"`` -- the phase accumulator wraps across the UI boundary;
+    * ``"decision-error"`` -- the noisy sampling phase ``Phi + n_w`` falls
+      outside half a symbol period (the paper's bit-error condition).
+    """
+    if data_source is None:
+        data_source = transition_run_length_source(
+            "data", transition_density, max_run_length
+        )
+    nr_steps = grid.quantize_to_steps(nr)
+
+    net = FSMNetwork("cdr")
+    net.add_source(data_source)
+    net.add_source(IIDSource("nw", nw))
+    net.add_source(IIDSource("nr", nr_steps))
+
+    pd = bang_bang_phase_detector("pd")
+    counter = updown_counter("counter", counter_length)
+    phase = phase_accumulator_fsm("phase", grid, phase_step_units)
+
+    net.add_machine(pd, lambda env: (env["data"], env["phase"] + env["nw"]))
+    net.add_machine(counter, lambda env: env["pd"])
+    net.add_machine(phase, lambda env: (env["counter"], int(env["nr"])))
+
+    g = int(phase_step_units)
+    n_points = grid.n_points
+
+    def slipped(env) -> bool:
+        m = grid.index_of(env["phase"])
+        raw = m - g * int(env["counter"]) + int(env["nr"])
+        return raw < 0 or raw >= n_points
+
+    net.record_event("slip", slipped)
+    net.record_event(
+        "decision-error",
+        lambda env: abs(env["phase"] + env["nw"]) > 0.5,
+    )
+    return net
+
+
+def compile_cdr_network(*args, max_states: int = 500_000, **kwargs) -> NetworkChain:
+    """Build and compile the Figure-2 network in one call."""
+    return build_cdr_network(*args, **kwargs).compile(max_states=max_states)

@@ -1,0 +1,98 @@
+"""Phase detector models.
+
+"The phase detector is simply modeled as a memoryless nonlinear function
+which produces the signum of its input at the output" (paper, Eq. (1)),
+refined in the compositional model (Figure 2) to an FSM with present data,
+previous data, and the eye-opening noise ``n_w`` as inputs, producing a
+three-valued output: LAG, LEAD and NULL.
+
+Output convention (matching Eq. (1)'s negative feedback
+``Phi_{k+1} = Phi_k - G sgn(Phi_k + n_w) + n_r``):
+
+* ``+1`` (LAG): the recovered clock samples *late* (``Phi + n_w > 0``);
+  the loop should step the phase select *down* (earlier phase).
+* ``-1`` (LEAD): the clock samples early; step *up*.
+* ``0`` (NULL): no data transition, or the noisy phase error is exactly
+  zero -- no information.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.fsm.machine import FSM
+
+__all__ = [
+    "PD_LAG",
+    "PD_LEAD",
+    "PD_NULL",
+    "PD_LABELS",
+    "bang_bang_decision",
+    "bang_bang_phase_detector",
+    "alexander_phase_detector",
+]
+
+PD_LAG = 1
+PD_NULL = 0
+PD_LEAD = -1
+
+PD_LABELS = {PD_LAG: "LAG", PD_NULL: "NULL", PD_LEAD: "LEAD"}
+
+
+def bang_bang_decision(transition: int, noisy_phase_ui: float) -> int:
+    """The memoryless decision: ``sgn(Phi + n_w)`` gated by a transition."""
+    if not transition:
+        return PD_NULL
+    if noisy_phase_ui > 0.0:
+        return PD_LAG
+    if noisy_phase_ui < 0.0:
+        return PD_LEAD
+    return PD_NULL
+
+
+def bang_bang_phase_detector(name: str = "pd") -> FSM:
+    """Memoryless bang-bang phase detector as a single-state Mealy FSM.
+
+    Input: ``(transition, noisy_phase_ui)`` where ``transition`` is the
+    data-transition indicator and ``noisy_phase_ui`` is ``Phi + n_w``.
+    Output: +1 / 0 / -1 (see module docstring).
+    """
+    def output(_state, inp: Tuple[int, float]) -> int:
+        transition, noisy_phase = inp
+        return bang_bang_decision(int(transition), float(noisy_phase))
+
+    return FSM(
+        name,
+        states=[0],
+        initial_state=0,
+        transition_fn=lambda state, inp: 0,
+        output_fn=output,
+    )
+
+
+def alexander_phase_detector(name: str = "pd") -> FSM:
+    """Bang-bang detector with previous-data state (paper Figure 2 style).
+
+    Input: ``(bit, noisy_phase_ui)``.  The machine stores the previous
+    bit; a transition is declared when the current bit differs.  State
+    advances to the current bit each symbol.
+    """
+    def output(prev_bit, inp: Tuple[int, float]) -> int:
+        bit, noisy_phase = inp
+        transition = int(bit) != int(prev_bit)
+        return bang_bang_decision(int(transition), float(noisy_phase))
+
+    def transition_fn(prev_bit, inp: Tuple[int, float]) -> int:
+        bit, _ = inp
+        if int(bit) not in (0, 1):
+            raise ValueError(f"{name}: data bit must be 0 or 1, got {bit!r}")
+        return int(bit)
+
+    return FSM(
+        name,
+        states=[0, 1],
+        initial_state=0,
+        transition_fn=transition_fn,
+        output_fn=output,
+    )

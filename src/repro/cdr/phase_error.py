@@ -1,0 +1,144 @@
+"""Discretized phase error: the grid and the phase-accumulator FSM.
+
+"One way to analyze the system ... is using the machinery of discrete-time
+Markov chains, which requires that we discretize the phase error and also
+the noise sources to obtain a discrete state-space.  The granularity of the
+discretization ... is dictated by the number of clock phases and the
+magnitude of the noise source n_r" (paper, Section 2).
+
+:class:`PhaseGrid` discretizes one unit interval (UI, one symbol period)
+into ``n_points`` equal cells with cell-center values in ``[-1/2, 1/2)``;
+phase arithmetic wraps modulo one UI and reports wrap events, which the
+model interprets as cycle slips.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.fsm.machine import FSM
+from repro.noise.distributions import DiscreteDistribution
+
+__all__ = ["PhaseGrid", "phase_accumulator_fsm"]
+
+
+class PhaseGrid:
+    """A uniform grid over one unit interval of phase error.
+
+    Grid point ``m`` carries the value ``-1/2 + (m + 1/2) * step`` with
+    ``step = 1 / n_points`` -- cell centers, symmetric about zero, with no
+    atom exactly at the wrap boundary ``+-1/2``.
+    """
+
+    __slots__ = ("_n", "_step", "_values")
+
+    def __init__(self, n_points: int) -> None:
+        if n_points < 2:
+            raise ValueError("phase grid needs at least 2 points")
+        self._n = int(n_points)
+        self._step = 1.0 / self._n
+        self._values = -0.5 + (np.arange(self._n) + 0.5) * self._step
+        self._values.setflags(write=False)
+
+    @property
+    def n_points(self) -> int:
+        return self._n
+
+    @property
+    def step(self) -> float:
+        """Grid resolution in UI."""
+        return self._step
+
+    @property
+    def values(self) -> np.ndarray:
+        """Phase value of every grid index (read-only)."""
+        return self._values
+
+    def value_of(self, index: int) -> float:
+        return float(self._values[index])
+
+    def index_of(self, phase_ui: float) -> int:
+        """Grid index whose cell contains ``phase_ui`` (after wrapping)."""
+        wrapped = self.wrap_value(phase_ui)
+        idx = int(np.floor((wrapped + 0.5) / self._step))
+        return min(max(idx, 0), self._n - 1)
+
+    def steps_of(self, offset_ui: float) -> int:
+        """Nearest whole number of grid steps for a UI offset."""
+        return int(round(offset_ui / self._step))
+
+    @staticmethod
+    def wrap_value(phase_ui: float) -> float:
+        """Wrap a phase value into ``[-1/2, 1/2)``."""
+        return (phase_ui + 0.5) % 1.0 - 0.5
+
+    def shift_index(self, index: int, steps: int) -> Tuple[int, int]:
+        """Shift a grid index, wrapping modulo the grid.
+
+        Returns ``(new_index, wrap_count)`` where ``wrap_count`` is the
+        (signed) number of UI boundaries crossed -- each one a cycle slip.
+        """
+        raw = index + steps
+        # Python floor division gives the signed number of boundary
+        # crossings for negative raw indices as well.
+        return raw % self._n, raw // self._n
+
+    def shift_indices(self, indices: np.ndarray, steps: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`shift_index` over an index array."""
+        raw = np.asarray(indices) + steps
+        return raw % self._n, np.floor_divide(raw, self._n)
+
+    def quantize_to_steps(self, dist: DiscreteDistribution) -> DiscreteDistribution:
+        """Quantize a UI-valued distribution to whole grid steps.
+
+        Returns a distribution whose atom *values are step counts*
+        (integers stored as floats).  Uses mean-preserving ``"split"``
+        quantization so small drifts below one grid step survive as
+        fractional probabilities instead of vanishing -- this is what makes
+        the coarse discretization "fine enough to accurately capture the
+        small jumps in phase error due to n_r".
+        """
+        q = dist.quantize(self._step, mode="split")
+        return DiscreteDistribution(np.round(q.values / self._step), q.probs)
+
+    def __repr__(self) -> str:
+        return f"PhaseGrid(n_points={self._n}, step={self._step:g} UI)"
+
+
+def phase_accumulator_fsm(
+    name: str,
+    grid: PhaseGrid,
+    phase_step_units: int,
+    initial_index: int = None,
+) -> FSM:
+    """The phase-error accumulator as an FSM for network composition.
+
+    State: the grid index of the current phase error.  Input: a tuple
+    ``(direction, drift_steps)`` where ``direction`` in {-1, 0, +1} is the
+    loop-filter correction (scaled by ``phase_step_units``, the paper's
+    ``G``, "the smallest phase increment available from the internal
+    clock") and ``drift_steps`` is the ``n_r`` drift in grid steps.  Moore
+    output: the phase value in UI.
+    """
+    if phase_step_units < 1:
+        raise ValueError("phase_step_units must be at least 1")
+    if initial_index is None:
+        initial_index = grid.n_points // 2
+    m0 = int(initial_index)
+
+    def transition(state, inp):
+        direction, drift = inp
+        new_index, _wraps = grid.shift_index(
+            state, -phase_step_units * int(direction) + int(drift)
+        )
+        return new_index
+
+    return FSM.moore(
+        name,
+        states=list(range(grid.n_points)),
+        initial_state=m0,
+        transition_fn=transition,
+        state_output_fn=lambda m: grid.value_of(m),
+    )

@@ -1,0 +1,77 @@
+"""Parameter-sweep utilities for CDR design studies.
+
+The paper's Figure 5 is a counter-length sweep ("there is an optimal
+counter length for given levels of noise, the computation of which is
+enabled by the accurate and efficient analysis method described in the
+paper").  These helpers run such sweeps through the high-level analyzer
+and return tidy records ready for tabulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.analyzer import analyze_cdr
+from repro.core.spec import CDRSpec
+
+__all__ = ["sweep_parameter", "sweep_counter_length", "optimal_counter_length"]
+
+
+def sweep_parameter(
+    base_spec: CDRSpec,
+    parameter: str,
+    values: Sequence,
+    solver: str = "multigrid",
+    tol: float = 1e-10,
+) -> List[Dict]:
+    """Analyze ``base_spec`` with ``parameter`` swept over ``values``.
+
+    Returns one record per value with the headline measures and solver
+    statistics (the fields of the paper's per-plot annotation lines).
+    """
+    records = []
+    for value in values:
+        spec = base_spec.replace(**{parameter: value})
+        result = analyze_cdr(spec, solver=solver, tol=tol)
+        records.append(
+            {
+                parameter: value,
+                "ber": result.ber,
+                "ber_discrete": result.ber_discrete,
+                "slip_rate": result.slip_rate,
+                "mean_symbols_between_slips": result.mean_symbols_between_slips,
+                "phase_rms": result.phase_rms,
+                "n_states": result.n_states,
+                "iterations": result.solver_result.iterations,
+                "form_time_s": result.form_time,
+                "solve_time_s": result.solve_time,
+            }
+        )
+    return records
+
+
+def sweep_counter_length(
+    base_spec: CDRSpec,
+    counter_lengths: Iterable[int],
+    solver: str = "multigrid",
+    tol: float = 1e-10,
+) -> List[Dict]:
+    """The Figure-5 experiment: BER as a function of counter length."""
+    return sweep_parameter(
+        base_spec, "counter_length", list(counter_lengths), solver=solver, tol=tol
+    )
+
+
+def optimal_counter_length(
+    base_spec: CDRSpec,
+    counter_lengths: Iterable[int],
+    solver: str = "multigrid",
+    tol: float = 1e-10,
+    key: Optional[Callable[[Dict], float]] = None,
+) -> Dict:
+    """Pick the swept counter length minimizing BER (or a custom key)."""
+    records = sweep_counter_length(base_spec, counter_lengths, solver=solver, tol=tol)
+    if not records:
+        raise ValueError("counter_lengths is empty")
+    key = key or (lambda rec: rec["ber"])
+    return min(records, key=key)

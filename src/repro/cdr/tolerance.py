@@ -1,0 +1,151 @@
+"""Jitter-tolerance search: the largest jitter a design still survives.
+
+Link specifications are phrased as tolerance masks: "the receiver must
+meet BER <= 1e-12 with X UI of sinusoidal jitter plus Y UI rms of random
+jitter".  With the paper's analysis each candidate point costs one
+stationary solve, so the tolerance boundary can be located by bisection --
+the design-space exploration the paper's introduction promises
+("evaluation of a number of alternative algorithms ... in a short time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.analyzer import analyze_cdr
+from repro.core.spec import CDRSpec
+from repro.noise.jitter import sinusoidal_jitter
+
+__all__ = ["ToleranceResult", "bisect_tolerance", "random_jitter_tolerance",
+           "sinusoidal_jitter_tolerance"]
+
+
+@dataclass
+class ToleranceResult:
+    """Outcome of a tolerance bisection."""
+
+    parameter: str
+    tolerance: float
+    ber_at_tolerance: float
+    ber_target: float
+    n_evaluations: int
+    bracket: tuple
+
+    def summary(self) -> str:
+        return (
+            f"{self.parameter} tolerance at BER <= {self.ber_target:g}: "
+            f"{self.tolerance:.5f} (BER there {self.ber_at_tolerance:.2e}, "
+            f"{self.n_evaluations} analyses)"
+        )
+
+
+def bisect_tolerance(
+    evaluate_ber: Callable[[float], float],
+    ber_target: float,
+    lo: float,
+    hi: float,
+    rel_tol: float = 0.02,
+    max_evaluations: int = 40,
+    parameter: str = "jitter",
+) -> ToleranceResult:
+    """Largest ``x`` in ``[lo, hi]`` with ``evaluate_ber(x) <= ber_target``.
+
+    ``evaluate_ber`` must be (weakly) increasing in ``x`` -- true for any
+    additive jitter magnitude.  Requires ``evaluate_ber(lo) <= target``
+    (otherwise the design fails even at the bracket floor and a
+    :class:`ValueError` is raised).  If even ``hi`` passes, ``hi`` is
+    returned as the (bracket-limited) tolerance.
+    """
+    if not 0.0 < ber_target < 1.0:
+        raise ValueError("ber_target must be in (0, 1)")
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+    evals = 0
+
+    def ber(x: float) -> float:
+        nonlocal evals
+        evals += 1
+        return evaluate_ber(x)
+
+    ber_lo = ber(lo)
+    if ber_lo > ber_target:
+        raise ValueError(
+            f"design misses the BER target even at {parameter}={lo!r} "
+            f"(BER {ber_lo:.2e} > {ber_target:g})"
+        )
+    ber_hi = ber(hi)
+    if ber_hi <= ber_target:
+        return ToleranceResult(
+            parameter=parameter,
+            tolerance=hi,
+            ber_at_tolerance=ber_hi,
+            ber_target=ber_target,
+            n_evaluations=evals,
+            bracket=(lo, hi),
+        )
+    good, bad = lo, hi
+    ber_good = ber_lo
+    while evals < max_evaluations and (bad - good) > rel_tol * max(abs(good), 1e-12):
+        mid = 0.5 * (good + bad)
+        b = ber(mid)
+        if b <= ber_target:
+            good, ber_good = mid, b
+        else:
+            bad = mid
+    return ToleranceResult(
+        parameter=parameter,
+        tolerance=good,
+        ber_at_tolerance=ber_good,
+        ber_target=ber_target,
+        n_evaluations=evals,
+        bracket=(lo, hi),
+    )
+
+
+def random_jitter_tolerance(
+    spec: CDRSpec,
+    ber_target: float = 1e-12,
+    lo: float = 1e-3,
+    hi: float = 0.3,
+    solver: str = "auto",
+    rel_tol: float = 0.02,
+) -> ToleranceResult:
+    """Largest Gaussian eye-jitter ``STDnw`` (UI rms) meeting the BER target."""
+
+    def evaluate(std: float) -> float:
+        return analyze_cdr(spec.replace(nw_std=std), solver=solver).ber
+
+    return bisect_tolerance(
+        evaluate, ber_target, lo, hi, rel_tol=rel_tol, parameter="STDnw"
+    )
+
+
+def sinusoidal_jitter_tolerance(
+    spec: CDRSpec,
+    ber_target: float = 1e-12,
+    lo: float = 1e-3,
+    hi: float = 0.4,
+    n_atoms: int = 16,
+    solver: str = "auto",
+    rel_tol: float = 0.02,
+) -> ToleranceResult:
+    """Largest sinusoidal-jitter amplitude (UI) meeting the BER target.
+
+    The sinusoid's arcsine amplitude law is convolved with the spec's
+    Gaussian ``n_w`` ("one can even mimic deterministic sinusoidally
+    varying jitter by assigning the amplitude distribution ...
+    appropriately" -- paper, Section 2); this is the high-frequency-SJ
+    point of a jitter-tolerance mask, where the loop cannot track the
+    sinusoid and sees it as uncorrelated eye closure.
+    """
+    base_nw = spec.nw_distribution()
+
+    def evaluate(amplitude: float) -> float:
+        sj = sinusoidal_jitter(amplitude, n_atoms=n_atoms)
+        candidate = spec.replace(nw_override=base_nw.convolve(sj))
+        return analyze_cdr(candidate, solver=solver).ber
+
+    return bisect_tolerance(
+        evaluate, ber_target, lo, hi, rel_tol=rel_tol, parameter="SJ amplitude"
+    )

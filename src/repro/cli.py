@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three commands mirror the library's main entry points:
+
+``analyze``
+    One design point: build, solve, print the paper-style report plus the
+    performance measures (optionally the ASCII phase-error density).
+``sweep``
+    Sweep one :class:`~repro.core.spec.CDRSpec` field over a list of
+    values and print the results table (the Figure-5 workflow).
+``acquire``
+    Lock-acquisition figures: worst-case / mean lock times and the
+    lock-probability curve checkpoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    CDRSpec,
+    analyze_acquisition,
+    analyze_cdr,
+    lock_probability_curve,
+    sweep_parameter,
+)
+from repro.core import format_pdf_ascii, format_table
+
+__all__ = ["main", "build_parser"]
+
+_SPEC_FIELDS = {
+    "n_phase_points": int,
+    "n_clock_phases": int,
+    "counter_length": int,
+    "transition_density": float,
+    "max_run_length": int,
+    "nw_std": float,
+    "nw_atoms": int,
+    "nr_max": float,
+    "nr_mean": float,
+}
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = CDRSpec()
+    for field, ftype in _SPEC_FIELDS.items():
+        parser.add_argument(
+            f"--{field.replace('_', '-')}",
+            dest=field,
+            type=ftype,
+            default=getattr(defaults, field),
+            help=f"CDRSpec.{field} (default: %(default)s)",
+        )
+
+
+def _spec_from_args(args: argparse.Namespace) -> CDRSpec:
+    return CDRSpec(**{field: getattr(args, field) for field in _SPEC_FIELDS})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Stochastic BER / cycle-slip analysis of digital CDR circuits "
+            "(Demir & Feldmann, DATE 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="analyze one design point")
+    _add_spec_arguments(p_an)
+    p_an.add_argument("--solver", default="auto",
+                      help="stationary solver (default: %(default)s)")
+    p_an.add_argument("--tol", type=float, default=1e-10)
+    p_an.add_argument("--plot", action="store_true",
+                      help="print the ASCII phase-error density")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit the analysis as JSON instead of the report")
+
+    p_sw = sub.add_parser("sweep", help="sweep one spec field")
+    _add_spec_arguments(p_sw)
+    p_sw.add_argument("--parameter", required=True, choices=sorted(_SPEC_FIELDS),
+                      help="spec field to sweep")
+    p_sw.add_argument("--values", required=True,
+                      help="comma-separated values, e.g. 1,2,4,8")
+    p_sw.add_argument("--solver", default="auto")
+    p_sw.add_argument("--tol", type=float, default=1e-10)
+
+    p_aq = sub.add_parser("acquire", help="lock-acquisition analysis")
+    _add_spec_arguments(p_aq)
+    p_aq.add_argument("--lock-threshold", type=float, default=0.1,
+                      help="half-width of the lock window in UI")
+    p_aq.add_argument("--curve-symbols", type=int, default=0,
+                      help="also print the lock-probability curve out to "
+                           "this many symbols")
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    analysis = analyze_cdr(spec, solver=args.solver, tol=args.tol)
+    if args.json:
+        from repro.core import analysis_to_json
+
+        print(analysis_to_json(analysis, include_pdf=args.plot, indent=2))
+        return 0
+    print(spec.describe())
+    if args.plot:
+        values, probs = analysis.phase_error_pdf()
+        print(format_pdf_ascii(values, probs, title="phase error PDF"))
+    print(analysis.report())
+    print(f"BER (Gaussian tail)        : {analysis.ber:.3e}")
+    print(f"BER (discretized tail)     : {analysis.ber_discrete:.3e}")
+    print(f"cycle-slip rate            : {analysis.slip_rate:.3e} /symbol")
+    print(f"mean symbols between slips : {analysis.mean_symbols_between_slips:.3e}")
+    print(f"phase mean / rms (UI)      : "
+          f"{analysis.phase_stats['mean_ui']:+.4f} / {analysis.phase_stats['rms_ui']:.4f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    caster = _SPEC_FIELDS[args.parameter]
+    try:
+        values = [caster(v) for v in args.values.split(",") if v.strip()]
+    except ValueError as exc:
+        print(f"error: bad --values: {exc}", file=sys.stderr)
+        return 2
+    if not values:
+        print("error: --values is empty", file=sys.stderr)
+        return 2
+    records = sweep_parameter(
+        spec, args.parameter, values, solver=args.solver, tol=args.tol
+    )
+    print(format_table(
+        records,
+        columns=[args.parameter, "ber", "slip_rate", "phase_rms",
+                 "n_states", "solve_time_s"],
+    ))
+    return 0
+
+
+def _cmd_acquire(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    print(spec.describe())
+    model = spec.build_model()
+    acq = analyze_acquisition(model, locked_threshold_ui=args.lock_threshold)
+    print(acq.summary())
+    if args.curve_symbols > 0:
+        curve = lock_probability_curve(
+            model, args.curve_symbols,
+            locked_threshold_ui=args.lock_threshold,
+        )
+        checkpoints = sorted(
+            {0, args.curve_symbols}
+            | {args.curve_symbols * k // 8 for k in range(1, 8)}
+        )
+        for k in checkpoints:
+            print(f"  P(locked at symbol {k:>6}) = {curve[k]:.4f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        return _cmd_acquire(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""High-level CDR performance evaluation (the paper's contribution).
+
+:func:`repro.core.analyzer.analyze_cdr` runs the published flow end to end:
+spec -> Markov-chain compilation -> multigrid stationary solve ->
+BER / cycle-slip / jitter measures.
+"""
+
+from repro.core.spec import CDRSpec
+from repro.core.measures import (
+    accumulated_jitter_variance_rate,
+    bit_error_rate,
+    bit_error_rate_discrete,
+    cycle_slip_rate,
+    mean_symbols_between_slips,
+    phase_error_pdf,
+    phase_statistics,
+    recovered_clock_jitter,
+    sampled_phase_pdf,
+)
+from repro.core.analyzer import CDRAnalysis, analyze_cdr, analyze_model
+from repro.core.acquisition import (
+    AcquisitionAnalysis,
+    analyze_acquisition,
+    lock_probability_curve,
+    transient_error_rate,
+)
+from repro.core.reporting import format_pdf_ascii, format_record, format_table
+from repro.core.sensitivity import (
+    SensitivityReport,
+    measure_sensitivity,
+    sensitivity_table,
+)
+from repro.core.serialize import (
+    analysis_to_dict,
+    analysis_to_json,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+
+__all__ = [
+    "CDRSpec",
+    "CDRAnalysis",
+    "analyze_cdr",
+    "analyze_model",
+    "AcquisitionAnalysis",
+    "analyze_acquisition",
+    "lock_probability_curve",
+    "transient_error_rate",
+    "accumulated_jitter_variance_rate",
+    "bit_error_rate",
+    "bit_error_rate_discrete",
+    "cycle_slip_rate",
+    "mean_symbols_between_slips",
+    "phase_error_pdf",
+    "sampled_phase_pdf",
+    "phase_statistics",
+    "recovered_clock_jitter",
+    "format_table",
+    "format_pdf_ascii",
+    "format_record",
+    "SensitivityReport",
+    "measure_sensitivity",
+    "sensitivity_table",
+    "spec_to_dict",
+    "spec_from_dict",
+    "analysis_to_dict",
+    "spec_to_json",
+    "spec_from_json",
+    "analysis_to_json",
+]

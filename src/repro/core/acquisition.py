@@ -1,0 +1,182 @@
+"""Lock-acquisition analysis of the phase-selection loop.
+
+The stationary analyses answer "how does the locked loop err?"; this
+module answers "how long until it locks?"  Both reduce to standard
+Markov-chain computations on the same compiled model:
+
+* **mean lock time** -- mean first-passage time from any starting phase
+  offset to the locked region (solving the linear system of the paper's
+  "mean transition times between certain sets of MC states");
+* **lock probability vs. time** -- transient distribution propagation,
+  giving ``P(locked within k symbols)`` curves and acquisition-time
+  quantiles.
+
+The locked region is defined as all states whose phase error lies within
+``+-locked_threshold_ui``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cdr.model import CDRChainModel
+from repro.markov.passage import hitting_time_moments
+from repro.markov.transient import distribution_trajectory
+
+__all__ = [
+    "AcquisitionAnalysis",
+    "analyze_acquisition",
+    "lock_probability_curve",
+    "transient_error_rate",
+]
+
+
+def _locked_states(model: CDRChainModel, locked_threshold_ui: float) -> np.ndarray:
+    phases = model.phase_values_per_state()
+    return np.flatnonzero(np.abs(phases) <= locked_threshold_ui)
+
+
+def _start_state(model: CDRChainModel, phase_index: int) -> int:
+    """Canonical acquisition start: given phase offset, centered counter,
+    data source in its initial hidden state."""
+    return model.state_index(
+        model.data_source.initial_state, 0, int(phase_index)
+    )
+
+
+@dataclass
+class AcquisitionAnalysis:
+    """Lock-acquisition figures of a CDR design.
+
+    Attributes
+    ----------
+    locked_threshold_ui:
+        Half-width of the locked region in UI.
+    mean_lock_time_by_phase:
+        For each starting phase index (counter centered, data source at
+        its initial state), the expected symbols until the loop first
+        enters the locked region.
+    std_lock_time_by_phase:
+        Standard deviation of the same first-passage time -- the spread
+        a lab acquisition-time measurement would see.
+    worst_case_symbols:
+        Maximum of the means -- the spec-sheet acquisition time.
+    worst_case_phase_ui:
+        The starting phase error that attains it.
+    worst_case_std_symbols:
+        Lock-time standard deviation from the worst-case start.
+    mean_from_uniform:
+        Acquisition time averaged over a uniform random initial phase.
+    """
+
+    locked_threshold_ui: float
+    mean_lock_time_by_phase: np.ndarray
+    std_lock_time_by_phase: np.ndarray
+    worst_case_symbols: float
+    worst_case_phase_ui: float
+    worst_case_std_symbols: float
+    mean_from_uniform: float
+
+    def summary(self) -> str:
+        return (
+            f"lock region |phi| <= {self.locked_threshold_ui:g} UI: "
+            f"worst-case {self.worst_case_symbols:.1f} "
+            f"+- {self.worst_case_std_symbols:.1f} symbols "
+            f"(from {self.worst_case_phase_ui:+.3f} UI), "
+            f"uniform-start mean {self.mean_from_uniform:.1f} symbols"
+        )
+
+
+def analyze_acquisition(
+    model: CDRChainModel,
+    locked_threshold_ui: float = 0.1,
+) -> AcquisitionAnalysis:
+    """Mean lock times from every starting phase offset.
+
+    Raises :class:`ValueError` when the locked region is empty (threshold
+    below the grid resolution).
+    """
+    if locked_threshold_ui <= 0:
+        raise ValueError("locked_threshold_ui must be positive")
+    locked = _locked_states(model, locked_threshold_ui)
+    if locked.size == 0:
+        raise ValueError(
+            "locked region contains no grid points; increase the threshold"
+        )
+    t, v = hitting_time_moments(model.chain, locked)
+    M = model.n_phase_points
+    starts = np.array([_start_state(model, m) for m in range(M)])
+    by_phase = t[starts]
+    std_by_phase = np.sqrt(v[starts])
+    finite = np.where(np.isfinite(by_phase), by_phase, -np.inf)
+    worst = int(np.argmax(finite))
+    return AcquisitionAnalysis(
+        locked_threshold_ui=locked_threshold_ui,
+        mean_lock_time_by_phase=by_phase,
+        std_lock_time_by_phase=std_by_phase,
+        worst_case_symbols=float(by_phase[worst]),
+        worst_case_phase_ui=float(model.grid.value_of(worst)),
+        worst_case_std_symbols=float(std_by_phase[worst]),
+        mean_from_uniform=float(np.mean(by_phase[np.isfinite(by_phase)])),
+    )
+
+
+def lock_probability_curve(
+    model: CDRChainModel,
+    n_symbols: int,
+    start_phase_ui: Optional[float] = None,
+    locked_threshold_ui: float = 0.1,
+) -> np.ndarray:
+    """``P(phase error within the locked region at symbol k)`` for k = 0..n.
+
+    Not a first-passage probability (the loop may leave the region again);
+    this is the transient lock-indicator expectation, the curve an
+    acquisition-time lab measurement averages over.  ``start_phase_ui``
+    defaults to the worst case: half a UI away.
+    """
+    if n_symbols < 0:
+        raise ValueError("n_symbols must be non-negative")
+    if start_phase_ui is None:
+        start_phase_ui = -0.5 + model.grid.step / 2.0
+    m0 = model.grid.index_of(start_phase_ui)
+    start = _start_state(model, m0)
+    x0 = np.zeros(model.n_states)
+    x0[start] = 1.0
+    locked = _locked_states(model, locked_threshold_ui)
+    mask = np.zeros(model.n_states)
+    mask[locked] = 1.0
+    traj = distribution_trajectory(model.chain, x0, n_symbols)
+    return traj @ mask
+
+
+def transient_error_rate(
+    model: CDRChainModel,
+    n_symbols: int,
+    start_phase_ui: Optional[float] = None,
+    threshold_ui: float = 0.5,
+) -> np.ndarray:
+    """Per-symbol decision-error probability during acquisition.
+
+    ``out[k] = P(|Phi_k + n_w| > threshold)`` starting from the given
+    phase offset -- the burst of bit errors a receiver emits while pulling
+    in, before settling to the stationary BER.  Uses the discretized
+    ``n_w`` atoms (exact w.r.t. the chain model).
+    """
+    if n_symbols < 0:
+        raise ValueError("n_symbols must be non-negative")
+    if start_phase_ui is None:
+        start_phase_ui = -0.5 + model.grid.step / 2.0
+    m0 = model.grid.index_of(start_phase_ui)
+    x0 = np.zeros(model.n_states)
+    x0[_start_state(model, m0)] = 1.0
+    # Per-state error probability under the discretized n_w.
+    phi = model.grid.values
+    noisy = np.add.outer(phi, model.nw.values)
+    per_phi = (np.abs(noisy) > threshold_ui).astype(float) @ model.nw.probs
+    D = model.n_data_states * model.n_counter_states
+    per_state = np.tile(per_phi, D)
+    traj = distribution_trajectory(model.chain, x0, n_symbols)
+    return traj @ per_state

@@ -1,0 +1,183 @@
+"""System performance measures derived from the stationary distribution.
+
+"The quantities of interest for our system, such as the probability of a
+sampling error, or the mean time between failures due to sampling errors
+are thus available from standard Markov chain analysis" (paper, Section 1).
+
+All functions take a compiled :class:`repro.cdr.model.CDRChainModel` and a
+stationary distribution over its states.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cdr.model import CDRChainModel
+from repro.markov.correlation import autocovariance
+from repro.markov.passage import mean_time_between_events, stationary_event_rate
+
+__all__ = [
+    "phase_error_pdf",
+    "sampled_phase_pdf",
+    "bit_error_rate",
+    "bit_error_rate_discrete",
+    "cycle_slip_rate",
+    "mean_symbols_between_slips",
+    "phase_statistics",
+    "recovered_clock_jitter",
+    "accumulated_jitter_variance_rate",
+]
+
+
+def phase_error_pdf(
+    model: CDRChainModel, stationary: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stationary distribution of the phase error Phi.
+
+    Returns ``(values, probs)``: the grid values (UI) and their stationary
+    probabilities -- the left-hand density of every plot in the paper's
+    Figures 4 and 5.
+    """
+    return model.grid.values.copy(), model.phase_marginal(stationary)
+
+
+def sampled_phase_pdf(
+    model: CDRChainModel, stationary: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stationary distribution of the *noisy* sampling phase Phi + n_w.
+
+    The right-hand density of the paper's plots ("the input to the phase
+    detector, i.e., Phi + n_w"); its tails beyond +-1/2 UI are the bit
+    error probability.  Computed exactly as the convolution of the phase
+    marginal with the discretized ``n_w``.
+    """
+    phi_vals, phi_probs = phase_error_pdf(model, stationary)
+    vv = np.add.outer(phi_vals, model.nw.values).ravel()
+    pp = np.multiply.outer(phi_probs, model.nw.probs).ravel()
+    order = np.argsort(vv)
+    return vv[order], pp[order]
+
+
+def bit_error_rate_discrete(
+    model: CDRChainModel,
+    stationary: np.ndarray,
+    threshold_ui: float = 0.5,
+) -> float:
+    """BER by integrating the tails of the discretized ``Phi + n_w``.
+
+    This is exactly the paper's computation ("the BER computed by
+    integrating the tails of the distribution computed using MC
+    analysis").  Because the discretized ``n_w`` has bounded support, the
+    result floors at zero once the tails are out of reach of the largest
+    atom; use :func:`bit_error_rate` for deep-tail estimates.
+    """
+    phi_probs = model.phase_marginal(stationary)
+    phi = model.grid.values
+    # P(|phi + w| > thr) per grid point, from the n_w atoms.
+    noisy = np.add.outer(phi, model.nw.values)  # (M, K)
+    exceed = (np.abs(noisy) > threshold_ui).astype(float)
+    per_phi = exceed @ model.nw.probs
+    return float(np.dot(phi_probs, per_phi))
+
+
+def bit_error_rate(
+    model: CDRChainModel,
+    stationary: np.ndarray,
+    threshold_ui: float = 0.5,
+    nw_std: Optional[float] = None,
+) -> float:
+    """BER with an exact Gaussian tail for ``n_w``.
+
+    Conditions on the stationary phase error and integrates the *continuous*
+    Gaussian eye-opening noise: ``BER = E_phi[Q((t - phi)/s) + Q((t +
+    phi)/s)]``.  This keeps BERs meaningful far below the probability floor
+    of the finite ``n_w`` discretization (the 1e-10 .. 1e-13 regime the
+    paper targets).  ``nw_std`` defaults to the standard deviation of the
+    model's ``n_w`` distribution.
+    """
+    sigma = model.nw.std() if nw_std is None else float(nw_std)
+    phi_probs = model.phase_marginal(stationary)
+    phi = model.grid.values
+    if sigma <= 0.0:
+        exceed = (np.abs(phi) > threshold_ui).astype(float)
+        return float(np.dot(phi_probs, exceed))
+    sq = sigma * math.sqrt(2.0)
+    upper = 0.5 * _erfc((threshold_ui - phi) / sq)
+    lower = 0.5 * _erfc((threshold_ui + phi) / sq)
+    return float(np.dot(phi_probs, upper + lower))
+
+
+def _erfc(x: np.ndarray) -> np.ndarray:
+    from scipy.special import erfc
+
+    return erfc(x)
+
+
+def cycle_slip_rate(model: CDRChainModel, stationary: np.ndarray) -> float:
+    """Expected cycle slips per symbol (stationary flux through the wrap)."""
+    return stationary_event_rate(stationary, model.slip_matrix)
+
+
+def mean_symbols_between_slips(model: CDRChainModel, stationary: np.ndarray) -> float:
+    """The paper's "average time between cycle slips", in symbols."""
+    return mean_time_between_events(stationary, model.slip_matrix)
+
+
+def phase_statistics(model: CDRChainModel, stationary: np.ndarray) -> Dict[str, float]:
+    """Mean / RMS / standard deviation / peak of the stationary phase error."""
+    values, probs = phase_error_pdf(model, stationary)
+    mean = float(np.dot(values, probs))
+    second = float(np.dot(values * values, probs))
+    var = max(second - mean * mean, 0.0)
+    nonzero = probs > 0
+    return {
+        "mean_ui": mean,
+        "rms_ui": math.sqrt(second),
+        "std_ui": math.sqrt(var),
+        "peak_ui": float(np.max(np.abs(values[nonzero]))) if nonzero.any() else 0.0,
+    }
+
+
+def accumulated_jitter_variance_rate(
+    model: CDRChainModel,
+    stationary: np.ndarray,
+    max_lag: int = 512,
+) -> float:
+    """CLT variance rate of the *accumulated* phase error.
+
+    ``sigma^2 = R(0) + 2 sum_{k=1..max_lag} R(k)``: the variance of the
+    summed recovered-clock phase error grows as ``sigma^2 * n`` symbols.
+    This is the sparse, truncated-series counterpart of
+    :func:`repro.markov.fundamental.time_average_variance` (which is exact
+    but dense); ``max_lag`` must exceed the loop's correlation length.
+    """
+    f = model.phase_values_per_state()
+    R = autocovariance(model.chain, stationary, f, max_lag)
+    return float(max(R[0] + 2.0 * R[1:].sum(), 0.0))
+
+
+def recovered_clock_jitter(
+    model: CDRChainModel,
+    stationary: np.ndarray,
+    max_lag: int = 256,
+) -> Dict[str, float]:
+    """Recovered-clock jitter characterization from the phase process.
+
+    Returns the RMS jitter (UI), and the correlation length of the phase
+    error (lags until the autocovariance first drops below ``1/e`` of its
+    variance) -- the quantity behind "specifications on the recovered
+    clock jitter".
+    """
+    f = model.phase_values_per_state()
+    R = autocovariance(model.chain, stationary, f, max_lag)
+    var = R[0]
+    rms = math.sqrt(max(var, 0.0))
+    corr_len = max_lag
+    if var > 0:
+        below = np.flatnonzero(R < var / math.e)
+        if below.size:
+            corr_len = int(below[0])
+    return {"rms_ui": rms, "correlation_symbols": float(corr_len)}

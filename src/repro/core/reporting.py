@@ -1,0 +1,74 @@
+"""Plain-text reporting helpers used by examples and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_pdf_ascii", "format_record"]
+
+
+def format_table(
+    records: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """Render a list of dict records as an aligned ASCII table."""
+    if not records:
+        return "(no rows)"
+    if columns is None:
+        columns = list(records[0].keys())
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    rows = [[fmt(rec.get(c, "")) for c in columns] for rec in records]
+    widths = [
+        max(len(str(c)), max(len(r[i]) for r in rows)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(x.ljust(w) for x, w in zip(r, widths)) for r in rows)
+    return "\n".join([header, rule, body])
+
+
+def format_pdf_ascii(
+    values: np.ndarray,
+    probs: np.ndarray,
+    n_bins: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """A terminal-friendly rendering of a probability density.
+
+    Bins the atoms into ``n_bins`` columns and draws a column chart --
+    enough to see the Figure-4 densities without a plotting stack.
+    """
+    values = np.asarray(values, dtype=float)
+    probs = np.asarray(probs, dtype=float)
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, n_bins + 1)
+    mass, _ = np.histogram(values, bins=edges, weights=probs)
+    peak = mass.max() if mass.max() > 0 else 1.0
+    levels = np.round(mass / peak * height).astype(int)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height, 0, -1):
+        lines.append("".join("#" if lv >= row else " " for lv in levels))
+    lines.append("-" * n_bins)
+    lines.append(f"{lo:+.3f} UI".ljust(n_bins - 10) + f"{hi:+.3f} UI")
+    return "\n".join(lines)
+
+
+def format_record(record: Dict, floatfmt: str = ".4g") -> str:
+    """One-record ``key: value`` listing."""
+    return "\n".join(
+        f"{k}: {format(v, floatfmt) if isinstance(v, float) else v}"
+        for k, v in record.items()
+    )

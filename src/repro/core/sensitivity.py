@@ -1,0 +1,120 @@
+"""Design-margin sensitivity of the performance measures.
+
+Because one analysis costs milliseconds-to-seconds, derivatives of the
+BER and slip MTBF with respect to any spec field are cheap central
+differences on *exact* analyses -- no Monte-Carlo noise to difference
+through.  This is the quantified version of the paper's design-margin
+story: how much eye closure, drift, or counter mis-sizing the design can
+absorb before the spec is violated.
+
+Log-space derivatives are reported for the error measures (they vary over
+many decades): ``dlog10(BER)/dx`` answers "how many decades of BER per
+unit of parameter".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.analyzer import analyze_cdr
+from repro.core.spec import CDRSpec
+
+__all__ = ["SensitivityReport", "measure_sensitivity", "sensitivity_table"]
+
+_FLOOR = 1e-300
+
+
+@dataclass
+class SensitivityReport:
+    """Central-difference sensitivities of one measure to one parameter."""
+
+    parameter: str
+    value: float
+    step: float
+    measure: str
+    base: float
+    derivative: float
+    log10_derivative: float
+
+    def summary(self) -> str:
+        return (
+            f"d log10({self.measure}) / d {self.parameter} = "
+            f"{self.log10_derivative:+.3g} per unit "
+            f"(at {self.parameter} = {self.value:g})"
+        )
+
+
+def measure_sensitivity(
+    spec: CDRSpec,
+    parameter: str,
+    rel_step: float = 0.05,
+    measure: str = "ber",
+    solver: str = "auto",
+    tol: float = 1e-10,
+) -> SensitivityReport:
+    """Central-difference sensitivity of ``measure`` to ``parameter``.
+
+    ``measure`` is any float attribute of
+    :class:`~repro.core.analyzer.CDRAnalysis` (``"ber"``, ``"slip_rate"``,
+    ``"phase_rms"``, ...).  The parameter must be a float spec field.
+    """
+    value = getattr(spec, parameter)
+    if not isinstance(value, float):
+        raise ValueError(
+            f"{parameter} is not a continuous spec field; sweep it instead"
+        )
+    if rel_step <= 0:
+        raise ValueError("rel_step must be positive")
+    step = abs(value) * rel_step if value != 0 else rel_step
+
+    def run(v: float) -> float:
+        analysis = analyze_cdr(spec.replace(**{parameter: v}), solver=solver, tol=tol)
+        out = getattr(analysis, measure)
+        if not isinstance(out, float):
+            raise ValueError(f"measure {measure!r} is not a float attribute")
+        return out
+
+    base = run(value)
+    hi = run(value + step)
+    lo = run(value - step)
+    derivative = (hi - lo) / (2.0 * step)
+    log_derivative = (
+        (math.log10(max(hi, _FLOOR)) - math.log10(max(lo, _FLOOR)))
+        / (2.0 * step)
+    )
+    return SensitivityReport(
+        parameter=parameter,
+        value=value,
+        step=step,
+        measure=measure,
+        base=base,
+        derivative=derivative,
+        log10_derivative=log_derivative,
+    )
+
+
+def sensitivity_table(
+    spec: CDRSpec,
+    parameters: Sequence[str] = ("nw_std", "nr_mean", "nr_max"),
+    measure: str = "ber",
+    rel_step: float = 0.05,
+    solver: str = "auto",
+) -> List[Dict]:
+    """Sensitivities of one measure to several parameters, as records."""
+    records = []
+    for parameter in parameters:
+        rep = measure_sensitivity(
+            spec, parameter, rel_step=rel_step, measure=measure, solver=solver
+        )
+        records.append(
+            {
+                "parameter": rep.parameter,
+                "value": rep.value,
+                measure: rep.base,
+                f"d{measure}/dx": rep.derivative,
+                f"dlog10({measure})/dx": rep.log10_derivative,
+            }
+        )
+    return records

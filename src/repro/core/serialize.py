@@ -1,0 +1,132 @@
+"""JSON-friendly serialization of specs and analysis results.
+
+Design sweeps produce hundreds of analyses; persisting them (and the
+specs that produced them) lets reports be regenerated and design points
+diffed without re-solving.  Only plain-Python types are emitted, so the
+dictionaries round-trip through ``json`` untouched.
+
+Distribution overrides (``nw_override`` / ``nr_override``) are serialized
+as explicit atom tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.core.analyzer import CDRAnalysis
+from repro.core.spec import CDRSpec
+from repro.noise.distributions import DiscreteDistribution
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "analysis_to_dict",
+    "spec_to_json",
+    "spec_from_json",
+    "analysis_to_json",
+]
+
+_SCALAR_FIELDS = (
+    "n_phase_points",
+    "n_clock_phases",
+    "counter_length",
+    "transition_density",
+    "max_run_length",
+    "nw_std",
+    "nw_atoms",
+    "nw_span_sigmas",
+    "nr_max",
+    "nr_mean",
+    "nr_skew",
+)
+
+
+def _dist_to_dict(dist: Optional[DiscreteDistribution]) -> Optional[Dict]:
+    if dist is None:
+        return None
+    return {
+        "values": [float(v) for v in dist.values],
+        "probs": [float(p) for p in dist.probs],
+    }
+
+
+def _dist_from_dict(payload: Optional[Dict]) -> Optional[DiscreteDistribution]:
+    if payload is None:
+        return None
+    return DiscreteDistribution(payload["values"], payload["probs"])
+
+
+def spec_to_dict(spec: CDRSpec) -> Dict:
+    """Plain-dict form of a spec (JSON-serializable)."""
+    out = {field: getattr(spec, field) for field in _SCALAR_FIELDS}
+    out["nw_override"] = _dist_to_dict(spec.nw_override)
+    out["nr_override"] = _dist_to_dict(spec.nr_override)
+    return out
+
+
+def spec_from_dict(payload: Dict) -> CDRSpec:
+    """Inverse of :func:`spec_to_dict` (unknown keys rejected)."""
+    payload = dict(payload)
+    kwargs = {}
+    for field in _SCALAR_FIELDS:
+        if field in payload:
+            kwargs[field] = payload.pop(field)
+    kwargs["nw_override"] = _dist_from_dict(payload.pop("nw_override", None))
+    kwargs["nr_override"] = _dist_from_dict(payload.pop("nr_override", None))
+    if payload:
+        raise ValueError(f"unknown spec fields: {sorted(payload)}")
+    return CDRSpec(**kwargs)
+
+
+def analysis_to_dict(analysis: CDRAnalysis, include_pdf: bool = False) -> Dict:
+    """Plain-dict form of an analysis result.
+
+    The stationary vector itself is omitted (it can be megabytes and is
+    reproducible from the spec); set ``include_pdf`` to embed the
+    phase-error marginal, which is what plots need.
+    """
+    out = {
+        "spec": spec_to_dict(analysis.spec) if analysis.spec is not None else None,
+        "n_states": analysis.n_states,
+        "ber": analysis.ber,
+        "ber_discrete": analysis.ber_discrete,
+        "slip_rate": analysis.slip_rate,
+        "mean_symbols_between_slips": _finite_or_none(
+            analysis.mean_symbols_between_slips
+        ),
+        "phase_stats": dict(analysis.phase_stats),
+        "solver": {
+            "method": analysis.solver_result.method,
+            "iterations": analysis.solver_result.iterations,
+            "residual": analysis.solver_result.residual,
+            "converged": analysis.solver_result.converged,
+            "solve_time_s": analysis.solve_time,
+        },
+        "form_time_s": analysis.form_time,
+    }
+    if include_pdf:
+        values, probs = analysis.phase_error_pdf()
+        out["phase_error_pdf"] = {
+            "values": [float(v) for v in values],
+            "probs": [float(p) for p in probs],
+        }
+    return out
+
+
+def _finite_or_none(x: float):
+    import math
+
+    return x if math.isfinite(x) else None
+
+
+def spec_to_json(spec: CDRSpec, **json_kwargs) -> str:
+    return json.dumps(spec_to_dict(spec), **json_kwargs)
+
+
+def spec_from_json(text: str) -> CDRSpec:
+    return spec_from_dict(json.loads(text))
+
+
+def analysis_to_json(analysis: CDRAnalysis, include_pdf: bool = False, **json_kwargs) -> str:
+    return json.dumps(analysis_to_dict(analysis, include_pdf=include_pdf), **json_kwargs)

@@ -1,0 +1,40 @@
+"""Finite-state-machine modeling and composition.
+
+The paper describes the analyzed circuit "as finite state machines with
+inputs described as functions on a Markov chain state-space", composed into
+"a larger resulting Markov system".  This subpackage provides the
+deterministic machines (:mod:`repro.fsm.machine`), the stochastic sources
+(:mod:`repro.fsm.stochastic`), the synchronous network composition that
+compiles a network into a Markov chain (:mod:`repro.fsm.network`), and the
+Kronecker/SAN descriptor representation for matrix-free analysis of very
+large compositions (:mod:`repro.fsm.kronecker`).
+"""
+
+from repro.fsm.machine import FSM
+from repro.fsm.stochastic import IIDSource, MarkovSource, source_from_distribution
+from repro.fsm.network import FSMNetwork, NetworkChain
+from repro.fsm.kronecker import (
+    KroneckerDescriptor,
+    kron_matvec,
+    synchronous_product,
+)
+from repro.fsm.minimize import (
+    equivalent_state_classes,
+    fsms_equivalent,
+    minimize_fsm,
+)
+
+__all__ = [
+    "FSM",
+    "minimize_fsm",
+    "equivalent_state_classes",
+    "fsms_equivalent",
+    "MarkovSource",
+    "IIDSource",
+    "source_from_distribution",
+    "FSMNetwork",
+    "NetworkChain",
+    "KroneckerDescriptor",
+    "kron_matvec",
+    "synchronous_product",
+]

@@ -1,0 +1,209 @@
+"""Finite state machines.
+
+"The hardware implementation of the phase detector has to operate at the
+full data speed, hence it needs to be implemented by a relatively simple
+state machine" (paper, Section 2).  :class:`FSM` is the deterministic
+building block the stochastic model composes: a Mealy machine (Moore
+machines are the special case of an input-independent output function)
+with explicit, hashable states and arbitrary hashable inputs/outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FSM"]
+
+State = Hashable
+Input = Hashable
+Output = Hashable
+
+
+class FSM:
+    """A deterministic Mealy machine.
+
+    Parameters
+    ----------
+    name:
+        Identifier used for wiring inside an :class:`~repro.fsm.network.FSMNetwork`.
+    states:
+        The complete state set (hashable values).
+    initial_state:
+        Starting state; must be a member of ``states``.
+    transition_fn:
+        ``next_state = transition_fn(state, input)``.  Must return a member
+        of ``states`` for every reachable combination.
+    output_fn:
+        ``output = output_fn(state, input)`` (Mealy).  For a Moore machine
+        pass a function that ignores its second argument, or use
+        :meth:`FSM.moore`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Sequence[State],
+        initial_state: State,
+        transition_fn: Callable[[State, Input], State],
+        output_fn: Callable[[State, Input], Output],
+        moore_output_fn: Optional[Callable[[State], Output]] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("FSM needs a non-empty name")
+        states = list(states)
+        if not states:
+            raise ValueError("FSM needs at least one state")
+        state_set = set(states)
+        if len(state_set) != len(states):
+            raise ValueError("duplicate states")
+        if initial_state not in state_set:
+            raise ValueError(f"initial state {initial_state!r} not in state set")
+        self.name = name
+        self._states = states
+        self._state_set = state_set
+        self._state_index = {s: i for i, s in enumerate(states)}
+        self.initial_state = initial_state
+        self._transition_fn = transition_fn
+        self._output_fn = output_fn
+        #: For Moore machines, the state-only output function.  Network
+        #: composition pre-publishes Moore outputs before evaluating any
+        #: wiring, which is what lets feedback loops (e.g. phase error ->
+        #: phase detector -> counter -> phase error) close without a
+        #: combinational cycle.
+        self._moore_output_fn = moore_output_fn
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def states(self) -> List[State]:
+        return list(self._states)
+
+    @property
+    def is_moore(self) -> bool:
+        """True when the machine declared a state-only output function."""
+        return self._moore_output_fn is not None
+
+    def moore_output(self, state: State) -> Output:
+        """State-only output (Moore machines only)."""
+        if self._moore_output_fn is None:
+            raise TypeError(f"{self.name} is a Mealy machine; output needs the input")
+        return self._moore_output_fn(state)
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    def state_index(self, state: State) -> int:
+        """Dense index of a state (stable ordering, used by builders)."""
+        try:
+            return self._state_index[state]
+        except KeyError:
+            raise KeyError(f"{self.name}: unknown state {state!r}") from None
+
+    def next_state(self, state: State, inp: Input) -> State:
+        """Apply the transition function, validating the result."""
+        nxt = self._transition_fn(state, inp)
+        if nxt not in self._state_set:
+            raise ValueError(
+                f"{self.name}: transition from {state!r} on {inp!r} "
+                f"left the state set (got {nxt!r})"
+            )
+        return nxt
+
+    def output(self, state: State, inp: Input) -> Output:
+        """Mealy output for (state, input)."""
+        return self._output_fn(state, inp)
+
+    def step(self, state: State, inp: Input) -> Tuple[State, Output]:
+        """Convenience: ``(next_state, output)``."""
+        return self.next_state(state, inp), self.output(state, inp)
+
+    def run(self, inputs: Iterable[Input], state: Optional[State] = None):
+        """Run the machine over an input sequence; yields ``(state, output)``
+        pairs *before* each transition (i.e. the output produced while in
+        ``state`` consuming the input)."""
+        s = self.initial_state if state is None else s_check(self, state)
+        for u in inputs:
+            y = self.output(s, u)
+            yield s, y
+            s = self.next_state(s, u)
+
+    def validate_total(self, input_alphabet: Sequence[Input]) -> None:
+        """Check that the transition function is total on states x alphabet."""
+        for s in self._states:
+            for u in input_alphabet:
+                self.next_state(s, u)
+
+    def reachable_states(self, input_alphabet: Sequence[Input]) -> List[State]:
+        """States reachable from the initial state under any input sequence."""
+        seen = {self.initial_state}
+        frontier = [self.initial_state]
+        while frontier:
+            s = frontier.pop()
+            for u in input_alphabet:
+                nxt = self.next_state(s, u)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return [s for s in self._states if s in seen]
+
+    def __repr__(self) -> str:
+        return f"FSM({self.name!r}, n_states={self.n_states})"
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_table(
+        cls,
+        name: str,
+        transitions: Dict[Tuple[State, Input], State],
+        outputs: Dict[Tuple[State, Input], Output],
+        initial_state: State,
+    ) -> "FSM":
+        """Build from explicit transition/output tables."""
+        states = sorted({s for s, _ in transitions} | set(transitions.values()), key=repr)
+
+        def transition_fn(state, inp):
+            try:
+                return transitions[(state, inp)]
+            except KeyError:
+                raise ValueError(
+                    f"{name}: no transition from {state!r} on {inp!r}"
+                ) from None
+
+        def output_fn(state, inp):
+            try:
+                return outputs[(state, inp)]
+            except KeyError:
+                raise ValueError(
+                    f"{name}: no output for {state!r} on {inp!r}"
+                ) from None
+
+        return cls(name, states, initial_state, transition_fn, output_fn)
+
+    @classmethod
+    def moore(
+        cls,
+        name: str,
+        states: Sequence[State],
+        initial_state: State,
+        transition_fn: Callable[[State, Input], State],
+        state_output_fn: Callable[[State], Output],
+    ) -> "FSM":
+        """Build a Moore machine (output depends on the state only)."""
+        return cls(
+            name,
+            states,
+            initial_state,
+            transition_fn,
+            lambda state, _inp: state_output_fn(state),
+            moore_output_fn=state_output_fn,
+        )
+
+
+def s_check(fsm: FSM, state: State) -> State:
+    if state not in fsm._state_set:  # noqa: SLF001 - module-private helper
+        raise KeyError(f"{fsm.name}: unknown state {state!r}")
+    return state

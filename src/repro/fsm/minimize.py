@@ -1,0 +1,128 @@
+"""FSM state minimization (Moore's partition-refinement algorithm).
+
+"The hardware implementation of the phase detector has to operate at the
+full data speed, hence it needs to be implemented by a relatively simple
+state machine" -- and every redundant FSM state multiplies the size of the
+composed Markov chain.  Minimizing component machines *before*
+composition is therefore a direct state-space reduction: two FSM states
+that are output- and transition-equivalent generate identical rows in the
+product chain.
+
+The classical fixed-point refinement: start from the partition by output
+signature, split blocks whose members disagree on the block of any
+successor, repeat until stable.  ``O(k n^2)`` worst case -- plenty for the
+component machines of interest (tens of states).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.fsm.machine import FSM
+
+__all__ = ["minimize_fsm", "equivalent_state_classes", "fsms_equivalent"]
+
+
+def equivalent_state_classes(
+    fsm: FSM, input_alphabet: Sequence[Hashable]
+) -> List[List[Hashable]]:
+    """Partition the FSM's states into behavioural-equivalence classes.
+
+    Two states are equivalent when every input sequence produces the same
+    output sequence from both.  The machine must be total on the given
+    alphabet.
+    """
+    if not input_alphabet:
+        raise ValueError("input alphabet must be non-empty")
+    states = fsm.states
+    # Initial partition: by the full output signature over the alphabet.
+    def out_sig(s):
+        return tuple(fsm.output(s, u) for u in input_alphabet)
+
+    block_of: Dict[Hashable, int] = {}
+    signatures: Dict[Tuple, int] = {}
+    for s in states:
+        sig = out_sig(s)
+        if sig not in signatures:
+            signatures[sig] = len(signatures)
+        block_of[s] = signatures[sig]
+
+    while True:
+        def refine_sig(s):
+            return (
+                block_of[s],
+                tuple(block_of[fsm.next_state(s, u)] for u in input_alphabet),
+            )
+
+        new_ids: Dict[Tuple, int] = {}
+        new_block_of: Dict[Hashable, int] = {}
+        for s in states:
+            sig = refine_sig(s)
+            if sig not in new_ids:
+                new_ids[sig] = len(new_ids)
+            new_block_of[s] = new_ids[sig]
+        if len(new_ids) == len(set(block_of.values())):
+            break
+        block_of = new_block_of
+
+    classes: Dict[int, List[Hashable]] = {}
+    for s in states:
+        classes.setdefault(block_of[s], []).append(s)
+    return [classes[b] for b in sorted(classes)]
+
+
+def minimize_fsm(fsm: FSM, input_alphabet: Sequence[Hashable]) -> FSM:
+    """Return an equivalent machine with one state per equivalence class.
+
+    The minimized machine's states are tuples of the merged original
+    states; its initial state is the class containing the original
+    initial state.  Output behaviour is preserved for every input
+    sequence (a test invariant).
+    """
+    classes = equivalent_state_classes(fsm, input_alphabet)
+    class_of: Dict[Hashable, Tuple] = {}
+    frozen = [tuple(c) for c in classes]
+    for cls in frozen:
+        for s in cls:
+            class_of[s] = cls
+
+    def transition_fn(cls, u):
+        return class_of[fsm.next_state(cls[0], u)]
+
+    def output_fn(cls, u):
+        return fsm.output(cls[0], u)
+
+    return FSM(
+        f"{fsm.name}-min",
+        states=frozen,
+        initial_state=class_of[fsm.initial_state],
+        transition_fn=transition_fn,
+        output_fn=output_fn,
+    )
+
+
+def fsms_equivalent(
+    a: FSM,
+    b: FSM,
+    input_alphabet: Sequence[Hashable],
+    max_depth: int = 10_000,
+) -> bool:
+    """Decide behavioural equivalence of two machines (from their initial
+    states) by a synchronized BFS over reachable state pairs."""
+    seen = set()
+    frontier = [(a.initial_state, b.initial_state)]
+    seen.add(frontier[0])
+    depth = 0
+    while frontier and depth < max_depth:
+        depth += 1
+        nxt = []
+        for sa, sb in frontier:
+            for u in input_alphabet:
+                if a.output(sa, u) != b.output(sb, u):
+                    return False
+                pair = (a.next_state(sa, u), b.next_state(sb, u))
+                if pair not in seen:
+                    seen.add(pair)
+                    nxt.append(pair)
+        frontier = nxt
+    return True

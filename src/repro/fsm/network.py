@@ -1,0 +1,292 @@
+"""Synchronous composition of FSM networks into Markov chains.
+
+This is the generic engine behind the paper's Figure 2: "This
+representation can be generalized to networks of FSMs with stochastic
+inputs to describe various high-speed communication circuits."  An
+:class:`FSMNetwork` owns an ordered list of stochastic sources and
+deterministic machines with a wiring function per machine; the joint state
+(all hidden source states, all machine states) evolves as a Markov chain
+whose TPM is built by breadth-first exploration of the reachable product
+state space.
+
+Semantics of one symbol period (one global step):
+
+1. every source emits the symbol of its current hidden state;
+2. every *Moore* machine pre-publishes its state-only output -- these are
+   registered signals, valid before any combinational logic runs, which is
+   what closes synchronous feedback loops (the phase accumulator's current
+   value feeds the phase detector that ultimately steps the accumulator);
+3. machines are evaluated *in declaration order*: each machine's wiring
+   function reads an environment dict holding the source symbols, all
+   Moore outputs, and the Mealy outputs of machines evaluated earlier in
+   the same step; the machine's (Mealy) output is then added to the
+   environment (so a phase detector can feed a counter combinationally,
+   exactly as in the paper's phase-selection loop);
+4. all source hidden states and machine states advance simultaneously.
+
+Global transition probabilities are products of the source hidden-chain
+transition probabilities (machines are deterministic).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fsm.machine import FSM
+from repro.fsm.stochastic import MarkovSource
+from repro.markov.chain import MarkovChain
+
+__all__ = ["FSMNetwork", "NetworkChain"]
+
+Env = Dict[str, Hashable]
+WiringFn = Callable[[Env], Hashable]
+
+
+@dataclass
+class NetworkChain:
+    """Result of compiling an FSM network.
+
+    Attributes
+    ----------
+    chain:
+        The product Markov chain over reachable joint states.  State labels
+        are tuples: hidden source states first (declaration order), then
+        machine states.
+    build_time:
+        Wall-clock seconds spent exploring and assembling.
+    event_matrices:
+        For every event recorder registered on the network, a sparse
+        matrix ``E <= P`` holding the probability of each transition *and*
+        the event firing (see :meth:`FSMNetwork.record_event`).
+    """
+
+    chain: MarkovChain
+    build_time: float
+    event_matrices: Dict[str, sp.csr_matrix] = field(default_factory=dict)
+
+    @property
+    def n_states(self) -> int:
+        return self.chain.n_states
+
+
+class FSMNetwork:
+    """A network of stochastic sources and deterministic FSMs.
+
+    Parameters
+    ----------
+    name:
+        Network identifier (used in reprs and error messages).
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._sources: List[MarkovSource] = []
+        self._machines: List[Tuple[FSM, WiringFn]] = []
+        self._names: set = set()
+        self._events: Dict[str, Callable[[Env], bool]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_source(self, source: MarkovSource) -> "FSMNetwork":
+        """Register a stochastic source (its symbol appears in the wiring
+        environment under ``source.name``)."""
+        self._check_name(source.name)
+        self._sources.append(source)
+        return self
+
+    def add_machine(self, machine: FSM, wiring: WiringFn) -> "FSMNetwork":
+        """Register a machine evaluated after everything added before it.
+
+        ``wiring(env)`` must compute the machine's input from the
+        environment; ``env`` maps component names to this step's symbols /
+        outputs of all sources and all previously-declared machines.
+        """
+        self._check_name(machine.name)
+        self._machines.append((machine, wiring))
+        return self
+
+    def record_event(self, name: str, predicate: Callable[[Env], bool]) -> "FSMNetwork":
+        """Track a per-step event (e.g. "a bit error happened").
+
+        ``predicate(env)`` is evaluated on the completed environment of
+        each step; compilation emits a sparse matrix of transition
+        probabilities restricted to event-firing branches, ready for
+        :func:`repro.markov.passage.stationary_event_rate`.
+        """
+        if name in self._events:
+            raise ValueError(f"duplicate event name {name!r}")
+        self._events[name] = predicate
+        return self
+
+    def _check_name(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"duplicate component name {name!r}")
+        self._names.add(name)
+
+    @property
+    def source_names(self) -> List[str]:
+        return [s.name for s in self._sources]
+
+    @property
+    def machine_names(self) -> List[str]:
+        return [m.name for m, _ in self._machines]
+
+    # ------------------------------------------------------------------ #
+    # semantics
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self) -> Tuple:
+        """The joint initial state (source hidden states, machine states)."""
+        return tuple(s.initial_state for s in self._sources) + tuple(
+            m.initial_state for m, _ in self._machines
+        )
+
+    def step_branches(
+        self, joint_state: Tuple
+    ) -> List[Tuple[Tuple, float, Env]]:
+        """All one-step branches from ``joint_state``.
+
+        Returns ``(next_joint_state, probability, env)`` triples, one per
+        combination of source hidden-state transitions.  ``env`` is the
+        completed wiring environment of the step (used for event
+        recording and by tests).
+        """
+        n_src = len(self._sources)
+        src_states = joint_state[:n_src]
+        mach_states = joint_state[n_src:]
+
+        # Symbols are functions of the *current* hidden states, identical
+        # across branches; only the hidden-state successor varies.
+        env: Env = {
+            s.name: s.symbol(h) for s, h in zip(self._sources, src_states)
+        }
+        # Pre-publish Moore outputs (registered signals): they depend only
+        # on the current states, so they are valid before any wiring runs.
+        # This is what lets synchronous feedback loops close -- a machine
+        # declared later may still feed one declared earlier through its
+        # state.
+        for (machine, _), state in zip(self._machines, mach_states):
+            if machine.is_moore:
+                env[machine.name] = machine.moore_output(state)
+        next_mach = []
+        for (machine, wiring), state in zip(self._machines, mach_states):
+            u = wiring(env)
+            env[machine.name] = machine.output(state, u)
+            next_mach.append(machine.next_state(state, u))
+        next_mach = tuple(next_mach)
+
+        branches = []
+        per_source = [
+            self._sources[i].branches(src_states[i]) for i in range(n_src)
+        ]
+        for combo in itertools.product(*per_source):
+            prob = 1.0
+            nxt_src = []
+            for (h_next, p) in combo:
+                prob *= p
+                nxt_src.append(h_next)
+            branches.append((tuple(nxt_src) + next_mach, prob, env))
+        if not branches:  # no sources: deterministic network
+            branches.append((next_mach, 1.0, env))
+        return branches
+
+    def simulate(
+        self, n_steps: int, rng: np.random.Generator
+    ) -> List[Env]:
+        """Sample a trajectory of wiring environments (testing aid)."""
+        state = self.initial_state()
+        out = []
+        for _ in range(n_steps):
+            branches = self.step_branches(state)
+            probs = np.array([p for _, p, _ in branches])
+            k = rng.choice(len(branches), p=probs / probs.sum())
+            nxt, _, env = branches[k]
+            out.append(env)
+            state = nxt
+        return out
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+
+    def compile(self, max_states: int = 2_000_000) -> NetworkChain:
+        """Explore the reachable joint state space and build the TPM.
+
+        Raises :class:`RuntimeError` if more than ``max_states`` joint
+        states become reachable (a guard against state-space explosion --
+        for very large structured models use a dedicated vectorized
+        builder such as :func:`repro.cdr.model.build_cdr_chain`).
+        """
+        if not self._sources and not self._machines:
+            raise ValueError(f"{self.name}: empty network")
+        start = time.perf_counter()
+        index: Dict[Tuple, int] = {}
+        order: List[Tuple] = []
+
+        def intern(state: Tuple) -> int:
+            i = index.get(state)
+            if i is None:
+                if len(order) >= max_states:
+                    raise RuntimeError(
+                        f"{self.name}: reachable state space exceeds "
+                        f"max_states={max_states}"
+                    )
+                i = len(order)
+                index[state] = i
+                order.append(state)
+            return i
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        event_hits: Dict[str, List[Tuple[int, int, float]]] = {
+            name: [] for name in self._events
+        }
+
+        intern(self.initial_state())
+        frontier = 0
+        while frontier < len(order):
+            state = order[frontier]
+            i = frontier
+            frontier += 1
+            for nxt, prob, env in self.step_branches(state):
+                j = intern(nxt)
+                rows.append(i)
+                cols.append(j)
+                vals.append(prob)
+                for name, predicate in self._events.items():
+                    if predicate(env):
+                        event_hits[name].append((i, j, prob))
+
+        n = len(order)
+        P = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        P.sum_duplicates()
+        chain = MarkovChain(P, state_labels=order)
+        event_matrices = {}
+        for name, hits in event_hits.items():
+            if hits:
+                er, ec, ev = zip(*hits)
+                E = sp.coo_matrix((ev, (er, ec)), shape=(n, n)).tocsr()
+                E.sum_duplicates()
+            else:
+                E = sp.csr_matrix((n, n))
+            event_matrices[name] = E
+        return NetworkChain(
+            chain=chain,
+            build_time=time.perf_counter() - start,
+            event_matrices=event_matrices,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FSMNetwork({self.name!r}, sources={self.source_names}, "
+            f"machines={self.machine_names})"
+        )

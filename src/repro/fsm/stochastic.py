@@ -1,0 +1,123 @@
+"""Stochastic inputs: random processes as functions on Markov-chain states.
+
+The paper's key modeling move: "The random inputs are modeled as functions
+on the state-space of Markov chains."  A :class:`MarkovSource` owns a small
+Markov chain on hidden states and emits, at every step, a deterministic
+symbol of its *current* hidden state; the branching randomness lives
+entirely in the hidden-state transition.  White (i.i.d.) noise is the
+special case where the hidden state *is* the last emitted symbol and every
+row of the transition matrix equals the marginal law
+(:class:`IIDSource`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.noise.distributions import DiscreteDistribution
+
+__all__ = ["MarkovSource", "IIDSource", "source_from_distribution"]
+
+Symbol = Hashable
+
+
+class MarkovSource:
+    """A symbol source driven by a hidden Markov chain.
+
+    Parameters
+    ----------
+    name:
+        Identifier used for wiring inside an FSM network.
+    chain:
+        The hidden-state Markov chain.
+    emit:
+        Either a sequence of symbols (indexed by hidden-state index) or a
+        callable mapping the hidden-state index to a symbol.
+    initial_state:
+        Hidden-state index to start exploration from.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        chain: MarkovChain,
+        emit: Union[Sequence[Symbol], Callable[[int], Symbol]],
+        initial_state: int = 0,
+    ) -> None:
+        if not name:
+            raise ValueError("source needs a non-empty name")
+        self.name = name
+        self.chain = chain
+        if callable(emit):
+            self._emit = [emit(i) for i in range(chain.n_states)]
+        else:
+            self._emit = list(emit)
+            if len(self._emit) != chain.n_states:
+                raise ValueError(
+                    f"{name}: got {len(self._emit)} symbols for "
+                    f"{chain.n_states} hidden states"
+                )
+        if not 0 <= initial_state < chain.n_states:
+            raise ValueError("initial_state out of range")
+        self.initial_state = initial_state
+
+    @property
+    def n_states(self) -> int:
+        return self.chain.n_states
+
+    def symbol(self, hidden_state: int) -> Symbol:
+        """The symbol emitted while in ``hidden_state``."""
+        return self._emit[hidden_state]
+
+    @property
+    def symbols(self) -> List[Symbol]:
+        return list(self._emit)
+
+    def branches(self, hidden_state: int) -> List[Tuple[int, float]]:
+        """``(next_hidden_state, probability)`` pairs from ``hidden_state``."""
+        P = self.chain.P
+        lo, hi = P.indptr[hidden_state], P.indptr[hidden_state + 1]
+        return [
+            (int(j), float(p)) for j, p in zip(P.indices[lo:hi], P.data[lo:hi])
+        ]
+
+    def sample_path(
+        self, n_steps: int, rng: np.random.Generator
+    ) -> List[Symbol]:
+        """Sample a symbol path of length ``n_steps`` (Monte-Carlo baseline)."""
+        states = self.chain.simulate(n_steps - 1, rng, self.initial_state)
+        return [self._emit[int(s)] for s in states]
+
+    def __repr__(self) -> str:
+        return f"MarkovSource({self.name!r}, n_states={self.n_states})"
+
+
+class IIDSource(MarkovSource):
+    """White (i.i.d.) symbol source defined by a marginal distribution.
+
+    Hidden states are the atoms; every row of the hidden TPM equals the
+    atom probabilities, so consecutive symbols are independent -- exactly
+    the "white, i.e. uncorrelated in time" noise sources of the paper.
+    """
+
+    def __init__(self, name: str, distribution: DiscreteDistribution) -> None:
+        n = distribution.n_atoms
+        P = np.tile(distribution.probs, (n, 1))
+        chain = MarkovChain(P)
+        super().__init__(
+            name,
+            chain,
+            emit=[float(v) for v in distribution.values],
+            initial_state=int(np.argmax(distribution.probs)),
+        )
+        self.distribution = distribution
+
+
+def source_from_distribution(
+    name: str, distribution: DiscreteDistribution
+) -> IIDSource:
+    """Convenience alias for building a white source from a distribution."""
+    return IIDSource(name, distribution)

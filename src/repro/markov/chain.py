@@ -1,0 +1,264 @@
+"""Discrete-time Markov chains with sparse transition probability matrices.
+
+A Markov chain is "completely characterized by its transition probability
+matrix (TPM)" (paper, Section 2).  :class:`MarkovChain` wraps a validated
+``scipy.sparse`` row-stochastic matrix together with optional state labels,
+and provides the primitive operations every analysis in this package builds
+on: distribution propagation, restriction to state subsets, conversion, and
+structural queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["MarkovChain", "validate_stochastic_matrix", "random_chain"]
+
+_ROW_SUM_ATOL = 1e-8
+
+
+def validate_stochastic_matrix(
+    matrix: Union[np.ndarray, sp.spmatrix],
+    atol: float = _ROW_SUM_ATOL,
+) -> sp.csr_matrix:
+    """Validate and canonicalize a row-stochastic matrix.
+
+    Returns a CSR copy with non-negative entries whose rows sum to one
+    exactly (rows are rescaled if they are within ``atol`` of one).  Raises
+    :class:`ValueError` otherwise.
+    """
+    if sp.issparse(matrix):
+        P = matrix.tocsr().astype(float, copy=True)
+    else:
+        arr = np.asarray(matrix, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError("transition matrix must be two-dimensional")
+        P = sp.csr_matrix(arr)
+    if P.shape[0] != P.shape[1]:
+        raise ValueError(f"transition matrix must be square, got {P.shape}")
+    if P.shape[0] == 0:
+        raise ValueError("transition matrix must have at least one state")
+    P.sum_duplicates()
+    if P.nnz and P.data.min() < -atol:
+        raise ValueError("transition probabilities must be non-negative")
+    P.data = np.clip(P.data, 0.0, None)
+    P.eliminate_zeros()
+    row_sums = np.asarray(P.sum(axis=1)).ravel()
+    if not np.allclose(row_sums, 1.0, rtol=0.0, atol=max(atol, 1e-12)):
+        bad = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise ValueError(
+            f"row {bad} of the transition matrix sums to {row_sums[bad]!r}, not 1"
+        )
+    # Rescale rows to sum to one exactly (guards iterative solvers against
+    # slow probability-mass leakage).
+    scale = 1.0 / row_sums
+    P = sp.diags(scale).dot(P).tocsr()
+    return P
+
+
+class MarkovChain:
+    """A finite, discrete-time, time-homogeneous Markov chain.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Row-stochastic matrix ``P`` with ``P[i, j] = P(X_{k+1}=j | X_k=i)``.
+        Dense arrays are converted to CSR.
+    state_labels:
+        Optional sequence of hashable labels, one per state.  Model builders
+        attach structured tuples (e.g. ``(data_state, counter, phase_index)``)
+        which coarsening strategies and measures can exploit.
+    validate:
+        Skip validation only when the matrix is known-good (e.g. built by a
+        trusted internal builder); default is to validate.
+    """
+
+    __slots__ = ("_P", "_labels", "_label_index")
+
+    def __init__(
+        self,
+        transition_matrix: Union[np.ndarray, sp.spmatrix],
+        state_labels: Optional[Sequence] = None,
+        validate: bool = True,
+    ) -> None:
+        if validate:
+            self._P = validate_stochastic_matrix(transition_matrix)
+        else:
+            self._P = transition_matrix.tocsr() if sp.issparse(transition_matrix) else sp.csr_matrix(
+                np.asarray(transition_matrix, dtype=float)
+            )
+        if state_labels is not None:
+            labels = list(state_labels)
+            if len(labels) != self._P.shape[0]:
+                raise ValueError(
+                    f"got {len(labels)} labels for {self._P.shape[0]} states"
+                )
+            self._labels: Optional[List] = labels
+        else:
+            self._labels = None
+        self._label_index = None
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def P(self) -> sp.csr_matrix:
+        """The transition probability matrix (CSR)."""
+        return self._P
+
+    @property
+    def n_states(self) -> int:
+        return self._P.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored transitions."""
+        return self._P.nnz
+
+    @property
+    def state_labels(self) -> Optional[List]:
+        return self._labels
+
+    def label_of(self, index: int):
+        """Label of state ``index`` (the index itself if unlabeled)."""
+        if self._labels is None:
+            return index
+        return self._labels[index]
+
+    def index_of(self, label) -> int:
+        """State index of ``label`` (inverse of :meth:`label_of`)."""
+        if self._labels is None:
+            if not isinstance(label, (int, np.integer)) or not 0 <= label < self.n_states:
+                raise KeyError(f"unknown state {label!r}")
+            return int(label)
+        if self._label_index is None:
+            self._label_index = {lab: i for i, lab in enumerate(self._labels)}
+        try:
+            return self._label_index[label]
+        except KeyError:
+            raise KeyError(f"unknown state label {label!r}") from None
+
+    def __repr__(self) -> str:
+        return f"MarkovChain(n_states={self.n_states}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------ #
+    # basic operations
+    # ------------------------------------------------------------------ #
+
+    def step_distribution(self, dist: np.ndarray) -> np.ndarray:
+        """One-step evolution of a row distribution: ``dist @ P``."""
+        dist = np.asarray(dist, dtype=float)
+        if dist.shape != (self.n_states,):
+            raise ValueError(
+                f"distribution must have shape ({self.n_states},), got {dist.shape}"
+            )
+        return self._P.T.dot(dist)
+
+    def transition_prob(self, i: int, j: int) -> float:
+        """``P(X_{k+1}=j | X_k=i)``."""
+        return float(self._P[i, j])
+
+    def uniform_distribution(self) -> np.ndarray:
+        return np.full(self.n_states, 1.0 / self.n_states)
+
+    def point_distribution(self, state: int) -> np.ndarray:
+        dist = np.zeros(self.n_states)
+        dist[state] = 1.0
+        return dist
+
+    def row_sums(self) -> np.ndarray:
+        return np.asarray(self._P.sum(axis=1)).ravel()
+
+    def is_stochastic(self, atol: float = _ROW_SUM_ATOL) -> bool:
+        return bool(
+            np.allclose(self.row_sums(), 1.0, rtol=0.0, atol=atol)
+            and (self._P.nnz == 0 or self._P.data.min() >= -atol)
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self._P.toarray()
+
+    def submatrix(self, states: Sequence[int]) -> sp.csr_matrix:
+        """The (generally substochastic) restriction of ``P`` to ``states``."""
+        idx = np.asarray(states, dtype=int)
+        return self._P[idx][:, idx].tocsr()
+
+    def states_where(self, predicate: Callable) -> np.ndarray:
+        """Indices of states whose *label* satisfies ``predicate``."""
+        if self._labels is None:
+            return np.array(
+                [i for i in range(self.n_states) if predicate(i)], dtype=int
+            )
+        return np.array(
+            [i for i, lab in enumerate(self._labels) if predicate(lab)], dtype=int
+        )
+
+    def expected_value(self, dist: np.ndarray, fn_values: np.ndarray) -> float:
+        """``E[f(X)]`` for ``X ~ dist`` with per-state values ``fn_values``."""
+        dist = np.asarray(dist, dtype=float)
+        fn_values = np.asarray(fn_values, dtype=float)
+        if dist.shape != (self.n_states,) or fn_values.shape != (self.n_states,):
+            raise ValueError("dist and fn_values must have one entry per state")
+        return float(np.dot(dist, fn_values))
+
+    def simulate(
+        self,
+        n_steps: int,
+        rng: np.random.Generator,
+        initial_state: int = 0,
+    ) -> np.ndarray:
+        """Sample a trajectory of state indices of length ``n_steps + 1``.
+
+        Intended for testing and small Monte-Carlo cross-checks; the whole
+        point of the paper is that BER-grade statistics should *not* be
+        gathered this way.
+        """
+        if not 0 <= initial_state < self.n_states:
+            raise ValueError("initial_state out of range")
+        path = np.empty(n_steps + 1, dtype=np.int64)
+        path[0] = initial_state
+        indptr, indices, data = self._P.indptr, self._P.indices, self._P.data
+        state = initial_state
+        us = rng.random(n_steps)
+        for k in range(n_steps):
+            lo, hi = indptr[state], indptr[state + 1]
+            cumulative = np.cumsum(data[lo:hi])
+            j = int(np.searchsorted(cumulative, us[k] * cumulative[-1], side="right"))
+            state = int(indices[lo + min(j, hi - lo - 1)])
+            path[k + 1] = state
+        return path
+
+
+def random_chain(
+    n_states: int,
+    rng: np.random.Generator,
+    density: float = 0.3,
+    ensure_irreducible: bool = True,
+) -> MarkovChain:
+    """Generate a random chain (test helper, also used by property tests).
+
+    Each row gets ``max(1, density * n_states)`` random transitions with
+    Dirichlet-distributed probabilities.  With ``ensure_irreducible`` a
+    cyclic backbone ``i -> (i+1) % n`` guarantees a single communicating
+    class.
+    """
+    if n_states < 1:
+        raise ValueError("n_states must be positive")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    k = max(1, int(round(density * n_states)))
+    rows, cols, vals = [], [], []
+    for i in range(n_states):
+        targets = rng.choice(n_states, size=min(k, n_states), replace=False)
+        if ensure_irreducible:
+            targets = np.union1d(targets, [(i + 1) % n_states])
+        weights = rng.dirichlet(np.ones(targets.size))
+        rows.extend([i] * targets.size)
+        cols.extend(targets.tolist())
+        vals.extend(weights.tolist())
+    P = sp.coo_matrix((vals, (rows, cols)), shape=(n_states, n_states))
+    return MarkovChain(P)

@@ -1,0 +1,224 @@
+"""Structural classification of Markov chains.
+
+Stationary-distribution solvers assume an irreducible chain (unique
+stationary vector) and behave best on aperiodic ones; first-passage analyses
+need the transient/recurrent split.  This module computes communicating
+classes, recurrence, periodicity, absorbing states, and reachability from
+the sparsity pattern of the TPM using ``scipy.sparse.csgraph``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
+
+from repro.markov.chain import MarkovChain
+
+__all__ = [
+    "ChainStructure",
+    "classify",
+    "communicating_classes",
+    "is_irreducible",
+    "period",
+    "is_aperiodic",
+    "absorbing_states",
+    "reachable_from",
+]
+
+
+def _adjacency(chain: MarkovChain) -> sp.csr_matrix:
+    A = chain.P.copy()
+    A.data = np.ones_like(A.data)
+    return A
+
+
+def communicating_classes(chain: MarkovChain) -> List[np.ndarray]:
+    """Strongly connected components of the transition graph.
+
+    Returns a list of index arrays, one per communicating class, in
+    topological order of the condensation (ancestors first).
+    """
+    n_comp, labels = csgraph.connected_components(
+        _adjacency(chain), directed=True, connection="strong"
+    )
+    classes = [np.flatnonzero(labels == c) for c in range(n_comp)]
+    # scipy returns labels in reverse topological order for strong
+    # connectivity; sort classes so that ancestors come first.
+    order = np.argsort([labels[cls[0]] for cls in classes])
+    # Determine topological order of the condensation explicitly.
+    cond = _condensation(chain, labels, n_comp)
+    topo = _topological_order(cond)
+    del order
+    return [classes[c] for c in topo]
+
+
+def _condensation(chain: MarkovChain, labels: np.ndarray, n_comp: int) -> sp.csr_matrix:
+    """Directed acyclic graph between communicating classes."""
+    coo = chain.P.tocoo()
+    src = labels[coo.row]
+    dst = labels[coo.col]
+    mask = src != dst
+    data = np.ones(mask.sum())
+    return sp.csr_matrix(
+        (data, (src[mask], dst[mask])), shape=(n_comp, n_comp)
+    )
+
+
+def _topological_order(dag: sp.csr_matrix) -> List[int]:
+    n = dag.shape[0]
+    indeg = np.zeros(n, dtype=int)
+    coo = dag.tocoo()
+    for d in coo.col:
+        indeg[d] += 1
+    stack = [i for i in range(n) if indeg[i] == 0]
+    out: List[int] = []
+    adj = dag.tolil().rows
+    while stack:
+        u = stack.pop()
+        out.append(u)
+        for v in adj[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                stack.append(v)
+    return out
+
+
+def is_irreducible(chain: MarkovChain) -> bool:
+    """True when the whole state space is one communicating class."""
+    n_comp, _ = csgraph.connected_components(
+        _adjacency(chain), directed=True, connection="strong"
+    )
+    return n_comp == 1
+
+
+def period(chain: MarkovChain, state: int = 0) -> int:
+    """Period of the communicating class containing ``state``.
+
+    Computed as the gcd of differences of BFS levels across edges inside the
+    class (the standard linear-time algorithm).  A period of 1 means the
+    class is aperiodic.
+    """
+    n = chain.n_states
+    if not 0 <= state < n:
+        raise ValueError("state out of range")
+    n_comp, labels = csgraph.connected_components(
+        _adjacency(chain), directed=True, connection="strong"
+    )
+    cls = labels[state]
+    members = np.flatnonzero(labels == cls)
+    member_set = set(members.tolist())
+    # BFS from `state` within the class, tracking levels.
+    level = {state: 0}
+    frontier = [state]
+    g = 0
+    indptr, indices = chain.P.indptr, chain.P.indices
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for j in indices[indptr[u]:indptr[u + 1]]:
+                j = int(j)
+                if j not in member_set:
+                    continue
+                if j in level:
+                    g = math.gcd(g, level[u] + 1 - level[j])
+                else:
+                    level[j] = level[u] + 1
+                    nxt.append(j)
+        frontier = nxt
+    return abs(g) if g != 0 else 1
+
+
+def is_aperiodic(chain: MarkovChain) -> bool:
+    """True when the chain is irreducible with period one."""
+    return is_irreducible(chain) and period(chain, 0) == 1
+
+
+def absorbing_states(chain: MarkovChain, atol: float = 1e-12) -> np.ndarray:
+    """States ``i`` with ``P[i, i] ~= 1``."""
+    diag = chain.P.diagonal()
+    return np.flatnonzero(np.abs(diag - 1.0) <= atol)
+
+
+def reachable_from(chain: MarkovChain, sources: Sequence[int]) -> np.ndarray:
+    """All states reachable from any state in ``sources`` (inclusive)."""
+    sources = np.atleast_1d(np.asarray(sources, dtype=int))
+    A = _adjacency(chain)
+    seen = np.zeros(chain.n_states, dtype=bool)
+    seen[sources] = True
+    frontier = sources
+    while frontier.size:
+        nxt = []
+        for u in frontier:
+            row = A.indices[A.indptr[u]:A.indptr[u + 1]]
+            nxt.append(row[~seen[row]])
+            seen[row] = True
+        frontier = np.unique(np.concatenate(nxt)) if nxt else np.array([], dtype=int)
+    return np.flatnonzero(seen)
+
+
+@dataclass
+class ChainStructure:
+    """Summary of a chain's communicating structure."""
+
+    classes: List[np.ndarray]
+    recurrent: List[np.ndarray] = field(default_factory=list)
+    transient_states: np.ndarray = field(default_factory=lambda: np.array([], dtype=int))
+    irreducible: bool = False
+    period: Optional[int] = None
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def is_ergodic(self) -> bool:
+        """Irreducible and aperiodic."""
+        return self.irreducible and self.period == 1
+
+    def describe(self) -> str:
+        lines = [
+            f"communicating classes : {self.n_classes}",
+            f"recurrent classes     : {len(self.recurrent)}",
+            f"transient states      : {self.transient_states.size}",
+            f"irreducible           : {self.irreducible}",
+        ]
+        if self.period is not None:
+            lines.append(f"period                : {self.period}")
+        return "\n".join(lines)
+
+
+def classify(chain: MarkovChain) -> ChainStructure:
+    """Full structural classification.
+
+    A communicating class is recurrent iff it is *closed* (no probability
+    leaves it); all states in non-closed classes are transient.
+    """
+    classes = communicating_classes(chain)
+    coo = chain.P.tocoo()
+    class_of = np.empty(chain.n_states, dtype=int)
+    for c, members in enumerate(classes):
+        class_of[members] = c
+    leaks = np.zeros(len(classes), dtype=bool)
+    mask = class_of[coo.row] != class_of[coo.col]
+    for c in np.unique(class_of[coo.row[mask]]):
+        leaks[c] = True
+    recurrent = [cls for c, cls in enumerate(classes) if not leaks[c]]
+    transient = (
+        np.concatenate([cls for c, cls in enumerate(classes) if leaks[c]])
+        if np.any(leaks)
+        else np.array([], dtype=int)
+    )
+    irreducible = len(classes) == 1
+    per = period(chain, int(classes[0][0])) if irreducible else None
+    return ChainStructure(
+        classes=classes,
+        recurrent=recurrent,
+        transient_states=np.sort(transient),
+        irreducible=irreducible,
+        period=per,
+    )

@@ -1,0 +1,146 @@
+"""Fundamental-matrix analysis of ergodic chains.
+
+The deviation matrix (group inverse of ``I - P``) packages everything the
+stationary vector alone cannot answer: mean first-passage times between
+*all* pairs of states, the Kemeny constant (the size-independent expected
+time to stationarity), and the asymptotic variance of time averages -- the
+central-limit variance of ``(1/n) sum f(X_k)``, which for the CDR model is
+exactly the long-run variance of *accumulated* recovered-clock jitter.
+
+Dense computations: intended for chains up to a few thousand states
+(reduced or lumped models); the sparse large-model analyses live in
+:mod:`repro.markov.passage` and :mod:`repro.markov.correlation`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain
+from repro.markov.solvers.direct import solve_direct
+
+__all__ = [
+    "deviation_matrix",
+    "fundamental_matrix_kemeny_snell",
+    "kemeny_constant",
+    "pairwise_mean_first_passage",
+    "time_average_variance",
+]
+
+_DENSE_LIMIT = 5000
+
+
+def _dense_P(chain: Union[MarkovChain, sp.spmatrix, np.ndarray]) -> np.ndarray:
+    if isinstance(chain, MarkovChain):
+        P = chain.P
+    elif sp.issparse(chain):
+        P = chain
+    else:
+        return np.asarray(chain, dtype=float)
+    if P.shape[0] > _DENSE_LIMIT:
+        raise ValueError(
+            f"fundamental-matrix analysis is dense; {P.shape[0]} states "
+            f"exceeds the {_DENSE_LIMIT}-state limit (lump the chain first)"
+        )
+    return P.toarray()
+
+
+def _stationary(P: np.ndarray, stationary: Optional[np.ndarray]) -> np.ndarray:
+    if stationary is not None:
+        return np.asarray(stationary, dtype=float)
+    return solve_direct(sp.csr_matrix(P)).distribution
+
+
+def fundamental_matrix_kemeny_snell(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    stationary: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Kemeny & Snell's fundamental matrix ``Z = (I - P + 1 eta)^{-1}``.
+
+    Exists for any ergodic chain; ``Z`` and the deviation matrix ``D``
+    are related by ``D = Z - 1 eta``.
+    """
+    P = _dense_P(chain)
+    eta = _stationary(P, stationary)
+    n = P.shape[0]
+    return np.linalg.inv(np.eye(n) - P + np.outer(np.ones(n), eta))
+
+
+def deviation_matrix(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    stationary: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The deviation matrix ``D = sum_k (P^k - 1 eta)`` (group inverse of I-P).
+
+    ``D[i, j]`` is the expected excess number of visits to ``j`` starting
+    from ``i``, relative to stationarity.
+    """
+    P = _dense_P(chain)
+    eta = _stationary(P, stationary)
+    Z = fundamental_matrix_kemeny_snell(P, eta)
+    return Z - np.outer(np.ones(P.shape[0]), eta)
+
+
+def kemeny_constant(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    stationary: Optional[np.ndarray] = None,
+) -> float:
+    """The Kemeny constant ``K = sum_j eta_j m_{ij}`` (same for every ``i``).
+
+    The expected number of steps to reach a stationary-sampled target --
+    a single-number mixing metric of the loop dynamics.  Computed as
+    ``trace(Z) - 1``.
+    """
+    P = _dense_P(chain)
+    eta = _stationary(P, stationary)
+    Z = fundamental_matrix_kemeny_snell(P, eta)
+    return float(np.trace(Z) - 1.0)
+
+
+def pairwise_mean_first_passage(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    stationary: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The full mean-first-passage matrix ``M`` with ``M[i, j] = E_i[T_j]``.
+
+    Diagonal entries are the mean recurrence times ``1 / eta_j`` (Kac),
+    not zero.  Uses ``M = (I - Z + 1 diag(Z)) diag(1/eta)`` (Kemeny &
+    Snell, Theorem 4.4.7).
+    """
+    P = _dense_P(chain)
+    eta = _stationary(P, stationary)
+    Z = fundamental_matrix_kemeny_snell(P, eta)
+    n = P.shape[0]
+    E = np.ones((n, n))
+    M = (np.eye(n) - Z + E @ np.diag(np.diag(Z))) @ np.diag(1.0 / eta)
+    return M
+
+
+def time_average_variance(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    fn_values: np.ndarray,
+    stationary: Optional[np.ndarray] = None,
+) -> float:
+    """Asymptotic (CLT) variance of ``(1/sqrt(n)) sum (f(X_k) - eta f)``.
+
+    ``sigma^2 = 2 <f_c, D f_c>_eta - Var_eta[f]`` with ``f_c = f - eta f``
+    and ``D`` the deviation matrix (the ``k = 0`` autocovariance term is
+    counted once inside the ``D``-sum, hence the subtraction).  For the
+    CDR phase error this is the long-run accumulation rate of
+    recovered-clock jitter: the variance of the summed phase error grows
+    as ``sigma^2 * n``.
+    """
+    P = _dense_P(chain)
+    eta = _stationary(P, stationary)
+    f = np.asarray(fn_values, dtype=float)
+    if f.shape != (P.shape[0],):
+        raise ValueError("fn_values must have one entry per state")
+    mean = float(eta @ f)
+    fc = f - mean
+    D = deviation_matrix(P, eta)
+    var = float(eta @ (fc * fc))
+    cross = float((eta * fc) @ (D @ fc))
+    return max(2.0 * cross - var, 0.0)

@@ -1,0 +1,237 @@
+"""First-passage, absorption, and event-rate analysis.
+
+The paper derives the "average time between cycle slips" from "the
+computation of mean transition times between certain sets of MC states ...
+It involves solving a linear system with the (modified) TPM."  This module
+implements:
+
+* mean first-passage times (hitting times) to a target set,
+* absorption probabilities in multi-target settings,
+* expected visit counts (the fundamental matrix, on request),
+* stationary event rates and mean recurrence times (Kac's formula),
+* stationary flux of an arbitrary per-transition event (used for the slip
+  rate, where the event is "the phase error wrapped around").
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import MatrixRankWarning, splu, spsolve
+
+from repro.markov.chain import MarkovChain
+
+__all__ = [
+    "mean_first_passage_times",
+    "hitting_time_moments",
+    "hitting_probabilities",
+    "expected_visits",
+    "mean_recurrence_time",
+    "stationary_event_rate",
+    "mean_time_between_events",
+]
+
+
+def _as_P(chain: Union[MarkovChain, sp.csr_matrix]) -> sp.csr_matrix:
+    return chain.P if isinstance(chain, MarkovChain) else chain.tocsr()
+
+
+def _target_mask(n: int, targets: Sequence[int]) -> np.ndarray:
+    targets = np.atleast_1d(np.asarray(targets, dtype=int))
+    if targets.size == 0:
+        raise ValueError("target set must be non-empty")
+    if targets.min() < 0 or targets.max() >= n:
+        raise ValueError("target state out of range")
+    mask = np.zeros(n, dtype=bool)
+    mask[targets] = True
+    return mask
+
+
+def mean_first_passage_times(
+    chain: Union[MarkovChain, sp.csr_matrix],
+    targets: Sequence[int],
+) -> np.ndarray:
+    """Expected steps to first hit ``targets`` from every state.
+
+    Solves ``(I - Q) t = 1`` where ``Q`` is the restriction of ``P`` to the
+    complement of the target set.  Entries for target states are zero;
+    states from which the target is unreachable get ``inf``.
+    """
+    P = _as_P(chain)
+    n = P.shape[0]
+    mask = _target_mask(n, targets)
+    others = np.flatnonzero(~mask)
+    t = np.zeros(n)
+    if others.size == 0:
+        return t
+    Q = P[others][:, others].tocsc()
+    A = sp.identity(others.size, format="csc") - Q
+    ones = np.ones(others.size)
+    try:
+        # Unreachable targets make A singular; spsolve then warns and
+        # returns non-finite values, which we translate to inf below.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MatrixRankWarning)
+            sol = spsolve(A, ones)
+    except RuntimeError:
+        sol = np.full(others.size, np.inf)
+    sol = np.asarray(sol, dtype=float)
+    # Numerical singularity (unreachable targets) shows up as huge/negative
+    # values; flag them as inf.
+    bad = ~np.isfinite(sol) | (sol < 0) | (sol > 1e15)
+    sol[bad] = np.inf
+    t[others] = sol
+    return t
+
+
+def hitting_time_moments(
+    chain: Union[MarkovChain, sp.csr_matrix],
+    targets: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean and variance of the first-passage time to ``targets``.
+
+    Solves two linear systems with the same restricted matrix: the mean
+    ``m = (I - Q)^{-1} 1`` and the second moment
+    ``s = (I - Q)^{-1} (1 + 2 Q m)``; the variance is ``s - m^2``.
+    Entries for target states are zero; unreachable starts get ``inf``.
+
+    The variance is what acquisition specs actually need: a loop with a
+    40-symbol mean lock time and a heavy-tailed distribution is a worse
+    design than one with a 50-symbol mean and tight spread.
+    """
+    P = _as_P(chain)
+    n = P.shape[0]
+    mask = _target_mask(n, targets)
+    others = np.flatnonzero(~mask)
+    mean = np.zeros(n)
+    var = np.zeros(n)
+    if others.size == 0:
+        return mean, var
+    Q = P[others][:, others].tocsc()
+    A = (sp.identity(others.size, format="csc") - Q)
+    ones = np.ones(others.size)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MatrixRankWarning)
+            lu = splu(A)
+            m = lu.solve(ones)
+            s = lu.solve(ones + 2.0 * Q.dot(m))
+    except RuntimeError:
+        m = np.full(others.size, np.inf)
+        s = np.full(others.size, np.inf)
+    m = np.asarray(m, dtype=float)
+    s = np.asarray(s, dtype=float)
+    bad = ~np.isfinite(m) | (m < 0) | (m > 1e15)
+    m[bad] = np.inf
+    s[bad] = np.inf
+    v = np.full_like(m, np.inf)
+    good = ~bad
+    v[good] = np.clip(s[good] - m[good] * m[good], 0.0, None)
+    mean[others] = m
+    var[others] = v
+    return mean, var
+
+
+def hitting_probabilities(
+    chain: Union[MarkovChain, sp.csr_matrix],
+    targets: Sequence[int],
+    avoid: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Probability of reaching ``targets`` before ``avoid`` from every state.
+
+    With ``avoid=None`` this is the probability of ever hitting the target
+    set (1 everywhere in an irreducible chain).
+    """
+    P = _as_P(chain)
+    n = P.shape[0]
+    tmask = _target_mask(n, targets)
+    amask = np.zeros(n, dtype=bool)
+    if avoid is not None:
+        amask = _target_mask(n, avoid)
+        if np.any(tmask & amask):
+            raise ValueError("target and avoid sets overlap")
+    free = np.flatnonzero(~tmask & ~amask)
+    h = np.zeros(n)
+    h[tmask] = 1.0
+    if free.size == 0:
+        return h
+    Q = P[free][:, free].tocsc()
+    # rhs_i = sum over target states of P[i, target]
+    R = P[free][:, np.flatnonzero(tmask)]
+    rhs = np.asarray(R.sum(axis=1)).ravel()
+    A = sp.identity(free.size, format="csc") - Q
+    sol = np.asarray(spsolve(A, rhs), dtype=float)
+    h[free] = np.clip(sol, 0.0, 1.0)
+    return h
+
+
+def expected_visits(
+    chain: Union[MarkovChain, sp.csr_matrix],
+    targets: Sequence[int],
+) -> np.ndarray:
+    """Fundamental matrix ``N = (I - Q)^{-1}`` of the chain absorbed at ``targets``.
+
+    ``N[i, j]`` is the expected number of visits to transient state ``j``
+    starting from transient state ``i`` before absorption.  Returned dense:
+    only call this for modest complements (the CDR analyses never need the
+    full matrix; they use :func:`mean_first_passage_times`).
+    """
+    P = _as_P(chain)
+    n = P.shape[0]
+    mask = _target_mask(n, targets)
+    others = np.flatnonzero(~mask)
+    if others.size == 0:
+        return np.zeros((0, 0))
+    if others.size > 4000:
+        raise ValueError(
+            "expected_visits materializes a dense matrix; complement too large"
+        )
+    Q = P[others][:, others].toarray()
+    return np.linalg.inv(np.eye(others.size) - Q)
+
+
+def mean_recurrence_time(stationary: np.ndarray, states: Sequence[int]) -> float:
+    """Kac's formula: mean return time to a set ``A`` is ``1 / eta(A)``.
+
+    For a single state this is the classical ``m_i = 1 / eta_i``; for a set
+    it is the mean time between successive entries measured in stationarity.
+    """
+    stationary = np.asarray(stationary, dtype=float)
+    mask = _target_mask(stationary.size, states)
+    mass = float(stationary[mask].sum())
+    if mass <= 0.0:
+        return float("inf")
+    return 1.0 / mass
+
+
+def stationary_event_rate(
+    stationary: np.ndarray,
+    event_matrix: sp.spmatrix,
+) -> float:
+    """Expected events per step in stationarity.
+
+    ``event_matrix[i, j]`` is the probability of taking the ``i -> j``
+    transition *and* triggering the event (so ``0 <= E <= P`` entrywise).
+    The rate is ``sum_i eta_i sum_j E[i, j]``.  The CDR model builder emits
+    such a matrix for phase-wrap (cycle-slip) transitions.
+    """
+    stationary = np.asarray(stationary, dtype=float)
+    E = event_matrix.tocsr()
+    if E.shape[0] != stationary.size:
+        raise ValueError("event matrix size does not match distribution")
+    per_state = np.asarray(E.sum(axis=1)).ravel()
+    return float(np.dot(stationary, per_state))
+
+
+def mean_time_between_events(
+    stationary: np.ndarray,
+    event_matrix: sp.spmatrix,
+) -> float:
+    """``1 / rate``: mean symbols between events (inf when the rate is zero)."""
+    rate = stationary_event_rate(stationary, event_matrix)
+    if rate <= 0.0:
+        return float("inf")
+    return 1.0 / rate

@@ -1,0 +1,121 @@
+"""Perturbation analysis of stationary distributions.
+
+How much does the stationary vector move when the TPM moves?  For an
+ergodic chain with deviation matrix ``D`` (group inverse of ``I - P``),
+the exact first-order expansion is
+
+    eta(P + t dP) = eta + t * (eta dP) D + O(t^2)
+
+provided ``P + t dP`` stays stochastic (``dP`` has zero row sums).  This
+gives both a sensitivity analysis (which transition probabilities is the
+BER most sensitive to?) and the classical condition number of the chain
+``kappa = max_j (max_i D_ij - min_i D_ij) / 2`` bounding
+``||eta' - eta||_inf <= kappa ||E||_inf`` for a perturbation ``E``.
+
+Dense (uses the deviation matrix); intended for reduced or moderate-size
+models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain
+from repro.markov.fundamental import deviation_matrix
+from repro.markov.solvers.direct import solve_direct
+
+__all__ = [
+    "stationary_perturbation",
+    "perturbed_stationary",
+    "condition_number",
+]
+
+_ROWSUM_ATOL = 1e-9
+
+
+def _as_P(chain: Union[MarkovChain, sp.spmatrix, np.ndarray]):
+    if isinstance(chain, MarkovChain):
+        return chain.P
+    if sp.issparse(chain):
+        return chain.tocsr()
+    return sp.csr_matrix(np.asarray(chain, dtype=float))
+
+
+def _check_direction(dP, n: int) -> np.ndarray:
+    dP = dP.toarray() if sp.issparse(dP) else np.asarray(dP, dtype=float)
+    if dP.shape != (n, n):
+        raise ValueError(f"perturbation must be {n}x{n}")
+    rowsums = dP.sum(axis=1)
+    if not np.allclose(rowsums, 0.0, atol=_ROWSUM_ATOL):
+        raise ValueError(
+            "perturbation rows must sum to zero (the perturbed matrix must "
+            "stay stochastic to first order)"
+        )
+    return dP
+
+
+def stationary_perturbation(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    dP,
+    stationary: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """First-order change ``d(eta)/dt`` of the stationary vector along ``dP``.
+
+    ``dP`` must have zero row sums.  Returns the derivative vector (sums
+    to zero).
+    """
+    P = _as_P(chain)
+    n = P.shape[0]
+    dPd = _check_direction(dP, n)
+    eta = (
+        np.asarray(stationary, dtype=float)
+        if stationary is not None
+        else solve_direct(P).distribution
+    )
+    D = deviation_matrix(P, eta)
+    return (eta @ dPd) @ D
+
+
+def perturbed_stationary(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    dP,
+    t: float,
+    stationary: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """First-order estimate of ``eta(P + t dP)`` (clipped and renormalized)."""
+    eta = (
+        np.asarray(stationary, dtype=float)
+        if stationary is not None
+        else solve_direct(_as_P(chain)).distribution
+    )
+    out = eta + t * stationary_perturbation(chain, dP, eta)
+    out = np.clip(out, 0.0, None)
+    total = out.sum()
+    if total <= 0:
+        raise ArithmeticError("perturbation estimate collapsed to zero")
+    return out / total
+
+
+def condition_number(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    stationary: Optional[np.ndarray] = None,
+) -> float:
+    """The stationary-distribution condition number (Seneta/Meyer form).
+
+    ``kappa = max_j (max_i D_ij - min_i D_ij) / 2`` satisfies
+    ``||eta' - eta||_inf <= kappa * ||P' - P||_inf``.  Large values mean
+    small modeling errors in the TPM (e.g. noise-table uncertainty) can
+    move the stationary distribution -- and hence the BER -- a lot.
+    """
+    P = _as_P(chain)
+    eta = (
+        np.asarray(stationary, dtype=float)
+        if stationary is not None
+        else solve_direct(P).distribution
+    )
+    D = deviation_matrix(P, eta)
+    spread = D.max(axis=0) - D.min(axis=0)
+    return float(spread.max() / 2.0)

@@ -1,0 +1,83 @@
+"""Direct (sparse LU) solution of the stationary equations.
+
+The singular homogeneous system ``(P^T - I) eta^T = 0`` (paper Eq. (6)) is
+made nonsingular by replacing one equation with the normalization
+``eta . 1 = 1`` (paper Eq. (7)).  For an irreducible chain the resulting
+system has a unique solution.  This is the coarsest-level solver inside the
+multigrid method ("the coarsest problem is solved exactly with a direct
+method") and the reference answer in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from repro.markov.solvers.result import StationaryResult, residual_norm
+
+__all__ = ["solve_direct", "augmented_system"]
+
+
+def augmented_system(P: sp.csr_matrix, row: Optional[int] = None) -> sp.csc_matrix:
+    """Return ``A = I - P^T`` with equation ``row`` replaced by all-ones.
+
+    ``row`` defaults to the last equation.  The associated right-hand side
+    is ``e_row`` (zeros except a 1 in that position).
+    """
+    n = P.shape[0]
+    if row is None:
+        row = n - 1
+    if not 0 <= row < n:
+        raise ValueError("row out of range")
+    A = (sp.identity(n, format="csr") - P.T.tocsr()).tolil()
+    A[row, :] = np.ones(n)
+    return A.tocsc()
+
+
+def solve_direct(
+    P: sp.csr_matrix,
+    tol: float = 1e-10,
+    x0: Optional[np.ndarray] = None,
+) -> StationaryResult:
+    """Sparse-LU solve of the augmented stationary system.
+
+    ``tol`` and ``x0`` are accepted for interface uniformity; the solution
+    is exact up to round-off.  Raises :class:`ArithmeticError` when the LU
+    factorization fails (e.g. reducible chain making the augmented matrix
+    singular).
+    """
+    n = P.shape[0]
+    start = time.perf_counter()
+    A = augmented_system(P)
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    try:
+        lu = splu(A)
+        x = lu.solve(b)
+    except RuntimeError as exc:  # singular factorization
+        raise ArithmeticError(
+            "direct stationary solve failed (singular augmented system; "
+            "is the chain irreducible?)"
+        ) from exc
+    if not np.all(np.isfinite(x)):
+        raise ArithmeticError("direct stationary solve produced non-finite values")
+    x = np.clip(x, 0.0, None)
+    total = x.sum()
+    if total <= 0:
+        raise ArithmeticError("direct stationary solve produced a zero vector")
+    x /= total
+    elapsed = time.perf_counter() - start
+    res = residual_norm(P, x)
+    return StationaryResult(
+        distribution=x,
+        iterations=1,
+        residual=res,
+        converged=res < max(tol, 1e-6),
+        method="direct",
+        residual_history=[res],
+        solve_time=elapsed,
+    )

@@ -1,0 +1,76 @@
+"""Gauss-Seidel iteration for the stationary distribution.
+
+Splitting ``A = I - P^T = (D - L) - U`` (``L`` strictly lower, ``U``
+strictly upper triangular), each sweep solves the triangular system
+``(D - L) x_new = U x_old`` and renormalizes.  Gauss-Seidel typically
+converges in fewer sweeps than Jacobi on Markov problems at the cost of a
+triangular solve per sweep (Stewart, *Introduction to the Numerical
+Solution of Markov Chains*, ch. 3 -- reference [4] of the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from repro.markov.solvers.result import (
+    StationaryResult,
+    prepare_initial_guess,
+    residual_norm,
+)
+
+__all__ = ["solve_gauss_seidel"]
+
+_DIAG_FLOOR = 1e-14
+
+
+def solve_gauss_seidel(
+    P: sp.csr_matrix,
+    tol: float = 1e-10,
+    max_iter: int = 50_000,
+    x0: Optional[np.ndarray] = None,
+) -> StationaryResult:
+    """Gauss-Seidel sweeps on ``(I - P^T) x = 0`` with renormalization."""
+    n = P.shape[0]
+    x = prepare_initial_guess(n, x0)
+    A = (sp.identity(n, format="csr") - P.T).tocsr()
+    lower = sp.tril(A, k=0).tocsr()
+    # Guard absorbing states (zero diagonal in A) so the triangular solve
+    # stays well-defined.
+    diag = lower.diagonal()
+    fix = diag < _DIAG_FLOOR
+    if np.any(fix):
+        lower = lower + sp.diags(np.where(fix, _DIAG_FLOOR, 0.0))
+    upper = (-sp.triu(A, k=1)).tocsr()
+    PT = P.T.tocsr()
+    start = time.perf_counter()
+    history = []
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        rhs = upper.dot(x)
+        x = spsolve_triangular(lower, rhs, lower=True)
+        x = np.clip(x, 0.0, None)
+        total = x.sum()
+        if total <= 0:
+            raise ArithmeticError("Gauss-Seidel sweep annihilated the iterate")
+        x /= total
+        res = float(np.abs(PT.dot(x) - x).sum())
+        history.append(res)
+        if res < tol:
+            converged = True
+            break
+    elapsed = time.perf_counter() - start
+    return StationaryResult(
+        distribution=x,
+        iterations=it,
+        residual=residual_norm(P, x),
+        converged=converged,
+        method="gauss-seidel",
+        residual_history=history,
+        solve_time=elapsed,
+    )

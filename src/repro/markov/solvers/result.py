@@ -1,0 +1,85 @@
+"""Common result type and helpers shared by all stationary solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["StationaryResult", "residual_norm", "prepare_initial_guess"]
+
+
+def residual_norm(P: sp.csr_matrix, x: np.ndarray) -> float:
+    """1-norm residual ``||x P - x||_1`` of a candidate stationary vector."""
+    return float(np.abs(P.T.dot(x) - x).sum())
+
+
+def prepare_initial_guess(n: int, x0: Optional[np.ndarray]) -> np.ndarray:
+    """Validate/normalize an initial guess, defaulting to uniform."""
+    if x0 is None:
+        return np.full(n, 1.0 / n)
+    x = np.asarray(x0, dtype=float).copy()
+    if x.shape != (n,):
+        raise ValueError(f"initial guess must have shape ({n},), got {x.shape}")
+    if np.any(x < 0):
+        raise ValueError("initial guess must be non-negative")
+    total = x.sum()
+    if total <= 0:
+        raise ValueError("initial guess must have positive mass")
+    return x / total
+
+
+@dataclass
+class StationaryResult:
+    """Outcome of a stationary-distribution computation.
+
+    Attributes
+    ----------
+    distribution:
+        The stationary row vector ``eta`` (non-negative, sums to one).
+    iterations:
+        Iteration count in the solver's natural unit (sweeps for the
+        stationary iterative methods, V-cycles for multigrid, matvecs for
+        Krylov, 1 for direct).
+    residual:
+        Final ``||eta P - eta||_1``.
+    converged:
+        Whether the requested tolerance was reached.
+    method:
+        Human-readable solver name (appears in benchmark tables).
+    residual_history:
+        Residual after each iteration (empty for direct solves).
+    solve_time:
+        Wall-clock seconds spent inside the solver.
+    """
+
+    distribution: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+    method: str
+    residual_history: List[float] = field(default_factory=list)
+    solve_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.distribution = np.asarray(self.distribution, dtype=float)
+
+    @property
+    def n_states(self) -> int:
+        return self.distribution.size
+
+    def convergence_rate(self) -> Optional[float]:
+        """Geometric-mean per-iteration residual reduction factor."""
+        h = [r for r in self.residual_history if r > 0]
+        if len(h) < 2:
+            return None
+        return float((h[-1] / h[0]) ** (1.0 / (len(h) - 1)))
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.method}: {status} in {self.iterations} iterations, "
+            f"residual {self.residual:.3e}, {self.solve_time:.3f}s"
+        )

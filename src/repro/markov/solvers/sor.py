@@ -1,0 +1,82 @@
+"""SOR (successive over-relaxation) iteration for the stationary vector.
+
+Gauss-Seidel with a relaxation factor ``omega``: the update direction of
+one GS sweep is scaled by ``omega`` (over-relaxation for ``omega > 1``,
+under-relaxation below).  On the banded, advection-dominated chains of
+the CDR model a modest over-relaxation typically shaves 20-40% off the
+Gauss-Seidel sweep count (Stewart, ch. 3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from repro.markov.solvers.result import (
+    StationaryResult,
+    prepare_initial_guess,
+    residual_norm,
+)
+
+__all__ = ["solve_sor"]
+
+_DIAG_FLOOR = 1e-14
+
+
+def solve_sor(
+    P: sp.csr_matrix,
+    tol: float = 1e-10,
+    max_iter: int = 50_000,
+    x0: Optional[np.ndarray] = None,
+    omega: float = 1.2,
+) -> StationaryResult:
+    """SOR sweeps on ``(I - P^T) x = 0`` with renormalization.
+
+    ``omega = 1`` reduces to Gauss-Seidel.  Stability typically requires
+    ``0 < omega < 2``; the useful range for Markov problems is about
+    ``[0.9, 1.6]``.
+    """
+    if not 0.0 < omega < 2.0:
+        raise ValueError("omega must be in (0, 2)")
+    n = P.shape[0]
+    x = prepare_initial_guess(n, x0)
+    A = (sp.identity(n, format="csr") - P.T).tocsr()
+    D = A.diagonal()
+    D = np.where(D < _DIAG_FLOOR, _DIAG_FLOOR, D)
+    L = sp.tril(A, k=-1).tocsr()
+    U = sp.triu(A, k=1).tocsr()
+    # SOR splitting: (D/omega + L) x_new = ((1/omega - 1) D - U) x_old
+    M = (sp.diags(D / omega) + L).tocsr()
+    N = sp.diags((1.0 / omega - 1.0) * D) - U
+    PT = P.T.tocsr()
+    start = time.perf_counter()
+    history = []
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        rhs = N.dot(x)
+        x = spsolve_triangular(M, rhs, lower=True)
+        x = np.clip(x, 0.0, None)
+        total = x.sum()
+        if total <= 0:
+            raise ArithmeticError("SOR sweep annihilated the iterate")
+        x /= total
+        res = float(np.abs(PT.dot(x) - x).sum())
+        history.append(res)
+        if res < tol:
+            converged = True
+            break
+    elapsed = time.perf_counter() - start
+    return StationaryResult(
+        distribution=x,
+        iterations=it,
+        residual=residual_norm(P, x),
+        converged=converged,
+        method=f"sor(omega={omega:g})",
+        residual_history=history,
+        solve_time=elapsed,
+    )

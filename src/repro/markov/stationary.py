@@ -1,0 +1,125 @@
+"""Front-end for stationary-distribution computation.
+
+``stationary_distribution(chain)`` picks a sensible solver automatically
+(direct for small chains, multigrid for large ones) or dispatches to a
+named method.  All solvers return a
+:class:`~repro.markov.solvers.result.StationaryResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain
+from repro.markov.classify import is_irreducible
+from repro.markov.multigrid import MultigridOptions, MultigridSolver
+from repro.markov.solvers import (
+    StationaryResult,
+    solve_direct,
+    solve_eigen,
+    solve_gauss_seidel,
+    solve_jacobi,
+    solve_krylov,
+    solve_power,
+    solve_sor,
+)
+
+__all__ = ["stationary_distribution", "SOLVER_NAMES"]
+
+SOLVER_NAMES = (
+    "auto",
+    "direct",
+    "power",
+    "jacobi",
+    "gauss-seidel",
+    "sor",
+    "krylov",
+    "arnoldi",
+    "multigrid",
+)
+
+_DIRECT_CUTOFF = 20_000
+
+
+def stationary_distribution(
+    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    method: str = "auto",
+    tol: float = 1e-10,
+    max_iter: Optional[int] = None,
+    x0: Optional[np.ndarray] = None,
+    check_irreducible: bool = False,
+    **kwargs,
+) -> StationaryResult:
+    """Compute the stationary distribution ``eta`` with ``eta P = eta``.
+
+    Parameters
+    ----------
+    chain:
+        A :class:`MarkovChain` or a row-stochastic matrix.
+    method:
+        One of :data:`SOLVER_NAMES`.  ``"auto"`` uses a direct sparse-LU
+        solve below ~20k states and multigrid above.
+    tol:
+        Residual tolerance ``||eta P - eta||_1`` for iterative methods.
+    max_iter:
+        Iteration cap (method-specific default when omitted).
+    x0:
+        Initial guess for iterative methods.
+    check_irreducible:
+        When True, verify irreducibility first and raise ``ValueError`` on
+        reducible chains (which have non-unique stationary vectors).
+    kwargs:
+        Extra method-specific options (e.g. ``damping`` for power,
+        ``strategy`` for multigrid, ``variant`` for krylov).
+    """
+    if isinstance(chain, MarkovChain):
+        mc = chain
+    else:
+        mc = MarkovChain(chain)
+    if method not in SOLVER_NAMES:
+        raise ValueError(f"unknown method {method!r}; choose from {SOLVER_NAMES}")
+    if check_irreducible and not is_irreducible(mc):
+        raise ValueError(
+            "chain is reducible: the stationary distribution is not unique"
+        )
+    P = mc.P
+    if method == "auto":
+        method = "direct" if mc.n_states <= _DIRECT_CUTOFF else "multigrid"
+    if method == "direct":
+        return solve_direct(P, tol=tol)
+    if method == "power":
+        return solve_power(
+            P, tol=tol, max_iter=max_iter or 100_000, x0=x0,
+            damping=kwargs.get("damping", 1.0),
+        )
+    if method == "jacobi":
+        return solve_jacobi(P, tol=tol, max_iter=max_iter or 100_000, x0=x0)
+    if method == "gauss-seidel":
+        return solve_gauss_seidel(P, tol=tol, max_iter=max_iter or 50_000, x0=x0)
+    if method == "sor":
+        return solve_sor(
+            P, tol=tol, max_iter=max_iter or 50_000, x0=x0,
+            omega=kwargs.get("omega", 1.2),
+        )
+    if method == "arnoldi":
+        return solve_eigen(P, tol=tol, max_iter=max_iter or 10_000, x0=x0)
+    if method == "krylov":
+        return solve_krylov(
+            P, tol=tol, max_iter=max_iter or 5_000, x0=x0,
+            variant=kwargs.get("variant", "gmres"),
+            preconditioner=kwargs.get("preconditioner", "ilu"),
+        )
+    # multigrid
+    options = MultigridOptions(
+        tol=tol,
+        max_cycles=max_iter or 200,
+        nu_pre=kwargs.get("nu_pre", 1),
+        nu_post=kwargs.get("nu_post", 1),
+        coarsest_size=kwargs.get("coarsest_size", 512),
+        cycle_type=kwargs.get("cycle_type", "V"),
+    )
+    solver = MultigridSolver(strategy=kwargs.get("strategy"), options=options)
+    return solver.solve(P, x0=x0)

@@ -1,0 +1,126 @@
+"""Transient (finite-horizon) analysis of Markov chains.
+
+Complements the stationary analyses: distribution evolution over a finite
+horizon, expected trajectories of state functions (e.g. the mean phase
+error during lock acquisition), and empirical mixing diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain
+
+__all__ = [
+    "distribution_at",
+    "distribution_trajectory",
+    "expected_trajectory",
+    "total_variation",
+    "mixing_time",
+]
+
+
+def _as_P(chain: Union[MarkovChain, sp.csr_matrix]) -> sp.csr_matrix:
+    return chain.P if isinstance(chain, MarkovChain) else chain.tocsr()
+
+
+def distribution_at(
+    chain: Union[MarkovChain, sp.csr_matrix],
+    initial: np.ndarray,
+    n_steps: int,
+) -> np.ndarray:
+    """State distribution after ``n_steps`` steps from ``initial``."""
+    if n_steps < 0:
+        raise ValueError("n_steps must be non-negative")
+    P = _as_P(chain)
+    PT = P.T.tocsr()
+    x = np.asarray(initial, dtype=float).copy()
+    if x.shape != (P.shape[0],):
+        raise ValueError("initial distribution has wrong size")
+    for _ in range(n_steps):
+        x = PT.dot(x)
+    return x
+
+
+def distribution_trajectory(
+    chain: Union[MarkovChain, sp.csr_matrix],
+    initial: np.ndarray,
+    n_steps: int,
+) -> np.ndarray:
+    """All distributions ``x_0 .. x_{n_steps}`` as a ``(n_steps+1, n)`` array."""
+    if n_steps < 0:
+        raise ValueError("n_steps must be non-negative")
+    P = _as_P(chain)
+    PT = P.T.tocsr()
+    x = np.asarray(initial, dtype=float).copy()
+    out = np.empty((n_steps + 1, x.size))
+    out[0] = x
+    for k in range(1, n_steps + 1):
+        x = PT.dot(x)
+        out[k] = x
+    return out
+
+
+def expected_trajectory(
+    chain: Union[MarkovChain, sp.csr_matrix],
+    initial: np.ndarray,
+    fn_values: np.ndarray,
+    n_steps: int,
+) -> np.ndarray:
+    """``E[f(X_k)]`` for ``k = 0 .. n_steps`` without storing distributions."""
+    P = _as_P(chain)
+    PT = P.T.tocsr()
+    x = np.asarray(initial, dtype=float).copy()
+    f = np.asarray(fn_values, dtype=float)
+    if f.shape != (P.shape[0],):
+        raise ValueError("fn_values has wrong size")
+    out = np.empty(n_steps + 1)
+    out[0] = float(np.dot(x, f))
+    for k in range(1, n_steps + 1):
+        x = PT.dot(x)
+        out[k] = float(np.dot(x, f))
+    return out
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance ``0.5 * ||p - q||_1`` between distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def mixing_time(
+    chain: Union[MarkovChain, sp.csr_matrix],
+    stationary: np.ndarray,
+    epsilon: float = 0.25,
+    initial: Optional[np.ndarray] = None,
+    max_steps: int = 100_000,
+) -> int:
+    """Steps until total variation to stationarity drops below ``epsilon``.
+
+    Measured from ``initial`` (default: the worst single-state start is not
+    searched; a point mass at state 0 is used).  Returns ``max_steps`` when
+    the threshold is not reached -- callers should treat that as a lower
+    bound, not a failure.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    P = _as_P(chain)
+    PT = P.T.tocsr()
+    n = P.shape[0]
+    if initial is None:
+        x = np.zeros(n)
+        x[0] = 1.0
+    else:
+        x = np.asarray(initial, dtype=float).copy()
+    pi = np.asarray(stationary, dtype=float)
+    for k in range(max_steps + 1):
+        if total_variation(x, pi) < epsilon:
+            return k
+        x = PT.dot(x)
+    return max_steps

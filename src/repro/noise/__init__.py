@@ -1,0 +1,35 @@
+"""Discretized stochastic input models (jitter, noise, drift).
+
+The paper models all random inputs of the clock-data-recovery loop --
+incoming-data jitter, eye opening, frequency drift -- as *discretized white
+noise sources*: random variables with finite support whose atoms live on the
+phase-error grid.  This subpackage provides the distribution toolkit
+(:mod:`repro.noise.distributions`) and ready-made jitter models matching the
+specifications discussed in the paper (:mod:`repro.noise.jitter`).
+"""
+
+from repro.noise.distributions import DiscreteDistribution
+from repro.noise.jitter import (
+    dual_dirac_jitter,
+    eye_opening_noise,
+    sinusoidal_jitter,
+    sonet_drift_noise,
+)
+from repro.noise.budget import (
+    JitterBudget,
+    q_factor,
+    rj_budget_from_tj,
+    total_jitter,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "eye_opening_noise",
+    "sonet_drift_noise",
+    "sinusoidal_jitter",
+    "dual_dirac_jitter",
+    "JitterBudget",
+    "q_factor",
+    "total_jitter",
+    "rj_budget_from_tj",
+]

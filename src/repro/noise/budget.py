@@ -1,0 +1,92 @@
+"""Total-jitter budgeting helpers.
+
+Link specs combine bounded deterministic jitter (DJ) and unbounded random
+jitter (RJ) through the dual-Dirac convention: at a target BER, the total
+jitter is ``TJ = DJ(peak-peak) + 2 Q_ber * RJ(rms)`` where ``Q_ber`` is
+the two-sided Gaussian quantile (~7.03 at 1e-12, hence the folklore
+"TJ = DJ + 14 sigma").  These helpers convert between the spec-sheet
+quantities and the model inputs of this library (``nw_std``, dual-Dirac
+amplitudes), with the exact quantile rather than the folklore constant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.special import erfcinv
+
+__all__ = ["q_factor", "total_jitter", "JitterBudget", "rj_budget_from_tj"]
+
+
+def q_factor(ber: float) -> float:
+    """Two-sided Gaussian quantile: ``P(|X| > Q sigma) = 2 * ber``.
+
+    The per-edge convention used by dual-Dirac budgets: an eye sampled at
+    a point ``Q sigma`` from the Gaussian-jittered crossing sees BER
+    ``ber`` from that crossing.
+    """
+    if not 0.0 < ber < 0.5:
+        raise ValueError("ber must be in (0, 0.5)")
+    return math.sqrt(2.0) * float(erfcinv(2.0 * ber))
+
+
+def total_jitter(dj_pp_ui: float, rj_rms_ui: float, ber: float = 1e-12) -> float:
+    """Dual-Dirac total jitter (peak-to-peak, UI) at the target BER."""
+    if dj_pp_ui < 0 or rj_rms_ui < 0:
+        raise ValueError("jitter magnitudes must be non-negative")
+    return dj_pp_ui + 2.0 * q_factor(ber) * rj_rms_ui
+
+
+def rj_budget_from_tj(
+    tj_pp_ui: float, dj_pp_ui: float, ber: float = 1e-12
+) -> float:
+    """The RJ rms implied by a TJ spec after subtracting the DJ part."""
+    remainder = tj_pp_ui - dj_pp_ui
+    if remainder < 0:
+        raise ValueError("DJ alone exceeds the total-jitter budget")
+    return remainder / (2.0 * q_factor(ber))
+
+
+@dataclass(frozen=True)
+class JitterBudget:
+    """A link jitter budget and its translation to model inputs."""
+
+    dj_pp_ui: float
+    rj_rms_ui: float
+    ber: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.dj_pp_ui < 0 or self.rj_rms_ui < 0:
+            raise ValueError("jitter magnitudes must be non-negative")
+        if not 0.0 < self.ber < 0.5:
+            raise ValueError("ber must be in (0, 0.5)")
+
+    @property
+    def tj_pp_ui(self) -> float:
+        return total_jitter(self.dj_pp_ui, self.rj_rms_ui, self.ber)
+
+    @property
+    def eye_opening_ui(self) -> float:
+        """The eye left open by the budget at the target BER (can go
+        negative: a closed eye)."""
+        return 1.0 - self.tj_pp_ui
+
+    def nw_distribution(self, n_atoms: int = 11, n_sigmas: float = 4.0):
+        """The composite ``n_w`` model: dual-Dirac DJ convolved with the
+        discretized Gaussian RJ -- ready for the chain builders."""
+        from repro.noise.distributions import DiscreteDistribution
+        from repro.noise.jitter import dual_dirac_jitter
+
+        rj = DiscreteDistribution.gaussian(
+            std=self.rj_rms_ui, n_atoms=n_atoms, n_sigmas=n_sigmas
+        )
+        dj = dual_dirac_jitter(self.dj_pp_ui)
+        return rj.convolve(dj)
+
+    def describe(self) -> str:
+        return (
+            f"DJ {self.dj_pp_ui:g} UIpp + RJ {self.rj_rms_ui:g} UIrms "
+            f"-> TJ {self.tj_pp_ui:.4f} UIpp at BER {self.ber:g} "
+            f"(eye {self.eye_opening_ui:+.4f} UI)"
+        )

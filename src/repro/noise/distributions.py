@@ -1,0 +1,369 @@
+"""Finite discrete distributions used as stochastic FSM inputs.
+
+The analysis method of the paper requires every random input of the system
+(data jitter ``n_w``, drift noise ``n_r``, ...) to be *discretized*: a random
+variable with a finite number of atoms, so that the combined system state
+space is a finite Markov chain.  :class:`DiscreteDistribution` is the common
+currency: an immutable, validated list of ``(value, probability)`` atoms with
+the algebra needed by the model builders (convolution, shifting, scaling,
+quantization onto the phase grid) and by the performance measures (tail
+probabilities, moments).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["DiscreteDistribution"]
+
+_ATOL = 1e-10
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _normalize_atoms(
+    values: np.ndarray, probs: np.ndarray, merge_tol: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort atoms by value, merge near-duplicates, drop zero-probability atoms."""
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    probs = probs[order]
+
+    keep_values = []
+    keep_probs = []
+    for v, p in zip(values, probs):
+        if keep_values and abs(v - keep_values[-1]) <= merge_tol:
+            keep_probs[-1] += p
+        else:
+            keep_values.append(v)
+            keep_probs.append(p)
+    values = np.asarray(keep_values, dtype=float)
+    probs = np.asarray(keep_probs, dtype=float)
+
+    mask = probs > 0.0
+    return values[mask], probs[mask]
+
+
+class DiscreteDistribution:
+    """An immutable finite discrete probability distribution on the real line.
+
+    Parameters
+    ----------
+    values:
+        Atom locations.  Need not be sorted; duplicates are merged.
+    probs:
+        Atom probabilities.  Must be non-negative and sum to one (within
+        tolerance); they are renormalized to sum to exactly one.
+    merge_tol:
+        Atoms closer than this are merged into one (probability summed).
+    """
+
+    __slots__ = ("_values", "_probs")
+
+    def __init__(
+        self,
+        values: ArrayLike,
+        probs: ArrayLike,
+        merge_tol: float = 0.0,
+    ) -> None:
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        probs = np.atleast_1d(np.asarray(probs, dtype=float))
+        if values.ndim != 1 or probs.ndim != 1:
+            raise ValueError("values and probs must be one-dimensional")
+        if values.shape != probs.shape:
+            raise ValueError(
+                f"values and probs must have the same length, got "
+                f"{values.shape[0]} and {probs.shape[0]}"
+            )
+        if values.size == 0:
+            raise ValueError("a distribution needs at least one atom")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("atom values must be finite")
+        if np.any(probs < -_ATOL):
+            raise ValueError("probabilities must be non-negative")
+        probs = np.clip(probs, 0.0, None)
+        total = probs.sum()
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+            raise ValueError(f"probabilities must sum to 1, got {total!r}")
+        probs = probs / total
+        values, probs = _normalize_atoms(values, probs, merge_tol)
+        self._values = values
+        self._probs = probs
+        self._values.setflags(write=False)
+        self._probs.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def values(self) -> np.ndarray:
+        """Atom locations, sorted ascending (read-only view)."""
+        return self._values
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Atom probabilities, aligned with :attr:`values` (read-only view)."""
+        return self._probs
+
+    @property
+    def n_atoms(self) -> int:
+        return self._values.size
+
+    @property
+    def support(self) -> Tuple[float, float]:
+        """``(min, max)`` of the atom locations."""
+        return float(self._values[0]), float(self._values[-1])
+
+    def __len__(self) -> int:
+        return self.n_atoms
+
+    def __iter__(self):
+        return iter(zip(self._values, self._probs))
+
+    def __repr__(self) -> str:
+        lo, hi = self.support
+        return (
+            f"DiscreteDistribution(n_atoms={self.n_atoms}, "
+            f"support=[{lo:g}, {hi:g}], mean={self.mean():.4g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteDistribution):
+            return NotImplemented
+        return (
+            self.n_atoms == other.n_atoms
+            and np.allclose(self._values, other._values, atol=_ATOL)
+            and np.allclose(self._probs, other._probs, atol=_ATOL)
+        )
+
+    def __hash__(self):  # pragma: no cover - explicit unhashability
+        raise TypeError("DiscreteDistribution is not hashable")
+
+    # ------------------------------------------------------------------ #
+    # moments and probabilities
+    # ------------------------------------------------------------------ #
+
+    def mean(self) -> float:
+        return float(np.dot(self._values, self._probs))
+
+    def var(self) -> float:
+        m = self.mean()
+        return float(np.dot((self._values - m) ** 2, self._probs))
+
+    def std(self) -> float:
+        return math.sqrt(max(self.var(), 0.0))
+
+    def moment(self, k: int, central: bool = False) -> float:
+        """Return the ``k``-th (optionally central) moment."""
+        shift = self.mean() if central else 0.0
+        return float(np.dot((self._values - shift) ** k, self._probs))
+
+    def pmf(self, value: float, tol: float = _ATOL) -> float:
+        """Probability of the atom at ``value`` (0 if no atom there)."""
+        idx = np.searchsorted(self._values, value)
+        for i in (idx - 1, idx):
+            if 0 <= i < self.n_atoms and abs(self._values[i] - value) <= tol:
+                return float(self._probs[i])
+        return 0.0
+
+    def cdf(self, x: float) -> float:
+        """``P(X <= x)``."""
+        idx = np.searchsorted(self._values, x, side="right")
+        return float(self._probs[:idx].sum())
+
+    def tail_prob(self, threshold: float, two_sided: bool = False) -> float:
+        """``P(X > threshold)``, or ``P(|X| > threshold)`` if ``two_sided``."""
+        if two_sided:
+            mask = np.abs(self._values) > threshold
+        else:
+            mask = self._values > threshold
+        return float(self._probs[mask].sum())
+
+    def expectation(self, fn: Callable[[np.ndarray], np.ndarray]) -> float:
+        """Expectation of ``fn(X)`` where ``fn`` is vectorized over atoms."""
+        return float(np.dot(np.asarray(fn(self._values), dtype=float), self._probs))
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+
+    def shift(self, offset: float) -> "DiscreteDistribution":
+        """Distribution of ``X + offset``."""
+        return DiscreteDistribution(self._values + offset, self._probs)
+
+    def scale(self, factor: float) -> "DiscreteDistribution":
+        """Distribution of ``factor * X``."""
+        if factor == 0.0:
+            return DiscreteDistribution.delta(0.0)
+        return DiscreteDistribution(self._values * factor, self._probs)
+
+    def negate(self) -> "DiscreteDistribution":
+        """Distribution of ``-X``."""
+        return self.scale(-1.0)
+
+    def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Distribution of ``X + Y`` for independent ``X ~ self``, ``Y ~ other``."""
+        if not isinstance(other, DiscreteDistribution):
+            raise TypeError("can only convolve with another DiscreteDistribution")
+        vv = np.add.outer(self._values, other._values).ravel()
+        pp = np.multiply.outer(self._probs, other._probs).ravel()
+        return DiscreteDistribution(vv, pp, merge_tol=_ATOL)
+
+    def __add__(self, other):
+        if isinstance(other, DiscreteDistribution):
+            return self.convolve(other)
+        if isinstance(other, (int, float)):
+            return self.shift(float(other))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, factor):
+        if isinstance(factor, (int, float)):
+            return self.scale(float(factor))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self.negate()
+
+    def mixture(
+        self, other: "DiscreteDistribution", weight: float
+    ) -> "DiscreteDistribution":
+        """Mixture ``weight * self + (1 - weight) * other`` (of *laws*)."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("mixture weight must be in [0, 1]")
+        vv = np.concatenate([self._values, other._values])
+        pp = np.concatenate([weight * self._probs, (1.0 - weight) * other._probs])
+        return DiscreteDistribution(vv, pp, merge_tol=_ATOL)
+
+    def quantize(self, step: float, mode: str = "nearest") -> "DiscreteDistribution":
+        """Snap every atom to the lattice ``step * Z``.
+
+        This is how continuous jitter specifications are mapped onto the
+        discretized phase-error grid of the Markov model.  ``mode`` is one of
+        ``"nearest"``, ``"floor"``, ``"ceil"``, or ``"split"``.  ``"split"``
+        distributes each atom's probability between the two neighbouring grid
+        points proportionally to proximity, which preserves the mean exactly.
+        """
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if mode == "nearest":
+            vv = np.round(self._values / step) * step
+            return DiscreteDistribution(vv, self._probs, merge_tol=step * 1e-9)
+        if mode == "floor":
+            vv = np.floor(self._values / step) * step
+            return DiscreteDistribution(vv, self._probs, merge_tol=step * 1e-9)
+        if mode == "ceil":
+            vv = np.ceil(self._values / step) * step
+            return DiscreteDistribution(vv, self._probs, merge_tol=step * 1e-9)
+        if mode == "split":
+            lo = np.floor(self._values / step)
+            frac = self._values / step - lo
+            vv = np.concatenate([lo * step, (lo + 1.0) * step])
+            pp = np.concatenate([self._probs * (1.0 - frac), self._probs * frac])
+            return DiscreteDistribution(vv, pp, merge_tol=step * 1e-9)
+        raise ValueError(f"unknown quantization mode {mode!r}")
+
+    def truncate(self, lo: float, hi: float) -> "DiscreteDistribution":
+        """Condition the distribution on ``lo <= X <= hi`` (renormalized)."""
+        mask = (self._values >= lo) & (self._values <= hi)
+        if not np.any(mask):
+            raise ValueError("truncation removes all probability mass")
+        return DiscreteDistribution(self._values[mask], self._probs[mask] / self._probs[mask].sum())
+
+    # ------------------------------------------------------------------ #
+    # sampling (for the Monte-Carlo baseline)
+    # ------------------------------------------------------------------ #
+
+    def sample(
+        self, rng: np.random.Generator, size: Optional[int] = None
+    ) -> Union[float, np.ndarray]:
+        """Draw i.i.d. samples using ``rng``."""
+        out = rng.choice(self._values, size=size, p=self._probs)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def delta(cls, value: float = 0.0) -> "DiscreteDistribution":
+        """A point mass at ``value``."""
+        return cls([value], [1.0])
+
+    @classmethod
+    def uniform(cls, values: ArrayLike) -> "DiscreteDistribution":
+        """Uniform distribution over the given atom locations."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ValueError("uniform needs at least one value")
+        return cls(values, np.full(values.size, 1.0 / values.size))
+
+    @classmethod
+    def bernoulli(cls, p: float, lo: float = 0.0, hi: float = 1.0) -> "DiscreteDistribution":
+        """Two-point distribution: ``hi`` with probability ``p``, else ``lo``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        return cls([lo, hi], [1.0 - p, p])
+
+    @classmethod
+    def from_samples(
+        cls, samples: ArrayLike, bins: int = 64
+    ) -> "DiscreteDistribution":
+        """Empirical distribution from samples, histogrammed into ``bins`` atoms."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.size == 0:
+            raise ValueError("need at least one sample")
+        counts, edges = np.histogram(samples, bins=bins)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        mask = counts > 0
+        return cls(centers[mask], counts[mask] / counts.sum())
+
+    @classmethod
+    def gaussian(
+        cls,
+        std: float,
+        mean: float = 0.0,
+        n_atoms: int = 11,
+        n_sigmas: float = 4.0,
+    ) -> "DiscreteDistribution":
+        """Discretized Gaussian on an equispaced grid of ``n_atoms`` points.
+
+        The grid spans ``mean ± n_sigmas * std``; each atom receives the
+        probability mass of its grid cell (difference of the normal CDF at
+        the cell edges), so the tails out to ``n_sigmas`` are represented
+        exactly and the result always sums to one.
+        """
+        if std < 0:
+            raise ValueError("std must be non-negative")
+        if n_atoms < 1:
+            raise ValueError("n_atoms must be at least 1")
+        if std == 0 or n_atoms == 1:
+            return cls.delta(mean)
+        centers = np.linspace(mean - n_sigmas * std, mean + n_sigmas * std, n_atoms)
+        edges = np.concatenate([[-np.inf], 0.5 * (centers[1:] + centers[:-1]), [np.inf]])
+        # CDF differences between consecutive edges; outermost cells absorb
+        # the tails so probabilities sum exactly to one.
+        z = (edges - mean) / (std * math.sqrt(2.0))
+        cdf = 0.5 * (1.0 + np.array(
+            [math.erf(v) if np.isfinite(v) else math.copysign(1.0, v) for v in z]
+        ))
+        return cls(centers, np.diff(cdf))
+
+    @classmethod
+    def table(
+        cls, atoms: Iterable[Tuple[float, float]]
+    ) -> "DiscreteDistribution":
+        """Build from an iterable of ``(value, probability)`` pairs."""
+        pairs = list(atoms)
+        if not pairs:
+            raise ValueError("need at least one atom")
+        values = [v for v, _ in pairs]
+        probs = [p for _, p in pairs]
+        return cls(values, probs)

@@ -1,0 +1,179 @@
+"""Ready-made jitter and drift models for CDR analysis.
+
+The paper distinguishes two white stochastic inputs to the phase-selection
+loop (Equation (1)):
+
+``n_w``
+    Zero-mean white noise modeling the *eye opening* of the incoming data:
+    uncorrelated bit-to-bit timing jitter, "usually Gaussian".  It enters the
+    phase detector's decision (``sgn(phi + n_w)``) but does not accumulate.
+
+``n_r``
+    A usually *non-zero-mean* white noise with a cumulative (random-walk)
+    effect on the phase error.  Its mean models deterministic frequency
+    drift between the data rate and the local clock; its random part models
+    cumulative jitter.  The paper takes a "non-zero mean, non-Gaussian
+    distribution ... chosen to reflect SONET system specifications".
+
+This module also provides the two standard deterministic-jitter shapes used
+in link budgets: sinusoidal jitter (arcsine amplitude law) and dual-Dirac
+jitter, both mentioned in the paper as representable "by assigning the
+amplitude distribution of ``n_r`` appropriately".
+
+All values are expressed in unit intervals (UI): 1.0 is one symbol period.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.noise.distributions import DiscreteDistribution
+
+__all__ = [
+    "eye_opening_noise",
+    "sonet_drift_noise",
+    "sinusoidal_jitter",
+    "dual_dirac_jitter",
+    "random_walk_increment",
+]
+
+
+def eye_opening_noise(
+    std_ui: float, n_atoms: int = 11, n_sigmas: float = 4.0
+) -> DiscreteDistribution:
+    """Zero-mean Gaussian eye-opening jitter ``n_w``, discretized.
+
+    Parameters
+    ----------
+    std_ui:
+        RMS jitter in unit intervals.  SONET-style specs quote a peak-to-peak
+        eye closure; an RMS of ``pp / 14`` is the usual conversion at 1e-12.
+    n_atoms:
+        Number of discrete atoms used to represent the Gaussian.
+    n_sigmas:
+        Span of the discretization grid.
+    """
+    return DiscreteDistribution.gaussian(std=std_ui, mean=0.0, n_atoms=n_atoms, n_sigmas=n_sigmas)
+
+
+def sonet_drift_noise(
+    max_ui: float,
+    mean_ui: float,
+    grid_step: Optional[float] = None,
+    skew: float = 0.25,
+) -> DiscreteDistribution:
+    """Bounded, non-zero-mean, non-Gaussian drift noise ``n_r``.
+
+    A three-atom table distribution with support ``{-max_ui, 0, +max_ui}``
+    whose probabilities are chosen so that the mean equals ``mean_ui``.
+    This mirrors the paper's "stationary white noise ... with a non-zero
+    mean, non-Gaussian distribution with probability density function
+    chosen to reflect SONET system specifications": per-symbol phase drift
+    is bounded by ``MAXnr`` and biased in one direction by the fractional
+    frequency offset between transmitter and receiver clocks.
+
+    Parameters
+    ----------
+    max_ui:
+        Bound on the per-symbol drift (the paper's ``MAXnr``).
+    mean_ui:
+        Desired mean drift per symbol (frequency offset in UI/symbol).
+        Must satisfy ``|mean_ui| <= max_ui``.
+    grid_step:
+        Optional: snap the bound to a non-zero multiple of this step so
+        the atoms land exactly on a phase grid.  Leave ``None`` (default)
+        when feeding a Markov-chain builder -- its mean-preserving split
+        quantization then spreads a non-multiple bound over two adjacent
+        step counts, which keeps the phase lattice connected (a bound
+        snapped to a multiple of the phase-select step would otherwise
+        decompose the grid into non-communicating residue classes).
+    skew:
+        Baseline probability of each non-zero atom before the mean
+        constraint is applied; controls the variance of the random part.
+    """
+    if max_ui <= 0:
+        raise ValueError("max_ui must be positive")
+    if grid_step is None:
+        step = max_ui
+    elif grid_step <= 0:
+        raise ValueError("grid_step must be positive")
+    else:
+        step = max(1, round(max_ui / grid_step)) * grid_step
+    if abs(mean_ui) > step:
+        raise ValueError("mean_ui must not exceed the (grid-rounded) max_ui")
+    if not 0.0 < skew < 0.5:
+        raise ValueError("skew must be in (0, 0.5)")
+    # p_plus - p_minus = mean/step, p_plus + p_minus = 2*skew (variance knob)
+    bias = mean_ui / step
+    p_plus = skew + 0.5 * bias
+    p_minus = skew - 0.5 * bias
+    if min(p_plus, p_minus) < 0.0 or max(p_plus, p_minus) > 1.0:
+        # Fall back to the largest symmetric part compatible with the mean.
+        p_plus = max(bias, 0.0)
+        p_minus = max(-bias, 0.0)
+    p_zero = 1.0 - p_plus - p_minus
+    return DiscreteDistribution([-step, 0.0, step], [p_minus, p_zero, p_plus])
+
+
+def sinusoidal_jitter(amplitude_ui: float, n_atoms: int = 16) -> DiscreteDistribution:
+    """Amplitude law of sinusoidal jitter: the arcsine distribution.
+
+    A sinusoid sampled at a random phase has density
+    ``p(v) = 1 / (pi * sqrt(A^2 - v^2))`` on ``(-A, A)``.  The paper notes
+    that deterministic sinusoidally-varying jitter can be mimicked by
+    "assigning the amplitude distribution of n_r appropriately"; this is
+    that distribution, discretized by exact CDF differences so the result
+    sums to one.
+    """
+    if amplitude_ui < 0:
+        raise ValueError("amplitude_ui must be non-negative")
+    if n_atoms < 1:
+        raise ValueError("n_atoms must be at least 1")
+    if amplitude_ui == 0 or n_atoms == 1:
+        return DiscreteDistribution.delta(0.0)
+    edges = np.linspace(-amplitude_ui, amplitude_ui, n_atoms + 1)
+    # CDF of arcsine law on (-A, A): F(v) = 1/2 + asin(v/A)/pi
+    cdf = 0.5 + np.arcsin(np.clip(edges / amplitude_ui, -1.0, 1.0)) / math.pi
+    probs = np.diff(cdf)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return DiscreteDistribution(centers, probs)
+
+
+def dual_dirac_jitter(dj_pp_ui: float, p: float = 0.5) -> DiscreteDistribution:
+    """Dual-Dirac deterministic jitter: two atoms separated by ``dj_pp_ui``.
+
+    The standard model for bounded deterministic jitter (e.g. duty-cycle
+    distortion, inter-symbol interference) used in link budgets.
+    """
+    if dj_pp_ui < 0:
+        raise ValueError("dj_pp_ui must be non-negative")
+    half = 0.5 * dj_pp_ui
+    if half == 0.0:
+        return DiscreteDistribution.delta(0.0)
+    return DiscreteDistribution([-half, half], [1.0 - p, p])
+
+
+def random_walk_increment(
+    step_ui: float, p_step: float, drift_ui: float = 0.0
+) -> DiscreteDistribution:
+    """Increment law for cumulative (random-walk) jitter.
+
+    With probability ``p_step / 2`` the phase moves by ``+step_ui``, with
+    ``p_step / 2`` by ``-step_ui``, otherwise it stays.  An optional
+    deterministic drift is added to every atom; feeding this into ``n_r``
+    produces exactly the "random walk with drift" the paper describes.
+    """
+    if step_ui < 0:
+        raise ValueError("step_ui must be non-negative")
+    if not 0.0 <= p_step <= 1.0:
+        raise ValueError("p_step must be in [0, 1]")
+    dist = DiscreteDistribution(
+        [-step_ui, 0.0, step_ui],
+        [0.5 * p_step, 1.0 - p_step, 0.5 * p_step],
+    )
+    if drift_ui:
+        dist = dist.shift(drift_ui)
+    return dist

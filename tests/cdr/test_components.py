@@ -1,0 +1,245 @@
+"""Tests for data sources (S14), phase detectors (S15), loop filters (S16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdr import (
+    PD_LABELS,
+    PD_LAG,
+    PD_LEAD,
+    PD_NULL,
+    alexander_phase_detector,
+    bang_bang_decision,
+    bang_bang_phase_detector,
+    bernoulli_transition_source,
+    counter_state_count,
+    nrz_bit_source,
+    passthrough_filter,
+    stationary_transition_density,
+    transition_run_length_source,
+    updown_counter,
+)
+
+
+class TestTransitionSource:
+    def test_state_count_is_run_length(self):
+        src = transition_run_length_source("d", 0.5, 4)
+        assert src.n_states == 4
+
+    def test_emissions(self):
+        src = transition_run_length_source("d", 0.5, 3)
+        assert src.symbol(0) == 1  # transition symbol
+        assert src.symbol(1) == 0
+        assert src.symbol(2) == 0
+
+    def test_forced_transition_at_max_run(self):
+        src = transition_run_length_source("d", 0.3, 3)
+        branches = dict(src.branches(2))
+        assert branches == {0: pytest.approx(1.0)}
+
+    def test_interior_transition_probability(self):
+        src = transition_run_length_source("d", 0.3, 3)
+        branches = dict(src.branches(0))
+        assert branches[0] == pytest.approx(0.3)
+        assert branches[1] == pytest.approx(0.7)
+
+    def test_no_long_runs_in_sample(self):
+        rng = np.random.default_rng(0)
+        src = transition_run_length_source("d", 0.4, 4)
+        path = src.sample_path(5000, rng)
+        run = longest = 0
+        for t in path:
+            run = 0 if t == 1 else run + 1
+            longest = max(longest, run)
+        assert longest <= 3  # at most max_run_length - 1 zeros in a row
+
+    def test_stationary_density_above_requested(self):
+        # The forced transition at the run limit raises the effective
+        # density above the per-symbol probability.
+        src = transition_run_length_source("d", 0.3, 3)
+        d = stationary_transition_density(src)
+        assert 0.3 < d < 1.0
+
+    def test_density_one_always_transitions(self):
+        src = transition_run_length_source("d", 1.0, 3)
+        assert stationary_transition_density(src) == pytest.approx(1.0)
+
+    def test_unit_run_length_always_transitions(self):
+        src = transition_run_length_source("d", 0.5, 1)
+        assert src.n_states == 1
+        assert stationary_transition_density(src) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transition_run_length_source("d", 0.0, 3)
+        with pytest.raises(ValueError):
+            transition_run_length_source("d", 0.5, 0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stationary_density_closed_form(self, p, L):
+        """eta(0) = 1 / E[run length]; truncated geometric run lengths."""
+        src = transition_run_length_source("d", p, L)
+        density = stationary_transition_density(src)
+        # E[T] where T = min(Geometric(p), L)
+        expected_run = sum((1 - p) ** k for k in range(L))
+        assert density == pytest.approx(1.0 / expected_run, rel=1e-8)
+
+
+class TestBernoulliSource:
+    def test_density(self):
+        src = bernoulli_transition_source("d", 0.4)
+        assert stationary_transition_density(src) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_transition_source("d", 1.5)
+
+
+class TestNRZBitSource:
+    def test_state_count(self):
+        src = nrz_bit_source("bits", 0.5, 3)
+        assert src.n_states == 6
+
+    def test_emits_bits(self):
+        src = nrz_bit_source("bits", 0.5, 2)
+        assert set(src.symbols) == {0, 1}
+
+    def test_transition_flips_bit(self):
+        rng = np.random.default_rng(1)
+        src = nrz_bit_source("bits", 0.5, 4)
+        bits = src.sample_path(4000, rng)
+        transitions = np.abs(np.diff(bits))
+        # overall transition density between the bare and forced rates
+        assert 0.45 < transitions.mean() < 0.65
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nrz_bit_source("b", 0.0, 2)
+        with pytest.raises(ValueError):
+            nrz_bit_source("b", 0.5, 0)
+
+
+class TestBangBangDecision:
+    def test_gated_by_transition(self):
+        assert bang_bang_decision(0, 0.3) == PD_NULL
+        assert bang_bang_decision(1, 0.3) == PD_LAG
+        assert bang_bang_decision(1, -0.3) == PD_LEAD
+        assert bang_bang_decision(1, 0.0) == PD_NULL
+
+    def test_labels(self):
+        assert PD_LABELS[PD_LAG] == "LAG"
+        assert PD_LABELS[PD_LEAD] == "LEAD"
+        assert PD_LABELS[PD_NULL] == "NULL"
+
+
+class TestBangBangPhaseDetector:
+    def test_single_state(self):
+        pd = bang_bang_phase_detector()
+        assert pd.n_states == 1
+
+    def test_outputs(self):
+        pd = bang_bang_phase_detector()
+        assert pd.output(0, (1, 0.1)) == PD_LAG
+        assert pd.output(0, (1, -0.1)) == PD_LEAD
+        assert pd.output(0, (0, 0.1)) == PD_NULL
+
+    def test_state_never_changes(self):
+        pd = bang_bang_phase_detector()
+        assert pd.next_state(0, (1, 0.5)) == 0
+
+
+class TestAlexanderPhaseDetector:
+    def test_transition_detection_via_prev_bit(self):
+        pd = alexander_phase_detector()
+        assert pd.output(0, (1, 0.2)) == PD_LAG     # 0 -> 1: transition
+        assert pd.output(1, (1, 0.2)) == PD_NULL    # 1 -> 1: none
+        assert pd.output(1, (0, -0.2)) == PD_LEAD
+
+    def test_state_tracks_bit(self):
+        pd = alexander_phase_detector()
+        assert pd.next_state(0, (1, 0.0)) == 1
+        assert pd.next_state(1, (1, 0.0)) == 1
+
+    def test_rejects_non_bit(self):
+        pd = alexander_phase_detector()
+        with pytest.raises(ValueError, match="bit"):
+            pd.next_state(0, (2, 0.0))
+
+
+class TestUpDownCounter:
+    def test_state_count_helper(self):
+        assert counter_state_count(1) == 1
+        assert counter_state_count(8) == 15
+        with pytest.raises(ValueError):
+            counter_state_count(0)
+
+    def test_counts_up_and_down(self):
+        c = updown_counter("c", 4)
+        assert c.next_state(0, 1) == 1
+        assert c.next_state(1, -1) == 0
+        assert c.output(0, 1) == 0
+
+    def test_overflow_up(self):
+        c = updown_counter("c", 4)
+        assert c.output(3, 1) == 1
+        assert c.next_state(3, 1) == 0
+
+    def test_overflow_down(self):
+        c = updown_counter("c", 4)
+        assert c.output(-3, -1) == -1
+        assert c.next_state(-3, -1) == 0
+
+    def test_null_input_holds(self):
+        c = updown_counter("c", 4)
+        assert c.next_state(2, 0) == 2
+        assert c.output(2, 0) == 0
+
+    def test_length_one_is_passthrough(self):
+        c = updown_counter("c", 1)
+        assert c.n_states == 1
+        assert c.output(0, 1) == 1
+        assert c.output(0, -1) == -1
+        assert c.output(0, 0) == 0
+        assert c.next_state(0, 1) == 0
+
+    def test_rejects_bad_input(self):
+        c = updown_counter("c", 4)
+        with pytest.raises(ValueError, match="filter input"):
+            c.next_state(0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            updown_counter("c", 0)
+
+    @given(st.integers(min_value=1, max_value=10), st.lists(
+        st.sampled_from([-1, 0, 1]), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_overflow_rate_conservation(self, N, inputs):
+        """Sum of inputs == (ups - downs) * N + final_state.
+
+        The counter is a perfect accumulator modulo its overflow emissions:
+        nothing is lost or created.
+        """
+        c = updown_counter("c", N)
+        state = 0
+        ups = downs = 0
+        for o in inputs:
+            out = c.output(state, o)
+            state = c.next_state(state, o)
+            ups += out == 1
+            downs += out == -1
+        assert sum(inputs) == (ups - downs) * N + state
+
+
+class TestPassthroughFilter:
+    def test_identity(self):
+        f = passthrough_filter()
+        assert f.output(0, 1) == 1
+        assert f.output(0, -1) == -1
+        assert f.next_state(0, 1) == 0

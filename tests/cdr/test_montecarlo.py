@@ -1,0 +1,162 @@
+"""Tests for the Monte-Carlo baseline (S19) and its agreement with the
+Markov-chain analysis at simulation-accessible error rates."""
+
+import numpy as np
+import pytest
+
+from repro.cdr import (
+    PhaseGrid,
+    build_cdr_chain,
+    required_symbols_for_ber,
+    simulate_cdr,
+    transition_run_length_source,
+)
+from repro.core.measures import bit_error_rate_discrete, cycle_slip_rate
+from repro.markov import solve_direct
+from repro.noise import DiscreteDistribution, eye_opening_noise, sonet_drift_noise
+
+
+def noisy_params():
+    """A deliberately noisy design point: BER around 1e-2 so Monte Carlo
+    converges quickly."""
+    grid = PhaseGrid(32)
+    return dict(
+        grid=grid,
+        nw=eye_opening_noise(0.18, n_atoms=9),
+        nr=sonet_drift_noise(
+            max_ui=grid.step, mean_ui=0.3 * grid.step, grid_step=grid.step
+        ),
+        counter_length=2,
+        phase_step_units=1,
+    )
+
+
+class TestRequiredSymbols:
+    def test_scales_inversely_with_ber(self):
+        assert required_symbols_for_ber(1e-6) == pytest.approx(
+            10.0 * required_symbols_for_ber(1e-5), rel=0.01
+        )
+
+    def test_sonet_regime_is_infeasible(self):
+        # The paper's motivating point: 1e-10 BER needs > 1e12 symbols.
+        assert required_symbols_for_ber(1e-10) > 1e12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_symbols_for_ber(0.0)
+        with pytest.raises(ValueError):
+            required_symbols_for_ber(1e-3, relative_ci_halfwidth=0.0)
+
+
+class TestSimulator:
+    def test_basic_run(self):
+        rng = np.random.default_rng(0)
+        params = noisy_params()
+        source = transition_run_length_source("data", 0.5, 3)
+        res = simulate_cdr(
+            data_source=source, n_symbols=2000, rng=rng, **params
+        )
+        assert res.n_symbols == 2000
+        assert 0 <= res.n_errors <= 2000
+        assert res.mode == "discretized"
+        assert res.sim_time > 0.0
+        assert -0.5 <= res.phase_mean <= 0.5
+        assert "MC[discretized]" in res.summary()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        params = noisy_params()
+        source = transition_run_length_source("data", 0.5, 3)
+        with pytest.raises(ValueError, match="mode"):
+            simulate_cdr(data_source=source, n_symbols=10, rng=rng,
+                         mode="quantum", **params)
+        with pytest.raises(ValueError, match="n_symbols"):
+            simulate_cdr(data_source=source, n_symbols=0, rng=rng, **params)
+
+    def test_confidence_interval_contains_estimate(self):
+        rng = np.random.default_rng(1)
+        params = noisy_params()
+        source = transition_run_length_source("data", 0.5, 3)
+        res = simulate_cdr(data_source=source, n_symbols=5000, rng=rng, **params)
+        lo, hi = res.ber_confidence_interval()
+        assert lo <= res.ber <= hi
+
+    def test_continuous_mode_runs(self):
+        rng = np.random.default_rng(2)
+        params = noisy_params()
+        source = transition_run_length_source("data", 0.5, 3)
+        res = simulate_cdr(
+            data_source=source, n_symbols=2000, rng=rng, mode="continuous",
+            **params,
+        )
+        assert res.mode == "continuous"
+        assert 0.0 <= res.ber <= 1.0
+
+
+class TestAgreementWithAnalysis:
+    """The paper's validation logic inverted: at high BER, brute-force
+    simulation must agree with the Markov-chain analysis."""
+
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        params = noisy_params()
+        model = build_cdr_chain(**params)
+        eta = solve_direct(model.chain.P).distribution
+        return params, model, eta
+
+    def test_ber_agreement_discretized(self, analysis):
+        params, model, eta = analysis
+        ber_chain = bit_error_rate_discrete(model, eta)
+        assert ber_chain > 1e-3  # the point of the noisy design
+        rng = np.random.default_rng(42)
+        res = simulate_cdr(
+            data_source=transition_run_length_source("data", 0.5, 3),
+            n_symbols=150_000,
+            rng=rng,
+            warmup_symbols=2_000,
+            **params,
+        )
+        lo, hi = res.ber_confidence_interval(z=3.5)
+        assert lo <= ber_chain <= hi
+
+    def test_slip_rate_agreement(self, analysis):
+        params, model, eta = analysis
+        rate_chain = cycle_slip_rate(model, eta)
+        assert rate_chain > 1e-4
+        rng = np.random.default_rng(43)
+        res = simulate_cdr(
+            data_source=transition_run_length_source("data", 0.5, 3),
+            n_symbols=150_000,
+            rng=rng,
+            warmup_symbols=2_000,
+            **params,
+        )
+        assert res.slip_rate == pytest.approx(rate_chain, rel=0.3)
+
+    def test_phase_mean_agreement(self, analysis):
+        params, model, eta = analysis
+        mean_chain = model.mean_phase(eta)
+        rng = np.random.default_rng(44)
+        res = simulate_cdr(
+            data_source=transition_run_length_source("data", 0.5, 3),
+            n_symbols=100_000,
+            rng=rng,
+            warmup_symbols=2_000,
+            **params,
+        )
+        assert res.phase_mean == pytest.approx(mean_chain, abs=0.02)
+
+    def test_continuous_close_to_discretized(self, analysis):
+        """Discretization error should be modest at this grid resolution."""
+        params, model, eta = analysis
+        ber_chain = bit_error_rate_discrete(model, eta)
+        rng = np.random.default_rng(45)
+        res = simulate_cdr(
+            data_source=transition_run_length_source("data", 0.5, 3),
+            n_symbols=150_000,
+            rng=rng,
+            warmup_symbols=2_000,
+            mode="continuous",
+            **params,
+        )
+        assert res.ber == pytest.approx(ber_chain, rel=0.5)

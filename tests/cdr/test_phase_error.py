@@ -1,0 +1,150 @@
+"""Tests for the phase grid and accumulator FSM (S17)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdr import PhaseGrid, phase_accumulator_fsm
+from repro.noise import DiscreteDistribution
+
+
+class TestPhaseGrid:
+    def test_basic_properties(self):
+        g = PhaseGrid(8)
+        assert g.n_points == 8
+        assert g.step == pytest.approx(0.125)
+        assert len(g.values) == 8
+        assert "n_points=8" in repr(g)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            PhaseGrid(1)
+
+    def test_values_are_cell_centers(self):
+        g = PhaseGrid(4)
+        np.testing.assert_allclose(g.values, [-0.375, -0.125, 0.125, 0.375])
+
+    def test_values_symmetric_about_zero(self):
+        g = PhaseGrid(16)
+        np.testing.assert_allclose(g.values, -g.values[::-1], atol=1e-15)
+
+    def test_values_within_ui(self):
+        g = PhaseGrid(10)
+        assert g.values.min() > -0.5
+        assert g.values.max() < 0.5
+
+    def test_value_of(self):
+        g = PhaseGrid(4)
+        assert g.value_of(0) == pytest.approx(-0.375)
+
+    def test_index_of_roundtrip(self):
+        g = PhaseGrid(32)
+        for m in range(32):
+            assert g.index_of(g.value_of(m)) == m
+
+    def test_index_of_wraps(self):
+        g = PhaseGrid(8)
+        assert g.index_of(0.6) == g.index_of(-0.4)
+
+    def test_steps_of(self):
+        g = PhaseGrid(100)
+        assert g.steps_of(0.031) == 3
+        assert g.steps_of(-0.005) == 0
+        assert g.steps_of(-0.015) == -2  # round-half-even on exact .5 steps
+
+    def test_wrap_value(self):
+        assert PhaseGrid.wrap_value(0.5) == pytest.approx(-0.5)
+        assert PhaseGrid.wrap_value(-0.6) == pytest.approx(0.4)
+        assert PhaseGrid.wrap_value(0.3) == pytest.approx(0.3)
+        assert PhaseGrid.wrap_value(1.7) == pytest.approx(-0.3)
+
+    def test_shift_index_no_wrap(self):
+        g = PhaseGrid(8)
+        assert g.shift_index(3, 2) == (5, 0)
+
+    def test_shift_index_wrap_up(self):
+        g = PhaseGrid(8)
+        assert g.shift_index(7, 1) == (0, 1)
+        assert g.shift_index(7, 9) == (0, 2)
+
+    def test_shift_index_wrap_down(self):
+        g = PhaseGrid(8)
+        assert g.shift_index(0, -1) == (7, -1)
+        assert g.shift_index(0, -9) == (7, -2)
+
+    def test_shift_indices_vectorized(self):
+        g = PhaseGrid(8)
+        idx, wraps = g.shift_indices(np.array([0, 4, 7]), 1)
+        np.testing.assert_array_equal(idx, [1, 5, 0])
+        np.testing.assert_array_equal(wraps, [0, 0, 1])
+
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=-200, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shift_index_consistent_with_arithmetic(self, n, m, steps):
+        g = PhaseGrid(n)
+        m = m % n
+        idx, wraps = g.shift_index(m, steps)
+        assert 0 <= idx < n
+        assert idx + wraps * n == m + steps
+
+    def test_quantize_to_steps_values_are_integers(self):
+        g = PhaseGrid(100)
+        d = DiscreteDistribution([0.003, -0.017], [0.5, 0.5])
+        q = g.quantize_to_steps(d)
+        for v in q.values:
+            assert v == int(v)
+
+    def test_quantize_to_steps_preserves_mean(self):
+        g = PhaseGrid(100)
+        d = DiscreteDistribution([0.0031, -0.0172], [0.4, 0.6])
+        q = g.quantize_to_steps(d)
+        assert q.mean() * g.step == pytest.approx(d.mean(), abs=1e-12)
+
+    def test_quantize_small_drift_survives(self):
+        """A drift far below one grid step must not vanish (mean-preserving
+        split): this is the property the paper's fine discretization of n_r
+        is all about."""
+        g = PhaseGrid(50)  # step 0.02
+        d = DiscreteDistribution.delta(0.002)  # a tenth of a step
+        q = g.quantize_to_steps(d)
+        assert q.mean() * g.step == pytest.approx(0.002, abs=1e-15)
+        assert q.pmf(1.0) == pytest.approx(0.1, abs=1e-12)
+
+
+class TestPhaseAccumulatorFSM:
+    def test_moore_output_is_phase_value(self):
+        g = PhaseGrid(8)
+        fsm = phase_accumulator_fsm("phase", g, phase_step_units=1)
+        assert fsm.is_moore
+        assert fsm.moore_output(3) == pytest.approx(g.value_of(3))
+
+    def test_transition_applies_correction_and_drift(self):
+        g = PhaseGrid(8)
+        fsm = phase_accumulator_fsm("phase", g, phase_step_units=2)
+        # direction +1 (phase too late -> step earlier), drift +1
+        assert fsm.next_state(4, (1, 1)) == 3
+        # pure drift
+        assert fsm.next_state(4, (0, 1)) == 5
+
+    def test_transition_wraps(self):
+        g = PhaseGrid(8)
+        fsm = phase_accumulator_fsm("phase", g, phase_step_units=1)
+        assert fsm.next_state(7, (0, 1)) == 0
+        assert fsm.next_state(0, (1, 0)) == 7
+
+    def test_initial_state_default_center(self):
+        g = PhaseGrid(8)
+        fsm = phase_accumulator_fsm("phase", g, phase_step_units=1)
+        assert fsm.initial_state == 4
+
+    def test_validation(self):
+        g = PhaseGrid(8)
+        with pytest.raises(ValueError):
+            phase_accumulator_fsm("phase", g, phase_step_units=0)

@@ -1,0 +1,90 @@
+"""Tests for the jitter-tolerance bisection."""
+
+import pytest
+
+from repro import (
+    CDRSpec,
+    analyze_cdr,
+    bisect_tolerance,
+    random_jitter_tolerance,
+    sinusoidal_jitter_tolerance,
+)
+
+
+def tolerance_spec():
+    return CDRSpec(
+        n_phase_points=64,
+        n_clock_phases=16,
+        counter_length=4,
+        max_run_length=2,
+        nw_std=0.02,
+        nw_atoms=9,
+        nr_max=0.008,
+        nr_mean=0.002,
+    )
+
+
+class TestBisectTolerance:
+    def test_known_threshold(self):
+        # synthetic monotone BER model: ber(x) = x^2
+        res = bisect_tolerance(
+            lambda x: x * x, ber_target=0.25, lo=0.01, hi=1.0,
+            rel_tol=0.001, parameter="x",
+        )
+        assert res.tolerance == pytest.approx(0.5, rel=0.01)
+        assert res.ber_at_tolerance <= 0.25
+
+    def test_bracket_limited(self):
+        res = bisect_tolerance(lambda x: 0.0, 0.5, 0.0, 2.0)
+        assert res.tolerance == 2.0
+        assert res.n_evaluations == 2
+
+    def test_fails_at_floor(self):
+        with pytest.raises(ValueError, match="misses the BER target"):
+            bisect_tolerance(lambda x: 1e-1, 1e-3, 0.01, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ber_target"):
+            bisect_tolerance(lambda x: x, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="lo < hi"):
+            bisect_tolerance(lambda x: x, 0.5, 1.0, 0.5)
+
+    def test_summary(self):
+        res = bisect_tolerance(lambda x: x, 0.5, 0.01, 1.0, parameter="p")
+        assert "p tolerance" in res.summary()
+
+
+class TestRandomJitterTolerance:
+    def test_found_tolerance_is_consistent(self):
+        spec = tolerance_spec()
+        res = random_jitter_tolerance(
+            spec, ber_target=1e-9, lo=0.01, hi=0.3, solver="direct",
+            rel_tol=0.05,
+        )
+        # verify the boundary: passing at the tolerance...
+        assert res.ber_at_tolerance <= 1e-9
+        # ...failing a bit above it.
+        above = analyze_cdr(
+            spec.replace(nw_std=res.tolerance * 1.3), solver="direct"
+        )
+        assert above.ber > 1e-9
+        # and the tolerance is a plausible eye budget
+        assert 0.01 < res.tolerance < 0.3
+
+
+class TestSinusoidalJitterTolerance:
+    def test_sj_tolerance_exceeds_nothing_budget(self):
+        spec = tolerance_spec()
+        res = sinusoidal_jitter_tolerance(
+            spec, ber_target=1e-9, lo=0.01, hi=0.45, solver="direct",
+            rel_tol=0.05,
+        )
+        assert res.parameter == "SJ amplitude"
+        assert res.ber_at_tolerance <= 1e-9
+        # Bounded SJ is more benign than Gaussian RJ of equal rms, so the
+        # SJ amplitude tolerance should exceed the RJ rms tolerance.
+        rj = random_jitter_tolerance(
+            spec, ber_target=1e-9, lo=0.01, hi=0.3, solver="direct",
+            rel_tol=0.05,
+        )
+        assert res.tolerance > rj.tolerance

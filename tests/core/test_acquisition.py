@@ -1,0 +1,135 @@
+"""Tests for lock-acquisition analysis."""
+
+import numpy as np
+import pytest
+
+from repro import CDRSpec, analyze_acquisition, lock_probability_curve
+from repro.cdr import simulate_cdr
+
+
+def acquisition_spec():
+    return CDRSpec(
+        n_phase_points=64,
+        n_clock_phases=16,
+        counter_length=2,
+        max_run_length=2,
+        nw_std=0.05,
+        nw_atoms=9,
+        nr_max=0.016,
+        nr_mean=0.002,
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    return acquisition_spec().build_model()
+
+
+@pytest.fixture(scope="module")
+def acquisition(model):
+    return analyze_acquisition(model, locked_threshold_ui=0.1)
+
+
+class TestAcquisitionAnalysis:
+    def test_shapes(self, model, acquisition):
+        assert acquisition.mean_lock_time_by_phase.shape == (model.n_phase_points,)
+
+    def test_locked_starts_are_instant(self, model, acquisition):
+        for m in range(model.n_phase_points):
+            if abs(model.grid.value_of(m)) <= 0.1:
+                assert acquisition.mean_lock_time_by_phase[m] == 0.0
+
+    def test_monotone_away_from_lock(self, model, acquisition):
+        """Starting farther from the locked region cannot lock faster
+        (within the positive-phase half, before the wrap shortcut)."""
+        t = acquisition.mean_lock_time_by_phase
+        phi = model.grid.values
+        inside = np.flatnonzero((phi > 0.1) & (phi < 0.35))
+        diffs = np.diff(t[inside])
+        assert np.all(diffs > -1e-6)
+
+    def test_worst_case_fields_consistent(self, model, acquisition):
+        idx = model.grid.index_of(acquisition.worst_case_phase_ui)
+        assert acquisition.mean_lock_time_by_phase[idx] == pytest.approx(
+            acquisition.worst_case_symbols
+        )
+        assert acquisition.worst_case_symbols >= acquisition.mean_from_uniform
+
+    def test_summary(self, acquisition):
+        assert "worst-case" in acquisition.summary()
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="positive"):
+            analyze_acquisition(model, locked_threshold_ui=0.0)
+        with pytest.raises(ValueError, match="no grid points"):
+            analyze_acquisition(model, locked_threshold_ui=1e-6)
+
+    def test_monte_carlo_agreement(self, model, acquisition):
+        """Simulated first-lock times match the mean first-passage answer."""
+        spec = acquisition_spec()
+        rng = np.random.default_rng(5)
+        start_phase = 0.3
+        m0 = model.grid.index_of(start_phase)
+        predicted = acquisition.mean_lock_time_by_phase[m0]
+        # Simulate many short acquisitions.
+        locks = []
+        for _ in range(300):
+            # run a short sim and find the first symbol with |phi| <= 0.1
+            res_trace = _first_lock_time(spec, model, m0, rng)
+            locks.append(res_trace)
+        assert np.mean(locks) == pytest.approx(predicted, rel=0.25)
+
+
+def _first_lock_time(spec, model, m0, rng, limit=2000):
+    """Minimal inline simulator tracking the first lock entry."""
+    grid = model.grid
+    nw = spec.nw_distribution()
+    nr_steps = model.nr_steps
+    src = spec.data_source()
+    N = spec.counter_length
+    g = spec.phase_step_units
+    M = grid.n_points
+    d_path = src.chain.simulate(limit, rng, src.initial_state)
+    trans = np.array([src.symbol(i) for i in range(src.n_states)])[d_path]
+    w = nw.sample(rng, size=limit)
+    r = nr_steps.sample(rng, size=limit).astype(int)
+    m, c = m0, 0
+    for k in range(limit):
+        phi = grid.value_of(m)
+        if abs(phi) <= 0.1:
+            return k
+        o = 0
+        noisy = phi + w[k]
+        if trans[k]:
+            o = 1 if noisy > 0 else (-1 if noisy < 0 else 0)
+        v = c + o
+        if v >= N:
+            direction, c = 1, 0
+        elif v <= -N:
+            direction, c = -1, 0
+        else:
+            direction, c = 0, v
+        m = (m - g * direction + r[k]) % M
+    return limit
+
+
+class TestLockProbabilityCurve:
+    def test_curve_properties(self, model):
+        curve = lock_probability_curve(model, 300, start_phase_ui=0.4)
+        assert curve.shape == (301,)
+        assert curve[0] == 0.0  # starts outside the region
+        assert np.all((curve >= -1e-12) & (curve <= 1.0 + 1e-12))
+        # eventually ~stationary lock probability, which is high
+        assert curve[-1] > 0.9
+
+    def test_locked_start_begins_at_one(self, model):
+        curve = lock_probability_curve(model, 10, start_phase_ui=0.0)
+        assert curve[0] == 1.0
+
+    def test_default_start_is_worst_case(self, model):
+        curve = lock_probability_curve(model, 5)
+        assert curve[0] == 0.0
+
+    def test_negative_steps_rejected(self, model):
+        with pytest.raises(ValueError):
+            lock_probability_curve(model, -1)

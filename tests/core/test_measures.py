@@ -1,0 +1,196 @@
+"""Tests for the performance measures (S20)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cdr import PhaseGrid, build_cdr_chain
+from repro.core.measures import (
+    bit_error_rate,
+    bit_error_rate_discrete,
+    cycle_slip_rate,
+    mean_symbols_between_slips,
+    phase_error_pdf,
+    phase_statistics,
+    recovered_clock_jitter,
+    sampled_phase_pdf,
+)
+from repro.markov import solve_direct
+from repro.noise import DiscreteDistribution, eye_opening_noise, sonet_drift_noise
+
+
+@pytest.fixture(scope="module")
+def solved_model():
+    grid = PhaseGrid(64)
+    model = build_cdr_chain(
+        grid=grid,
+        nw=eye_opening_noise(0.08, n_atoms=9),
+        nr=sonet_drift_noise(
+            max_ui=grid.step, mean_ui=0.2 * grid.step, grid_step=grid.step
+        ),
+        counter_length=3,
+        phase_step_units=4,
+    )
+    eta = solve_direct(model.chain.P).distribution
+    return model, eta
+
+
+class TestPDFs:
+    def test_phase_error_pdf_normalized(self, solved_model):
+        model, eta = solved_model
+        values, probs = phase_error_pdf(model, eta)
+        assert values.shape == probs.shape == (64,)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-10)
+        assert probs.min() >= -1e-12
+
+    def test_sampled_phase_pdf_normalized_and_wider(self, solved_model):
+        model, eta = solved_model
+        _, phi_probs = phase_error_pdf(model, eta)
+        svals, sprobs = sampled_phase_pdf(model, eta)
+        assert sprobs.sum() == pytest.approx(1.0, abs=1e-10)
+        assert np.all(np.diff(svals) >= 0)
+        # convolving with n_w widens the support
+        phi_vals, _ = phase_error_pdf(model, eta)
+        assert svals.min() < phi_vals.min()
+        assert svals.max() > phi_vals.max()
+
+    def test_sampled_pdf_variance_adds(self, solved_model):
+        model, eta = solved_model
+        phi_vals, phi_probs = phase_error_pdf(model, eta)
+        svals, sprobs = sampled_phase_pdf(model, eta)
+        var_phi = np.dot(phi_vals**2, phi_probs) - np.dot(phi_vals, phi_probs) ** 2
+        var_s = np.dot(svals**2, sprobs) - np.dot(svals, sprobs) ** 2
+        assert var_s == pytest.approx(var_phi + model.nw.var(), rel=1e-9)
+
+
+class TestBER:
+    def test_discrete_equals_tail_mass_of_sampled_pdf(self, solved_model):
+        model, eta = solved_model
+        svals, sprobs = sampled_phase_pdf(model, eta)
+        tail = sprobs[np.abs(svals) > 0.5].sum()
+        assert bit_error_rate_discrete(model, eta) == pytest.approx(
+            float(tail), rel=1e-10, abs=1e-15
+        )
+
+    def test_gaussian_close_to_discrete_when_tails_visible(self, solved_model):
+        # With only 9 n_w atoms the discrete tail is sparsely resolved;
+        # order-of-magnitude agreement is the honest expectation here (the
+        # convergence test below tightens it).
+        model, eta = solved_model
+        d = bit_error_rate_discrete(model, eta)
+        g = bit_error_rate(model, eta)
+        assert d > 0
+        assert 0.1 < d / g < 10.0
+
+    def test_discrete_converges_to_gaussian_with_finer_atoms(self):
+        from repro.cdr import build_cdr_chain
+
+        grid = PhaseGrid(64)
+        nr = sonet_drift_noise(
+            max_ui=grid.step, mean_ui=0.2 * grid.step, grid_step=grid.step
+        )
+        ratios = []
+        for atoms, span in [(9, 4.0), (41, 6.0)]:
+            model = build_cdr_chain(
+                grid=grid,
+                nw=eye_opening_noise(0.08, n_atoms=atoms, n_sigmas=span),
+                nr=nr,
+                counter_length=3,
+                phase_step_units=4,
+            )
+            eta = solve_direct(model.chain.P).distribution
+            ratios.append(
+                bit_error_rate_discrete(model, eta) / bit_error_rate(model, eta)
+            )
+        assert abs(ratios[1] - 1.0) < abs(ratios[0] - 1.0)
+        assert abs(ratios[1] - 1.0) < 0.25
+
+    def test_gaussian_handles_zero_sigma(self, solved_model):
+        model, eta = solved_model
+        ber = bit_error_rate(model, eta, nw_std=0.0)
+        # no noise: errors only from stationary mass beyond 1/2 UI, which
+        # cannot exist on the grid
+        assert ber == 0.0
+
+    def test_threshold_monotonicity(self, solved_model):
+        model, eta = solved_model
+        loose = bit_error_rate(model, eta, threshold_ui=0.4)
+        tight = bit_error_rate(model, eta, threshold_ui=0.5)
+        assert loose >= tight
+
+    def test_more_noise_more_errors(self, solved_model):
+        model, eta = solved_model
+        small = bit_error_rate(model, eta, nw_std=0.05)
+        large = bit_error_rate(model, eta, nw_std=0.15)
+        assert large > small
+
+
+class TestSlips:
+    def test_rate_and_mtbs_consistent(self, solved_model):
+        model, eta = solved_model
+        rate = cycle_slip_rate(model, eta)
+        mtbs = mean_symbols_between_slips(model, eta)
+        assert rate > 0
+        assert mtbs == pytest.approx(1.0 / rate)
+
+    def test_no_slip_matrix_gives_inf(self, solved_model):
+        import scipy.sparse as sp
+        import dataclasses
+
+        model, eta = solved_model
+        quiet = dataclasses.replace(
+            model, slip_matrix=sp.csr_matrix((model.n_states, model.n_states))
+        )
+        assert mean_symbols_between_slips(quiet, eta) == math.inf
+
+
+class TestPhaseStatistics:
+    def test_fields_consistent(self, solved_model):
+        model, eta = solved_model
+        stats = phase_statistics(model, eta)
+        assert set(stats) == {"mean_ui", "rms_ui", "std_ui", "peak_ui"}
+        assert stats["rms_ui"] ** 2 == pytest.approx(
+            stats["std_ui"] ** 2 + stats["mean_ui"] ** 2, rel=1e-9
+        )
+        assert 0 < stats["peak_ui"] < 0.5
+
+    def test_positive_drift_positive_mean(self, solved_model):
+        model, eta = solved_model
+        assert phase_statistics(model, eta)["mean_ui"] > 0
+
+
+class TestAccumulatedJitter:
+    def test_matches_dense_clt_variance(self, solved_model):
+        """The sparse truncated-series rate equals the exact dense
+        group-inverse computation (the model is small enough for both)."""
+        from repro.core.measures import accumulated_jitter_variance_rate
+        from repro.markov.fundamental import time_average_variance
+
+        model, eta = solved_model
+        sparse_rate = accumulated_jitter_variance_rate(model, eta, max_lag=2048)
+        dense_rate = time_average_variance(
+            model.chain, model.phase_values_per_state(), eta
+        )
+        assert sparse_rate == pytest.approx(dense_rate, rel=0.02)
+
+    def test_nonnegative(self, solved_model):
+        from repro.core.measures import accumulated_jitter_variance_rate
+
+        model, eta = solved_model
+        assert accumulated_jitter_variance_rate(model, eta, max_lag=64) >= 0.0
+
+
+class TestRecoveredClockJitter:
+    def test_rms_matches_phase_std(self, solved_model):
+        model, eta = solved_model
+        jitter = recovered_clock_jitter(model, eta, max_lag=32)
+        stats = phase_statistics(model, eta)
+        assert jitter["rms_ui"] == pytest.approx(stats["std_ui"], rel=1e-6)
+
+    def test_correlation_length_positive(self, solved_model):
+        model, eta = solved_model
+        jitter = recovered_clock_jitter(model, eta, max_lag=256)
+        # the loop filter makes the phase error strongly correlated over
+        # at least a couple of symbols
+        assert jitter["correlation_symbols"] >= 1.0

@@ -1,0 +1,55 @@
+"""Tests for the plain-text reporting helpers."""
+
+import numpy as np
+
+from repro.core.reporting import format_pdf_ascii, format_record, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_content(self):
+        records = [
+            {"counter": 4, "ber": 1.25e-5},
+            {"counter": 8, "ber": 3.5e-7},
+        ]
+        out = format_table(records)
+        lines = out.splitlines()
+        assert lines[0].startswith("counter")
+        assert "ber" in lines[0]
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "1.25e-05" in out
+
+    def test_column_selection(self):
+        records = [{"a": 1, "b": 2}]
+        out = format_table(records, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_missing_keys_blank(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in out
+
+
+class TestFormatPDF:
+    def test_renders_histogram(self):
+        values = np.linspace(-0.5, 0.5, 101)
+        probs = np.exp(-(values ** 2) / 0.02)
+        probs /= probs.sum()
+        out = format_pdf_ascii(values, probs, n_bins=40, height=8, title="phi")
+        lines = out.splitlines()
+        assert lines[0] == "phi"
+        assert len(lines) == 1 + 8 + 2
+        assert "#" in out
+        assert "UI" in lines[-1]
+
+    def test_degenerate_support(self):
+        out = format_pdf_ascii(np.array([0.0]), np.array([1.0]), n_bins=10, height=4)
+        assert "#" in out
+
+
+class TestFormatRecord:
+    def test_basic(self):
+        out = format_record({"ber": 1e-9, "size": 100})
+        assert "ber: 1e-09" in out
+        assert "size: 100" in out

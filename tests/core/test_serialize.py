@@ -1,0 +1,108 @@
+"""Tests for JSON serialization of specs and analyses."""
+
+import json
+import math
+
+import pytest
+
+from repro import CDRSpec, analyze_cdr
+from repro.core import (
+    analysis_to_dict,
+    analysis_to_json,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+from repro.noise import DiscreteDistribution
+
+
+def small_spec():
+    return CDRSpec(
+        n_phase_points=64, n_clock_phases=16, counter_length=2,
+        max_run_length=2, nw_std=0.08, nw_atoms=7,
+    )
+
+
+class TestSpecRoundTrip:
+    def test_dict_round_trip(self):
+        spec = small_spec()
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_json_round_trip(self):
+        spec = small_spec()
+        text = spec_to_json(spec)
+        json.loads(text)  # valid JSON
+        assert spec_from_json(text) == spec
+
+    def test_overrides_round_trip(self):
+        nw = DiscreteDistribution([-0.1, 0.0, 0.1], [0.25, 0.5, 0.25])
+        spec = small_spec().replace(nw_override=nw)
+        restored = spec_from_dict(spec_to_dict(spec))
+        assert restored.nw_override == nw
+
+    def test_unknown_field_rejected(self):
+        payload = spec_to_dict(small_spec())
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            spec_from_dict(payload)
+
+    def test_partial_dict_uses_defaults(self):
+        spec = spec_from_dict({"counter_length": 4})
+        assert spec.counter_length == 4
+        assert spec.n_phase_points == CDRSpec().n_phase_points
+
+
+class TestAnalysisSerialization:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return analyze_cdr(small_spec(), solver="direct")
+
+    def test_dict_fields(self, analysis):
+        d = analysis_to_dict(analysis)
+        assert d["n_states"] == analysis.n_states
+        assert d["ber"] == analysis.ber
+        assert d["solver"]["method"] == "direct"
+        assert d["solver"]["converged"] is True
+        assert "phase_error_pdf" not in d
+
+    def test_json_valid(self, analysis):
+        text = analysis_to_json(analysis)
+        payload = json.loads(text)
+        assert payload["ber"] >= 0.0
+
+    def test_include_pdf(self, analysis):
+        d = analysis_to_dict(analysis, include_pdf=True)
+        pdf = d["phase_error_pdf"]
+        assert len(pdf["values"]) == 64
+        assert sum(pdf["probs"]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_spec_embedded_and_restorable(self, analysis):
+        d = analysis_to_dict(analysis)
+        assert spec_from_dict(d["spec"]) == analysis.spec
+
+    def test_infinite_mtbf_becomes_null(self):
+        quiet = analyze_cdr(
+            small_spec().replace(nw_std=0.01, nr_max=0.001, nr_mean=0.0),
+            solver="direct",
+        )
+        d = analysis_to_dict(quiet)
+        v = d["mean_symbols_between_slips"]
+        assert v is None or math.isfinite(v)
+        json.dumps(d)  # must be strictly JSON-serializable
+
+
+class TestCLIJson:
+    def test_analyze_json_output(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "analyze", "--n-phase-points", "64", "--counter-length", "2",
+            "--max-run-length", "2", "--nw-atoms", "7",
+            "--solver", "direct", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert "ber" in payload
+        assert payload["spec"]["counter_length"] == 2

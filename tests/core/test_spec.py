@@ -1,0 +1,98 @@
+"""Tests for CDRSpec (S21)."""
+
+import pytest
+
+from repro import CDRSpec
+from repro.cdr.model import CDRChainModel
+from repro.noise import DiscreteDistribution
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        spec = CDRSpec()
+        assert spec.n_phase_points == 256
+        assert spec.counter_length == 8
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("n_phase_points", 1, "n_phase_points"),
+            ("n_clock_phases", 0, "n_clock_phases"),
+            ("counter_length", 0, "counter_length"),
+            ("transition_density", 0.0, "transition_density"),
+            ("transition_density", 1.5, "transition_density"),
+            ("max_run_length", 0, "max_run_length"),
+            ("nw_std", -0.1, "nw_std"),
+            ("nw_atoms", 0, "nw_atoms"),
+            ("nr_max", 0.0, "nr_max"),
+        ],
+    )
+    def test_field_validation(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            CDRSpec(**{field: value})
+
+    def test_grid_divisibility(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CDRSpec(n_phase_points=100, n_clock_phases=16)
+
+    def test_mean_exceeding_max(self):
+        with pytest.raises(ValueError, match="nr_mean"):
+            CDRSpec(nr_max=0.001, nr_mean=0.01)
+
+    def test_frozen(self):
+        spec = CDRSpec()
+        with pytest.raises(Exception):
+            spec.counter_length = 4
+
+
+class TestDerived:
+    def test_phase_step_units(self):
+        spec = CDRSpec(n_phase_points=256, n_clock_phases=16)
+        assert spec.phase_step_units == 16
+
+    def test_grid(self):
+        spec = CDRSpec(n_phase_points=128, n_clock_phases=16)
+        assert spec.grid.n_points == 128
+
+    def test_nw_distribution(self):
+        spec = CDRSpec(nw_std=0.03, nw_atoms=9)
+        d = spec.nw_distribution()
+        assert d.n_atoms == 9
+        assert d.std() == pytest.approx(0.03, rel=0.1)
+
+    def test_nr_distribution_mean(self):
+        spec = CDRSpec(nr_max=0.01, nr_mean=0.004)
+        assert spec.nr_distribution().mean() == pytest.approx(0.004, abs=1e-12)
+
+    def test_overrides(self):
+        nw = DiscreteDistribution([-0.1, 0.1], [0.5, 0.5])
+        nr = DiscreteDistribution.delta(0.0)
+        spec = CDRSpec(nw_override=nw, nr_override=nr)
+        assert spec.nw_distribution() == nw
+        assert spec.nr_distribution() == nr
+
+    def test_expected_state_count(self):
+        spec = CDRSpec(
+            n_phase_points=64, n_clock_phases=16, counter_length=4, max_run_length=2
+        )
+        assert spec.expected_state_count() == 2 * 7 * 64
+
+    def test_build_model(self):
+        spec = CDRSpec(n_phase_points=64, n_clock_phases=16, counter_length=2,
+                       max_run_length=2)
+        model = spec.build_model()
+        assert isinstance(model, CDRChainModel)
+        assert model.n_states == spec.expected_state_count()
+        assert model.counter_length == 2
+
+    def test_replace(self):
+        spec = CDRSpec()
+        other = spec.replace(counter_length=16)
+        assert other.counter_length == 16
+        assert other.nw_std == spec.nw_std
+        assert spec.counter_length == 8  # original unchanged
+
+    def test_describe(self):
+        text = CDRSpec().describe()
+        assert "COUNTER=8" in text
+        assert "STDnw=0.02" in text

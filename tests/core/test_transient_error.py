@@ -1,0 +1,59 @@
+"""Tests for the transient (acquisition-phase) error rate."""
+
+import numpy as np
+import pytest
+
+from repro import CDRSpec
+from repro.core import bit_error_rate_discrete
+from repro.core.acquisition import transient_error_rate
+from repro.markov import solve_direct
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CDRSpec(
+        n_phase_points=64,
+        n_clock_phases=16,
+        counter_length=2,
+        max_run_length=2,
+        nw_std=0.08,
+        nw_atoms=9,
+        nr_max=0.016,
+        nr_mean=0.002,
+    ).build_model()
+
+
+class TestTransientErrorRate:
+    def test_starts_high_from_worst_offset(self, model):
+        rate = transient_error_rate(model, 200, start_phase_ui=-0.49)
+        # Half a UI off: nearly every decision is wrong at first...
+        assert rate[0] > 0.3
+        # ...then the loop pulls in and the error rate collapses.
+        assert rate[-1] < rate[0] / 10.0
+
+    def test_converges_to_stationary_ber(self, model):
+        rate = transient_error_rate(model, 600, start_phase_ui=-0.49)
+        eta = solve_direct(model.chain.P).distribution
+        stationary_ber = bit_error_rate_discrete(model, eta)
+        assert rate[-1] == pytest.approx(stationary_ber, rel=0.05, abs=1e-12)
+
+    def test_locked_start_stays_low(self, model):
+        rate = transient_error_rate(model, 100, start_phase_ui=0.0)
+        eta = solve_direct(model.chain.P).distribution
+        stationary_ber = bit_error_rate_discrete(model, eta)
+        assert rate.max() < max(100 * stationary_ber, 1e-3)
+
+    def test_monotone_decay_from_worst_case(self, model):
+        rate = transient_error_rate(model, 150, start_phase_ui=-0.49)
+        # allow small non-monotonic wiggle but require overall decay
+        assert rate[50] < rate[0]
+        assert rate[150] <= rate[50] + 1e-6
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            transient_error_rate(model, -1)
+
+    def test_shape(self, model):
+        rate = transient_error_rate(model, 25)
+        assert rate.shape == (26,)
+        assert np.all((rate >= -1e-12) & (rate <= 1.0 + 1e-12))

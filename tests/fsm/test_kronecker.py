@@ -1,0 +1,147 @@
+"""Tests for the Kronecker/SAN descriptor (S13)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm import KroneckerDescriptor, kron_matvec, synchronous_product
+from repro.markov import MarkovChain, random_chain, solve_direct
+
+
+def random_stochastic(n, seed):
+    return random_chain(n, np.random.default_rng(seed)).to_dense()
+
+
+class TestKronMatvec:
+    def test_matches_explicit_kron_two_factors(self):
+        rng = np.random.default_rng(0)
+        A = rng.random((3, 3))
+        B = rng.random((4, 4))
+        v = rng.random(12)
+        expected = np.kron(A, B) @ v
+        got = kron_matvec([sp.csr_matrix(A), sp.csr_matrix(B)], v)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_matches_explicit_kron_three_factors(self):
+        rng = np.random.default_rng(1)
+        mats = [rng.random((n, n)) for n in (2, 3, 2)]
+        v = rng.random(12)
+        expected = np.kron(np.kron(mats[0], mats[1]), mats[2]) @ v
+        got = kron_matvec([sp.csr_matrix(m) for m in mats], v)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_rectangular_factors(self):
+        rng = np.random.default_rng(2)
+        A = rng.random((2, 3))
+        B = rng.random((5, 4))
+        v = rng.random(12)
+        expected = np.kron(A, B) @ v
+        got = kron_matvec([sp.csr_matrix(A), sp.csr_matrix(B)], v)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            kron_matvec([sp.identity(2, format="csr")], np.ones(3))
+
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_dense_kron(self, n1, n2, seed):
+        rng = np.random.default_rng(seed)
+        A, B = rng.random((n1, n1)), rng.random((n2, n2))
+        v = rng.random(n1 * n2)
+        np.testing.assert_allclose(
+            kron_matvec([sp.csr_matrix(A), sp.csr_matrix(B)], v),
+            np.kron(A, B) @ v,
+            atol=1e-10,
+        )
+
+
+class TestDescriptor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KroneckerDescriptor([])
+        with pytest.raises(ValueError):
+            KroneckerDescriptor([0, 2])
+        d = KroneckerDescriptor([2, 3])
+        with pytest.raises(ValueError, match="factors"):
+            d.add_term([np.eye(2)])
+        with pytest.raises(ValueError, match="shape"):
+            d.add_term([np.eye(2), np.eye(4)])
+
+    def test_shape_and_dims(self):
+        d = KroneckerDescriptor([2, 3, 4])
+        assert d.n == 24
+        assert d.shape == (24, 24)
+        assert d.component_dims == [2, 3, 4]
+        assert d.n_terms == 0
+
+    def test_sum_of_terms(self):
+        rng = np.random.default_rng(3)
+        A1, B1 = rng.random((2, 2)), rng.random((3, 3))
+        A2, B2 = rng.random((2, 2)), rng.random((3, 3))
+        d = KroneckerDescriptor([2, 3])
+        d.add_term([A1, B1], coefficient=0.5)
+        d.add_term([A2, B2], coefficient=2.0)
+        M = 0.5 * np.kron(A1, B1) + 2.0 * np.kron(A2, B2)
+        v = rng.random(6)
+        np.testing.assert_allclose(d.matvec(v), M @ v, atol=1e-12)
+        np.testing.assert_allclose(d.rmatvec(v), M.T @ v, atol=1e-12)
+        np.testing.assert_allclose(d.to_sparse().toarray(), M, atol=1e-12)
+
+    def test_linear_operator_view(self):
+        rng = np.random.default_rng(4)
+        A = random_stochastic(3, 0)
+        B = random_stochastic(2, 1)
+        d = synchronous_product([A, B])
+        op = d.as_linear_operator()
+        v = rng.random(6)
+        np.testing.assert_allclose(op.matvec(v), d.matvec(v))
+        np.testing.assert_allclose(op.rmatvec(v), d.rmatvec(v))
+
+    def test_to_sparse_size_guard(self):
+        d = KroneckerDescriptor([1000, 1000])
+        with pytest.raises(ValueError, match="too large"):
+            d.to_sparse()
+
+
+class TestSynchronousProduct:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            synchronous_product([])
+
+    def test_product_is_stochastic(self):
+        A = random_stochastic(3, 10)
+        B = random_stochastic(4, 11)
+        M = synchronous_product([A, B]).to_sparse()
+        sums = np.asarray(M.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-10)
+
+    def test_stationary_is_kron_of_stationaries(self):
+        """Independent components: joint stationary = kron of marginals."""
+        A = random_stochastic(3, 20)
+        B = random_stochastic(4, 21)
+        eta_a = solve_direct(MarkovChain(A).P).distribution
+        eta_b = solve_direct(MarkovChain(B).P).distribution
+        d = synchronous_product([A, B])
+        eta, iters, res = d.power_iteration_stationary(tol=1e-12)
+        np.testing.assert_allclose(eta, np.kron(eta_a, eta_b), atol=1e-8)
+        assert res < 1e-10
+
+    def test_matrix_free_matches_explicit(self):
+        A = random_stochastic(4, 30)
+        B = random_stochastic(3, 31)
+        d = synchronous_product([A, B])
+        eta_free, _, _ = d.power_iteration_stationary(tol=1e-13)
+        eta_explicit = solve_direct(MarkovChain(d.to_sparse()).P).distribution
+        np.testing.assert_allclose(eta_free, eta_explicit, atol=1e-8)
+
+    def test_power_iteration_damping_validation(self):
+        d = synchronous_product([np.eye(2)])
+        with pytest.raises(ValueError):
+            d.power_iteration_stationary(damping=1.5)

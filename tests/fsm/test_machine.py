@@ -1,0 +1,143 @@
+"""Tests for repro.fsm.machine (S10)."""
+
+import pytest
+
+from repro.fsm import FSM
+
+
+def toggle_fsm():
+    """1-bit toggle: flips state when input is 1; Moore output = state."""
+    return FSM.moore(
+        "toggle",
+        states=[0, 1],
+        initial_state=0,
+        transition_fn=lambda s, u: s ^ (u & 1),
+        state_output_fn=lambda s: s,
+    )
+
+
+def parity_fsm():
+    """Mealy parity detector: output = state XOR input."""
+    return FSM(
+        "parity",
+        states=[0, 1],
+        initial_state=0,
+        transition_fn=lambda s, u: s ^ u,
+        output_fn=lambda s, u: s ^ u,
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            FSM("", [0], 0, lambda s, u: s, lambda s, u: s)
+
+    def test_rejects_empty_states(self):
+        with pytest.raises(ValueError, match="at least one state"):
+            FSM("m", [], None, lambda s, u: s, lambda s, u: s)
+
+    def test_rejects_duplicate_states(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FSM("m", [0, 0], 0, lambda s, u: s, lambda s, u: s)
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValueError, match="initial state"):
+            FSM("m", [0, 1], 2, lambda s, u: s, lambda s, u: s)
+
+    def test_properties(self):
+        m = toggle_fsm()
+        assert m.n_states == 2
+        assert m.states == [0, 1]
+        assert m.state_index(1) == 1
+        assert "toggle" in repr(m)
+
+    def test_state_index_unknown(self):
+        with pytest.raises(KeyError, match="unknown state"):
+            toggle_fsm().state_index(5)
+
+
+class TestStepping:
+    def test_next_state(self):
+        m = toggle_fsm()
+        assert m.next_state(0, 1) == 1
+        assert m.next_state(1, 1) == 0
+        assert m.next_state(1, 0) == 1
+
+    def test_transition_leaving_state_set_detected(self):
+        m = FSM("bad", [0, 1], 0, lambda s, u: s + u, lambda s, u: s)
+        with pytest.raises(ValueError, match="left the state set"):
+            m.next_state(1, 1)
+
+    def test_mealy_output(self):
+        m = parity_fsm()
+        assert m.output(0, 1) == 1
+        assert m.output(1, 1) == 0
+
+    def test_step(self):
+        m = parity_fsm()
+        nxt, out = m.step(0, 1)
+        assert (nxt, out) == (1, 1)
+
+    def test_run(self):
+        m = parity_fsm()
+        trace = list(m.run([1, 1, 0, 1]))
+        states = [s for s, _ in trace]
+        outs = [y for _, y in trace]
+        assert states == [0, 1, 0, 0]
+        assert outs == [1, 0, 0, 1]
+
+    def test_run_with_explicit_state(self):
+        m = parity_fsm()
+        trace = list(m.run([0], state=1))
+        assert trace == [(1, 1)]
+
+    def test_run_rejects_unknown_state(self):
+        m = parity_fsm()
+        with pytest.raises(KeyError):
+            list(m.run([0], state=7))
+
+
+class TestValidationHelpers:
+    def test_validate_total_passes(self):
+        toggle_fsm().validate_total([0, 1])
+
+    def test_validate_total_catches_partial(self):
+        m = FSM("partial", [0, 1], 0,
+                lambda s, u: {(0, 0): 0, (0, 1): 1}[(s, u)],
+                lambda s, u: 0)
+        with pytest.raises(KeyError):
+            m.validate_total([0, 1])
+
+    def test_reachable_states(self):
+        # state 2 is unreachable from 0
+        m = FSM(
+            "m", [0, 1, 2], 0,
+            lambda s, u: (s ^ u) if s != 2 else 2,
+            lambda s, u: s,
+        )
+        assert m.reachable_states([0, 1]) == [0, 1]
+
+
+class TestFromTable:
+    def test_table_machine(self):
+        m = FSM.from_table(
+            "tbl",
+            transitions={(0, "a"): 1, (0, "b"): 0, (1, "a"): 0, (1, "b"): 1},
+            outputs={(0, "a"): "x", (0, "b"): "y", (1, "a"): "y", (1, "b"): "x"},
+            initial_state=0,
+        )
+        assert m.next_state(0, "a") == 1
+        assert m.output(1, "b") == "x"
+
+    def test_table_missing_transition(self):
+        m = FSM.from_table(
+            "tbl", transitions={(0, "a"): 0}, outputs={(0, "a"): 0}, initial_state=0
+        )
+        with pytest.raises(ValueError, match="no transition"):
+            m.next_state(0, "b")
+        with pytest.raises(ValueError, match="no output"):
+            m.output(0, "b")
+
+    def test_moore_constructor(self):
+        m = FSM.moore("moo", [0, 1], 0, lambda s, u: 1 - s, lambda s: s * 10)
+        assert m.output(1, "ignored") == 10

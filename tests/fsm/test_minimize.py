@@ -1,0 +1,102 @@
+"""Tests for FSM minimization."""
+
+import numpy as np
+import pytest
+
+from repro.fsm import (
+    FSM,
+    equivalent_state_classes,
+    fsms_equivalent,
+    minimize_fsm,
+)
+
+
+def redundant_toggle():
+    """A toggle padded with duplicate states: {0, 2} and {1, 3} behave
+    identically (output = parity, input flips parity)."""
+    return FSM(
+        "redundant",
+        states=[0, 1, 2, 3],
+        initial_state=0,
+        transition_fn=lambda s, u: (s + u) % 4 if u else s,
+        output_fn=lambda s, u: s % 2,
+    )
+
+
+def already_minimal_counter(n=4):
+    return FSM.moore(
+        "cnt", list(range(n)), 0,
+        transition_fn=lambda s, u: (s + int(u)) % n,
+        state_output_fn=lambda s: s,
+    )
+
+
+class TestEquivalenceClasses:
+    def test_redundant_states_merged(self):
+        classes = equivalent_state_classes(redundant_toggle(), [0, 1])
+        assert sorted(sorted(c) for c in classes) == [[0, 2], [1, 3]]
+
+    def test_minimal_machine_untouched(self):
+        m = already_minimal_counter()
+        classes = equivalent_state_classes(m, [0, 1])
+        assert all(len(c) == 1 for c in classes)
+        assert len(classes) == 4
+
+    def test_constant_output_machine_collapses(self):
+        m = FSM(
+            "const", [0, 1, 2], 0,
+            transition_fn=lambda s, u: (s + 1) % 3,
+            output_fn=lambda s, u: "x",
+        )
+        classes = equivalent_state_classes(m, [None])
+        assert len(classes) == 1
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            equivalent_state_classes(redundant_toggle(), [])
+
+
+class TestMinimize:
+    def test_minimized_size(self):
+        mini = minimize_fsm(redundant_toggle(), [0, 1])
+        assert mini.n_states == 2
+
+    def test_behaviour_preserved(self):
+        rng = np.random.default_rng(0)
+        original = redundant_toggle()
+        mini = minimize_fsm(original, [0, 1])
+        inputs = rng.integers(0, 2, size=500).tolist()
+        out_a = [y for _, y in original.run(inputs)]
+        out_b = [y for _, y in mini.run(inputs)]
+        assert out_a == out_b
+
+    def test_equivalence_checker_confirms(self):
+        original = redundant_toggle()
+        mini = minimize_fsm(original, [0, 1])
+        assert fsms_equivalent(original, mini, [0, 1])
+
+    def test_minimizing_minimal_is_isomorphic(self):
+        m = already_minimal_counter()
+        mini = minimize_fsm(m, [0, 1])
+        assert mini.n_states == m.n_states
+        assert fsms_equivalent(m, mini, [0, 1])
+
+
+class TestFSMsEquivalent:
+    def test_different_machines_detected(self):
+        a = already_minimal_counter(4)
+        b = already_minimal_counter(3)
+        assert not fsms_equivalent(a, b, [0, 1])
+
+    def test_same_machine(self):
+        a = already_minimal_counter(4)
+        assert fsms_equivalent(a, a, [0, 1])
+
+    def test_cdr_counter_is_already_minimal(self):
+        """The paper's loop-filter counter has no redundant states: every
+        state responds differently to some input sequence."""
+        from repro.cdr import updown_counter
+
+        counter = updown_counter("c", 4)
+        classes = equivalent_state_classes(counter, [-1, 0, 1])
+        assert len(classes) == counter.n_states

@@ -1,0 +1,218 @@
+"""Tests for FSM-network composition (S12)."""
+
+import numpy as np
+import pytest
+
+from repro.fsm import FSM, FSMNetwork, IIDSource, MarkovSource
+from repro.markov import MarkovChain, solve_direct, stationary_event_rate
+from repro.noise import DiscreteDistribution
+
+
+def coin_source(name="coin", p=0.5):
+    return IIDSource(name, DiscreteDistribution([0.0, 1.0], [1.0 - p, p]))
+
+
+def toggle_machine(name="toggle"):
+    return FSM.moore(
+        name, [0, 1], 0,
+        transition_fn=lambda s, u: s ^ int(u),
+        state_output_fn=lambda s: s,
+    )
+
+
+def counter_machine(name, modulo):
+    return FSM.moore(
+        name, list(range(modulo)), 0,
+        transition_fn=lambda s, u: (s + int(u)) % modulo,
+        state_output_fn=lambda s: s,
+    )
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        net = FSMNetwork()
+        net.add_source(coin_source("x"))
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_machine(toggle_machine("x"), lambda env: env["x"])
+
+    def test_duplicate_event_rejected(self):
+        net = FSMNetwork()
+        net.record_event("e", lambda env: True)
+        with pytest.raises(ValueError, match="duplicate event"):
+            net.record_event("e", lambda env: False)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError, match="empty network"):
+            FSMNetwork().compile()
+
+    def test_names_and_repr(self):
+        net = FSMNetwork("n")
+        net.add_source(coin_source())
+        net.add_machine(toggle_machine(), lambda env: env["coin"])
+        assert net.source_names == ["coin"]
+        assert net.machine_names == ["toggle"]
+        assert "toggle" in repr(net)
+
+
+class TestSemantics:
+    def test_initial_state(self):
+        net = FSMNetwork()
+        net.add_source(coin_source(p=0.9))  # mode is 1 -> hidden init 1
+        net.add_machine(toggle_machine(), lambda env: env["coin"])
+        joint = net.initial_state()
+        assert len(joint) == 2
+        assert joint[1] == 0
+
+    def test_step_branches_probabilities(self):
+        net = FSMNetwork()
+        net.add_source(coin_source(p=0.25))
+        net.add_machine(toggle_machine(), lambda env: env["coin"])
+        branches = net.step_branches(net.initial_state())
+        probs = sorted(p for _, p, _ in branches)
+        assert probs == [pytest.approx(0.25), pytest.approx(0.75)]
+        assert sum(p for _, p, _ in branches) == pytest.approx(1.0)
+
+    def test_pipeline_evaluation_order(self):
+        """A Mealy machine's output feeds the next machine in the same step."""
+        net = FSMNetwork()
+        net.add_source(coin_source(p=1.0))  # always emits 1
+        inverter = FSM("inv", [0], 0, lambda s, u: 0, lambda s, u: 1 - int(u))
+        net.add_machine(inverter, lambda env: env["coin"])
+        counter = counter_machine("cnt", 4)
+        net.add_machine(counter, lambda env: env["inv"])
+        # inverter turns the constant 1 into 0, counter never advances
+        nxt, prob, env = net.step_branches(net.initial_state())[0]
+        assert env["inv"] == 0
+        assert nxt[-1] == 0
+
+    def test_deterministic_network_single_branch(self):
+        net = FSMNetwork()
+        net.add_machine(
+            counter_machine("cnt", 3), lambda env: 1
+        )
+        branches = net.step_branches(net.initial_state())
+        assert len(branches) == 1
+        assert branches[0][1] == 1.0
+
+    def test_simulate_trajectory(self):
+        rng = np.random.default_rng(0)
+        net = FSMNetwork()
+        net.add_source(coin_source(p=0.5))
+        net.add_machine(toggle_machine(), lambda env: env["coin"])
+        envs = net.simulate(100, rng)
+        assert len(envs) == 100
+        assert all(set(e) == {"coin", "toggle"} for e in envs)
+
+
+class TestCompile:
+    def test_single_iid_source(self):
+        net = FSMNetwork()
+        net.add_source(coin_source(p=0.3))
+        nc = net.compile()
+        assert nc.n_states == 2
+        eta = solve_direct(nc.chain.P).distribution
+        # hidden state == last symbol; stationary = marginal law
+        idx0 = nc.chain.state_labels.index((0,))
+        assert eta[idx0] == pytest.approx(0.7)
+
+    def test_toggle_driven_by_coin(self):
+        net = FSMNetwork()
+        net.add_source(coin_source(p=0.5))
+        net.add_machine(toggle_machine(), lambda env: env["coin"])
+        nc = net.compile()
+        assert nc.n_states == 4
+        eta = solve_direct(nc.chain.P).distribution
+        # by symmetry the toggle is uniform
+        mass1 = sum(
+            eta[i] for i, lab in enumerate(nc.chain.state_labels) if lab[1] == 1
+        )
+        assert mass1 == pytest.approx(0.5, abs=1e-10)
+
+    def test_reachability_pruning(self):
+        # counter mod 4 driven by constant 0 never leaves state 0
+        net = FSMNetwork()
+        net.add_machine(counter_machine("cnt", 4), lambda env: 0)
+        nc = net.compile()
+        assert nc.n_states == 1
+
+    def test_max_states_guard(self):
+        net = FSMNetwork()
+        net.add_source(coin_source())
+        net.add_machine(counter_machine("cnt", 64), lambda env: env["coin"])
+        with pytest.raises(RuntimeError, match="max_states"):
+            net.compile(max_states=10)
+
+    def test_transition_probabilities_correct(self):
+        net = FSMNetwork()
+        net.add_source(coin_source(p=0.25))
+        net.add_machine(toggle_machine(), lambda env: env["coin"])
+        nc = net.compile()
+        c = nc.chain
+        # From (hidden=0 i.e. symbol 0, toggle=0): toggle stays 0, hidden
+        # goes to 1 w.p. 0.25.
+        i = c.index_of((0, 0))
+        j = c.index_of((1, 0))
+        assert c.transition_prob(i, j) == pytest.approx(0.25)
+
+    def test_markov_source_composition(self):
+        gilbert = MarkovChain(np.array([[0.9, 0.1], [0.5, 0.5]]))
+        src = MarkovSource("channel", gilbert, emit=[0, 1])
+        net = FSMNetwork()
+        net.add_source(src)
+        net.add_machine(counter_machine("errors", 8), lambda env: env["channel"])
+        nc = net.compile()
+        assert nc.n_states <= 16
+        eta = solve_direct(nc.chain.P).distribution
+        bad_mass = sum(
+            eta[i] for i, lab in enumerate(nc.chain.state_labels) if lab[0] == 1
+        )
+        assert bad_mass == pytest.approx(0.1 / 0.6, abs=1e-10)
+
+    def test_two_sources_product_branches(self):
+        net = FSMNetwork()
+        net.add_source(coin_source("a", p=0.5))
+        net.add_source(coin_source("b", p=0.5))
+        net.add_machine(
+            toggle_machine(), lambda env: int(env["a"]) ^ int(env["b"])
+        )
+        nc = net.compile()
+        assert nc.n_states == 8
+        sums = nc.chain.row_sums()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-12)
+
+    def test_build_time_recorded(self):
+        net = FSMNetwork()
+        net.add_source(coin_source())
+        nc = net.compile()
+        assert nc.build_time >= 0.0
+
+
+class TestEvents:
+    def test_event_rate_matches_analytic(self):
+        """Event = coin shows 1 this step; rate must equal p."""
+        net = FSMNetwork()
+        net.add_source(coin_source(p=0.3))
+        net.add_machine(toggle_machine(), lambda env: env["coin"])
+        net.record_event("one", lambda env: env["coin"] == 1.0)
+        nc = net.compile()
+        eta = solve_direct(nc.chain.P).distribution
+        rate = stationary_event_rate(eta, nc.event_matrices["one"])
+        assert rate == pytest.approx(0.3, abs=1e-10)
+
+    def test_never_firing_event_is_empty(self):
+        net = FSMNetwork()
+        net.add_source(coin_source())
+        net.record_event("impossible", lambda env: False)
+        nc = net.compile()
+        assert nc.event_matrices["impossible"].nnz == 0
+
+    def test_event_matrix_dominated_by_tpm(self):
+        net = FSMNetwork()
+        net.add_source(coin_source(p=0.4))
+        net.add_machine(toggle_machine(), lambda env: env["coin"])
+        net.record_event("toggle-high", lambda env: env["toggle"] == 1)
+        nc = net.compile()
+        E = nc.event_matrices["toggle-high"]
+        P = nc.chain.P
+        diff = (P - E).toarray()
+        assert diff.min() >= -1e-12

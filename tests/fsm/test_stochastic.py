@@ -1,0 +1,87 @@
+"""Tests for repro.fsm.stochastic (S11)."""
+
+import numpy as np
+import pytest
+
+from repro.fsm import IIDSource, MarkovSource, source_from_distribution
+from repro.markov import MarkovChain
+from repro.noise import DiscreteDistribution
+
+
+def bursty_chain():
+    """2-state Gilbert channel: good/bad bursts."""
+    return MarkovChain(np.array([[0.95, 0.05], [0.2, 0.8]]))
+
+
+class TestMarkovSource:
+    def test_basic(self):
+        src = MarkovSource("gilbert", bursty_chain(), emit=["good", "bad"])
+        assert src.n_states == 2
+        assert src.symbol(0) == "good"
+        assert src.symbols == ["good", "bad"]
+        assert "gilbert" in repr(src)
+
+    def test_emit_callable(self):
+        src = MarkovSource("sq", bursty_chain(), emit=lambda i: i * i)
+        assert src.symbols == [0, 1]
+
+    def test_emit_length_mismatch(self):
+        with pytest.raises(ValueError, match="symbols"):
+            MarkovSource("m", bursty_chain(), emit=["only-one"])
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            MarkovSource("", bursty_chain(), emit=["a", "b"])
+
+    def test_initial_state_range(self):
+        with pytest.raises(ValueError, match="initial_state"):
+            MarkovSource("m", bursty_chain(), emit=["a", "b"], initial_state=5)
+
+    def test_branches(self):
+        src = MarkovSource("m", bursty_chain(), emit=["a", "b"])
+        branches = dict(src.branches(0))
+        assert branches[0] == pytest.approx(0.95)
+        assert branches[1] == pytest.approx(0.05)
+
+    def test_sample_path_statistics(self):
+        rng = np.random.default_rng(7)
+        src = MarkovSource("m", bursty_chain(), emit=[0, 1])
+        path = src.sample_path(30_000, rng)
+        # stationary of the Gilbert chain: eta_bad = 0.05/(0.05+0.2) = 0.2
+        assert abs(np.mean(path) - 0.2) < 0.02
+
+
+class TestIIDSource:
+    def test_rows_equal_distribution(self):
+        d = DiscreteDistribution([-1.0, 0.0, 1.0], [0.25, 0.5, 0.25])
+        src = IIDSource("nw", d)
+        P = src.chain.to_dense()
+        for row in P:
+            np.testing.assert_allclose(row, d.probs)
+
+    def test_symbols_are_atom_values(self):
+        d = DiscreteDistribution([-0.5, 0.5], [0.5, 0.5])
+        src = IIDSource("nw", d)
+        assert src.symbols == [-0.5, 0.5]
+
+    def test_consecutive_symbols_uncorrelated(self):
+        rng = np.random.default_rng(3)
+        d = DiscreteDistribution([0.0, 1.0], [0.5, 0.5])
+        src = IIDSource("nw", d)
+        path = np.array(src.sample_path(20_000, rng))
+        corr = np.corrcoef(path[:-1], path[1:])[0, 1]
+        assert abs(corr) < 0.03
+
+    def test_initial_state_is_mode(self):
+        d = DiscreteDistribution([0.0, 1.0], [0.9, 0.1])
+        assert IIDSource("nw", d).initial_state == 0
+
+    def test_distribution_attached(self):
+        d = DiscreteDistribution([0.0, 1.0], [0.5, 0.5])
+        assert IIDSource("nw", d).distribution == d
+
+    def test_convenience_alias(self):
+        d = DiscreteDistribution.delta(0.0)
+        src = source_from_distribution("z", d)
+        assert isinstance(src, IIDSource)
+        assert src.name == "z"

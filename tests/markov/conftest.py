@@ -1,0 +1,72 @@
+"""Shared fixtures and strategies for the Markov-chain tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import strategies as st
+
+from repro.markov import MarkovChain, random_chain
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_state_chain():
+    """The textbook 2-state chain with known stationary vector (0.6, 0.4)."""
+    P = np.array([[0.8, 0.2], [0.3, 0.7]])
+    return MarkovChain(P)
+
+
+@pytest.fixture
+def ring_chain():
+    """Deterministic 4-cycle: irreducible, period 4, uniform stationary."""
+    P = np.zeros((4, 4))
+    for i in range(4):
+        P[i, (i + 1) % 4] = 1.0
+    return MarkovChain(P)
+
+
+@pytest.fixture
+def birth_death_chain():
+    """A 50-state birth-death chain (structured, like a phase-error grid)."""
+    n = 50
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        up = 0.3 if i < n - 1 else 0.0
+        down = 0.4 if i > 0 else 0.0
+        stay = 1.0 - up - down
+        for j, p in ((i - 1, down), (i, stay), (i + 1, up)):
+            if p > 0:
+                rows.append(i)
+                cols.append(j)
+                vals.append(p)
+    P = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    return MarkovChain(P)
+
+
+@pytest.fixture
+def absorbing_chain():
+    """3 transient states draining into an absorbing state."""
+    P = np.array(
+        [
+            [0.5, 0.3, 0.1, 0.1],
+            [0.2, 0.5, 0.2, 0.1],
+            [0.1, 0.2, 0.5, 0.2],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return MarkovChain(P)
+
+
+def random_chains(min_states=2, max_states=40):
+    """Hypothesis strategy producing irreducible random chains."""
+    return st.builds(
+        lambda n, seed: random_chain(
+            n, np.random.default_rng(seed), density=0.3, ensure_irreducible=True
+        ),
+        st.integers(min_value=min_states, max_value=max_states),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )

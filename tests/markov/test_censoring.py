@@ -1,0 +1,108 @@
+"""Tests for censored chains / stochastic complementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import (
+    MarkovChain,
+    censored_chain,
+    solve_direct,
+    stochastic_complement,
+)
+
+from .conftest import random_chains
+
+
+class TestStochasticComplement:
+    def test_result_is_stochastic(self, birth_death_chain):
+        S = stochastic_complement(birth_death_chain, list(range(10)))
+        sums = np.asarray(S.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-10)
+
+    def test_full_set_is_identity_operation(self, birth_death_chain):
+        S = stochastic_complement(
+            birth_death_chain, list(range(birth_death_chain.n_states))
+        )
+        np.testing.assert_allclose(
+            S.toarray(), birth_death_chain.to_dense(), atol=1e-12
+        )
+
+    def test_validation(self, two_state_chain):
+        with pytest.raises(ValueError, match="non-empty"):
+            stochastic_complement(two_state_chain, [])
+        with pytest.raises(ValueError, match="out of range"):
+            stochastic_complement(two_state_chain, [5])
+
+    def test_two_state_complement_is_all_ones(self, two_state_chain):
+        # Watching a single state of an irreducible chain: it always
+        # returns, so the censored chain is the trivial 1-state chain.
+        S = stochastic_complement(two_state_chain, [0])
+        assert S.shape == (1, 1)
+        assert S[0, 0] == pytest.approx(1.0)
+
+    def test_escaping_set_raises(self):
+        # State 0 transient into absorbing state 1; watching {0} never
+        # sees a return.
+        P = np.array([[0.5, 0.5], [0.0, 1.0]])
+        with pytest.raises(ArithmeticError, match="permanent"):
+            stochastic_complement(MarkovChain(P), [0])
+
+
+class TestCensoredChain:
+    def test_conditional_stationary_invariant(self, birth_death_chain):
+        """The defining property: stationary(censored) == eta | keep."""
+        keep = [3, 4, 5, 10, 20, 30]
+        eta = solve_direct(birth_death_chain.P).distribution
+        cc = censored_chain(birth_death_chain, keep)
+        eta_c = solve_direct(cc.P).distribution
+        expected = eta[np.array(keep)]
+        expected = expected / expected.sum()
+        np.testing.assert_allclose(eta_c, expected, atol=1e-10)
+
+    @given(random_chains(min_states=4, max_states=25),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_conditional_stationary_on_random_chains(self, chain, seed):
+        rng = np.random.default_rng(seed)
+        k = rng.integers(2, chain.n_states)
+        keep = np.sort(rng.choice(chain.n_states, size=k, replace=False))
+        eta = solve_direct(chain.P).distribution
+        cc = censored_chain(chain, keep)
+        eta_c = solve_direct(cc.P).distribution
+        expected = eta[keep] / eta[keep].sum()
+        assert np.abs(eta_c - expected).sum() < 1e-7
+
+    def test_labels_carried(self):
+        chain = MarkovChain(
+            np.array([[0.5, 0.5, 0.0], [0.2, 0.3, 0.5], [0.4, 0.1, 0.5]]),
+            state_labels=["a", "b", "c"],
+        )
+        cc = censored_chain(chain, [0, 2])
+        assert cc.state_labels == ["a", "c"]
+
+    def test_cdr_locked_region_censoring(self):
+        """Censoring the CDR chain on its locked region keeps the phase
+        PDF shape there (integration test with the domain model)."""
+        from repro.cdr import PhaseGrid, build_cdr_chain
+        from repro.noise import DiscreteDistribution, eye_opening_noise
+
+        grid = PhaseGrid(16)
+        model = build_cdr_chain(
+            grid=grid,
+            nw=eye_opening_noise(0.1, n_atoms=5),
+            nr=DiscreteDistribution(
+                [-grid.step, 0.0, grid.step], [0.2, 0.5, 0.3]
+            ),
+            counter_length=2,
+            phase_step_units=1,
+        )
+        eta = solve_direct(model.chain.P).distribution
+        locked = np.flatnonzero(
+            np.abs(model.phase_values_per_state()) < 0.25
+        )
+        cc = censored_chain(model.chain, locked)
+        eta_c = solve_direct(cc.P).distribution
+        expected = eta[locked] / eta[locked].sum()
+        assert np.abs(eta_c - expected).sum() < 1e-8

@@ -1,0 +1,160 @@
+"""Tests for repro.markov.chain."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro.markov import MarkovChain, random_chain, validate_stochastic_matrix
+
+from .conftest import random_chains
+
+
+class TestValidation:
+    def test_accepts_dense(self):
+        P = validate_stochastic_matrix(np.array([[0.5, 0.5], [1.0, 0.0]]))
+        assert sp.issparse(P)
+        np.testing.assert_allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+
+    def test_accepts_sparse(self):
+        P = sp.csr_matrix(np.array([[0.5, 0.5], [1.0, 0.0]]))
+        out = validate_stochastic_matrix(P)
+        assert out.shape == (2, 2)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_stochastic_matrix(np.ones((2, 3)) / 3)
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ValueError, match="sums to"):
+            validate_stochastic_matrix(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_stochastic_matrix(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one state"):
+            validate_stochastic_matrix(np.zeros((0, 0)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="two-dimensional"):
+            validate_stochastic_matrix(np.array([1.0]))
+
+    def test_rescales_near_one_rows(self):
+        P = validate_stochastic_matrix(np.array([[0.5 + 1e-10, 0.5], [0.3, 0.7]]))
+        sums = np.asarray(P.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-15)
+
+
+class TestMarkovChain:
+    def test_basic_properties(self, two_state_chain):
+        assert two_state_chain.n_states == 2
+        assert two_state_chain.nnz == 4
+        assert two_state_chain.is_stochastic()
+        assert "n_states=2" in repr(two_state_chain)
+
+    def test_step_distribution(self, two_state_chain):
+        x = np.array([1.0, 0.0])
+        y = two_state_chain.step_distribution(x)
+        np.testing.assert_allclose(y, [0.8, 0.2])
+
+    def test_step_distribution_shape_check(self, two_state_chain):
+        with pytest.raises(ValueError, match="shape"):
+            two_state_chain.step_distribution(np.ones(3))
+
+    def test_transition_prob(self, two_state_chain):
+        assert two_state_chain.transition_prob(0, 1) == pytest.approx(0.2)
+
+    def test_point_and_uniform(self, two_state_chain):
+        np.testing.assert_allclose(two_state_chain.point_distribution(1), [0.0, 1.0])
+        np.testing.assert_allclose(two_state_chain.uniform_distribution(), [0.5, 0.5])
+
+    def test_labels(self):
+        c = MarkovChain(np.eye(2), state_labels=["locked", "slipped"])
+        assert c.label_of(0) == "locked"
+        assert c.index_of("slipped") == 1
+        with pytest.raises(KeyError):
+            c.index_of("nope")
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            MarkovChain(np.eye(2), state_labels=["only-one"])
+
+    def test_index_of_unlabeled(self, two_state_chain):
+        assert two_state_chain.index_of(1) == 1
+        with pytest.raises(KeyError):
+            two_state_chain.index_of(7)
+
+    def test_label_of_unlabeled(self, two_state_chain):
+        assert two_state_chain.label_of(1) == 1
+
+    def test_submatrix(self, birth_death_chain):
+        Q = birth_death_chain.submatrix([0, 1, 2])
+        assert Q.shape == (3, 3)
+        # interior rows lose the mass that left the subset
+        assert Q.sum() < 3.0
+
+    def test_states_where_with_labels(self):
+        c = MarkovChain(np.eye(3), state_labels=[("a", 0), ("b", 1), ("a", 2)])
+        idx = c.states_where(lambda lab: lab[0] == "a")
+        np.testing.assert_array_equal(idx, [0, 2])
+
+    def test_states_where_unlabeled(self, two_state_chain):
+        idx = two_state_chain.states_where(lambda i: i == 1)
+        np.testing.assert_array_equal(idx, [1])
+
+    def test_expected_value(self, two_state_chain):
+        v = two_state_chain.expected_value(np.array([0.5, 0.5]), np.array([0.0, 2.0]))
+        assert v == pytest.approx(1.0)
+
+    def test_expected_value_shape_check(self, two_state_chain):
+        with pytest.raises(ValueError):
+            two_state_chain.expected_value(np.ones(2) / 2, np.ones(3))
+
+    def test_to_dense_roundtrip(self, two_state_chain):
+        np.testing.assert_allclose(
+            two_state_chain.to_dense(), [[0.8, 0.2], [0.3, 0.7]]
+        )
+
+    def test_simulate_visits_all_states(self, two_state_chain, rng):
+        path = two_state_chain.simulate(500, rng)
+        assert path.shape == (501,)
+        assert set(np.unique(path)) == {0, 1}
+
+    def test_simulate_frequencies_match_stationary(self, two_state_chain, rng):
+        # stationary of [[.8,.2],[.3,.7]] is (0.6, 0.4)
+        path = two_state_chain.simulate(40_000, rng)
+        frac1 = (path == 1).mean()
+        assert abs(frac1 - 0.4) < 0.02
+
+    def test_simulate_bad_initial(self, two_state_chain, rng):
+        with pytest.raises(ValueError):
+            two_state_chain.simulate(5, rng, initial_state=9)
+
+
+class TestRandomChain:
+    def test_is_stochastic(self, rng):
+        c = random_chain(37, rng)
+        assert c.is_stochastic()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_chain(0, rng)
+        with pytest.raises(ValueError):
+            random_chain(5, rng, density=0.0)
+
+    @given(random_chains())
+    @settings(max_examples=25, deadline=None)
+    def test_random_chains_always_stochastic(self, chain):
+        assert chain.is_stochastic()
+        sums = chain.row_sums()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+    @given(random_chains())
+    @settings(max_examples=25, deadline=None)
+    def test_step_preserves_mass(self, chain):
+        x = chain.uniform_distribution()
+        y = chain.step_distribution(x)
+        assert y.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(y >= -1e-15)

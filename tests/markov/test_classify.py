@@ -1,0 +1,134 @@
+"""Tests for repro.markov.classify."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.markov import (
+    MarkovChain,
+    absorbing_states,
+    classify,
+    communicating_classes,
+    is_aperiodic,
+    is_irreducible,
+    period,
+    reachable_from,
+)
+
+from .conftest import random_chains
+
+
+class TestIrreducibility:
+    def test_irreducible(self, two_state_chain):
+        assert is_irreducible(two_state_chain)
+
+    def test_reducible(self, absorbing_chain):
+        assert not is_irreducible(absorbing_chain)
+
+    def test_ring(self, ring_chain):
+        assert is_irreducible(ring_chain)
+
+    @given(random_chains())
+    @settings(max_examples=20, deadline=None)
+    def test_random_backbone_chains_irreducible(self, chain):
+        assert is_irreducible(chain)
+
+
+class TestPeriod:
+    def test_ring_period(self, ring_chain):
+        assert period(ring_chain) == 4
+        assert not is_aperiodic(ring_chain)
+
+    def test_self_loop_aperiodic(self, two_state_chain):
+        assert period(two_state_chain) == 1
+        assert is_aperiodic(two_state_chain)
+
+    def test_two_cycle(self):
+        P = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert period(MarkovChain(P)) == 2
+
+    def test_mixed_cycles_gcd(self):
+        # cycles of length 2 and 3 share states -> period gcd(2,3)=1
+        P = np.array(
+            [
+                [0.0, 0.5, 0.5],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+            ]
+        )
+        assert period(MarkovChain(P)) == 1
+
+    def test_state_out_of_range(self, ring_chain):
+        with pytest.raises(ValueError):
+            period(ring_chain, state=10)
+
+
+class TestClasses:
+    def test_single_class(self, two_state_chain):
+        classes = communicating_classes(two_state_chain)
+        assert len(classes) == 1
+        assert set(classes[0]) == {0, 1}
+
+    def test_absorbing_split(self, absorbing_chain):
+        classes = communicating_classes(absorbing_chain)
+        assert len(classes) == 2
+        # topological order: the transient class first
+        assert set(classes[0].tolist()) == {0, 1, 2}
+        assert set(classes[1].tolist()) == {3}
+
+    def test_classify_absorbing(self, absorbing_chain):
+        s = classify(absorbing_chain)
+        assert not s.irreducible
+        assert len(s.recurrent) == 1
+        assert set(s.recurrent[0].tolist()) == {3}
+        np.testing.assert_array_equal(s.transient_states, [0, 1, 2])
+        assert s.period is None
+        assert not s.is_ergodic
+        assert "transient states      : 3" in s.describe()
+
+    def test_classify_ergodic(self, two_state_chain):
+        s = classify(two_state_chain)
+        assert s.irreducible
+        assert s.period == 1
+        assert s.is_ergodic
+        assert s.transient_states.size == 0
+
+    def test_classify_periodic_not_ergodic(self, ring_chain):
+        s = classify(ring_chain)
+        assert s.irreducible
+        assert s.period == 4
+        assert not s.is_ergodic
+
+    def test_two_recurrent_classes(self):
+        P = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.3, 0.4, 0.3],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        s = classify(MarkovChain(P))
+        assert len(s.recurrent) == 2
+        np.testing.assert_array_equal(s.transient_states, [1])
+
+
+class TestAbsorbingStates:
+    def test_found(self, absorbing_chain):
+        np.testing.assert_array_equal(absorbing_states(absorbing_chain), [3])
+
+    def test_none(self, two_state_chain):
+        assert absorbing_states(two_state_chain).size == 0
+
+
+class TestReachability:
+    def test_all_reachable_in_irreducible(self, birth_death_chain):
+        r = reachable_from(birth_death_chain, [0])
+        assert r.size == birth_death_chain.n_states
+
+    def test_absorbing_traps(self, absorbing_chain):
+        r = reachable_from(absorbing_chain, [3])
+        np.testing.assert_array_equal(r, [3])
+
+    def test_multiple_sources(self, absorbing_chain):
+        r = reachable_from(absorbing_chain, [0, 3])
+        assert r.size == 4

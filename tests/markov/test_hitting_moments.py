@@ -1,0 +1,93 @@
+"""Tests for first-passage time variance (hitting_time_moments)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import (
+    MarkovChain,
+    hitting_time_moments,
+    mean_first_passage_times,
+)
+
+from .conftest import random_chains
+
+
+class TestHittingTimeMoments:
+    def test_geometric_closed_form(self):
+        """From state 0 of [[1-p, p], [q, 1-q]], hitting {1} is geometric
+        with success probability p: mean 1/p, variance (1-p)/p^2."""
+        p = 0.2
+        P = np.array([[1 - p, p], [0.3, 0.7]])
+        mean, var = hitting_time_moments(MarkovChain(P), [1])
+        assert mean[0] == pytest.approx(1.0 / p)
+        assert var[0] == pytest.approx((1 - p) / p**2)
+        assert mean[1] == 0.0 and var[1] == 0.0
+
+    def test_mean_matches_mean_first_passage_times(self, birth_death_chain):
+        mean, _ = hitting_time_moments(birth_death_chain, [0, 1])
+        t = mean_first_passage_times(birth_death_chain, [0, 1])
+        np.testing.assert_allclose(mean, t, rtol=1e-9)
+
+    def test_deterministic_path_zero_variance(self):
+        """A deterministic conveyor 0 -> 1 -> 2 hits {2} in exactly 2
+        steps from 0: variance must be zero."""
+        P = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        mean, var = hitting_time_moments(MarkovChain(P), [2])
+        assert mean[0] == pytest.approx(2.0)
+        np.testing.assert_allclose(var[:2], 0.0, atol=1e-9)
+
+    def test_unreachable_is_inf(self):
+        P = np.array([[1.0, 0.0], [0.5, 0.5]])
+        mean, var = hitting_time_moments(MarkovChain(P), [1])
+        assert mean[0] == np.inf
+        assert var[0] == np.inf
+
+    def test_all_targets(self, two_state_chain):
+        mean, var = hitting_time_moments(two_state_chain, [0, 1])
+        np.testing.assert_allclose(mean, 0.0)
+        np.testing.assert_allclose(var, 0.0)
+
+    def test_validation(self, two_state_chain):
+        with pytest.raises(ValueError):
+            hitting_time_moments(two_state_chain, [])
+
+    @given(random_chains(min_states=3, max_states=20),
+           st.integers(min_value=0, max_value=19))
+    @settings(max_examples=15, deadline=None)
+    def test_variance_nonnegative(self, chain, tseed):
+        target = tseed % chain.n_states
+        mean, var = hitting_time_moments(chain, [target])
+        finite = np.isfinite(var)
+        assert np.all(var[finite] >= -1e-9)
+
+    @given(random_chains(min_states=3, max_states=12),
+           st.integers(min_value=0, max_value=11))
+    @settings(max_examples=10, deadline=None)
+    def test_monte_carlo_agreement(self, chain, tseed):
+        target = tseed % chain.n_states
+        start = (target + 1) % chain.n_states
+        mean, var = hitting_time_moments(chain, [target])
+        if not np.isfinite(mean[start]) or mean[start] > 200:
+            return
+        rng = np.random.default_rng(tseed)
+        samples = []
+        for _ in range(400):
+            s = start
+            for k in range(1, 5000):
+                path = chain.simulate(1, rng, initial_state=s)
+                s = int(path[1])
+                if s == target:
+                    samples.append(k)
+                    break
+        emp_mean = np.mean(samples)
+        assert emp_mean == pytest.approx(mean[start], rel=0.25)
+        if var[start] > 0.5:
+            assert np.var(samples) == pytest.approx(var[start], rel=0.5)

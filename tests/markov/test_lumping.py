@@ -1,0 +1,204 @@
+"""Tests for lumping (S5): partitions, lumpability, lumped chains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.markov import (
+    MarkovChain,
+    Partition,
+    aggregate_distribution,
+    is_lumpable,
+    lump,
+    lumped_tpm,
+    solve_direct,
+)
+
+from .conftest import random_chains
+
+
+class TestPartition:
+    def test_basic(self):
+        p = Partition([0, 0, 1, 1, 2])
+        assert p.n_states == 5
+        assert p.n_blocks == 3
+        np.testing.assert_array_equal(p.members(1), [2, 3])
+
+    def test_rejects_gap(self):
+        with pytest.raises(ValueError, match="must be used"):
+            Partition([0, 0, 2])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Partition([-1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Partition([])
+
+    def test_members_range_check(self):
+        with pytest.raises(ValueError):
+            Partition([0, 1]).members(5)
+
+    def test_aggregation_matrix(self):
+        p = Partition([0, 1, 0])
+        V = p.aggregation_matrix().toarray()
+        np.testing.assert_array_equal(V, [[1, 0], [0, 1], [1, 0]])
+
+    def test_from_blocks(self):
+        p = Partition.from_blocks([[0, 2], [1]], n_states=3)
+        np.testing.assert_array_equal(p.block_of, [0, 1, 0])
+
+    def test_from_blocks_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Partition.from_blocks([[0, 1], [1, 2]], n_states=3)
+
+    def test_from_blocks_coverage(self):
+        with pytest.raises(ValueError, match="cover"):
+            Partition.from_blocks([[0]], n_states=2)
+
+    def test_identity(self):
+        p = Partition.identity(4)
+        assert p.n_blocks == 4
+
+    def test_pairs(self):
+        p = Partition.pairs(5)
+        np.testing.assert_array_equal(p.block_of, [0, 0, 1, 1, 2])
+
+    def test_repr(self):
+        assert "n_blocks=2" in repr(Partition([0, 1]))
+
+
+class TestLumpability:
+    def test_symmetric_chain_is_lumpable(self):
+        # Perfectly symmetric two-block chain: lumpable by construction.
+        P = np.array(
+            [
+                [0.1, 0.3, 0.3, 0.3],
+                [0.3, 0.1, 0.3, 0.3],
+                [0.25, 0.25, 0.25, 0.25],
+                [0.25, 0.25, 0.25, 0.25],
+            ]
+        )
+        chain = MarkovChain(P)
+        part = Partition([0, 0, 1, 1])
+        assert is_lumpable(chain, part)
+
+    def test_generic_chain_not_lumpable(self):
+        P = np.array(
+            [
+                [0.5, 0.25, 0.25],
+                [0.1, 0.8, 0.1],
+                [0.3, 0.3, 0.4],
+            ]
+        )
+        chain = MarkovChain(P)
+        assert not is_lumpable(chain, Partition([0, 0, 1]))
+
+    def test_identity_partition_always_lumpable(self, birth_death_chain):
+        part = Partition.identity(birth_death_chain.n_states)
+        assert is_lumpable(birth_death_chain, part)
+
+    def test_single_block_always_lumpable(self, birth_death_chain):
+        part = Partition(np.zeros(birth_death_chain.n_states, dtype=int))
+        assert is_lumpable(birth_death_chain, part)
+
+    def test_size_mismatch(self, two_state_chain):
+        with pytest.raises(ValueError, match="partition size"):
+            is_lumpable(two_state_chain, Partition([0, 0, 1]))
+
+
+class TestLumpedTPM:
+    def test_lumped_is_stochastic(self, birth_death_chain):
+        part = Partition.pairs(birth_death_chain.n_states)
+        C = lumped_tpm(birth_death_chain.P, part)
+        sums = np.asarray(C.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-12)
+
+    def test_stationary_weights_give_exact_lumped_chain(self, birth_death_chain):
+        """With stationary weights, the aggregated stationary vector is the
+        stationary vector of the lumped chain (the KMS exactness property)."""
+        eta = solve_direct(birth_death_chain.P).distribution
+        part = Partition.pairs(birth_death_chain.n_states)
+        C = lumped_tpm(birth_death_chain.P, part, weights=eta)
+        eta_c = solve_direct(C).distribution
+        np.testing.assert_allclose(
+            eta_c, aggregate_distribution(eta, part), atol=1e-10
+        )
+
+    def test_zero_weight_block_fallback(self, two_state_chain):
+        C = lumped_tpm(two_state_chain.P, Partition([0, 1]), weights=np.array([1.0, 0.0]))
+        sums = np.asarray(C.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-12)
+
+    def test_weight_validation(self, two_state_chain):
+        with pytest.raises(ValueError, match="non-negative"):
+            lumped_tpm(two_state_chain.P, Partition([0, 1]), weights=np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError, match="one entry"):
+            lumped_tpm(two_state_chain.P, Partition([0, 1]), weights=np.ones(3))
+
+    @given(random_chains(min_states=4, max_states=30))
+    @settings(max_examples=25, deadline=None)
+    def test_lumped_always_stochastic(self, chain):
+        part = Partition.pairs(chain.n_states)
+        C = lumped_tpm(chain.P, part)
+        sums = np.asarray(C.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+        assert C.nnz == 0 or C.data.min() >= -1e-12
+
+    @given(random_chains(min_states=4, max_states=24))
+    @settings(max_examples=25, deadline=None)
+    def test_kms_exactness_property(self, chain):
+        eta = solve_direct(chain.P).distribution
+        part = Partition.pairs(chain.n_states)
+        C = lumped_tpm(chain.P, part, weights=eta)
+        agg = aggregate_distribution(eta, part)
+        # agg is stationary for C
+        np.testing.assert_allclose(C.T.dot(agg), agg, atol=1e-9)
+
+
+class TestLump:
+    def test_lump_requires_lumpable(self):
+        P = np.array(
+            [
+                [0.5, 0.25, 0.25],
+                [0.1, 0.8, 0.1],
+                [0.3, 0.3, 0.4],
+            ]
+        )
+        chain = MarkovChain(P)
+        with pytest.raises(ValueError, match="not ordinarily lumpable"):
+            lump(chain, Partition([0, 0, 1]), require_lumpable=True)
+
+    def test_lump_labels(self):
+        chain = MarkovChain(
+            np.array([[0.5, 0.5], [0.5, 0.5]]), state_labels=["a", "b"]
+        )
+        lumped = lump(chain, Partition([0, 0]))
+        assert lumped.state_labels == [("a", "b")]
+
+    def test_lumped_chain_of_lumpable_preserves_stationary(self):
+        P = np.array(
+            [
+                [0.1, 0.3, 0.3, 0.3],
+                [0.3, 0.1, 0.3, 0.3],
+                [0.25, 0.25, 0.25, 0.25],
+                [0.25, 0.25, 0.25, 0.25],
+            ]
+        )
+        chain = MarkovChain(P)
+        part = Partition([0, 0, 1, 1])
+        lumped = lump(chain, part, require_lumpable=True)
+        eta = solve_direct(chain.P).distribution
+        eta_l = solve_direct(lumped.P).distribution
+        np.testing.assert_allclose(eta_l, aggregate_distribution(eta, part), atol=1e-10)
+
+
+class TestAggregateDistribution:
+    def test_basic(self):
+        out = aggregate_distribution(np.array([0.1, 0.2, 0.7]), Partition([0, 0, 1]))
+        np.testing.assert_allclose(out, [0.3, 0.7])
+
+    def test_size_check(self):
+        with pytest.raises(ValueError):
+            aggregate_distribution(np.ones(2) / 2, Partition([0, 0, 1]))

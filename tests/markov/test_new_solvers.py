@@ -1,0 +1,128 @@
+"""Tests for the SOR and Arnoldi solvers and the W-cycle multigrid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.markov import (
+    MultigridOptions,
+    solve_direct,
+    solve_eigen,
+    solve_multigrid,
+    solve_sor,
+    stationary_distribution,
+    subdominant_eigenvalue,
+)
+
+from .conftest import random_chains
+
+
+class TestSOR:
+    def test_matches_direct(self, birth_death_chain):
+        ref = solve_direct(birth_death_chain.P).distribution
+        res = solve_sor(birth_death_chain.P, tol=1e-11)
+        assert res.converged
+        assert np.abs(res.distribution - ref).sum() < 1e-8
+
+    def test_omega_one_is_gauss_seidel_fixed_point(self, two_state_chain):
+        res = solve_sor(two_state_chain.P, tol=1e-12, omega=1.0)
+        np.testing.assert_allclose(res.distribution, [0.6, 0.4], atol=1e-9)
+
+    def test_omega_validation(self, two_state_chain):
+        with pytest.raises(ValueError):
+            solve_sor(two_state_chain.P, omega=0.0)
+        with pytest.raises(ValueError):
+            solve_sor(two_state_chain.P, omega=2.0)
+
+    def test_method_name(self, two_state_chain):
+        res = solve_sor(two_state_chain.P, tol=1e-10, omega=1.3)
+        assert "sor" in res.method
+
+    def test_frontend_dispatch(self, birth_death_chain):
+        res = stationary_distribution(birth_death_chain, method="sor", tol=1e-10)
+        assert res.converged
+
+    @given(random_chains(min_states=3, max_states=25))
+    @settings(max_examples=15, deadline=None)
+    def test_agrees_on_random_chains(self, chain):
+        ref = solve_direct(chain.P).distribution
+        res = solve_sor(chain.P, tol=1e-11, omega=1.1, max_iter=20_000)
+        if res.converged:
+            assert np.abs(res.distribution - ref).sum() < 1e-7
+
+
+class TestArnoldi:
+    def test_matches_direct(self, birth_death_chain):
+        ref = solve_direct(birth_death_chain.P).distribution
+        res = solve_eigen(birth_death_chain.P, tol=1e-12)
+        assert np.abs(res.distribution - ref).sum() < 1e-7
+        assert res.method == "arnoldi"
+
+    def test_tiny_chain_fallback(self, two_state_chain):
+        res = solve_eigen(two_state_chain.P)
+        np.testing.assert_allclose(res.distribution, [0.6, 0.4], atol=1e-8)
+
+    def test_frontend_dispatch(self, birth_death_chain):
+        res = stationary_distribution(birth_death_chain, method="arnoldi", tol=1e-10)
+        assert res.residual < 1e-6
+
+
+class TestSubdominantEigenvalue:
+    def test_two_state_closed_form(self, two_state_chain):
+        # eigenvalues of [[.8,.2],[.3,.7]] are 1 and 0.5
+        lam2, gap = subdominant_eigenvalue(two_state_chain.P)
+        assert abs(lam2) == pytest.approx(0.5, abs=1e-8)
+        assert gap == pytest.approx(0.5, abs=1e-8)
+
+    def test_slow_chain_small_gap(self):
+        from repro.markov import MarkovChain
+
+        sticky = MarkovChain(np.array([[0.99, 0.01], [0.01, 0.99]]))
+        _, gap = subdominant_eigenvalue(sticky.P)
+        assert gap == pytest.approx(0.02, abs=1e-8)
+
+    def test_gap_on_larger_chain(self, birth_death_chain):
+        lam2, gap = subdominant_eigenvalue(birth_death_chain.P)
+        assert 0.0 < gap < 1.0
+
+
+class TestWCycle:
+    def test_option_validation(self):
+        with pytest.raises(ValueError, match="cycle_type"):
+            MultigridOptions(cycle_type="F")
+
+    def test_w_cycle_matches_direct(self, birth_death_chain):
+        ref = solve_direct(birth_death_chain.P).distribution
+        res = solve_multigrid(
+            birth_death_chain.P, tol=1e-11, coarsest_size=8, cycle_type="W"
+        )
+        assert res.method == "multigrid-W"
+        assert np.abs(res.distribution - ref).sum() < 1e-7
+
+    def test_w_cycle_needs_no_more_cycles_than_v(self):
+        import scipy.sparse as sp
+
+        from repro.markov import MarkovChain
+
+        n = 800
+        rows, cols, vals = [], [], []
+        for i in range(n):
+            up = 0.02 if i < n - 1 else 0.0
+            down = 0.025 if i > 0 else 0.0
+            for j, p in ((i - 1, down), (i, 1 - up - down), (i + 1, up)):
+                if p > 0:
+                    rows.append(i)
+                    cols.append(j)
+                    vals.append(p)
+        chain = MarkovChain(sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+        v = solve_multigrid(chain.P, tol=1e-10, coarsest_size=16, cycle_type="V")
+        w = solve_multigrid(chain.P, tol=1e-10, coarsest_size=16, cycle_type="W")
+        assert w.converged
+        assert w.iterations <= v.iterations
+
+    def test_frontend_cycle_type(self, birth_death_chain):
+        res = stationary_distribution(
+            birth_death_chain, method="multigrid", tol=1e-10, cycle_type="W",
+            coarsest_size=8,
+        )
+        assert res.method == "multigrid-W"

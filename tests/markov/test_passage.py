@@ -1,0 +1,188 @@
+"""Tests for first-passage / event-rate analysis (S8)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import (
+    MarkovChain,
+    expected_visits,
+    hitting_probabilities,
+    mean_first_passage_times,
+    mean_recurrence_time,
+    mean_time_between_events,
+    solve_direct,
+    stationary_event_rate,
+)
+
+from .conftest import random_chains
+
+
+class TestMeanFirstPassage:
+    def test_two_state_closed_form(self, two_state_chain):
+        # From state 0, hitting {1}: geometric with p = 0.2 -> mean 5.
+        t = mean_first_passage_times(two_state_chain, [1])
+        assert t[1] == 0.0
+        assert t[0] == pytest.approx(5.0)
+
+    def test_target_states_zero(self, birth_death_chain):
+        t = mean_first_passage_times(birth_death_chain, [0, 1])
+        assert t[0] == 0.0 and t[1] == 0.0
+        assert np.all(t[2:] > 0.0)
+
+    def test_monotone_in_birth_death(self, birth_death_chain):
+        # Further from the target -> longer hitting time.
+        t = mean_first_passage_times(birth_death_chain, [0])
+        assert np.all(np.diff(t) > 0.0)
+
+    def test_all_states_target(self, two_state_chain):
+        t = mean_first_passage_times(two_state_chain, [0, 1])
+        np.testing.assert_allclose(t, 0.0)
+
+    def test_unreachable_is_inf(self):
+        P = np.array([[1.0, 0.0], [0.5, 0.5]])  # state 0 absorbing
+        t = mean_first_passage_times(MarkovChain(P), [1])
+        assert t[0] == np.inf
+
+    def test_validation(self, two_state_chain):
+        with pytest.raises(ValueError, match="non-empty"):
+            mean_first_passage_times(two_state_chain, [])
+        with pytest.raises(ValueError, match="out of range"):
+            mean_first_passage_times(two_state_chain, [5])
+
+    @given(random_chains(min_states=3, max_states=25),
+           st.integers(min_value=0, max_value=24))
+    @settings(max_examples=20, deadline=None)
+    def test_one_step_recursion(self, chain, tseed):
+        """t_i = 1 + sum_j P_ij t_j for i outside the target set."""
+        target = tseed % chain.n_states
+        t = mean_first_passage_times(chain, [target])
+        if not np.all(np.isfinite(t)):
+            return
+        P = chain.to_dense()
+        for i in range(chain.n_states):
+            if i == target:
+                continue
+            rhs = 1.0 + sum(P[i, j] * t[j] for j in range(chain.n_states))
+            assert t[i] == pytest.approx(rhs, rel=1e-6)
+
+
+class TestKacFormula:
+    @given(random_chains(min_states=3, max_states=20),
+           st.integers(min_value=0, max_value=19))
+    @settings(max_examples=20, deadline=None)
+    def test_kac_single_state(self, chain, sseed):
+        """Mean return time to state i equals 1/eta_i.
+
+        Return time = 1 step + mean first passage back, averaged over the
+        exit distribution: m_i = 1 + sum_j P_ij t_j(i) = 1 / eta_i.
+        """
+        i = sseed % chain.n_states
+        eta = solve_direct(chain.P).distribution
+        t = mean_first_passage_times(chain, [i])
+        P = chain.to_dense()
+        m_i = 1.0 + sum(P[i, j] * t[j] for j in range(chain.n_states))
+        assert m_i == pytest.approx(1.0 / eta[i], rel=1e-6)
+
+    def test_mean_recurrence_time_helper(self):
+        eta = np.array([0.25, 0.75])
+        assert mean_recurrence_time(eta, [0]) == pytest.approx(4.0)
+        assert mean_recurrence_time(eta, [0, 1]) == pytest.approx(1.0)
+
+    def test_zero_mass_is_inf(self):
+        eta = np.array([1.0, 0.0])
+        assert mean_recurrence_time(eta, [1]) == np.inf
+
+
+class TestHittingProbabilities:
+    def test_irreducible_hits_everything(self, birth_death_chain):
+        h = hitting_probabilities(birth_death_chain, [0])
+        np.testing.assert_allclose(h, 1.0, atol=1e-8)
+
+    def test_gambler_ruin(self):
+        # Symmetric random walk on 0..4 with absorbing ends:
+        # P(hit 4 before 0 | start at i) = i / 4.
+        n = 5
+        P = np.zeros((n, n))
+        P[0, 0] = P[n - 1, n - 1] = 1.0
+        for i in range(1, n - 1):
+            P[i, i - 1] = P[i, i + 1] = 0.5
+        h = hitting_probabilities(MarkovChain(P), [n - 1], avoid=[0])
+        np.testing.assert_allclose(h, [0.0, 0.25, 0.5, 0.75, 1.0], atol=1e-10)
+
+    def test_overlap_rejected(self, two_state_chain):
+        with pytest.raises(ValueError, match="overlap"):
+            hitting_probabilities(two_state_chain, [0], avoid=[0])
+
+    def test_target_is_one(self, two_state_chain):
+        h = hitting_probabilities(two_state_chain, [1])
+        assert h[1] == 1.0
+
+
+class TestExpectedVisits:
+    def test_absorbing_chain(self, absorbing_chain):
+        N = expected_visits(absorbing_chain, [3])
+        # Row sums of N are the mean absorption times.
+        t = mean_first_passage_times(absorbing_chain, [3])
+        np.testing.assert_allclose(N.sum(axis=1), t[:3], atol=1e-9)
+
+    def test_no_transient(self, two_state_chain):
+        N = expected_visits(two_state_chain, [0, 1])
+        assert N.shape == (0, 0)
+
+    def test_size_guard(self):
+        import repro.markov.passage as passage
+
+        big = MarkovChain(sp.identity(5000, format="csr"), validate=False)
+        with pytest.raises(ValueError, match="too large"):
+            passage.expected_visits(big, [0])
+
+
+class TestEventRates:
+    def test_event_rate_full_matrix(self, two_state_chain):
+        # Every transition is an "event": rate 1 per step.
+        rate = stationary_event_rate(
+            solve_direct(two_state_chain.P).distribution, two_state_chain.P
+        )
+        assert rate == pytest.approx(1.0)
+
+    def test_partial_event_matrix(self, two_state_chain):
+        eta = solve_direct(two_state_chain.P).distribution  # (0.6, 0.4)
+        E = sp.csr_matrix(np.array([[0.0, 0.2], [0.0, 0.0]]))  # only 0->1 counts
+        rate = stationary_event_rate(eta, E)
+        assert rate == pytest.approx(0.6 * 0.2)
+        assert mean_time_between_events(eta, E) == pytest.approx(1.0 / (0.6 * 0.2))
+
+    def test_zero_rate_gives_inf(self, two_state_chain):
+        eta = solve_direct(two_state_chain.P).distribution
+        E = sp.csr_matrix((2, 2))
+        assert mean_time_between_events(eta, E) == np.inf
+
+    def test_size_check(self, two_state_chain):
+        with pytest.raises(ValueError):
+            stationary_event_rate(np.ones(3) / 3, two_state_chain.P)
+
+    def test_flux_matches_kac_for_entry_events(self, birth_death_chain):
+        """Entering set A: flux of transitions (not A) -> A equals
+        eta-mass entering A per step; its inverse is the mean time between
+        entries, consistent with Kac on the entry boundary."""
+        eta = solve_direct(birth_death_chain.P).distribution
+        A = {0, 1}
+        coo = birth_death_chain.P.tocoo()
+        mask = np.array([r not in A and c in A for r, c in zip(coo.row, coo.col)])
+        E = sp.csr_matrix(
+            (coo.data[mask], (coo.row[mask], coo.col[mask])),
+            shape=birth_death_chain.P.shape,
+        )
+        rate = stationary_event_rate(eta, E)
+        # In stationarity, entry rate == exit rate and both equal
+        # P(X_k not in A, X_{k+1} in A).
+        maskx = np.array([r in A and c not in A for r, c in zip(coo.row, coo.col)])
+        Ex = sp.csr_matrix(
+            (coo.data[maskx], (coo.row[maskx], coo.col[maskx])),
+            shape=birth_death_chain.P.shape,
+        )
+        exit_rate = stationary_event_rate(eta, Ex)
+        assert rate == pytest.approx(exit_rate, rel=1e-9)

@@ -1,0 +1,120 @@
+"""Tests for stationary-distribution perturbation analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import (
+    MarkovChain,
+    condition_number,
+    perturbed_stationary,
+    solve_direct,
+    stationary_perturbation,
+)
+
+from .conftest import random_chains
+
+
+def two_state(p=0.2, q=0.3):
+    return MarkovChain(np.array([[1 - p, p], [q, 1 - q]]))
+
+
+def direction_two_state():
+    """Perturb p upward (zero row sums)."""
+    return np.array([[-1.0, 1.0], [0.0, 0.0]])
+
+
+class TestStationaryPerturbation:
+    def test_two_state_closed_form(self):
+        # eta_1(p) = p / (p + q); d eta_1 / dp = q / (p+q)^2.
+        p, q = 0.2, 0.3
+        chain = two_state(p, q)
+        d = stationary_perturbation(chain, direction_two_state())
+        expected = q / (p + q) ** 2
+        assert d[1] == pytest.approx(expected, rel=1e-10)
+        assert d[0] == pytest.approx(-expected, rel=1e-10)
+
+    def test_derivative_sums_to_zero(self, birth_death_chain):
+        n = birth_death_chain.n_states
+        rng = np.random.default_rng(0)
+        dP = rng.normal(size=(n, n))
+        dP -= dP.mean(axis=1, keepdims=True)  # zero row sums
+        d = stationary_perturbation(birth_death_chain, dP)
+        assert d.sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_nonzero_row_sums(self, two_state_chain):
+        with pytest.raises(ValueError, match="sum to zero"):
+            stationary_perturbation(two_state_chain, np.ones((2, 2)))
+
+    def test_rejects_wrong_shape(self, two_state_chain):
+        with pytest.raises(ValueError, match="2x2"):
+            stationary_perturbation(two_state_chain, np.zeros((3, 3)))
+
+    @given(random_chains(min_states=3, max_states=15),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_finite_difference(self, chain, seed):
+        """The analytical derivative agrees with a central difference of
+        exact stationary solves."""
+        rng = np.random.default_rng(seed)
+        n = chain.n_states
+        P = chain.to_dense()
+        # A safe perturbation direction: redistribute within each row's
+        # support, scaled so P +- t dP stays stochastic.
+        dP = rng.normal(size=(n, n)) * (P > 0)
+        dP -= (dP.sum(axis=1, keepdims=True)) * (P > 0) / np.maximum(
+            (P > 0).sum(axis=1, keepdims=True), 1
+        )
+        # keep entries feasible
+        t = 1e-6
+        scale = np.abs(dP).max()
+        if scale == 0:
+            return
+        dP /= scale
+        lo = P - t * dP
+        hi = P + t * dP
+        if lo.min() < 0 or hi.min() < 0:
+            return
+        d_analytic = stationary_perturbation(chain, dP)
+        eta_hi = solve_direct(MarkovChain(hi).P).distribution
+        eta_lo = solve_direct(MarkovChain(lo).P).distribution
+        d_numeric = (eta_hi - eta_lo) / (2 * t)
+        assert np.abs(d_analytic - d_numeric).max() < 1e-4 * max(
+            1.0, np.abs(d_analytic).max()
+        )
+
+
+class TestPerturbedStationary:
+    def test_first_order_estimate_close(self):
+        chain = two_state()
+        t = 0.01
+        est = perturbed_stationary(chain, direction_two_state(), t)
+        exact = solve_direct(two_state(0.2 + t, 0.3).P).distribution
+        assert np.abs(est - exact).max() < 5e-4  # O(t^2)
+
+    def test_normalized(self, birth_death_chain):
+        n = birth_death_chain.n_states
+        dP = np.zeros((n, n))
+        est = perturbed_stationary(birth_death_chain, dP, 0.1)
+        assert est.sum() == pytest.approx(1.0, abs=1e-12)
+
+
+class TestConditionNumber:
+    def test_bound_holds_empirically(self):
+        chain = two_state()
+        kappa = condition_number(chain)
+        eta = solve_direct(chain.P).distribution
+        for t in (0.01, 0.05):
+            P2 = two_state(0.2 + t, 0.3)
+            eta2 = solve_direct(P2.P).distribution
+            norm_inf = 2 * t  # ||P' - P||_inf = sum of |row changes|
+            assert np.abs(eta2 - eta).max() <= kappa * norm_inf + 1e-9
+
+    def test_sticky_chain_worse_conditioned(self):
+        fast = MarkovChain(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        sticky = MarkovChain(np.array([[0.99, 0.01], [0.01, 0.99]]))
+        assert condition_number(sticky) > 10 * condition_number(fast)
+
+    def test_nonnegative(self, birth_death_chain):
+        assert condition_number(birth_death_chain) > 0.0

@@ -1,0 +1,107 @@
+"""Tests for reversibility diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.markov import (
+    MarkovChain,
+    detailed_balance_violation,
+    is_reversible,
+    reversibilization,
+    solve_direct,
+)
+
+from .conftest import random_chains
+
+
+class TestDetailedBalance:
+    def test_birth_death_is_reversible(self, birth_death_chain):
+        # All birth-death chains satisfy detailed balance.
+        assert is_reversible(birth_death_chain)
+        assert detailed_balance_violation(birth_death_chain) < 1e-12
+
+    def test_two_state_always_reversible(self, two_state_chain):
+        assert is_reversible(two_state_chain)
+
+    def test_directed_cycle_not_reversible(self):
+        # 3-cycle with a bias: flux circulates, detailed balance fails.
+        P = np.array(
+            [
+                [0.1, 0.8, 0.1],
+                [0.1, 0.1, 0.8],
+                [0.8, 0.1, 0.1],
+            ]
+        )
+        chain = MarkovChain(P)
+        assert not is_reversible(chain)
+        assert detailed_balance_violation(chain) > 0.01
+
+    def test_cdr_chain_is_not_reversible(self):
+        """The drift makes the CDR phase error a non-equilibrium process."""
+        from repro.cdr import PhaseGrid, build_cdr_chain
+        from repro.noise import DiscreteDistribution, eye_opening_noise
+
+        grid = PhaseGrid(16)
+        model = build_cdr_chain(
+            grid=grid,
+            nw=eye_opening_noise(0.1, n_atoms=5),
+            nr=DiscreteDistribution(
+                [-grid.step, 0.0, grid.step], [0.15, 0.5, 0.35]
+            ),
+            counter_length=2,
+            phase_step_units=1,
+        )
+        # Transient (zero-mass) product states would break the
+        # reversibilization; check violation on the raw chain only.
+        assert not is_reversible(model.chain)
+
+
+class TestReversibilization:
+    def test_preserves_stationary(self):
+        P = np.array(
+            [
+                [0.1, 0.8, 0.1],
+                [0.1, 0.1, 0.8],
+                [0.8, 0.1, 0.1],
+            ]
+        )
+        chain = MarkovChain(P)
+        eta = solve_direct(chain.P).distribution
+        R = reversibilization(chain, eta)
+        eta_r = solve_direct(R.P).distribution
+        np.testing.assert_allclose(eta_r, eta, atol=1e-10)
+
+    def test_result_is_reversible(self):
+        P = np.array(
+            [
+                [0.1, 0.8, 0.1],
+                [0.1, 0.1, 0.8],
+                [0.8, 0.1, 0.1],
+            ]
+        )
+        R = reversibilization(MarkovChain(P))
+        assert is_reversible(R)
+
+    def test_reversible_chain_is_fixed_point(self, birth_death_chain):
+        R = reversibilization(birth_death_chain)
+        np.testing.assert_allclose(
+            R.to_dense(), birth_death_chain.to_dense(), atol=1e-10
+        )
+
+    def test_zero_mass_rejected(self):
+        P = np.array([[1.0, 0.0], [0.5, 0.5]])  # state 1 transient
+        with pytest.raises(ValueError, match="positive"):
+            reversibilization(MarkovChain(P), np.array([1.0, 0.0]))
+
+    @given(random_chains(min_states=3, max_states=20))
+    @settings(max_examples=15, deadline=None)
+    def test_reversibilization_invariants_on_random_chains(self, chain):
+        eta = solve_direct(chain.P).distribution
+        if np.any(eta <= 1e-12):
+            return
+        R = reversibilization(chain, eta)
+        assert R.is_stochastic()
+        assert is_reversible(R, eta, atol=1e-8)
+        eta_r = solve_direct(R.P).distribution
+        assert np.abs(eta_r - eta).sum() < 1e-7

@@ -1,0 +1,194 @@
+"""Tests for the stationary-distribution solvers (S4) and the front-end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.markov import (
+    MarkovChain,
+    solve_direct,
+    solve_gauss_seidel,
+    solve_jacobi,
+    solve_krylov,
+    solve_power,
+    stationary_distribution,
+)
+from repro.markov.solvers.result import (
+    StationaryResult,
+    prepare_initial_guess,
+    residual_norm,
+)
+
+from .conftest import random_chains
+
+ALL_SOLVERS = [
+    ("direct", solve_direct),
+    ("power", solve_power),
+    ("jacobi", solve_jacobi),
+    ("gauss-seidel", solve_gauss_seidel),
+    ("krylov", solve_krylov),
+]
+
+
+def reference_stationary(chain):
+    """Dense eigen-decomposition reference for small chains."""
+    w, v = np.linalg.eig(chain.to_dense().T)
+    i = int(np.argmin(np.abs(w - 1.0)))
+    x = np.real(v[:, i])
+    x = np.abs(x)
+    return x / x.sum()
+
+
+@pytest.mark.parametrize("name,solver", ALL_SOLVERS)
+class TestSolversAgainstReference:
+    def test_two_state(self, name, solver, two_state_chain):
+        res = solver(two_state_chain.P, tol=1e-12)
+        np.testing.assert_allclose(res.distribution, [0.6, 0.4], atol=1e-8)
+        assert res.converged
+        assert res.method.startswith(name.split("-")[0])
+
+    def test_birth_death(self, name, solver, birth_death_chain):
+        res = solver(birth_death_chain.P, tol=1e-12)
+        ref = reference_stationary(birth_death_chain)
+        np.testing.assert_allclose(res.distribution, ref, atol=1e-7)
+
+    def test_distribution_is_probability(self, name, solver, birth_death_chain):
+        res = solver(birth_death_chain.P, tol=1e-10)
+        assert res.distribution.min() >= -1e-12
+        assert res.distribution.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_invariance(self, name, solver, birth_death_chain):
+        res = solver(birth_death_chain.P, tol=1e-12)
+        assert residual_norm(birth_death_chain.P, res.distribution) < 1e-8
+
+
+class TestPower:
+    def test_periodic_chain_needs_damping(self, ring_chain):
+        skewed = np.array([0.7, 0.1, 0.1, 0.1])
+        undamped = solve_power(ring_chain.P, tol=1e-12, max_iter=100, x0=skewed)
+        assert not undamped.converged  # the point mass just rotates forever
+        damped = solve_power(ring_chain.P, tol=1e-12, damping=0.5, x0=skewed)
+        assert damped.converged
+        np.testing.assert_allclose(damped.distribution, 0.25, atol=1e-8)
+
+    def test_damping_validation(self, two_state_chain):
+        with pytest.raises(ValueError):
+            solve_power(two_state_chain.P, damping=0.0)
+
+    def test_respects_x0(self, two_state_chain):
+        res = solve_power(two_state_chain.P, x0=np.array([0.9, 0.1]), tol=1e-12)
+        np.testing.assert_allclose(res.distribution, [0.6, 0.4], atol=1e-8)
+
+    def test_history_monotone_tail(self, birth_death_chain):
+        res = solve_power(birth_death_chain.P, tol=1e-12)
+        h = res.residual_history
+        assert h[-1] <= h[0]
+
+
+class TestJacobi:
+    def test_handles_zero_diagonal(self):
+        # No self-loops at all: Jacobi == power iteration here, still works.
+        P = np.array([[0.0, 1.0, 0.0], [0.5, 0.0, 0.5], [0.2, 0.8, 0.0]])
+        res = solve_jacobi(MarkovChain(P).P, tol=1e-12)
+        assert res.converged
+        assert residual_norm(MarkovChain(P).P, res.distribution) < 1e-10
+
+
+class TestGaussSeidel:
+    def test_faster_than_jacobi_on_birth_death(self, birth_death_chain):
+        j = solve_jacobi(birth_death_chain.P, tol=1e-10)
+        gs = solve_gauss_seidel(birth_death_chain.P, tol=1e-10)
+        assert gs.iterations <= j.iterations
+
+
+class TestKrylov:
+    def test_bicgstab_variant(self, birth_death_chain):
+        res = solve_krylov(birth_death_chain.P, tol=1e-12, variant="bicgstab")
+        ref = reference_stationary(birth_death_chain)
+        np.testing.assert_allclose(res.distribution, ref, atol=1e-6)
+
+    def test_no_preconditioner(self, birth_death_chain):
+        res = solve_krylov(birth_death_chain.P, tol=1e-12, preconditioner=None)
+        assert res.converged
+
+    def test_bad_variant(self, two_state_chain):
+        with pytest.raises(ValueError, match="variant"):
+            solve_krylov(two_state_chain.P, variant="cg")
+
+    def test_bad_preconditioner(self, two_state_chain):
+        with pytest.raises(ValueError, match="preconditioner"):
+            solve_krylov(two_state_chain.P, preconditioner="amg")
+
+
+class TestDirect:
+    def test_exact_on_ring(self, ring_chain):
+        res = solve_direct(ring_chain.P)
+        np.testing.assert_allclose(res.distribution, 0.25, atol=1e-12)
+        assert res.iterations == 1
+
+
+class TestFrontend:
+    def test_auto_small_uses_direct(self, two_state_chain):
+        res = stationary_distribution(two_state_chain)
+        assert res.method == "direct"
+
+    def test_named_methods(self, birth_death_chain):
+        for method in ("power", "jacobi", "gauss-seidel", "krylov", "multigrid"):
+            res = stationary_distribution(birth_death_chain, method=method, tol=1e-9)
+            assert isinstance(res, StationaryResult)
+            assert res.residual < 1e-6
+
+    def test_accepts_raw_matrix(self):
+        res = stationary_distribution(np.array([[0.8, 0.2], [0.3, 0.7]]))
+        np.testing.assert_allclose(res.distribution, [0.6, 0.4], atol=1e-8)
+
+    def test_unknown_method(self, two_state_chain):
+        with pytest.raises(ValueError, match="unknown method"):
+            stationary_distribution(two_state_chain, method="conjugate-gradient")
+
+    def test_check_irreducible(self, absorbing_chain):
+        with pytest.raises(ValueError, match="reducible"):
+            stationary_distribution(absorbing_chain, check_irreducible=True)
+
+    @given(random_chains(min_states=3, max_states=30))
+    @settings(max_examples=25, deadline=None)
+    def test_all_solvers_agree_on_random_chains(self, chain):
+        ref = solve_direct(chain.P).distribution
+        for method in ("power", "jacobi", "gauss-seidel"):
+            res = stationary_distribution(chain, method=method, tol=1e-11)
+            assert np.abs(res.distribution - ref).sum() < 1e-7
+
+    @given(random_chains(min_states=2, max_states=25))
+    @settings(max_examples=25, deadline=None)
+    def test_stationary_is_invariant(self, chain):
+        res = stationary_distribution(chain, method="direct")
+        eta = res.distribution
+        np.testing.assert_allclose(chain.step_distribution(eta), eta, atol=1e-8)
+
+
+class TestResultHelpers:
+    def test_prepare_initial_guess_default(self):
+        x = prepare_initial_guess(4, None)
+        np.testing.assert_allclose(x, 0.25)
+
+    def test_prepare_initial_guess_normalizes(self):
+        x = prepare_initial_guess(2, np.array([2.0, 2.0]))
+        np.testing.assert_allclose(x, 0.5)
+
+    def test_prepare_initial_guess_validation(self):
+        with pytest.raises(ValueError):
+            prepare_initial_guess(2, np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            prepare_initial_guess(2, np.zeros(2))
+        with pytest.raises(ValueError):
+            prepare_initial_guess(3, np.ones(2))
+
+    def test_summary_and_rate(self, two_state_chain):
+        res = solve_power(two_state_chain.P, tol=1e-12)
+        assert "power" in res.summary()
+        rate = res.convergence_rate()
+        assert rate is None or 0.0 < rate < 1.0
+
+    def test_n_states(self, two_state_chain):
+        res = solve_direct(two_state_chain.P)
+        assert res.n_states == 2

@@ -1,0 +1,168 @@
+"""Tests for transient analysis (S9a) and autocorrelation/PSD (S9b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.markov import (
+    MarkovChain,
+    autocorrelation,
+    autocovariance,
+    distribution_at,
+    distribution_trajectory,
+    expected_trajectory,
+    mixing_time,
+    power_spectral_density,
+    solve_direct,
+    total_variation,
+)
+
+from .conftest import random_chains
+
+
+class TestDistributionEvolution:
+    def test_zero_steps_identity(self, two_state_chain):
+        x = np.array([1.0, 0.0])
+        np.testing.assert_allclose(distribution_at(two_state_chain, x, 0), x)
+
+    def test_one_step(self, two_state_chain):
+        x = distribution_at(two_state_chain, np.array([1.0, 0.0]), 1)
+        np.testing.assert_allclose(x, [0.8, 0.2])
+
+    def test_converges_to_stationary(self, two_state_chain):
+        x = distribution_at(two_state_chain, np.array([1.0, 0.0]), 200)
+        np.testing.assert_allclose(x, [0.6, 0.4], atol=1e-10)
+
+    def test_trajectory_shape_and_consistency(self, two_state_chain):
+        traj = distribution_trajectory(two_state_chain, np.array([1.0, 0.0]), 5)
+        assert traj.shape == (6, 2)
+        np.testing.assert_allclose(
+            traj[3], distribution_at(two_state_chain, np.array([1.0, 0.0]), 3)
+        )
+
+    def test_negative_steps_rejected(self, two_state_chain):
+        with pytest.raises(ValueError):
+            distribution_at(two_state_chain, np.array([1.0, 0.0]), -1)
+        with pytest.raises(ValueError):
+            distribution_trajectory(two_state_chain, np.array([1.0, 0.0]), -1)
+
+    def test_wrong_size_rejected(self, two_state_chain):
+        with pytest.raises(ValueError):
+            distribution_at(two_state_chain, np.ones(3) / 3, 1)
+
+    @given(random_chains(min_states=2, max_states=20))
+    @settings(max_examples=20, deadline=None)
+    def test_mass_conserved(self, chain):
+        x = chain.uniform_distribution()
+        y = distribution_at(chain, x, 7)
+        assert y.sum() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestExpectedTrajectory:
+    def test_matches_manual(self, two_state_chain):
+        f = np.array([0.0, 1.0])
+        out = expected_trajectory(two_state_chain, np.array([1.0, 0.0]), f, 3)
+        traj = distribution_trajectory(two_state_chain, np.array([1.0, 0.0]), 3)
+        np.testing.assert_allclose(out, traj @ f)
+
+    def test_size_check(self, two_state_chain):
+        with pytest.raises(ValueError):
+            expected_trajectory(two_state_chain, np.array([1.0, 0.0]), np.ones(3), 2)
+
+
+class TestTotalVariationAndMixing:
+    def test_tv_basics(self):
+        assert total_variation(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+        assert total_variation(np.array([0.5, 0.5]), np.array([0.5, 0.5])) == 0.0
+
+    def test_tv_shape_check(self):
+        with pytest.raises(ValueError):
+            total_variation(np.ones(2) / 2, np.ones(3) / 3)
+
+    def test_mixing_time_two_state(self, two_state_chain):
+        eta = solve_direct(two_state_chain.P).distribution
+        k = mixing_time(two_state_chain, eta, epsilon=0.01)
+        assert 0 < k < 100
+        x = distribution_at(two_state_chain, np.array([1.0, 0.0]), k)
+        assert total_variation(x, eta) < 0.01
+
+    def test_mixing_time_epsilon_validation(self, two_state_chain):
+        eta = solve_direct(two_state_chain.P).distribution
+        with pytest.raises(ValueError):
+            mixing_time(two_state_chain, eta, epsilon=0.0)
+
+    def test_mixing_time_cap(self, ring_chain):
+        # Periodic chain never mixes; should return the cap.
+        eta = np.full(4, 0.25)
+        assert mixing_time(ring_chain, eta, epsilon=0.01, max_steps=50) == 50
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_variance(self, two_state_chain):
+        eta = solve_direct(two_state_chain.P).distribution
+        f = np.array([0.0, 1.0])
+        R = autocovariance(two_state_chain, eta, f, 0)
+        var = eta[1] * (1 - eta[1])
+        assert R[0] == pytest.approx(var)
+
+    def test_two_state_closed_form(self, two_state_chain):
+        """For a 2-state chain, rho(k) = lambda_2^k with
+        lambda_2 = 1 - p - q (here 1 - 0.2 - 0.3 = 0.5)."""
+        eta = solve_direct(two_state_chain.P).distribution
+        f = np.array([0.0, 1.0])
+        rho = autocorrelation(two_state_chain, eta, f, 5)
+        np.testing.assert_allclose(rho, 0.5 ** np.arange(6), atol=1e-10)
+
+    def test_constant_function_zero_covariance(self, birth_death_chain):
+        eta = solve_direct(birth_death_chain.P).distribution
+        f = np.full(birth_death_chain.n_states, 3.0)
+        R = autocovariance(birth_death_chain, eta, f, 4)
+        np.testing.assert_allclose(R, 0.0, atol=1e-12)
+
+    def test_autocorrelation_of_constant_is_safe(self, birth_death_chain):
+        eta = solve_direct(birth_death_chain.P).distribution
+        f = np.zeros(birth_death_chain.n_states)
+        rho = autocorrelation(birth_death_chain, eta, f, 3)
+        assert rho[0] == 1.0
+        np.testing.assert_allclose(rho[1:], 0.0)
+
+    def test_negative_lag_rejected(self, two_state_chain):
+        eta = solve_direct(two_state_chain.P).distribution
+        with pytest.raises(ValueError):
+            autocovariance(two_state_chain, eta, np.array([0.0, 1.0]), -1)
+
+    def test_size_check(self, two_state_chain):
+        with pytest.raises(ValueError):
+            autocovariance(two_state_chain, np.ones(2) / 2, np.ones(3), 2)
+
+    @given(random_chains(min_states=3, max_states=20))
+    @settings(max_examples=15, deadline=None)
+    def test_decays_for_ergodic(self, chain):
+        eta = solve_direct(chain.P).distribution
+        f = np.arange(chain.n_states, dtype=float)
+        R = autocovariance(chain, eta, f, 60)
+        assert abs(R[60]) <= abs(R[0]) + 1e-9
+
+
+class TestPSD:
+    def test_white_noise_flat_spectrum(self):
+        # i.i.d. chain (all rows equal) -> f(X_k) white -> flat PSD.
+        P = np.tile(np.array([0.3, 0.7]), (2, 1))
+        chain = MarkovChain(P)
+        eta = solve_direct(chain.P).distribution
+        f = np.array([0.0, 1.0])
+        S = power_spectral_density(chain, eta, f, max_lag=64, n_freqs=32)
+        assert S.std() / S.mean() < 0.05
+
+    def test_nonnegative(self, birth_death_chain):
+        eta = solve_direct(birth_death_chain.P).distribution
+        f = np.arange(birth_death_chain.n_states, dtype=float)
+        S = power_spectral_density(birth_death_chain, eta, f, max_lag=128)
+        assert np.all(S >= 0.0)
+
+    def test_lowpass_shape_for_slow_chain(self, birth_death_chain):
+        # A slowly-mixing chain concentrates power at low frequency.
+        eta = solve_direct(birth_death_chain.P).distribution
+        f = np.arange(birth_death_chain.n_states, dtype=float)
+        S = power_spectral_density(birth_death_chain, eta, f, max_lag=256, n_freqs=64)
+        assert S[0] > S[-1] * 10

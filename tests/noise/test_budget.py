@@ -1,0 +1,85 @@
+"""Tests for the total-jitter budgeting helpers."""
+
+import math
+
+import pytest
+
+from repro.noise import (
+    JitterBudget,
+    q_factor,
+    rj_budget_from_tj,
+    total_jitter,
+)
+
+
+class TestQFactor:
+    def test_classic_value_at_1e12(self):
+        # the folklore "14 sigma" constant: 2 * Q(1e-12) ~= 14.07
+        assert 2.0 * q_factor(1e-12) == pytest.approx(14.069, abs=0.01)
+
+    def test_monotone_in_ber(self):
+        assert q_factor(1e-15) > q_factor(1e-12) > q_factor(1e-9)
+
+    def test_tail_identity(self):
+        # P(|X| > Q sigma) == 2 * ber for a standard Gaussian
+        ber = 1e-6
+        Q = q_factor(ber)
+        tail = 0.5 * math.erfc(Q / math.sqrt(2.0))
+        assert tail == pytest.approx(ber, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            q_factor(0.0)
+        with pytest.raises(ValueError):
+            q_factor(0.6)
+
+
+class TestTotalJitter:
+    def test_composition(self):
+        tj = total_jitter(dj_pp_ui=0.1, rj_rms_ui=0.01, ber=1e-12)
+        assert tj == pytest.approx(0.1 + 14.069 * 0.01, abs=1e-3)
+
+    def test_round_trip(self):
+        rj = rj_budget_from_tj(tj_pp_ui=0.3, dj_pp_ui=0.1, ber=1e-12)
+        assert total_jitter(0.1, rj, ber=1e-12) == pytest.approx(0.3, rel=1e-12)
+
+    def test_dj_exceeding_budget_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            rj_budget_from_tj(tj_pp_ui=0.1, dj_pp_ui=0.2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            total_jitter(-0.1, 0.01)
+
+
+class TestJitterBudget:
+    def test_eye_opening(self):
+        b = JitterBudget(dj_pp_ui=0.2, rj_rms_ui=0.02, ber=1e-12)
+        assert b.eye_opening_ui == pytest.approx(1.0 - b.tj_pp_ui)
+        assert "TJ" in b.describe()
+
+    def test_nw_distribution_moments(self):
+        b = JitterBudget(dj_pp_ui=0.1, rj_rms_ui=0.02)
+        d = b.nw_distribution(n_atoms=41, n_sigmas=6.0)
+        assert d.mean() == pytest.approx(0.0, abs=1e-12)
+        # var = RJ^2 + (DJ/2)^2 for dual-Dirac DJ
+        expected = 0.02**2 + 0.05**2
+        assert d.var() == pytest.approx(expected, rel=0.02)
+
+    def test_budget_feeds_analyzer(self):
+        from repro import CDRSpec, analyze_cdr
+
+        budget = JitterBudget(dj_pp_ui=0.05, rj_rms_ui=0.02)
+        spec = CDRSpec(
+            n_phase_points=64, n_clock_phases=16, counter_length=2,
+            max_run_length=2,
+            nw_override=budget.nw_distribution(n_atoms=11),
+        )
+        analysis = analyze_cdr(spec, solver="direct")
+        assert 0.0 <= analysis.ber <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitterBudget(dj_pp_ui=-0.1, rj_rms_ui=0.02)
+        with pytest.raises(ValueError):
+            JitterBudget(dj_pp_ui=0.1, rj_rms_ui=0.02, ber=0.7)

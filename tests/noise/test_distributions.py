@@ -1,0 +1,308 @@
+"""Unit and property tests for repro.noise.distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import DiscreteDistribution
+
+
+def finite_floats(lo=-100.0, hi=100.0):
+    return st.floats(min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def distributions(draw, max_atoms=8):
+    n = draw(st.integers(min_value=1, max_value=max_atoms))
+    values = draw(
+        st.lists(finite_floats(), min_size=n, max_size=n, unique=True)
+    )
+    weights = draw(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=n, max_size=n)
+    )
+    total = sum(weights)
+    return DiscreteDistribution(values, [w / total for w in weights])
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = DiscreteDistribution([1.0, -1.0], [0.25, 0.75])
+        assert d.n_atoms == 2
+        assert d.values[0] == -1.0  # sorted
+        assert d.probs[0] == 0.75
+
+    def test_probs_renormalized(self):
+        d = DiscreteDistribution([0.0, 1.0], [0.5000001, 0.5])
+        assert math.isclose(d.probs.sum(), 1.0, abs_tol=1e-15)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            DiscreteDistribution([0.0, 1.0], [0.5, 0.6])
+
+    def test_rejects_negative_probs(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DiscreteDistribution([0.0, 1.0], [-0.2, 1.2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            DiscreteDistribution([0.0, 1.0], [1.0])
+
+    def test_rejects_nonfinite_values(self):
+        with pytest.raises(ValueError, match="finite"):
+            DiscreteDistribution([np.inf], [1.0])
+
+    def test_merges_duplicate_values(self):
+        d = DiscreteDistribution([1.0, 1.0, 2.0], [0.2, 0.3, 0.5])
+        assert d.n_atoms == 2
+        assert math.isclose(d.pmf(1.0), 0.5)
+
+    def test_drops_zero_probability_atoms(self):
+        d = DiscreteDistribution([0.0, 5.0], [1.0, 0.0])
+        assert d.n_atoms == 1
+
+    def test_values_are_readonly(self):
+        d = DiscreteDistribution.delta(0.0)
+        with pytest.raises(ValueError):
+            d.values[0] = 3.0
+
+    def test_table_constructor(self):
+        d = DiscreteDistribution.table([(0.0, 0.5), (1.0, 0.5)])
+        assert d.n_atoms == 2
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(DiscreteDistribution.delta(0.0))
+
+    def test_equality(self):
+        a = DiscreteDistribution([0.0, 1.0], [0.5, 0.5])
+        b = DiscreteDistribution([1.0, 0.0], [0.5, 0.5])
+        assert a == b
+        assert a != DiscreteDistribution.delta(0.0)
+
+
+class TestMomentsAndProbabilities:
+    def test_mean_var(self):
+        d = DiscreteDistribution([0.0, 2.0], [0.5, 0.5])
+        assert math.isclose(d.mean(), 1.0)
+        assert math.isclose(d.var(), 1.0)
+        assert math.isclose(d.std(), 1.0)
+
+    def test_moment(self):
+        d = DiscreteDistribution([1.0, 3.0], [0.5, 0.5])
+        assert math.isclose(d.moment(2), 5.0)
+        assert math.isclose(d.moment(2, central=True), 1.0)
+
+    def test_pmf(self):
+        d = DiscreteDistribution([0.0, 1.0], [0.25, 0.75])
+        assert d.pmf(1.0) == 0.75
+        assert d.pmf(0.5) == 0.0
+
+    def test_cdf(self):
+        d = DiscreteDistribution([0.0, 1.0, 2.0], [0.2, 0.3, 0.5])
+        assert math.isclose(d.cdf(-1.0), 0.0)
+        assert math.isclose(d.cdf(1.0), 0.5)
+        assert math.isclose(d.cdf(10.0), 1.0)
+
+    def test_tail_prob(self):
+        d = DiscreteDistribution([-2.0, 0.0, 2.0], [0.25, 0.5, 0.25])
+        assert math.isclose(d.tail_prob(1.0), 0.25)
+        assert math.isclose(d.tail_prob(1.0, two_sided=True), 0.5)
+
+    def test_expectation(self):
+        d = DiscreteDistribution([-1.0, 1.0], [0.5, 0.5])
+        assert math.isclose(d.expectation(np.abs), 1.0)
+
+    @given(distributions())
+    @settings(max_examples=50, deadline=None)
+    def test_variance_nonnegative(self, d):
+        assert d.var() >= -1e-9
+
+    @given(distributions())
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_monotone(self, d):
+        xs = np.linspace(d.support[0] - 1, d.support[1] + 1, 13)
+        cdfs = [d.cdf(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+
+
+class TestAlgebra:
+    def test_shift(self):
+        d = DiscreteDistribution([0.0, 1.0], [0.5, 0.5]).shift(2.0)
+        assert math.isclose(d.mean(), 2.5)
+
+    def test_scale(self):
+        d = DiscreteDistribution([0.0, 1.0], [0.5, 0.5]).scale(-2.0)
+        assert math.isclose(d.mean(), -1.0)
+        assert d.values[0] == -2.0
+
+    def test_scale_zero_gives_delta(self):
+        d = DiscreteDistribution([0.0, 1.0], [0.5, 0.5]).scale(0.0)
+        assert d == DiscreteDistribution.delta(0.0)
+
+    def test_convolution_means_add(self):
+        a = DiscreteDistribution([0.0, 1.0], [0.5, 0.5])
+        b = DiscreteDistribution([0.0, 2.0], [0.25, 0.75])
+        c = a.convolve(b)
+        assert math.isclose(c.mean(), a.mean() + b.mean())
+        assert math.isclose(c.var(), a.var() + b.var())
+
+    def test_convolve_with_delta_is_shift(self):
+        a = DiscreteDistribution([0.0, 1.0], [0.5, 0.5])
+        assert a.convolve(DiscreteDistribution.delta(3.0)) == a.shift(3.0)
+
+    def test_operator_sugar(self):
+        a = DiscreteDistribution([0.0, 1.0], [0.5, 0.5])
+        assert (a + 1.0) == a.shift(1.0)
+        assert (2.0 * a) == a.scale(2.0)
+        assert (-a) == a.negate()
+        assert (a + a) == a.convolve(a)
+
+    def test_convolve_type_error(self):
+        with pytest.raises(TypeError):
+            DiscreteDistribution.delta(0.0).convolve("nope")
+
+    def test_mixture(self):
+        a = DiscreteDistribution.delta(0.0)
+        b = DiscreteDistribution.delta(1.0)
+        m = a.mixture(b, 0.25)
+        assert math.isclose(m.pmf(0.0), 0.25)
+        assert math.isclose(m.pmf(1.0), 0.75)
+
+    def test_mixture_weight_validation(self):
+        a = DiscreteDistribution.delta(0.0)
+        with pytest.raises(ValueError):
+            a.mixture(a, 1.5)
+
+    @given(distributions(max_atoms=5), distributions(max_atoms=5))
+    @settings(max_examples=30, deadline=None)
+    def test_convolution_moment_additivity(self, a, b):
+        c = a.convolve(b)
+        assert math.isclose(c.mean(), a.mean() + b.mean(), abs_tol=1e-6, rel_tol=1e-6)
+        assert math.isclose(c.var(), a.var() + b.var(), abs_tol=1e-5, rel_tol=1e-5)
+
+    @given(distributions(max_atoms=5))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_preserves_var(self, d):
+        assert math.isclose(d.shift(3.25).var(), d.var(), abs_tol=1e-6, rel_tol=1e-4)
+
+
+class TestQuantize:
+    def test_nearest(self):
+        d = DiscreteDistribution([0.13, 0.38], [0.5, 0.5]).quantize(0.25)
+        assert list(d.values) == [0.25, 0.5]
+
+    def test_floor_ceil(self):
+        d = DiscreteDistribution([0.12], [1.0])
+        assert d.quantize(0.25, mode="floor").values[0] == 0.0
+        assert d.quantize(0.25, mode="ceil").values[0] == 0.25
+
+    def test_split_preserves_mean(self):
+        d = DiscreteDistribution([0.1, 0.77], [0.3, 0.7])
+        q = d.quantize(0.25, mode="split")
+        assert math.isclose(q.mean(), d.mean(), abs_tol=1e-12)
+        for v in q.values:
+            assert math.isclose(v / 0.25, round(v / 0.25), abs_tol=1e-9)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="unknown quantization"):
+            DiscreteDistribution.delta(0.0).quantize(0.1, mode="bogus")
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError, match="positive"):
+            DiscreteDistribution.delta(0.0).quantize(0.0)
+
+    @given(distributions(max_atoms=6), st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_quantize_total_mass(self, d, step):
+        for mode in ("nearest", "floor", "ceil", "split"):
+            q = d.quantize(step, mode=mode)
+            assert math.isclose(q.probs.sum(), 1.0, abs_tol=1e-9)
+
+
+class TestTruncate:
+    def test_truncate(self):
+        d = DiscreteDistribution([-1.0, 0.0, 1.0], [0.25, 0.5, 0.25])
+        t = d.truncate(-0.5, 1.5)
+        assert t.n_atoms == 2
+        assert math.isclose(t.probs.sum(), 1.0)
+        assert math.isclose(t.pmf(0.0), 2.0 / 3.0)
+
+    def test_truncate_empty_raises(self):
+        d = DiscreteDistribution.delta(0.0)
+        with pytest.raises(ValueError, match="all probability"):
+            d.truncate(1.0, 2.0)
+
+
+class TestConstructors:
+    def test_delta(self):
+        d = DiscreteDistribution.delta(3.0)
+        assert d.n_atoms == 1
+        assert d.mean() == 3.0
+        assert d.var() == 0.0
+
+    def test_uniform(self):
+        d = DiscreteDistribution.uniform([0.0, 1.0, 2.0])
+        assert math.isclose(d.mean(), 1.0)
+        assert all(math.isclose(p, 1 / 3) for p in d.probs)
+
+    def test_uniform_empty_raises(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.uniform([])
+
+    def test_bernoulli(self):
+        d = DiscreteDistribution.bernoulli(0.3)
+        assert math.isclose(d.pmf(1.0), 0.3)
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.bernoulli(1.5)
+
+    def test_gaussian_moments(self):
+        d = DiscreteDistribution.gaussian(std=0.1, n_atoms=41, n_sigmas=6.0)
+        assert math.isclose(d.mean(), 0.0, abs_tol=1e-12)
+        assert math.isclose(d.std(), 0.1, rel_tol=0.02)
+        assert math.isclose(d.probs.sum(), 1.0, abs_tol=1e-12)
+
+    def test_gaussian_zero_std_is_delta(self):
+        assert DiscreteDistribution.gaussian(std=0.0, mean=2.0) == DiscreteDistribution.delta(2.0)
+
+    def test_gaussian_symmetry(self):
+        d = DiscreteDistribution.gaussian(std=1.0, n_atoms=11)
+        np.testing.assert_allclose(d.probs, d.probs[::-1], atol=1e-14)
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.gaussian(std=-1.0)
+        with pytest.raises(ValueError):
+            DiscreteDistribution.gaussian(std=1.0, n_atoms=0)
+
+    def test_from_samples(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(2.0, 0.5, size=20000)
+        d = DiscreteDistribution.from_samples(samples, bins=50)
+        assert math.isclose(d.mean(), 2.0, abs_tol=0.05)
+        assert math.isclose(d.std(), 0.5, abs_tol=0.05)
+
+    def test_from_samples_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution.from_samples([])
+
+
+class TestSampling:
+    def test_sample_matches_distribution(self):
+        rng = np.random.default_rng(42)
+        d = DiscreteDistribution([0.0, 1.0], [0.25, 0.75])
+        s = d.sample(rng, size=20000)
+        assert math.isclose(s.mean(), 0.75, abs_tol=0.02)
+
+    def test_sample_scalar(self):
+        rng = np.random.default_rng(0)
+        v = DiscreteDistribution.delta(5.0).sample(rng)
+        assert float(v) == 5.0

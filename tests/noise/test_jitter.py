@@ -1,0 +1,149 @@
+"""Tests for the jitter / drift models in repro.noise.jitter."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import (
+    DiscreteDistribution,
+    dual_dirac_jitter,
+    eye_opening_noise,
+    sinusoidal_jitter,
+    sonet_drift_noise,
+)
+from repro.noise.jitter import random_walk_increment
+
+
+class TestEyeOpeningNoise:
+    def test_is_zero_mean(self):
+        d = eye_opening_noise(0.02, n_atoms=15)
+        assert math.isclose(d.mean(), 0.0, abs_tol=1e-12)
+
+    def test_std_matches(self):
+        d = eye_opening_noise(0.05, n_atoms=41, n_sigmas=6.0)
+        assert math.isclose(d.std(), 0.05, rel_tol=0.02)
+
+    def test_bounded_support(self):
+        d = eye_opening_noise(0.01, n_atoms=11, n_sigmas=4.0)
+        lo, hi = d.support
+        assert math.isclose(hi, 0.04, abs_tol=1e-12)
+        assert math.isclose(lo, -0.04, abs_tol=1e-12)
+
+
+class TestSonetDrift:
+    def test_mean_matches(self):
+        d = sonet_drift_noise(max_ui=0.01, mean_ui=0.002, grid_step=0.005)
+        assert math.isclose(d.mean(), 0.002, abs_tol=1e-12)
+
+    def test_atoms_on_grid(self):
+        step = 0.004
+        d = sonet_drift_noise(max_ui=0.01, mean_ui=0.001, grid_step=step)
+        for v in d.values:
+            assert math.isclose(v / step, round(v / step), abs_tol=1e-9)
+
+    def test_bounded(self):
+        d = sonet_drift_noise(max_ui=0.01, mean_ui=0.0, grid_step=0.01)
+        lo, hi = d.support
+        assert hi <= 0.01 + 1e-12
+        assert lo >= -0.01 - 1e-12
+
+    def test_zero_mean_is_symmetric(self):
+        d = sonet_drift_noise(max_ui=0.02, mean_ui=0.0, grid_step=0.01)
+        assert math.isclose(d.pmf(d.support[0]), d.pmf(d.support[1]), abs_tol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_ui"):
+            sonet_drift_noise(max_ui=0.0, mean_ui=0.0, grid_step=0.01)
+        with pytest.raises(ValueError, match="grid_step"):
+            sonet_drift_noise(max_ui=0.01, mean_ui=0.0, grid_step=0.0)
+        with pytest.raises(ValueError, match="mean_ui"):
+            sonet_drift_noise(max_ui=0.01, mean_ui=0.5, grid_step=0.01)
+        with pytest.raises(ValueError, match="skew"):
+            sonet_drift_noise(max_ui=0.01, mean_ui=0.0, grid_step=0.01, skew=0.9)
+
+    @given(
+        st.floats(min_value=0.001, max_value=0.1),
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.floats(min_value=0.05, max_value=0.45),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mean_always_honored(self, max_ui, mean_frac, skew):
+        grid = max_ui / 2
+        mean_ui = mean_frac * max_ui
+        d = sonet_drift_noise(max_ui=max_ui, mean_ui=mean_ui, grid_step=grid, skew=skew)
+        assert math.isclose(d.mean(), mean_ui, abs_tol=1e-9)
+
+
+class TestSinusoidalJitter:
+    def test_zero_amplitude(self):
+        assert sinusoidal_jitter(0.0) == DiscreteDistribution.delta(0.0)
+
+    def test_mean_zero(self):
+        d = sinusoidal_jitter(0.1, n_atoms=32)
+        assert math.isclose(d.mean(), 0.0, abs_tol=1e-12)
+
+    def test_rms_is_amplitude_over_sqrt2(self):
+        d = sinusoidal_jitter(0.2, n_atoms=512)
+        assert math.isclose(d.std(), 0.2 / math.sqrt(2.0), rel_tol=0.01)
+
+    def test_edges_heavier_than_center(self):
+        # Arcsine density piles up at the extremes.
+        d = sinusoidal_jitter(1.0, n_atoms=16)
+        assert d.probs[0] > d.probs[len(d.probs) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sinusoidal_jitter(-1.0)
+        with pytest.raises(ValueError):
+            sinusoidal_jitter(1.0, n_atoms=0)
+
+
+class TestDualDirac:
+    def test_atoms(self):
+        d = dual_dirac_jitter(0.2)
+        assert list(d.values) == [-0.1, 0.1]
+        assert math.isclose(d.mean(), 0.0, abs_tol=1e-15)
+
+    def test_zero_is_delta(self):
+        assert dual_dirac_jitter(0.0) == DiscreteDistribution.delta(0.0)
+
+    def test_asymmetric_weights(self):
+        d = dual_dirac_jitter(0.2, p=0.75)
+        assert math.isclose(d.pmf(0.1), 0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dual_dirac_jitter(-0.1)
+
+
+class TestRandomWalkIncrement:
+    def test_symmetric_zero_mean(self):
+        d = random_walk_increment(0.01, p_step=0.5)
+        assert math.isclose(d.mean(), 0.0, abs_tol=1e-15)
+        assert math.isclose(d.pmf(0.0), 0.5)
+
+    def test_drift(self):
+        d = random_walk_increment(0.01, p_step=0.5, drift_ui=0.002)
+        assert math.isclose(d.mean(), 0.002, abs_tol=1e-12)
+
+    def test_variance(self):
+        d = random_walk_increment(0.01, p_step=1.0)
+        assert math.isclose(d.var(), 0.01 ** 2, rel_tol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_increment(-0.01, 0.5)
+        with pytest.raises(ValueError):
+            random_walk_increment(0.01, 1.5)
+
+    def test_sampled_random_walk_variance_grows_linearly(self):
+        rng = np.random.default_rng(1)
+        d = random_walk_increment(1.0, p_step=0.5)
+        steps = d.sample(rng, size=(500, 64))
+        walk = np.cumsum(steps, axis=1)
+        v16 = walk[:, 15].var()
+        v64 = walk[:, 63].var()
+        assert 3.0 < v64 / v16 < 5.0

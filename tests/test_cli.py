@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--n-phase-points", "64",
+    "--n-clock-phases", "16",
+    "--counter-length", "2",
+    "--max-run-length", "2",
+    "--nw-std", "0.08",
+    "--nw-atoms", "7",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.command == "analyze"
+        assert args.counter_length == 8
+        assert args.solver == "auto"
+
+    def test_spec_overrides(self):
+        args = build_parser().parse_args(["analyze", "--counter-length", "4"])
+        assert args.counter_length == 4
+
+
+class TestAnalyzeCommand:
+    def test_runs_and_reports(self, capsys):
+        rc = main(["analyze", *FAST, "--solver", "direct"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "COUNTER: 2" in out
+        assert "BER (Gaussian tail)" in out
+        assert "mean symbols between slips" in out
+
+    def test_plot_flag(self, capsys):
+        rc = main(["analyze", *FAST, "--solver", "direct", "--plot"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "phase error PDF" in out
+        assert "#" in out
+
+    def test_invalid_spec_reports_error(self, capsys):
+        rc = main(["analyze", "--counter-length", "0"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "error:" in err
+
+
+class TestSweepCommand:
+    def test_counter_sweep(self, capsys):
+        rc = main([
+            "sweep", *FAST, "--solver", "direct",
+            "--parameter", "counter_length", "--values", "1,2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "counter_length" in out
+        assert "ber" in out
+        assert len(out.strip().splitlines()) >= 4
+
+    def test_bad_values(self, capsys):
+        rc = main([
+            "sweep", *FAST, "--parameter", "counter_length",
+            "--values", "1,abc",
+        ])
+        assert rc == 2
+        assert "bad --values" in capsys.readouterr().err
+
+    def test_empty_values(self, capsys):
+        rc = main([
+            "sweep", *FAST, "--parameter", "counter_length", "--values", ",",
+        ])
+        assert rc == 2
+
+    def test_unknown_parameter_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--parameter", "bogus", "--values", "1"]
+            )
+
+
+class TestAcquireCommand:
+    def test_runs(self, capsys):
+        rc = main(["acquire", *FAST])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "worst-case" in out
+
+    def test_curve(self, capsys):
+        rc = main(["acquire", *FAST, "--curve-symbols", "64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "P(locked at symbol" in out

@@ -1,0 +1,231 @@
+"""Edge-case and failure-injection tests across modules.
+
+Targets the guard rails: absorbing states in iterative solvers, solver
+non-convergence reporting, exploration limits, degenerate noise, and
+other paths the happy-path suites do not reach.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov import (
+    MarkovChain,
+    solve_gauss_seidel,
+    solve_jacobi,
+    solve_krylov,
+    solve_multigrid,
+    solve_power,
+    stationary_distribution,
+)
+
+
+class TestSolverGuards:
+    def test_jacobi_with_absorbing_state_stays_finite(self):
+        """An absorbing state zeroes the Jacobi diagonal; the floor guard
+        must keep the sweep finite and the iterate a distribution."""
+        P = np.array([[1.0, 0.0], [0.5, 0.5]])
+        res = solve_jacobi(MarkovChain(P).P, tol=1e-10, max_iter=200)
+        assert np.all(np.isfinite(res.distribution))
+        assert res.distribution.sum() == pytest.approx(1.0)
+        # the absorbing state carries all stationary mass
+        assert res.distribution[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_gauss_seidel_with_absorbing_state(self):
+        P = np.array([[1.0, 0.0], [0.5, 0.5]])
+        res = solve_gauss_seidel(MarkovChain(P).P, tol=1e-10, max_iter=200)
+        assert np.all(np.isfinite(res.distribution))
+        assert res.distribution[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_krylov_nonconvergence_reported(self, two_state_chain=None):
+        from repro.markov import random_chain
+
+        chain = random_chain(60, np.random.default_rng(0))
+        res = solve_krylov(chain.P, tol=1e-14, max_iter=1, preconditioner=None)
+        # one iteration cannot reach 1e-14; must report, not raise
+        assert not res.converged or res.residual < 1e-12
+
+    def test_power_max_iter_cap(self):
+        sticky = MarkovChain(np.array([[0.999, 0.001], [0.001, 0.999]]))
+        res = solve_power(
+            sticky.P, tol=1e-15, max_iter=5, x0=np.array([0.9, 0.1])
+        )
+        assert not res.converged
+        assert res.iterations == 5
+
+    def test_multigrid_max_cycles_cap(self):
+        n = 400
+        rows, cols, vals = [], [], []
+        for i in range(n):
+            up = 0.001 if i < n - 1 else 0.0
+            down = 0.0011 if i > 0 else 0.0
+            for j, p in ((i - 1, down), (i, 1 - up - down), (i + 1, up)):
+                if p > 0:
+                    rows.append(i); cols.append(j); vals.append(p)
+        chain = MarkovChain(sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+        res = solve_multigrid(chain.P, tol=1e-16, max_cycles=2, coarsest_size=16)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_frontend_forwards_damping(self):
+        ring = np.zeros((4, 4))
+        for i in range(4):
+            ring[i, (i + 1) % 4] = 1.0
+        res = stationary_distribution(
+            MarkovChain(ring), method="power", damping=0.5, tol=1e-11,
+            x0=np.array([0.7, 0.1, 0.1, 0.1]),
+        )
+        assert res.converged
+
+
+class TestDegenerateNoise:
+    def test_deterministic_everything_still_builds(self):
+        """Zero noise everywhere: a deterministic limit cycle.  The chain
+        is periodic/reducible but must still build and be row-stochastic."""
+        import warnings
+
+        from repro.cdr import PhaseGrid, build_cdr_chain
+        from repro.noise import DiscreteDistribution
+
+        grid = PhaseGrid(16)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            model = build_cdr_chain(
+                grid=grid,
+                nw=DiscreteDistribution.delta(0.0),
+                nr=DiscreteDistribution.delta(0.0),
+                counter_length=1,
+                phase_step_units=1,
+                transition_density=1.0,
+                max_run_length=1,
+            )
+        np.testing.assert_allclose(model.chain.row_sums(), 1.0, atol=1e-12)
+
+    def test_single_atom_nw(self):
+        from repro.cdr import PhaseGrid, build_cdr_chain
+        from repro.noise import DiscreteDistribution
+
+        grid = PhaseGrid(16)
+        model = build_cdr_chain(
+            grid=grid,
+            nw=DiscreteDistribution.delta(0.0),
+            nr=DiscreteDistribution([-grid.step, grid.step], [0.5, 0.5]),
+            counter_length=2,
+            phase_step_units=1,
+        )
+        # sgn(phi + 0) is deterministic per grid point
+        masses = model.sign_masses
+        assert set(np.unique(masses[1])) <= {0.0, 1.0}
+
+
+class TestMonteCarloEdges:
+    def _params(self):
+        from repro.cdr import PhaseGrid
+        from repro.noise import DiscreteDistribution, eye_opening_noise
+
+        grid = PhaseGrid(32)
+        return dict(
+            grid=grid,
+            nw=eye_opening_noise(0.1, n_atoms=7),
+            nr=DiscreteDistribution(
+                [-grid.step, 0.0, grid.step], [0.25, 0.5, 0.25]
+            ),
+            counter_length=2,
+            phase_step_units=2,
+        )
+
+    def test_warmup_discards_acquisition_errors(self):
+        """Starting half a UI off, the no-warmup run must report more
+        errors than the warmed-up run (the acquisition burst)."""
+        from repro.cdr import simulate_cdr, transition_run_length_source
+
+        params = self._params()
+        src = transition_run_length_source("d", 0.5, 2)
+        cold = simulate_cdr(
+            data_source=src, n_symbols=3000, rng=np.random.default_rng(1),
+            initial_phase_index=0, warmup_symbols=0, **params,
+        )
+        warm = simulate_cdr(
+            data_source=src, n_symbols=3000, rng=np.random.default_rng(1),
+            initial_phase_index=0, warmup_symbols=500, **params,
+        )
+        assert cold.n_errors >= warm.n_errors
+
+    def test_continuous_mode_custom_sigma(self):
+        from repro.cdr import simulate_cdr, transition_run_length_source
+
+        params = self._params()
+        src = transition_run_length_source("d", 0.5, 2)
+        quiet = simulate_cdr(
+            data_source=src, n_symbols=20_000, rng=np.random.default_rng(2),
+            mode="continuous", nw_std_continuous=0.01, **params,
+        )
+        loud = simulate_cdr(
+            data_source=src, n_symbols=20_000, rng=np.random.default_rng(2),
+            mode="continuous", nw_std_continuous=0.25, **params,
+        )
+        assert loud.ber > quiet.ber
+
+    def test_phase_rms_reported(self):
+        from repro.cdr import simulate_cdr, transition_run_length_source
+
+        params = self._params()
+        src = transition_run_length_source("d", 0.5, 2)
+        res = simulate_cdr(
+            data_source=src, n_symbols=5_000, rng=np.random.default_rng(3),
+            **params,
+        )
+        assert 0.0 < res.phase_rms < 0.5
+
+
+class TestNetworkLimits:
+    def test_max_states_exact_boundary(self):
+        from repro.fsm import FSM, FSMNetwork, IIDSource
+        from repro.noise import DiscreteDistribution
+
+        net = FSMNetwork()
+        net.add_source(IIDSource("b", DiscreteDistribution([0.0, 1.0], [0.5, 0.5])))
+        counter = FSM.moore(
+            "c", list(range(4)), 0,
+            transition_fn=lambda s, u: (s + int(u)) % 4,
+            state_output_fn=lambda s: s,
+        )
+        net.add_machine(counter, lambda env: env["b"])
+        # 8 reachable states exactly: allowed at the limit
+        nc = net.compile(max_states=8)
+        assert nc.n_states == 8
+        with pytest.raises(RuntimeError):
+            net.compile(max_states=7)
+
+
+class TestSpecEdges:
+    def test_span_sigmas_controls_support(self):
+        from repro import CDRSpec
+
+        wide = CDRSpec(nw_span_sigmas=6.0).nw_distribution()
+        narrow = CDRSpec(nw_span_sigmas=3.0).nw_distribution()
+        assert wide.support[1] > narrow.support[1]
+
+    def test_counter_one_spec_works(self):
+        from repro import CDRSpec, analyze_cdr
+
+        spec = CDRSpec(
+            n_phase_points=64, n_clock_phases=16, counter_length=1,
+            max_run_length=2, nw_std=0.08, nw_atoms=7,
+        )
+        analysis = analyze_cdr(spec, solver="direct")
+        assert analysis.model.n_counter_states == 1
+        assert 0.0 <= analysis.ber <= 1.0
+
+    def test_sweep_with_multigrid_solver(self):
+        from repro import CDRSpec, sweep_parameter
+
+        spec = CDRSpec(
+            n_phase_points=64, n_clock_phases=16, counter_length=2,
+            max_run_length=2, nw_std=0.08, nw_atoms=7,
+        )
+        records = sweep_parameter(
+            spec, "nw_std", [0.05, 0.1], solver="multigrid", tol=1e-9
+        )
+        assert len(records) == 2
+        assert records[1]["ber"] > records[0]["ber"]

@@ -1,0 +1,131 @@
+"""Cross-module integration and property tests.
+
+These tests exercise entire pipelines (spec -> model -> solver ->
+measures) over randomized configurations, asserting the invariants that
+tie the subsystems together.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CDRSpec, analyze_cdr
+from repro.cdr import PhaseGrid, build_cdr_chain, compile_cdr_network
+from repro.markov import (
+    solve_direct,
+    stationary_event_rate,
+)
+from repro.noise import DiscreteDistribution
+
+
+@st.composite
+def small_specs(draw):
+    """Random small-but-valid CDR specs (state spaces of a few thousand)."""
+    n_clock_phases = draw(st.sampled_from([4, 8, 16]))
+    multiplier = draw(st.sampled_from([2, 4]))
+    counter = draw(st.integers(min_value=1, max_value=4))
+    nw_std = draw(st.floats(min_value=0.01, max_value=0.2))
+    nr_max = draw(st.floats(min_value=0.002, max_value=0.05))
+    nr_mean = draw(st.floats(min_value=0.0, max_value=1.0)) * nr_max
+    return CDRSpec(
+        n_phase_points=n_clock_phases * multiplier * 2,
+        n_clock_phases=n_clock_phases,
+        counter_length=counter,
+        max_run_length=draw(st.integers(min_value=1, max_value=3)),
+        transition_density=draw(st.floats(min_value=0.2, max_value=1.0)),
+        nw_std=nw_std,
+        nw_atoms=7,
+        nr_max=nr_max,
+        nr_mean=nr_mean,
+    )
+
+
+@st.composite
+def tiny_network_params(draw):
+    """Random tiny configurations for network-vs-vectorized equality."""
+    M = draw(st.sampled_from([8, 16]))
+    grid = PhaseGrid(M)
+    step = grid.step
+    nw_vals = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=-0.2, max_value=0.2),
+                min_size=2, max_size=3, unique=True,
+            )
+        )
+    )
+    nw_w = [1.0 / len(nw_vals)] * len(nw_vals)
+    p_minus = draw(st.floats(min_value=0.05, max_value=0.4))
+    p_plus = draw(st.floats(min_value=0.05, max_value=0.4))
+    return dict(
+        grid=grid,
+        nw=DiscreteDistribution(nw_vals, nw_w),
+        nr=DiscreteDistribution(
+            [-step, 0.0, step], [p_minus, 1.0 - p_minus - p_plus, p_plus]
+        ),
+        counter_length=draw(st.integers(min_value=1, max_value=2)),
+        phase_step_units=draw(st.integers(min_value=1, max_value=3)),
+        transition_density=draw(st.floats(min_value=0.3, max_value=1.0)),
+        max_run_length=draw(st.integers(min_value=1, max_value=2)),
+    )
+
+
+class TestEndToEndProperties:
+    @given(small_specs())
+    @settings(max_examples=12, deadline=None)
+    def test_analysis_invariants(self, spec):
+        analysis = analyze_cdr(spec, solver="direct")
+        eta = analysis.stationary
+        assert eta.sum() == pytest.approx(1.0, abs=1e-8)
+        assert eta.min() >= -1e-10
+        assert 0.0 <= analysis.ber <= 1.0
+        assert 0.0 <= analysis.ber_discrete <= 1.0
+        assert analysis.slip_rate >= -1e-15
+        assert analysis.mean_symbols_between_slips >= 1.0
+        assert 0.0 <= analysis.phase_stats["rms_ui"] <= 0.5
+        # Kac-type consistency: MTBF * rate == 1 (when slips occur)
+        if analysis.slip_rate > 0:
+            assert analysis.slip_rate * analysis.mean_symbols_between_slips == (
+                pytest.approx(1.0, rel=1e-9)
+            )
+
+    @given(small_specs())
+    @settings(max_examples=8, deadline=None)
+    def test_solver_agreement(self, spec):
+        direct = analyze_cdr(spec, solver="direct")
+        power = analyze_cdr(spec, solver="power", tol=1e-11, damping=0.9)
+        assert np.abs(direct.stationary - power.stationary).sum() < 1e-6
+
+    @given(small_specs())
+    @settings(max_examples=8, deadline=None)
+    def test_phase_index_stationarity(self, spec):
+        """The exact flux invariant holds for every random spec."""
+        model = spec.build_model()
+        eta = solve_direct(model.chain.P).distribution
+        coo = model.chain.P.tocoo()
+        M = model.n_phase_points
+        dm = (coo.col % M).astype(np.int64) - (coo.row % M)
+        assert float(np.sum(eta[coo.row] * coo.data * dm)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+
+class TestNetworkEquivalenceProperty:
+    @given(tiny_network_params())
+    @settings(max_examples=6, deadline=None)
+    def test_network_matches_vectorized_builder(self, params):
+        """The two model compilers agree on the stationary phase marginal
+        and the slip rate for random tiny configurations."""
+        model = build_cdr_chain(**params)
+        nc = compile_cdr_network(**params)
+        eta_model = solve_direct(model.chain.P).distribution
+        pdf_model = model.phase_marginal(eta_model)
+        eta_net = solve_direct(nc.chain.P).distribution
+        pdf_net = np.zeros(params["grid"].n_points)
+        for i, lab in enumerate(nc.chain.state_labels):
+            pdf_net[lab[-1]] += eta_net[i]
+        assert np.abs(pdf_net - pdf_model).sum() < 1e-7
+        rate_model = stationary_event_rate(eta_model, model.slip_matrix)
+        rate_net = stationary_event_rate(eta_net, nc.event_matrices["slip"])
+        assert rate_net == pytest.approx(rate_model, rel=1e-6, abs=1e-12)
