@@ -19,7 +19,13 @@ Shape claims checked:
 * stationary iterative baselines need orders of magnitude more sweeps
   than multigrid needs cycles;
 * all solvers agree on the answer.
+
+Set ``REPRO_TRACE_DIR`` to a directory to additionally export every
+solve's convergence profile as a JSON trace artifact
+(``repro.solver-trace/1`` schema, one file per solver/size).
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -27,6 +33,7 @@ import pytest
 from repro import CDRSpec
 from repro.core import format_table
 from repro.markov import (
+    RecordingMonitor,
     solve_gauss_seidel,
     solve_jacobi,
     solve_multigrid,
@@ -49,7 +56,26 @@ def stiff_spec(n_phase_points):
     )
 
 
-def run_multigrid(model, tol=TOL):
+def trace_monitor(label):
+    """A fresh recorder, exported to REPRO_TRACE_DIR on request.
+
+    Returns ``(monitor, flush)``; call ``flush()`` after the solve to write
+    ``<REPRO_TRACE_DIR>/<label>.trace.json`` (no-op when the env var is
+    unset, so benchmarks stay side-effect free by default).
+    """
+    monitor = RecordingMonitor()
+
+    def flush():
+        trace_dir = os.environ.get("REPRO_TRACE_DIR")
+        if not trace_dir:
+            return
+        os.makedirs(trace_dir, exist_ok=True)
+        monitor.write_trace(os.path.join(trace_dir, f"{label}.trace.json"))
+
+    return monitor, flush
+
+
+def run_multigrid(model, tol=TOL, monitor=None):
     return solve_multigrid(
         model.chain.P,
         strategy=model.multigrid_strategy(),
@@ -57,6 +83,7 @@ def run_multigrid(model, tol=TOL):
         nu_pre=8,
         nu_post=8,
         max_cycles=500,
+        monitor=monitor,
     )
 
 
@@ -66,14 +93,19 @@ def size_sweep():
     rows = []
     for M in sizes:
         model = stiff_spec(M).build_model()
-        mg = run_multigrid(model)
-        pw = solve_power(model.chain.P, tol=TOL, max_iter=500_000)
+        mg_mon, mg_flush = trace_monitor(f"multigrid-M{M}")
+        mg = run_multigrid(model, monitor=mg_mon)
+        mg_flush()
+        pw_mon, pw_flush = trace_monitor(f"power-M{M}")
+        pw = solve_power(model.chain.P, tol=TOL, max_iter=500_000, monitor=pw_mon)
+        pw_flush()
         rows.append(
             {
                 "M": M,
                 "n_states": model.n_states,
                 "mg_cycles": mg.iterations,
                 "mg_time_s": mg.solve_time,
+                "mg_rate": mg.convergence_rate(),
                 "power_iters": pw.iterations,
                 "power_time_s": pw.solve_time,
                 "agree": float(np.abs(mg.distribution - pw.distribution).sum()),

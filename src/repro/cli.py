@@ -78,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the ASCII phase-error density")
     p_an.add_argument("--json", action="store_true",
                       help="emit the analysis as JSON instead of the report")
+    p_an.add_argument("--trace", metavar="PATH", default=None,
+                      help="record per-iteration solver telemetry and write "
+                           "it as a JSON trace to PATH")
 
     p_sw = sub.add_parser("sweep", help="sweep one spec field")
     _add_spec_arguments(p_sw)
@@ -100,7 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    analysis = analyze_cdr(spec, solver=args.solver, tol=args.tol)
+    solver_kwargs = {}
+    monitor = None
+    if args.trace:
+        from repro.markov import RecordingMonitor
+
+        monitor = RecordingMonitor()
+        solver_kwargs["monitor"] = monitor
+    analysis = analyze_cdr(spec, solver=args.solver, tol=args.tol, **solver_kwargs)
+    if monitor is not None:
+        monitor.write_trace(args.trace)
+        print(f"solver trace written to {args.trace}", file=sys.stderr)
     if args.json:
         from repro.core import analysis_to_json
 
@@ -171,7 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "sweep":
             return _cmd_sweep(args)
         return _cmd_acquire(args)
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -143,7 +143,10 @@ def analyze_cdr(
         ``"auto"`` picks direct LU for small chains and the paper's
         multigrid (with phase-pairing coarsening) for large ones.
     tol, max_iter, solver_kwargs:
-        Forwarded to the solver.
+        Forwarded to the solver.  Pass
+        ``monitor=repro.markov.RecordingMonitor()`` here to capture the
+        solve's per-iteration telemetry (the CLI's ``--trace`` flag does
+        exactly this and exports the recording as JSON).
     """
     model = spec.build_model()
     return analyze_model(

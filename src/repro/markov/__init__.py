@@ -30,6 +30,15 @@ from repro.markov.lumping import (
     lumped_tpm,
 )
 from repro.markov.aggregation import disaggregate, solve_aggregation_disaggregation
+from repro.markov.monitor import (
+    IterationEvent,
+    NullMonitor,
+    RecordingMonitor,
+    SolverMonitor,
+    TeeMonitor,
+    VCycleLevelEvent,
+    load_trace,
+)
 from repro.markov.multigrid import (
     MultigridOptions,
     MultigridSolver,
@@ -113,6 +122,13 @@ __all__ = [
     "solve_multigrid",
     "pairing_hierarchy",
     "pairwise_strength_partition",
+    "SolverMonitor",
+    "NullMonitor",
+    "RecordingMonitor",
+    "TeeMonitor",
+    "IterationEvent",
+    "VCycleLevelEvent",
+    "load_trace",
     "StationaryResult",
     "solve_direct",
     "solve_power",

@@ -1,0 +1,368 @@
+"""Cross-solver conformance harness.
+
+The paper's credibility argument is that the multi-level aggregation solver
+matches slower reference solvers down to BER-tail magnitudes.  This module
+systematizes that check: every stationary solver runs on a shared family of
+fixture chains (birth-death, periodic, nearly-uncoupled, and a small CDR
+phase-error chain) under telemetry, and the harness asserts
+
+* **pairwise agreement** -- all stationary vectors within an L1 ball;
+* **monitor-event consistency** -- ``len(events) == result.iterations`` and
+  ``events[-1].residual == result.residual`` exactly (the invariant the
+  solvers' internal :class:`~repro.markov.monitor.RecordingMonitor`
+  bookkeeping guarantees);
+* **residual trend** -- converged solves end below tolerance and do not
+  finish worse than they started.
+
+``tests/markov/test_conformance.py`` drives this module; it is importable
+on its own so benchmarks and notebooks can reuse the fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain
+from repro.markov.monitor import RecordingMonitor
+from repro.markov.multigrid import solve_multigrid
+from repro.markov.solvers import (
+    StationaryResult,
+    solve_direct,
+    solve_eigen,
+    solve_gauss_seidel,
+    solve_jacobi,
+    solve_krylov,
+    solve_power,
+    solve_sor,
+)
+
+__all__ = [
+    "CONFORMANCE_SOLVERS",
+    "ConformanceCase",
+    "SolverRun",
+    "birth_death_fixture",
+    "periodic_fixture",
+    "nearly_uncoupled_fixture",
+    "bottleneck_fixture",
+    "cdr_phase_error_fixture",
+    "default_cases",
+    "run_case",
+    "check_agreement",
+    "check_monitor_consistency",
+    "check_residual_trend",
+    "run_conformance",
+]
+
+#: Default solve tolerance.  Tight enough that even on ill-conditioned
+#: (nearly-uncoupled) fixtures the iterate error stays well inside the
+#: 1e-8 L1 agreement ball.
+DEFAULT_TOL = 1e-12
+
+#: Default pairwise L1 agreement tolerance.
+DEFAULT_ATOL = 1e-8
+
+
+def _dispatch(solver_fn, P, tol, monitor, **kwargs):
+    return solver_fn(P, tol=tol, monitor=monitor, **kwargs)
+
+
+#: The full solver matrix: name -> callable(P, tol=..., monitor=..., **kw).
+CONFORMANCE_SOLVERS: Dict[str, Callable[..., StationaryResult]] = {
+    "power": solve_power,
+    "jacobi": solve_jacobi,
+    "gauss-seidel": solve_gauss_seidel,
+    "sor": solve_sor,
+    "krylov": solve_krylov,
+    "direct": solve_direct,
+    "arnoldi": solve_eigen,
+    "multigrid": solve_multigrid,
+}
+
+
+# --------------------------------------------------------------------- #
+# Fixture chains
+# --------------------------------------------------------------------- #
+
+def birth_death_fixture(n: int = 64, up: float = 0.3, down: float = 0.4) -> MarkovChain:
+    """Banded birth-death chain -- the structure of a phase-error grid."""
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        p_up = up if i < n - 1 else 0.0
+        p_down = down if i > 0 else 0.0
+        for j, p in ((i - 1, p_down), (i, 1.0 - p_up - p_down), (i + 1, p_up)):
+            if p > 0:
+                rows.append(i)
+                cols.append(j)
+                vals.append(p)
+    return MarkovChain(sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+
+
+def periodic_fixture(n: int = 16, forward: float = 0.6) -> MarkovChain:
+    """Reflecting random walk: bipartite (period 2), non-uniform stationary.
+
+    No self-loops anywhere, so plain power iteration oscillates forever --
+    the conformance matrix runs power with ``damping=0.5`` on this case.
+    """
+    P = np.zeros((n, n))
+    for i in range(n):
+        if i == 0:
+            P[i, 1] = 1.0
+        elif i == n - 1:
+            P[i, n - 2] = 1.0
+        else:
+            P[i, i + 1] = forward
+            P[i, i - 1] = 1.0 - forward
+    return MarkovChain(P)
+
+
+def nearly_uncoupled_fixture(
+    block_size: int = 6, eps: float = 0.02, seed: int = 42
+) -> MarkovChain:
+    """Two dense blocks bridged by probability ``eps`` -- a stiff chain.
+
+    Nearly-uncoupled chains are the classic hard case for aggregation
+    methods (and the regime where naive iterative methods stall); the small
+    ``eps`` makes the subdominant eigenvalue approach 1.
+    """
+    rng = np.random.default_rng(seed)
+    n = 2 * block_size
+    M = np.zeros((n, n))
+    for blk in range(2):
+        s = blk * block_size
+        A = rng.uniform(0.1, 1.0, (block_size, block_size))
+        A /= A.sum(axis=1, keepdims=True)
+        M[s:s + block_size, s:s + block_size] = A
+    # One bridge state per block carries the eps coupling.
+    M[block_size - 1] *= 1.0 - eps
+    M[block_size - 1, block_size] = eps
+    M[n - 1] *= 1.0 - eps
+    M[n - 1, 0] = eps
+    return MarkovChain(M)
+
+
+def bottleneck_fixture(
+    n_half: int = 100, eps: float = 2e-3, up: float = 0.3, down: float = 0.35
+) -> MarkovChain:
+    """Two birth-death segments joined by an ``eps`` bottleneck.
+
+    The banded analogue of :func:`nearly_uncoupled_fixture`: nearly
+    uncoupled (mixing gap ~ ``eps``) but with the grid-like band structure
+    the multigrid's pairwise coarsening is built for -- the scaled-up stiff
+    case of the conformance matrix.
+    """
+    n = 2 * n_half
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        p_up = up if i < n - 1 else 0.0
+        p_down = down if i > 0 else 0.0
+        if i == n_half - 1:
+            p_up = eps
+        if i == n_half:
+            p_down = eps
+        for j, p in ((i - 1, p_down), (i, 1.0 - p_up - p_down), (i + 1, p_up)):
+            if p > 0:
+                rows.append(i)
+                cols.append(j)
+                vals.append(p)
+    return MarkovChain(sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+
+
+def cdr_phase_error_fixture() -> MarkovChain:
+    """A small CDR phase-error chain built from :mod:`repro.cdr.model`.
+
+    Uses a coarse phase grid and short counter so the chain stays a few
+    hundred states -- big enough to exercise real CDR structure (banded
+    drift plus counter dynamics), small enough for the full solver matrix.
+    """
+    from repro.core.spec import CDRSpec
+
+    spec = CDRSpec(
+        n_phase_points=64,
+        n_clock_phases=16,
+        counter_length=2,
+        max_run_length=2,
+        nw_std=0.08,
+        nw_atoms=7,
+    )
+    return spec.build_model().chain
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One fixture chain plus per-solver option overrides.
+
+    Attributes
+    ----------
+    name:
+        Case identifier (used as the pytest parameter id).
+    build:
+        Zero-argument callable returning the fixture :class:`MarkovChain`.
+    overrides:
+        ``solver name -> extra kwargs`` (e.g. damping for power iteration
+        on periodic chains, coarsest_size for multigrid on small chains).
+    """
+
+    name: str
+    build: Callable[[], MarkovChain]
+    overrides: Dict[str, dict] = field(default_factory=dict)
+
+
+def default_cases() -> List[ConformanceCase]:
+    """The standard conformance fixture family."""
+    mg_small = {"multigrid": {"coarsest_size": 8}}
+    return [
+        ConformanceCase("birth-death", birth_death_fixture, dict(mg_small)),
+        ConformanceCase(
+            "periodic",
+            periodic_fixture,
+            {**mg_small, "power": {"damping": 0.5}},
+        ),
+        ConformanceCase("nearly-uncoupled", nearly_uncoupled_fixture, dict(mg_small)),
+        ConformanceCase("cdr-phase-error", cdr_phase_error_fixture, dict(mg_small)),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+
+@dataclass
+class SolverRun:
+    """One solver's result on one fixture, with its recorded telemetry."""
+
+    solver: str
+    result: StationaryResult
+    recorder: RecordingMonitor
+
+
+def run_case(
+    case: ConformanceCase,
+    tol: float = DEFAULT_TOL,
+    solvers: Optional[Sequence[str]] = None,
+) -> Dict[str, SolverRun]:
+    """Run the solver matrix on one case, each solve under a fresh recorder."""
+    chain = case.build()
+    names = list(solvers) if solvers is not None else list(CONFORMANCE_SOLVERS)
+    runs: Dict[str, SolverRun] = {}
+    for name in names:
+        if name not in CONFORMANCE_SOLVERS:
+            raise ValueError(f"unknown conformance solver {name!r}")
+        recorder = RecordingMonitor()
+        kwargs = dict(case.overrides.get(name, {}))
+        result = _dispatch(
+            CONFORMANCE_SOLVERS[name], chain.P, tol, recorder, **kwargs
+        )
+        runs[name] = SolverRun(name, result, recorder)
+    return runs
+
+
+# --------------------------------------------------------------------- #
+# Checks
+# --------------------------------------------------------------------- #
+
+def check_agreement(
+    runs: Dict[str, SolverRun], atol: float = DEFAULT_ATOL
+) -> float:
+    """Assert pairwise L1 agreement of all stationary vectors.
+
+    Returns the worst pairwise L1 distance observed.
+    """
+    names = sorted(runs)
+    worst = 0.0
+    failures: List[Tuple[str, str, float]] = []
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            d = float(
+                np.abs(runs[a].result.distribution - runs[b].result.distribution).sum()
+            )
+            worst = max(worst, d)
+            if d > atol:
+                failures.append((a, b, d))
+    if failures:
+        lines = ", ".join(f"{a} vs {b}: {d:.3e}" for a, b, d in failures)
+        raise AssertionError(f"stationary vectors disagree beyond {atol:g}: {lines}")
+    return worst
+
+
+def check_monitor_consistency(run: SolverRun) -> None:
+    """Assert the recorded events match the reported result exactly."""
+    res, rec = run.result, run.recorder
+    if len(rec.events) != res.iterations:
+        raise AssertionError(
+            f"{run.solver}: {len(rec.events)} monitor events but "
+            f"result.iterations == {res.iterations}"
+        )
+    if not rec.events:
+        raise AssertionError(f"{run.solver}: no iteration events recorded")
+    if rec.events[-1].residual != res.residual:
+        raise AssertionError(
+            f"{run.solver}: final event residual {rec.events[-1].residual!r} "
+            f"!= reported residual {res.residual!r}"
+        )
+    if rec.residual_history != res.residual_history:
+        raise AssertionError(
+            f"{run.solver}: recorder history and result.residual_history differ"
+        )
+    if not rec.finished or rec.converged != res.converged:
+        raise AssertionError(
+            f"{run.solver}: solve_finished missing or inconsistent "
+            f"(recorder={rec.converged}, result={res.converged})"
+        )
+    if rec.iterations != res.iterations:
+        raise AssertionError(
+            f"{run.solver}: solve_finished iterations {rec.iterations} "
+            f"!= result.iterations {res.iterations}"
+        )
+    # Iteration indices must be 1-based and strictly increasing.
+    indices = [e.iteration for e in rec.events]
+    if indices != list(range(1, len(indices) + 1)):
+        raise AssertionError(f"{run.solver}: iteration indices not 1..N: {indices[:5]}...")
+    # Elapsed times must be non-decreasing.
+    elapsed = [e.elapsed for e in rec.events]
+    if any(b < a for a, b in zip(elapsed, elapsed[1:])):
+        raise AssertionError(f"{run.solver}: event timestamps go backwards")
+
+
+def check_residual_trend(run: SolverRun, tol: float = DEFAULT_TOL) -> None:
+    """Assert the residual trajectory behaves: ends below start, and below
+    tolerance when the solver claims convergence.
+
+    Monotonicity is only required end-to-start (iterative methods on stiff
+    chains may plateau or wobble transiently, Krylov restarts are not
+    monotone), which is the invariant every convergent solve must satisfy.
+    """
+    res, rec = run.result, run.recorder
+    history = rec.residual_history
+    if res.converged and res.residual >= tol * (1 + 1e-12) and res.residual >= 1e-6:
+        raise AssertionError(
+            f"{run.solver}: claims convergence at residual {res.residual:.3e}"
+        )
+    if len(history) >= 2 and history[-1] > history[0] * (1.0 + 1e-9):
+        raise AssertionError(
+            f"{run.solver}: residual ended worse than it started "
+            f"({history[0]:.3e} -> {history[-1]:.3e})"
+        )
+    if any(r < 0 for r in history):
+        raise AssertionError(f"{run.solver}: negative residual recorded")
+
+
+def run_conformance(
+    cases: Optional[Sequence[ConformanceCase]] = None,
+    tol: float = DEFAULT_TOL,
+    atol: float = DEFAULT_ATOL,
+    solvers: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, SolverRun]]:
+    """Run every check on every case; returns all runs keyed by case name."""
+    all_runs: Dict[str, Dict[str, SolverRun]] = {}
+    for case in cases if cases is not None else default_cases():
+        runs = run_case(case, tol=tol, solvers=solvers)
+        check_agreement(runs, atol=atol)
+        for run in runs.values():
+            check_monitor_consistency(run)
+            check_residual_trend(run, tol=tol)
+        all_runs[case.name] = runs
+    return all_runs

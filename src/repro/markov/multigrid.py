@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -36,6 +36,7 @@ import scipy.sparse as sp
 from repro.markov.aggregation import disaggregate
 from repro.markov.chain import MarkovChain
 from repro.markov.lumping import Partition, lumped_tpm
+from repro.markov.monitor import NULL_MONITOR, SolverMonitor, instrument
 from repro.markov.solvers.direct import solve_direct
 from repro.markov.solvers.jacobi import jacobi_split, jacobi_sweeps
 from repro.markov.solvers.result import (
@@ -202,8 +203,15 @@ class MultigridSolver:
         self,
         P: Union[sp.csr_matrix, MarkovChain],
         x0: Optional[np.ndarray] = None,
+        monitor: Optional[SolverMonitor] = None,
     ) -> StationaryResult:
-        """Run V-cycles until converged; returns a :class:`StationaryResult`."""
+        """Run V-cycles until converged; returns a :class:`StationaryResult`.
+
+        When a ``monitor`` is passed it receives one iteration event per
+        V-cycle plus one :class:`~repro.markov.monitor.VCycleLevelEvent`
+        per level visited in each cycle (size, nnz, aggregate count and
+        smoothing timings of that level).
+        """
         if isinstance(P, MarkovChain):
             P = P.P
         P = P.tocsr()
@@ -213,25 +221,29 @@ class MultigridSolver:
         self._fine_agg = None
         x = prepare_initial_guess(n, x0)
         PT = P.T.tocsr()
+        method = "multigrid" if opt.cycle_type == "V" else "multigrid-W"
+        recorder, mon = instrument(method, n, opt.tol, monitor)
         start = time.perf_counter()
-        history: List[float] = []
         converged = False
-        cycles = 0
-        for cycles in range(1, opt.max_cycles + 1):
-            x = self._vcycle(P, x, level=0)
+        for cycle in range(1, opt.max_cycles + 1):
+            x = self._vcycle(P, x, level=0, cycle=cycle, mon=mon)
             res = float(np.abs(PT.dot(x) - x).sum())
-            history.append(res)
+            mon.iteration_finished(cycle, res, time.perf_counter() - start)
             if res < opt.tol:
                 converged = True
                 break
         elapsed = time.perf_counter() - start
+        residual = recorder.last_residual()
+        if residual is None:
+            residual = residual_norm(P, x)
+        mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
         return StationaryResult(
             distribution=x,
-            iterations=cycles,
-            residual=residual_norm(P, x),
+            iterations=recorder.n_iterations,
+            residual=residual,
             converged=converged,
-            method="multigrid" if opt.cycle_type == "V" else "multigrid-W",
-            residual_history=history,
+            method=method,
+            residual_history=recorder.residual_history,
             solve_time=elapsed,
         )
 
@@ -265,22 +277,36 @@ class MultigridSolver:
         mass = np.bincount(partition.block_of, weights=w, minlength=nb)
         return sp.diags(1.0 / mass).dot(C).tocsr()
 
-    def _vcycle(self, P: sp.csr_matrix, x: np.ndarray, level: int) -> np.ndarray:
+    def _vcycle(
+        self,
+        P: sp.csr_matrix,
+        x: np.ndarray,
+        level: int,
+        cycle: int = 0,
+        mon: SolverMonitor = NULL_MONITOR,
+    ) -> np.ndarray:
         opt = self.options
         n = P.shape[0]
         self._levels_used = max(self._levels_used, level + 1)
         if n <= opt.coarsest_size or level + 1 >= opt.max_levels:
+            # Coarsest level: solved directly, no aggregation (n_blocks=0).
+            mon.vcycle_level(cycle, level, n, P.nnz, 0, 0.0, 0.0)
             return solve_direct(P).distribution
+        pre_time = 0.0
         if opt.nu_pre:
+            t0 = time.perf_counter()
             x = self._smooth(P, x, opt.nu_pre, level)
+            pre_time = time.perf_counter() - t0
         partition = self._strategy(level, P)
         if partition is None or partition.n_blocks >= n:
             # Strategy declined to coarsen: fall back to direct solve when
             # affordable, otherwise keep smoothing.
+            mon.vcycle_level(cycle, level, n, P.nnz, 0, pre_time, 0.0)
             if n <= 8 * opt.coarsest_size:
                 return solve_direct(P).distribution
             return self._smooth(P, x, opt.nu_post or 1, level)
         gamma = 2 if opt.cycle_type == "W" else 1
+        post_time = 0.0
         for _ in range(gamma):
             w = np.maximum(x, _WEIGHT_FLOOR)
             C = self._coarse_tpm(P, partition, w, level)
@@ -288,10 +314,15 @@ class MultigridSolver:
                 partition.block_of, weights=w, minlength=partition.n_blocks
             )
             coarse_x0 = coarse_x0 / coarse_x0.sum()
-            coarse_x = self._vcycle(C, coarse_x0, level + 1)
+            coarse_x = self._vcycle(C, coarse_x0, level + 1, cycle, mon)
             x = disaggregate(w, coarse_x, partition)
             if opt.nu_post:
+                t1 = time.perf_counter()
                 x = self._smooth(P, x, opt.nu_post, level)
+                post_time += time.perf_counter() - t1
+        mon.vcycle_level(
+            cycle, level, n, P.nnz, partition.n_blocks, pre_time, post_time
+        )
         return x
 
 
@@ -305,6 +336,7 @@ def solve_multigrid(
     nu_post: int = 1,
     coarsest_size: int = 512,
     cycle_type: str = "V",
+    monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
     """Convenience wrapper around :class:`MultigridSolver`."""
     options = MultigridOptions(
@@ -315,4 +347,6 @@ def solve_multigrid(
         coarsest_size=coarsest_size,
         cycle_type=cycle_type,
     )
-    return MultigridSolver(strategy=strategy, options=options).solve(P, x0=x0)
+    return MultigridSolver(strategy=strategy, options=options).solve(
+        P, x0=x0, monitor=monitor
+    )

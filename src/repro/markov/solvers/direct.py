@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import splu
 
+from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.solvers.result import StationaryResult, residual_norm
 
 __all__ = ["solve_direct", "augmented_system"]
@@ -42,15 +43,18 @@ def solve_direct(
     P: sp.csr_matrix,
     tol: float = 1e-10,
     x0: Optional[np.ndarray] = None,
+    monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
     """Sparse-LU solve of the augmented stationary system.
 
     ``tol`` and ``x0`` are accepted for interface uniformity; the solution
     is exact up to round-off.  Raises :class:`ArithmeticError` when the LU
     factorization fails (e.g. reducible chain making the augmented matrix
-    singular).
+    singular).  The monitor sees a single iteration event with the final
+    residual.
     """
     n = P.shape[0]
+    recorder, mon = instrument("direct", n, tol, monitor)
     start = time.perf_counter()
     A = augmented_system(P)
     b = np.zeros(n)
@@ -70,14 +74,17 @@ def solve_direct(
     if total <= 0:
         raise ArithmeticError("direct stationary solve produced a zero vector")
     x /= total
-    elapsed = time.perf_counter() - start
     res = residual_norm(P, x)
+    elapsed = time.perf_counter() - start
+    mon.iteration_finished(1, res, elapsed)
+    converged = res < max(tol, 1e-6)
+    mon.solve_finished(converged, 1, res, elapsed)
     return StationaryResult(
         distribution=x,
         iterations=1,
         residual=res,
-        converged=res < max(tol, 1e-6),
+        converged=converged,
         method="direct",
-        residual_history=[res],
+        residual_history=recorder.residual_history,
         solve_time=elapsed,
     )

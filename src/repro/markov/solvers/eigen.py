@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import ArpackNoConvergence, eigs
 
+from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.solvers.result import (
     StationaryResult,
     prepare_initial_guess,
@@ -31,15 +32,21 @@ def solve_eigen(
     tol: float = 1e-10,
     max_iter: int = 10_000,
     x0: Optional[np.ndarray] = None,
+    monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
-    """Stationary vector via ARPACK on ``P^T`` (largest-magnitude pair)."""
+    """Stationary vector via ARPACK on ``P^T`` (largest-magnitude pair).
+
+    The monitor sees a single iteration event with the final residual
+    (ARPACK does not expose per-restart residuals).
+    """
     n = P.shape[0]
     if n < 3:
         # ARPACK needs k < n - 1; fall back to the direct solver.
         from repro.markov.solvers.direct import solve_direct
 
-        return solve_direct(P, tol=tol)
+        return solve_direct(P, tol=tol, monitor=monitor)
     v0 = prepare_initial_guess(n, x0)
+    recorder, mon = instrument("arnoldi", n, tol, monitor)
     start = time.perf_counter()
     try:
         vals, vecs = eigs(P.T.tocsc(), k=1, which="LM", v0=v0,
@@ -55,15 +62,18 @@ def solve_eigen(
     if total <= 0:
         raise ArithmeticError("ARPACK returned a zero eigenvector")
     x /= total
-    elapsed = time.perf_counter() - start
     res = residual_norm(P, x)
+    elapsed = time.perf_counter() - start
+    mon.iteration_finished(1, res, elapsed)
+    converged = converged and res < max(tol * 100, 1e-6)
+    mon.solve_finished(converged, 1, res, elapsed)
     return StationaryResult(
         distribution=x,
         iterations=1,
         residual=res,
-        converged=converged and res < max(tol * 100, 1e-6),
+        converged=converged,
         method="arnoldi",
-        residual_history=[res],
+        residual_history=recorder.residual_history,
         solve_time=elapsed,
     )
 

@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
+from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.solvers.result import (
     StationaryResult,
     prepare_initial_guess,
@@ -33,6 +34,7 @@ def solve_gauss_seidel(
     tol: float = 1e-10,
     max_iter: int = 50_000,
     x0: Optional[np.ndarray] = None,
+    monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
     """Gauss-Seidel sweeps on ``(I - P^T) x = 0`` with renormalization."""
     n = P.shape[0]
@@ -47,10 +49,9 @@ def solve_gauss_seidel(
         lower = lower + sp.diags(np.where(fix, _DIAG_FLOOR, 0.0))
     upper = (-sp.triu(A, k=1)).tocsr()
     PT = P.T.tocsr()
+    recorder, mon = instrument("gauss-seidel", n, tol, monitor)
     start = time.perf_counter()
-    history = []
     converged = False
-    it = 0
     for it in range(1, max_iter + 1):
         rhs = upper.dot(x)
         x = spsolve_triangular(lower, rhs, lower=True)
@@ -60,17 +61,21 @@ def solve_gauss_seidel(
             raise ArithmeticError("Gauss-Seidel sweep annihilated the iterate")
         x /= total
         res = float(np.abs(PT.dot(x) - x).sum())
-        history.append(res)
+        mon.iteration_finished(it, res, time.perf_counter() - start)
         if res < tol:
             converged = True
             break
     elapsed = time.perf_counter() - start
+    residual = recorder.last_residual()
+    if residual is None:
+        residual = residual_norm(P, x)
+    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
     return StationaryResult(
         distribution=x,
-        iterations=it,
-        residual=residual_norm(P, x),
+        iterations=recorder.n_iterations,
+        residual=residual,
         converged=converged,
         method="gauss-seidel",
-        residual_history=history,
+        residual_history=recorder.residual_history,
         solve_time=elapsed,
     )

@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.solvers.result import (
     StationaryResult,
     prepare_initial_guess,
@@ -96,6 +97,7 @@ def solve_jacobi(
     max_iter: int = 100_000,
     x0: Optional[np.ndarray] = None,
     weight: float = DEFAULT_WEIGHT,
+    monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
     """Iterate weighted-Jacobi sweeps until ``||x P - x||_1 < tol``."""
     if not 0.0 < weight <= 1.0:
@@ -104,26 +106,30 @@ def solve_jacobi(
     x = prepare_initial_guess(n, x0)
     off, inv_diag = _split(P)
     PT = P.T.tocsr()
+    method = "jacobi" if weight == 1.0 else f"jacobi(weight={weight:g})"
+    recorder, mon = instrument(method, n, tol, monitor)
     start = time.perf_counter()
-    history = []
     converged = False
-    it = 0
     for it in range(1, max_iter + 1):
         h = off.dot(x) * inv_diag
         x = (1.0 - weight) * x + weight * h
         x /= x.sum()
         res = float(np.abs(PT.dot(x) - x).sum())
-        history.append(res)
+        mon.iteration_finished(it, res, time.perf_counter() - start)
         if res < tol:
             converged = True
             break
     elapsed = time.perf_counter() - start
+    residual = recorder.last_residual()
+    if residual is None:
+        residual = residual_norm(P, x)
+    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
     return StationaryResult(
         distribution=x,
-        iterations=it,
-        residual=residual_norm(P, x),
+        iterations=recorder.n_iterations,
+        residual=residual,
         converged=converged,
-        method="jacobi" if weight == 1.0 else f"jacobi(weight={weight:g})",
-        residual_history=history,
+        method=method,
+        residual_history=recorder.residual_history,
         solve_time=elapsed,
     )

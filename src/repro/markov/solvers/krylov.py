@@ -15,6 +15,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import LinearOperator, bicgstab, gmres, spilu
 
+from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.solvers.direct import augmented_system
 from repro.markov.solvers.result import (
     StationaryResult,
@@ -33,6 +34,7 @@ def solve_krylov(
     variant: str = "gmres",
     preconditioner: Optional[str] = "ilu",
     restart: int = 50,
+    monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
     """Solve the augmented system with GMRES or BiCGStab.
 
@@ -46,12 +48,17 @@ def solve_krylov(
         in that case the solver transparently retries unpreconditioned).
     restart:
         GMRES restart length.
+    monitor:
+        Optional :class:`~repro.markov.monitor.SolverMonitor`.  One event
+        per scipy callback (each GMRES restart cycle / each BiCGStab
+        iteration) with the true stationary residual of the normalized
+        snapshot, plus one final event after the solve.  ``iterations`` on
+        the result equals the number of recorded events.
     """
     if variant not in ("gmres", "bicgstab"):
         raise ValueError(f"unknown Krylov variant {variant!r}")
     n = P.shape[0]
     x_init = prepare_initial_guess(n, x0)
-    start = time.perf_counter()
     A = augmented_system(P).tocsc()
     b = np.zeros(n)
     b[n - 1] = 1.0
@@ -66,22 +73,35 @@ def solve_krylov(
     elif preconditioner is not None:
         raise ValueError(f"unknown preconditioner {preconditioner!r}")
 
-    matvec_count = [0]
+    method = f"krylov-{variant}" + ("" if M is None else "+ilu")
+    recorder, mon = instrument(method, n, tol, monitor)
+    start = time.perf_counter()
 
-    def counting_matvec(v):
-        matvec_count[0] += 1
-        return A.dot(v)
+    A_op = LinearOperator((n, n), matvec=A.dot)
 
-    A_op = LinearOperator((n, n), matvec=counting_matvec)
+    def snapshot_residual(v: np.ndarray) -> float:
+        v = np.clip(np.asarray(v, dtype=float), 0.0, None)
+        total = v.sum()
+        if total <= 0:
+            return float("inf")
+        return residual_norm(P, v / total)
+
+    def on_snapshot(xk: np.ndarray) -> None:
+        mon.iteration_finished(
+            recorder.n_iterations + 1,
+            snapshot_residual(xk),
+            time.perf_counter() - start,
+        )
 
     if variant == "gmres":
         x, info = gmres(
             A_op, b, x0=x_init, rtol=tol, atol=0.0, maxiter=max_iter,
-            restart=restart, M=M,
+            restart=restart, M=M, callback=on_snapshot, callback_type="x",
         )
     else:
         x, info = bicgstab(
-            A_op, b, x0=x_init, rtol=tol, atol=0.0, maxiter=max_iter, M=M
+            A_op, b, x0=x_init, rtol=tol, atol=0.0, maxiter=max_iter, M=M,
+            callback=on_snapshot,
         )
 
     x = np.clip(np.asarray(x, dtype=float), 0.0, None)
@@ -89,14 +109,16 @@ def solve_krylov(
     if total <= 0:
         raise ArithmeticError(f"{variant} produced a zero stationary vector")
     x /= total
-    elapsed = time.perf_counter() - start
     res = residual_norm(P, x)
+    elapsed = time.perf_counter() - start
+    mon.iteration_finished(recorder.n_iterations + 1, res, elapsed)
+    mon.solve_finished(info == 0, recorder.n_iterations, res, elapsed)
     return StationaryResult(
         distribution=x,
-        iterations=matvec_count[0],
+        iterations=recorder.n_iterations,
         residual=res,
         converged=(info == 0),
-        method=f"krylov-{variant}" + ("" if M is None else "+ilu"),
-        residual_history=[res],
+        method=method,
+        residual_history=recorder.residual_history,
         solve_time=elapsed,
     )

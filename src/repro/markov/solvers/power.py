@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.solvers.result import (
     StationaryResult,
     prepare_initial_guess,
@@ -31,6 +32,7 @@ def solve_power(
     max_iter: int = 100_000,
     x0: Optional[np.ndarray] = None,
     damping: float = 1.0,
+    monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
     """Power iteration ``x <- x (alpha P + (1-alpha) I)``.
 
@@ -45,16 +47,19 @@ def solve_power(
     damping:
         ``alpha`` above; 1.0 is plain power iteration, values below 1 make
         the iteration matrix aperiodic (use e.g. 0.5 for periodic chains).
+    monitor:
+        Optional :class:`~repro.markov.monitor.SolverMonitor` receiving one
+        event per iteration.
     """
     if not 0.0 < damping <= 1.0:
         raise ValueError("damping must be in (0, 1]")
     n = P.shape[0]
     x = prepare_initial_guess(n, x0)
     PT = P.T.tocsr()
+    method = "power" if damping == 1.0 else f"power(damping={damping:g})"
+    recorder, mon = instrument(method, n, tol, monitor)
     start = time.perf_counter()
-    history = []
     converged = False
-    it = 0
     for it in range(1, max_iter + 1):
         px = PT.dot(x)
         if damping != 1.0:
@@ -62,18 +67,22 @@ def solve_power(
         px_sum = px.sum()
         px /= px_sum
         res = float(np.abs(PT.dot(px) - px).sum())
-        history.append(res)
+        mon.iteration_finished(it, res, time.perf_counter() - start)
         x = px
         if res < tol:
             converged = True
             break
     elapsed = time.perf_counter() - start
+    residual = recorder.last_residual()
+    if residual is None:
+        residual = residual_norm(P, x)
+    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
     return StationaryResult(
         distribution=x,
-        iterations=it,
-        residual=residual_norm(P, x),
+        iterations=recorder.n_iterations,
+        residual=residual,
         converged=converged,
-        method="power" if damping == 1.0 else f"power(damping={damping:g})",
-        residual_history=history,
+        method=method,
+        residual_history=recorder.residual_history,
         solve_time=elapsed,
     )

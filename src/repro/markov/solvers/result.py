@@ -41,8 +41,9 @@ class StationaryResult:
         The stationary row vector ``eta`` (non-negative, sums to one).
     iterations:
         Iteration count in the solver's natural unit (sweeps for the
-        stationary iterative methods, V-cycles for multigrid, matvecs for
-        Krylov, 1 for direct).
+        stationary iterative methods, V-cycles for multigrid, monitor
+        events for Krylov -- one per restart/iteration snapshot plus a
+        final event -- and 1 for direct/eigen).
     residual:
         Final ``||eta P - eta||_1``.
     converged:
@@ -50,7 +51,12 @@ class StationaryResult:
     method:
         Human-readable solver name (appears in benchmark tables).
     residual_history:
-        Residual after each iteration (empty for direct solves).
+        Residual after each iteration.  Since the telemetry refactor this
+        is derived from the solver's internal
+        :class:`~repro.markov.monitor.RecordingMonitor`, so
+        ``len(residual_history) == iterations`` and
+        ``residual_history[-1] == residual`` hold for every solver
+        (direct/eigen solves record a single entry).
     solve_time:
         Wall-clock seconds spent inside the solver.
     """
@@ -71,7 +77,16 @@ class StationaryResult:
         return self.distribution.size
 
     def convergence_rate(self) -> Optional[float]:
-        """Geometric-mean per-iteration residual reduction factor."""
+        """Geometric-mean per-iteration residual reduction factor.
+
+        Contract: returns ``None`` whenever a rate cannot be estimated --
+        that is, when fewer than two *positive* residuals were recorded.
+        This covers empty histories, the single-entry histories of
+        direct/eigen/one-iteration solves (a lone positive residual carries
+        no rate information), and histories that are all exact zeros.
+        Zero entries are filtered out before the geometric mean so a solve
+        that bottoms out at 0.0 cannot divide by zero or return 0.
+        """
         h = [r for r in self.residual_history if r > 0]
         if len(h) < 2:
             return None

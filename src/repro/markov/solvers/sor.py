@@ -16,6 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
+from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.solvers.result import (
     StationaryResult,
     prepare_initial_guess,
@@ -33,6 +34,7 @@ def solve_sor(
     max_iter: int = 50_000,
     x0: Optional[np.ndarray] = None,
     omega: float = 1.2,
+    monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
     """SOR sweeps on ``(I - P^T) x = 0`` with renormalization.
 
@@ -53,10 +55,10 @@ def solve_sor(
     M = (sp.diags(D / omega) + L).tocsr()
     N = sp.diags((1.0 / omega - 1.0) * D) - U
     PT = P.T.tocsr()
+    method = f"sor(omega={omega:g})"
+    recorder, mon = instrument(method, n, tol, monitor)
     start = time.perf_counter()
-    history = []
     converged = False
-    it = 0
     for it in range(1, max_iter + 1):
         rhs = N.dot(x)
         x = spsolve_triangular(M, rhs, lower=True)
@@ -66,17 +68,21 @@ def solve_sor(
             raise ArithmeticError("SOR sweep annihilated the iterate")
         x /= total
         res = float(np.abs(PT.dot(x) - x).sum())
-        history.append(res)
+        mon.iteration_finished(it, res, time.perf_counter() - start)
         if res < tol:
             converged = True
             break
     elapsed = time.perf_counter() - start
+    residual = recorder.last_residual()
+    if residual is None:
+        residual = residual_norm(P, x)
+    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
     return StationaryResult(
         distribution=x,
-        iterations=it,
-        residual=residual_norm(P, x),
+        iterations=recorder.n_iterations,
+        residual=residual,
         converged=converged,
-        method=f"sor(omega={omega:g})",
-        residual_history=history,
+        method=method,
+        residual_history=recorder.residual_history,
         solve_time=elapsed,
     )

@@ -15,6 +15,7 @@ import scipy.sparse as sp
 
 from repro.markov.chain import MarkovChain
 from repro.markov.classify import is_irreducible
+from repro.markov.monitor import SolverMonitor
 from repro.markov.multigrid import MultigridOptions, MultigridSolver
 from repro.markov.solvers import (
     StationaryResult,
@@ -51,6 +52,7 @@ def stationary_distribution(
     max_iter: Optional[int] = None,
     x0: Optional[np.ndarray] = None,
     check_irreducible: bool = False,
+    monitor: Optional[SolverMonitor] = None,
     **kwargs,
 ) -> StationaryResult:
     """Compute the stationary distribution ``eta`` with ``eta P = eta``.
@@ -71,6 +73,9 @@ def stationary_distribution(
     check_irreducible:
         When True, verify irreducibility first and raise ``ValueError`` on
         reducible chains (which have non-unique stationary vectors).
+    monitor:
+        Optional :class:`~repro.markov.monitor.SolverMonitor` receiving the
+        solver's per-iteration telemetry (see :mod:`repro.markov.monitor`).
     kwargs:
         Extra method-specific options (e.g. ``damping`` for power,
         ``strategy`` for multigrid, ``variant`` for krylov).
@@ -89,28 +94,35 @@ def stationary_distribution(
     if method == "auto":
         method = "direct" if mc.n_states <= _DIRECT_CUTOFF else "multigrid"
     if method == "direct":
-        return solve_direct(P, tol=tol)
+        return solve_direct(P, tol=tol, monitor=monitor)
     if method == "power":
         return solve_power(
             P, tol=tol, max_iter=max_iter or 100_000, x0=x0,
-            damping=kwargs.get("damping", 1.0),
+            damping=kwargs.get("damping", 1.0), monitor=monitor,
         )
     if method == "jacobi":
-        return solve_jacobi(P, tol=tol, max_iter=max_iter or 100_000, x0=x0)
+        return solve_jacobi(
+            P, tol=tol, max_iter=max_iter or 100_000, x0=x0, monitor=monitor
+        )
     if method == "gauss-seidel":
-        return solve_gauss_seidel(P, tol=tol, max_iter=max_iter or 50_000, x0=x0)
+        return solve_gauss_seidel(
+            P, tol=tol, max_iter=max_iter or 50_000, x0=x0, monitor=monitor
+        )
     if method == "sor":
         return solve_sor(
             P, tol=tol, max_iter=max_iter or 50_000, x0=x0,
-            omega=kwargs.get("omega", 1.2),
+            omega=kwargs.get("omega", 1.2), monitor=monitor,
         )
     if method == "arnoldi":
-        return solve_eigen(P, tol=tol, max_iter=max_iter or 10_000, x0=x0)
+        return solve_eigen(
+            P, tol=tol, max_iter=max_iter or 10_000, x0=x0, monitor=monitor
+        )
     if method == "krylov":
         return solve_krylov(
             P, tol=tol, max_iter=max_iter or 5_000, x0=x0,
             variant=kwargs.get("variant", "gmres"),
             preconditioner=kwargs.get("preconditioner", "ilu"),
+            monitor=monitor,
         )
     # multigrid
     options = MultigridOptions(
@@ -122,4 +134,4 @@ def stationary_distribution(
         cycle_type=kwargs.get("cycle_type", "V"),
     )
     solver = MultigridSolver(strategy=kwargs.get("strategy"), options=options)
-    return solver.solve(P, x0=x0)
+    return solver.solve(P, x0=x0, monitor=monitor)

@@ -1,0 +1,154 @@
+"""Cross-solver conformance: every solver, every fixture chain, telemetry on.
+
+Drives :mod:`repro.markov.conformance`.  Each fixture chain is solved once
+per solver (cached per module) and then checked for pairwise stationary
+agreement, monitor-event consistency, and residual-trend sanity.  The
+scaled-up matrix cases are marked ``slow`` and excluded from the default
+``pytest -x -q`` run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.markov import conformance as cf
+from repro.markov.classify import classify
+
+CASES = {case.name: case for case in cf.default_cases()}
+CASE_NAMES = sorted(CASES)
+SOLVER_NAMES = sorted(cf.CONFORMANCE_SOLVERS)
+
+_cache = {}
+
+
+def case_runs(name):
+    if name not in _cache:
+        _cache[name] = cf.run_case(CASES[name])
+    return _cache[name]
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_fixture_is_valid_chain(self, name):
+        chain = CASES[name].build()
+        rows = np.asarray(chain.P.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 1.0, atol=1e-12)
+        # A single recurrent class guarantees a unique stationary vector
+        # (the CDR fixture has transient states, so it is not irreducible).
+        assert len(classify(chain).recurrent) == 1
+
+    def test_periodic_fixture_is_periodic(self):
+        from repro.markov.classify import period
+
+        assert period(cf.periodic_fixture()) == 2
+
+    def test_family_covers_required_structures(self):
+        assert {"birth-death", "periodic", "nearly-uncoupled",
+                "cdr-phase-error"} <= set(CASES)
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+class TestAgreement:
+    def test_all_solvers_agree(self, name):
+        worst = cf.check_agreement(case_runs(name), atol=cf.DEFAULT_ATOL)
+        assert worst <= cf.DEFAULT_ATOL
+
+    def test_all_solvers_converged(self, name):
+        for run in case_runs(name).values():
+            assert run.result.converged, (name, run.solver)
+
+
+@pytest.mark.parametrize("solver", SOLVER_NAMES)
+@pytest.mark.parametrize("name", CASE_NAMES)
+class TestMonitorConsistency:
+    def test_events_match_result(self, name, solver):
+        cf.check_monitor_consistency(case_runs(name)[solver])
+
+    def test_residual_trend(self, name, solver):
+        cf.check_residual_trend(case_runs(name)[solver], tol=cf.DEFAULT_TOL)
+
+
+class TestRunConformance:
+    def test_full_harness_passes(self):
+        all_runs = cf.run_conformance(
+            cases=[CASES["birth-death"], CASES["periodic"]]
+        )
+        assert set(all_runs) == {"birth-death", "periodic"}
+        for runs in all_runs.values():
+            assert set(runs) == set(cf.CONFORMANCE_SOLVERS)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError, match="unknown conformance solver"):
+            cf.run_case(CASES["birth-death"], solvers=["no-such-solver"])
+
+    def test_solver_subset(self):
+        runs = cf.run_case(
+            CASES["birth-death"], solvers=["direct", "multigrid"]
+        )
+        assert set(runs) == {"direct", "multigrid"}
+        cf.check_agreement(runs)
+
+    def test_agreement_check_catches_disagreement(self):
+        runs = cf.run_case(CASES["birth-death"], solvers=["direct", "power"])
+        runs["power"].result.distribution = (
+            runs["power"].result.distribution[::-1].copy()
+        )
+        with pytest.raises(AssertionError, match="disagree"):
+            cf.check_agreement(runs, atol=1e-10)
+
+
+@pytest.mark.slow
+class TestScaledUpMatrix:
+    """The large end of the conformance matrix (excluded from tier-1)."""
+
+    def test_big_birth_death(self):
+        case = cf.ConformanceCase(
+            "birth-death-512",
+            lambda: cf.birth_death_fixture(n=512),
+            {"multigrid": {"coarsest_size": 16}},
+        )
+        runs = cf.run_case(case)
+        cf.check_agreement(runs)
+        for run in runs.values():
+            cf.check_monitor_consistency(run)
+
+    def test_stiff_bottleneck(self):
+        # eps=2e-3 pushes the mixing gap toward zero: the stationary
+        # methods need 10k-80k sweeps while multigrid (with extra
+        # smoothing, as the stiff regime requires) needs a few hundred.
+        case = cf.ConformanceCase(
+            "bottleneck-stiff",
+            cf.bottleneck_fixture,
+            {
+                "multigrid": {
+                    "coarsest_size": 8, "nu_pre": 4, "nu_post": 4,
+                    "max_cycles": 500,
+                },
+                "power": {"max_iter": 500_000},
+            },
+        )
+        runs = cf.run_case(case)
+        cf.check_agreement(runs)
+        for run in runs.values():
+            cf.check_monitor_consistency(run)
+
+    def test_finer_cdr_chain(self):
+        from repro.core.spec import CDRSpec
+
+        def build():
+            return CDRSpec(
+                n_phase_points=128,
+                n_clock_phases=16,
+                counter_length=4,
+                max_run_length=2,
+                nw_std=0.05,
+                nw_atoms=7,
+            ).build_model().chain
+
+        case = cf.ConformanceCase(
+            "cdr-fine", build, {"multigrid": {"coarsest_size": 32}}
+        )
+        runs = cf.run_case(case, solvers=["direct", "gauss-seidel", "krylov",
+                                          "multigrid", "arnoldi"])
+        cf.check_agreement(runs)
+        for run in runs.values():
+            cf.check_monitor_consistency(run)

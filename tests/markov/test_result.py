@@ -1,0 +1,128 @@
+"""Invariant tests for the shared solver-result helpers.
+
+Property-style checks for ``prepare_initial_guess`` and ``residual_norm``
+plus the documented ``convergence_rate`` contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.solvers.result import (
+    StationaryResult,
+    prepare_initial_guess,
+    residual_norm,
+)
+
+from .conftest import random_chains
+
+
+class TestPrepareInitialGuess:
+    @given(n=st.integers(min_value=1, max_value=200))
+    def test_default_is_uniform(self, n):
+        x = prepare_initial_guess(n, None)
+        assert x.shape == (n,)
+        np.testing.assert_allclose(x, 1.0 / n)
+
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30)
+    def test_normalizes_any_positive_vector(self, n, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.uniform(0.1, 10.0, n)
+        x = prepare_initial_guess(n, raw)
+        assert x.shape == (n,)
+        assert np.all(x >= 0)
+        assert x.sum() == pytest.approx(1.0, abs=1e-12)
+        # Direction preserved: normalization must not reorder mass.
+        np.testing.assert_allclose(x, raw / raw.sum())
+
+    def test_does_not_mutate_input(self):
+        raw = np.array([2.0, 2.0])
+        prepare_initial_guess(2, raw)
+        np.testing.assert_array_equal(raw, [2.0, 2.0])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            prepare_initial_guess(3, np.ones(4))
+        with pytest.raises(ValueError, match="shape"):
+            prepare_initial_guess(3, np.ones((3, 1)))
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            prepare_initial_guess(2, np.array([1.0, -0.5]))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="positive mass"):
+            prepare_initial_guess(2, np.zeros(2))
+
+
+class TestResidualNorm:
+    @given(chain=random_chains(min_states=2, max_states=30))
+    @settings(max_examples=30, deadline=None)
+    def test_non_negative_for_any_distribution(self, chain):
+        rng = np.random.default_rng(chain.n_states)
+        x = rng.uniform(0.0, 1.0, chain.n_states)
+        x /= x.sum()
+        assert residual_norm(chain.P, x) >= 0.0
+
+    @given(chain=random_chains(min_states=2, max_states=30))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_iff_stationary(self, chain):
+        from repro.markov import solve_direct
+
+        eta = solve_direct(chain.P).distribution
+        assert residual_norm(chain.P, eta) < 1e-10
+
+    def test_bounded_by_two_for_distributions(self):
+        # ||xP - x||_1 <= ||xP||_1 + ||x||_1 = 2 for any distribution x.
+        P = np.array([[0.0, 1.0], [1.0, 0.0]])
+        from repro.markov import MarkovChain
+
+        x = np.array([1.0, 0.0])
+        assert residual_norm(MarkovChain(P).P, x) <= 2.0 + 1e-12
+
+
+class TestConvergenceRateContract:
+    def _result(self, history):
+        return StationaryResult(
+            distribution=np.array([0.5, 0.5]),
+            iterations=len(history),
+            residual=history[-1] if history else 0.0,
+            converged=True,
+            method="test",
+            residual_history=list(history),
+        )
+
+    def test_empty_history_returns_none(self):
+        assert self._result([]).convergence_rate() is None
+
+    def test_single_positive_entry_returns_none(self):
+        # Documented contract: one residual carries no rate information.
+        assert self._result([1e-12]).convergence_rate() is None
+
+    def test_all_zero_history_returns_none(self):
+        assert self._result([0.0, 0.0, 0.0]).convergence_rate() is None
+
+    def test_zero_entries_filtered_before_ratio(self):
+        # Leading/trailing exact zeros must not poison the geometric mean.
+        rate = self._result([0.0, 1.0, 0.5, 0.25, 0.0]).convergence_rate()
+        assert rate == pytest.approx(0.5)
+
+    def test_geometric_decay_recovered(self):
+        history = [0.5**k for k in range(1, 11)]
+        rate = self._result(history).convergence_rate()
+        assert rate == pytest.approx(0.5)
+
+    def test_rate_from_real_solver(self):
+        from .test_conformance import CASES
+        from repro.markov import solve_jacobi
+
+        chain = CASES["birth-death"].build()
+        res = solve_jacobi(chain.P, tol=1e-10)
+        rate = res.convergence_rate()
+        assert rate is not None
+        assert 0.0 < rate < 1.0

@@ -52,6 +52,33 @@ class TestAnalyzeCommand:
         assert rc == 1
         assert "error:" in err
 
+    def test_trace_flag_writes_valid_json(self, capsys, tmp_path):
+        from repro.markov.monitor import TRACE_SCHEMA, load_trace
+
+        path = tmp_path / "trace.json"
+        rc = main(["analyze", *FAST, "--solver", "gauss-seidel",
+                   "--trace", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert f"solver trace written to {path}" in captured.err
+        trace = load_trace(str(path))
+        assert trace["schema"] == TRACE_SCHEMA
+        assert trace["method"] == "gauss-seidel"
+        assert trace["converged"] is True
+        assert trace["iterations"] == len(trace["events"]) > 1
+        assert trace["events"][-1]["residual"] == trace["residual"]
+
+    def test_trace_with_multigrid_has_level_events(self, tmp_path):
+        path = tmp_path / "mg.json"
+        rc = main(["analyze", *FAST, "--solver", "multigrid",
+                   "--trace", str(path)])
+        assert rc == 0
+        from repro.markov.monitor import load_trace
+
+        trace = load_trace(str(path))
+        assert trace["method"].startswith("multigrid")
+        assert len(trace["vcycle_events"]) >= 1
+
 
 class TestSweepCommand:
     def test_counter_sweep(self, capsys):
