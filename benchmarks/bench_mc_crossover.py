@@ -91,7 +91,7 @@ class TestMCCrossover:
 
     def test_extrapolated_cost_wall(self, validation):
         spec, analysis, mc = validation
-        analysis_cost = analysis.form_time + analysis.solve_time
+        analysis_cost = analysis.build_seconds + analysis.solve_seconds
         sym_per_s = mc.n_symbols / mc.sim_time
         rows = []
         for target in (1e-4, 1e-6, 1e-8, 1e-10, 1e-12):

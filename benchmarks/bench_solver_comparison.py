@@ -60,8 +60,9 @@ def trace_monitor(label):
     """A fresh recorder, exported to REPRO_TRACE_DIR on request.
 
     Returns ``(monitor, flush)``; call ``flush()`` after the solve to write
-    ``<REPRO_TRACE_DIR>/<label>.trace.json`` (no-op when the env var is
-    unset, so benchmarks stay side-effect free by default).
+    ``<REPRO_TRACE_DIR>/<label>.trace.json``.  The directory (nested paths
+    included) is created if missing; when the env var is unset ``flush``
+    is a no-op, so benchmarks stay side-effect free by default.
     """
     monitor = RecordingMonitor()
 

@@ -4,13 +4,23 @@ Every benchmark prints the rows/series the corresponding paper artifact
 reports (run with ``pytest benchmarks/ --benchmark-only -s`` to see them)
 and asserts the paper's *shape* claims, since the authors' exact SONET
 noise tables did not survive into the available text.
+
+Observability: every benchmark test runs under its own
+:class:`repro.obs.Tracer`, so library spans (``cdr.build_tpm``,
+``markov.solve``, ...) are recorded per test.  Set ``REPRO_TRACE_DIR`` to
+a directory (created on demand, nested paths included) to export one
+``repro.run-trace/1`` manifest per test alongside the solver traces that
+``bench_solver_comparison`` writes there.
 """
 
+import os
+import re
 import warnings
 
 import pytest
 
 from repro import CDRSpec
+from repro import obs
 
 
 def _fig_spec(**overrides):
@@ -33,6 +43,37 @@ def _fig_spec(**overrides):
 @pytest.fixture
 def fig_spec():
     return _fig_spec
+
+
+def trace_export_dir():
+    """The ``REPRO_TRACE_DIR`` export directory, created on demand.
+
+    Returns None when the env var is unset (benchmarks stay side-effect
+    free by default).  Nested paths are created with all intermediate
+    directories.
+    """
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        return None
+    os.makedirs(trace_dir, exist_ok=True)
+    return trace_dir
+
+
+def _slug(name):
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-")
+
+
+@pytest.fixture(autouse=True)
+def bench_tracer(request):
+    """Per-test tracer; exports a run manifest when REPRO_TRACE_DIR is set."""
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        yield tracer
+    trace_dir = trace_export_dir()
+    if trace_dir and tracer.roots:
+        manifest = obs.build_run_manifest(kind="benchmark", tracer=tracer)
+        path = os.path.join(trace_dir, f"{_slug(request.node.name)}.run.json")
+        obs.write_run_manifest(path, manifest)
 
 
 @pytest.fixture(autouse=True)

@@ -71,7 +71,7 @@ def main() -> None:
         )
     print(format_table(rows))
     print()
-    print(f"...versus {analysis.form_time + analysis.solve_time:.2f} seconds for the analysis,")
+    print(f"...versus {analysis.build_seconds + analysis.solve_seconds:.2f} seconds for the analysis,")
     print("independent of the BER magnitude.")
 
 

@@ -43,6 +43,7 @@ from repro.markov.chain import MarkovChain
 from repro.markov.lumping import Partition
 from repro.markov.multigrid import CoarseningStrategy, pairing_hierarchy
 from repro.noise.distributions import DiscreteDistribution
+from repro.obs import get_registry, span
 
 __all__ = ["CDRChainModel", "build_cdr_chain"]
 
@@ -294,6 +295,22 @@ def build_cdr_chain(
                 f"hidden state {i} emits {data_source.symbol(i)!r}"
             )
 
+    with span("cdr.build_tpm") as build_span:
+        return _assemble(
+            grid, nw, nr, counter_length, phase_step_units, data_source,
+            build_span,
+        )
+
+
+def _assemble(
+    grid: PhaseGrid,
+    nw: DiscreteDistribution,
+    nr: DiscreteDistribution,
+    counter_length: int,
+    phase_step_units: int,
+    data_source: MarkovSource,
+    build_span,
+) -> CDRChainModel:
     start = time.perf_counter()
     M = grid.n_points
     N = int(counter_length)
@@ -396,6 +413,28 @@ def build_cdr_chain(
         E = sp.csr_matrix((n, n))
     chain = MarkovChain(P)
     form_time = time.perf_counter() - start
+    memory_bytes = int(
+        P.data.nbytes + P.indices.nbytes + P.indptr.nbytes
+        + E.data.nbytes + E.indices.nbytes + E.indptr.nbytes
+    )
+    build_span.set_attributes(
+        n_states=n,
+        nnz=int(P.nnz),
+        memory_bytes=memory_bytes,
+        n_data_states=D,
+        n_counter_states=C,
+        n_phase_points=M,
+    )
+    registry = get_registry()
+    registry.counter(
+        "repro_tpm_builds_total", "CDR transition matrices assembled"
+    ).inc()
+    registry.histogram(
+        "repro_tpm_build_seconds", "Wall time of CDR TPM assembly"
+    ).observe(form_time)
+    registry.gauge(
+        "repro_tpm_nnz", "Nonzeros of the last assembled CDR TPM"
+    ).set(int(P.nnz))
     return CDRChainModel(
         chain=chain,
         slip_matrix=E,

@@ -38,6 +38,7 @@ from repro.cdr.model import _sign_masses
 from repro.cdr.phase_error import PhaseGrid
 from repro.fsm.stochastic import MarkovSource
 from repro.markov.chain import MarkovChain
+from repro.obs import get_registry, span
 from repro.markov.lumping import Partition
 from repro.markov.multigrid import CoarseningStrategy, pairing_hierarchy
 from repro.noise.distributions import DiscreteDistribution
@@ -245,6 +246,23 @@ def build_modulated_cdr_chain(
         if data_source.symbol(i) not in (0, 1):
             raise ValueError("data_source must emit transition indicators (0 or 1)")
 
+    with span("cdr.build_tpm", modulated=True) as build_span:
+        return _assemble_modulated(
+            grid, nw, drift_source, counter_length, phase_step_units, nr,
+            data_source, build_span,
+        )
+
+
+def _assemble_modulated(
+    grid: PhaseGrid,
+    nw: DiscreteDistribution,
+    drift_source: MarkovSource,
+    counter_length: int,
+    phase_step_units: int,
+    nr: DiscreteDistribution,
+    data_source: MarkovSource,
+    build_span,
+) -> ModulatedCDRModel:
     start = time.perf_counter()
     M = grid.n_points
     N = int(counter_length)
@@ -341,6 +359,15 @@ def build_modulated_cdr_chain(
         E.sum_duplicates()
     else:
         E = sp.csr_matrix((n, n))
+    form_time = time.perf_counter() - start
+    build_span.set_attributes(n_states=n, nnz=int(P.nnz), n_drift_states=H)
+    registry = get_registry()
+    registry.counter(
+        "repro_tpm_builds_total", "CDR transition matrices assembled"
+    ).inc()
+    registry.histogram(
+        "repro_tpm_build_seconds", "Wall time of CDR TPM assembly"
+    ).observe(form_time)
     return ModulatedCDRModel(
         chain=MarkovChain(P),
         slip_matrix=E,
@@ -351,6 +378,6 @@ def build_modulated_cdr_chain(
         drift_source=drift_source,
         counter_length=N,
         phase_step_units=g,
-        form_time=time.perf_counter() - start,
+        form_time=form_time,
         sign_masses=masses,
     )

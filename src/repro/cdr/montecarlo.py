@@ -29,6 +29,7 @@ import numpy as np
 from repro.cdr.phase_error import PhaseGrid
 from repro.fsm.stochastic import MarkovSource
 from repro.noise.distributions import DiscreteDistribution
+from repro.obs import get_registry, span
 
 __all__ = ["MonteCarloResult", "simulate_cdr", "required_symbols_for_ber"]
 
@@ -131,98 +132,111 @@ def simulate_cdr(
     M = grid.n_points
     total = warmup_symbols + n_symbols
 
-    start = time.perf_counter()
+    with span("cdr.montecarlo", mode=mode, n_symbols=n_symbols) as mc_span:
+        start = time.perf_counter()
 
-    # Pre-draw all randomness (vectorized); the loop itself is the
-    # irreducible sequential part of the feedback system.
-    data_states = data_source.chain.simulate(
-        total, rng, data_source.initial_state
-    )
-    transitions = np.array(
-        [data_source.symbol(int(s)) for s in range(data_source.n_states)]
-    )[data_states[:total]]
+        # Pre-draw all randomness (vectorized); the loop itself is the
+        # irreducible sequential part of the feedback system.
+        data_states = data_source.chain.simulate(
+            total, rng, data_source.initial_state
+        )
+        transitions = np.array(
+            [data_source.symbol(int(s)) for s in range(data_source.n_states)]
+        )[data_states[:total]]
 
-    if mode == "discretized":
-        w_samples = nw.sample(rng, size=total)
-        nr_steps = grid.quantize_to_steps(nr)
-        r_samples = nr_steps.sample(rng, size=total).astype(np.int64)
-    else:
-        sigma = nw.std() if nw_std_continuous is None else float(nw_std_continuous)
-        w_samples = rng.normal(0.0, sigma, size=total)
-        r_samples = nr.sample(rng, size=total)
+        if mode == "discretized":
+            w_samples = nw.sample(rng, size=total)
+            nr_steps = grid.quantize_to_steps(nr)
+            r_samples = nr_steps.sample(rng, size=total).astype(np.int64)
+        else:
+            sigma = nw.std() if nw_std_continuous is None else float(nw_std_continuous)
+            w_samples = rng.normal(0.0, sigma, size=total)
+            r_samples = nr.sample(rng, size=total)
 
-    if initial_phase_index is None:
-        initial_phase_index = M // 2
+        if initial_phase_index is None:
+            initial_phase_index = M // 2
 
-    n_errors = 0
-    n_slips = 0
-    phase_sum = 0.0
-    phase_sq_sum = 0.0
+        n_errors = 0
+        n_slips = 0
+        phase_sum = 0.0
+        phase_sq_sum = 0.0
 
-    if mode == "discretized":
-        m = int(initial_phase_index)
-        c = 0
-        for k in range(total):
-            phi = -0.5 + (m + 0.5) * step
-            noisy = phi + w_samples[k]
-            measuring = k >= warmup_symbols
-            if measuring:
-                phase_sum += phi
-                phase_sq_sum += phi * phi
-                if abs(noisy) > 0.5:
-                    n_errors += 1
-            o = 0
-            if transitions[k]:
-                o = 1 if noisy > 0.0 else (-1 if noisy < 0.0 else 0)
-            v = c + o
-            direction = 0
-            if v >= N:
-                direction, c = 1, 0
-            elif v <= -N:
-                direction, c = -1, 0
-            else:
-                c = v
-            raw = m - g_units * direction + int(r_samples[k])
-            if measuring and (raw < 0 or raw >= M):
-                n_slips += 1
-            m = raw % M
-    else:
-        phi = -0.5 + (initial_phase_index + 0.5) * step
-        g_ui = g_units * step
-        c = 0
-        for k in range(total):
-            noisy = phi + w_samples[k]
-            measuring = k >= warmup_symbols
-            if measuring:
-                phase_sum += phi
-                phase_sq_sum += phi * phi
-                if abs(noisy) > 0.5:
-                    n_errors += 1
-            o = 0
-            if transitions[k]:
-                o = 1 if noisy > 0.0 else (-1 if noisy < 0.0 else 0)
-            v = c + o
-            direction = 0
-            if v >= N:
-                direction, c = 1, 0
-            elif v <= -N:
-                direction, c = -1, 0
-            else:
-                c = v
-            raw = phi - g_ui * direction + r_samples[k]
-            if measuring and not (-0.5 <= raw < 0.5):
-                n_slips += 1
-            phi = PhaseGrid.wrap_value(raw)
+        if mode == "discretized":
+            m = int(initial_phase_index)
+            c = 0
+            for k in range(total):
+                phi = -0.5 + (m + 0.5) * step
+                noisy = phi + w_samples[k]
+                measuring = k >= warmup_symbols
+                if measuring:
+                    phase_sum += phi
+                    phase_sq_sum += phi * phi
+                    if abs(noisy) > 0.5:
+                        n_errors += 1
+                o = 0
+                if transitions[k]:
+                    o = 1 if noisy > 0.0 else (-1 if noisy < 0.0 else 0)
+                v = c + o
+                direction = 0
+                if v >= N:
+                    direction, c = 1, 0
+                elif v <= -N:
+                    direction, c = -1, 0
+                else:
+                    c = v
+                raw = m - g_units * direction + int(r_samples[k])
+                if measuring and (raw < 0 or raw >= M):
+                    n_slips += 1
+                m = raw % M
+        else:
+            phi = -0.5 + (initial_phase_index + 0.5) * step
+            g_ui = g_units * step
+            c = 0
+            for k in range(total):
+                noisy = phi + w_samples[k]
+                measuring = k >= warmup_symbols
+                if measuring:
+                    phase_sum += phi
+                    phase_sq_sum += phi * phi
+                    if abs(noisy) > 0.5:
+                        n_errors += 1
+                o = 0
+                if transitions[k]:
+                    o = 1 if noisy > 0.0 else (-1 if noisy < 0.0 else 0)
+                v = c + o
+                direction = 0
+                if v >= N:
+                    direction, c = 1, 0
+                elif v <= -N:
+                    direction, c = -1, 0
+                else:
+                    c = v
+                raw = phi - g_ui * direction + r_samples[k]
+                if measuring and not (-0.5 <= raw < 0.5):
+                    n_slips += 1
+                phi = PhaseGrid.wrap_value(raw)
 
-    elapsed = time.perf_counter() - start
-    mean = phase_sum / n_symbols
-    var = max(phase_sq_sum / n_symbols - mean * mean, 0.0)
-    return MonteCarloResult(
-        n_symbols=n_symbols,
-        n_errors=n_errors,
-        n_slips=n_slips,
-        sim_time=elapsed,
-        mode=mode,
-        phase_mean=mean,
-        phase_rms=math.sqrt(var + mean * mean),
-    )
+        elapsed = time.perf_counter() - start
+        throughput = total / elapsed if elapsed > 0 else float("inf")
+        mc_span.set_attributes(
+            symbols_per_second=throughput, n_errors=n_errors, n_slips=n_slips
+        )
+        registry = get_registry()
+        registry.counter(
+            "repro_mc_symbols_total", "Symbols simulated by the MC baseline"
+        ).inc(total, mode=mode)
+        registry.gauge(
+            "repro_mc_symbols_per_second",
+            "Throughput of the last Monte-Carlo run",
+        ).set(throughput, mode=mode)
+        mean = phase_sum / n_symbols
+        var = max(phase_sq_sum / n_symbols - mean * mean, 0.0)
+        return MonteCarloResult(
+            n_symbols=n_symbols,
+            n_errors=n_errors,
+            n_slips=n_slips,
+            sim_time=elapsed,
+            mode=mode,
+            phase_mean=mean,
+            phase_rms=math.sqrt(var + mean * mean),
+        )

@@ -33,6 +33,7 @@ from repro.cdr.phase_error import PhaseGrid
 from repro.fsm.stochastic import MarkovSource
 from repro.markov.solvers.result import StationaryResult, prepare_initial_guess
 from repro.noise.distributions import DiscreteDistribution
+from repro.obs import get_registry, span
 
 __all__ = ["CDRTransitionOperator"]
 
@@ -72,7 +73,13 @@ class CDRTransitionOperator:
         if self.phase_step_units + int(np.max(np.abs(self.nr_steps.values))) >= grid.n_points:
             raise ValueError("phase moves exceed the grid size")
         self._masses = _sign_masses(grid, nw)
-        self._terms = self._compile_terms()
+        with span("cdr.compile_operator") as op_span:
+            self._terms = self._compile_terms()
+            op_span.set_attributes(n_states=self.n, n_terms=len(self._terms))
+        get_registry().counter(
+            "repro_operator_compiles_total",
+            "Matrix-free CDR operators compiled",
+        ).inc()
 
     # ------------------------------------------------------------------ #
 
@@ -208,17 +215,23 @@ class CDRTransitionOperator:
         history = []
         converged = False
         it = 0
-        for it in range(1, max_iter + 1):
-            y = self.rmatvec(x)
-            if damping != 1.0:
-                y = damping * y + (1.0 - damping) * x
-            y /= y.sum()
-            res = float(np.abs(self.rmatvec(y) - y).sum())
-            history.append(res)
-            x = y
-            if res < tol:
-                converged = True
-                break
+        with span("cdr.operator.stationary_power", n_states=self.n) as mf_span:
+            for it in range(1, max_iter + 1):
+                y = self.rmatvec(x)
+                if damping != 1.0:
+                    y = damping * y + (1.0 - damping) * x
+                y /= y.sum()
+                res = float(np.abs(self.rmatvec(y) - y).sum())
+                history.append(res)
+                x = y
+                if res < tol:
+                    converged = True
+                    break
+            mf_span.set_attributes(
+                iterations=it,
+                residual=history[-1] if history else float("nan"),
+                converged=converged,
+            )
         elapsed = time.perf_counter() - start
         return StationaryResult(
             distribution=x,

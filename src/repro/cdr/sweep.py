@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.analyzer import analyze_cdr
 from repro.core.spec import CDRSpec
+from repro.obs import get_registry, span
 
 __all__ = ["sweep_parameter", "sweep_counter_length", "optimal_counter_length"]
 
@@ -28,25 +29,33 @@ def sweep_parameter(
 
     Returns one record per value with the headline measures and solver
     statistics (the fields of the paper's per-plot annotation lines).
+    Each design point runs under a ``cdr.sweep.point`` span (nested in a
+    ``cdr.sweep`` root) so a traced sweep shows where the time went.
     """
     records = []
-    for value in values:
-        spec = base_spec.replace(**{parameter: value})
-        result = analyze_cdr(spec, solver=solver, tol=tol)
-        records.append(
-            {
-                parameter: value,
-                "ber": result.ber,
-                "ber_discrete": result.ber_discrete,
-                "slip_rate": result.slip_rate,
-                "mean_symbols_between_slips": result.mean_symbols_between_slips,
-                "phase_rms": result.phase_rms,
-                "n_states": result.n_states,
-                "iterations": result.solver_result.iterations,
-                "form_time_s": result.form_time,
-                "solve_time_s": result.solve_time,
-            }
-        )
+    counter = get_registry().counter(
+        "repro_sweep_points_total", "Design points analyzed by sweeps"
+    )
+    with span("cdr.sweep", parameter=parameter, n_values=len(values)):
+        for value in values:
+            spec = base_spec.replace(**{parameter: value})
+            with span("cdr.sweep.point", parameter=parameter, value=value):
+                result = analyze_cdr(spec, solver=solver, tol=tol)
+            counter.inc()
+            records.append(
+                {
+                    parameter: value,
+                    "ber": result.ber,
+                    "ber_discrete": result.ber_discrete,
+                    "slip_rate": result.slip_rate,
+                    "mean_symbols_between_slips": result.mean_symbols_between_slips,
+                    "phase_rms": result.phase_rms,
+                    "n_states": result.n_states,
+                    "iterations": result.solver_result.iterations,
+                    "form_time_s": result.build_seconds,
+                    "solve_time_s": result.solve_seconds,
+                }
+            )
     return records
 
 

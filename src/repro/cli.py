@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Three commands mirror the library's main entry points:
+Four commands mirror the library's main entry points:
 
 ``analyze``
     One design point: build, solve, print the paper-style report plus the
@@ -11,11 +11,20 @@ Three commands mirror the library's main entry points:
 ``acquire``
     Lock-acquisition figures: worst-case / mean lock times and the
     lock-probability curve checkpoints.
+``stats``
+    Pretty-print a run manifest written by ``--metrics``.
+
+``analyze``, ``sweep`` and ``acquire`` all accept ``--metrics PATH``: the
+run executes under a :mod:`repro.obs` tracer and writes a
+``repro.run-trace/1`` manifest (spans, stage timings, versions, peak RSS,
+result digests, the embedded solver trace, and a Prometheus-renderable
+metrics snapshot) to PATH.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -27,6 +36,7 @@ from repro import (
     sweep_parameter,
 )
 from repro.core import format_pdf_ascii, format_table
+from repro import obs
 
 __all__ = ["main", "build_parser"]
 
@@ -59,6 +69,44 @@ def _spec_from_args(args: argparse.Namespace) -> CDRSpec:
     return CDRSpec(**{field: getattr(args, field) for field in _SPEC_FIELDS})
 
 
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="trace the run and write a repro.run-trace/1 manifest "
+             "(spans, metrics, versions, digests) to PATH; inspect it "
+             "with `repro stats PATH`")
+
+
+class _RunObservation(contextlib.AbstractContextManager):
+    """Optional per-run tracing: active only when ``--metrics`` was given."""
+
+    def __init__(self, metrics_path: Optional[str]) -> None:
+        self.path = metrics_path
+        self.tracer = obs.Tracer() if metrics_path else None
+        self._cm = None
+
+    def __enter__(self) -> "_RunObservation":
+        if self.tracer is not None:
+            self._cm = obs.use_tracer(self.tracer)
+            self._cm.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._cm is not None:
+            self._cm.__exit__(*exc)
+        return False
+
+    def write(self, kind: str, spec=None, analysis=None, results=None) -> None:
+        if self.tracer is None:
+            return
+        manifest = obs.build_run_manifest(
+            kind=kind, spec=spec, analysis=analysis, tracer=self.tracer,
+            results=results,
+        )
+        obs.write_run_manifest(self.path, manifest)
+        print(f"run manifest written to {self.path}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--trace", metavar="PATH", default=None,
                       help="record per-iteration solver telemetry and write "
                            "it as a JSON trace to PATH")
+    _add_metrics_argument(p_an)
 
     p_sw = sub.add_parser("sweep", help="sweep one spec field")
     _add_spec_arguments(p_sw)
@@ -90,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated values, e.g. 1,2,4,8")
     p_sw.add_argument("--solver", default="auto")
     p_sw.add_argument("--tol", type=float, default=1e-10)
+    _add_metrics_argument(p_sw)
 
     p_aq = sub.add_parser("acquire", help="lock-acquisition analysis")
     _add_spec_arguments(p_aq)
@@ -98,6 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_aq.add_argument("--curve-symbols", type=int, default=0,
                       help="also print the lock-probability curve out to "
                            "this many symbols")
+    _add_metrics_argument(p_aq)
+
+    p_st = sub.add_parser(
+        "stats", help="pretty-print a run manifest written by --metrics")
+    p_st.add_argument("manifest", metavar="PATH",
+                      help="path of a repro.run-trace/1 JSON manifest")
+    p_st.add_argument("--prometheus", action="store_true",
+                      help="dump the embedded Prometheus metrics snapshot "
+                           "instead of the summary")
     return parser
 
 
@@ -110,7 +169,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         monitor = RecordingMonitor()
         solver_kwargs["monitor"] = monitor
-    analysis = analyze_cdr(spec, solver=args.solver, tol=args.tol, **solver_kwargs)
+    with _RunObservation(args.metrics) as obs_run:
+        analysis = analyze_cdr(
+            spec, solver=args.solver, tol=args.tol, **solver_kwargs
+        )
+        obs_run.write(
+            kind="analysis",
+            spec=spec,
+            analysis=analysis,
+            results={
+                "ber": analysis.ber,
+                "ber_discrete": analysis.ber_discrete,
+                "slip_rate": analysis.slip_rate,
+                "mean_symbols_between_slips": analysis.mean_symbols_between_slips,
+            },
+        )
     if monitor is not None:
         monitor.write_trace(args.trace)
         print(f"solver trace written to {args.trace}", file=sys.stderr)
@@ -144,9 +217,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not values:
         print("error: --values is empty", file=sys.stderr)
         return 2
-    records = sweep_parameter(
-        spec, args.parameter, values, solver=args.solver, tol=args.tol
-    )
+    with _RunObservation(args.metrics) as obs_run:
+        records = sweep_parameter(
+            spec, args.parameter, values, solver=args.solver, tol=args.tol
+        )
+        obs_run.write(
+            kind="sweep",
+            spec=spec,
+            results={"parameter": args.parameter, "records": records},
+        )
     print(format_table(
         records,
         columns=[args.parameter, "ber", "slip_rate", "phase_rms",
@@ -158,20 +237,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_acquire(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     print(spec.describe())
-    model = spec.build_model()
-    acq = analyze_acquisition(model, locked_threshold_ui=args.lock_threshold)
-    print(acq.summary())
-    if args.curve_symbols > 0:
-        curve = lock_probability_curve(
-            model, args.curve_symbols,
-            locked_threshold_ui=args.lock_threshold,
+    with _RunObservation(args.metrics) as obs_run:
+        model = spec.build_model()
+        acq = analyze_acquisition(model, locked_threshold_ui=args.lock_threshold)
+        curve = None
+        if args.curve_symbols > 0:
+            curve = lock_probability_curve(
+                model, args.curve_symbols,
+                locked_threshold_ui=args.lock_threshold,
+            )
+        obs_run.write(
+            kind="acquire",
+            spec=spec,
+            results={
+                "mean_from_uniform": acq.mean_from_uniform,
+                "worst_case_symbols": acq.worst_case_symbols,
+                "worst_case_phase_ui": acq.worst_case_phase_ui,
+                "lock_threshold_ui": args.lock_threshold,
+            },
         )
+    print(acq.summary())
+    if curve is not None:
         checkpoints = sorted(
             {0, args.curve_symbols}
             | {args.curve_symbols * k // 8 for k in range(1, 8)}
         )
         for k in checkpoints:
             print(f"  P(locked at symbol {k:>6}) = {curve[k]:.4f}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    manifest = obs.load_run_manifest(args.manifest)
+    if args.prometheus:
+        text = (manifest.get("metrics") or {}).get("prometheus", "")
+        print(text, end="" if text.endswith("\n") else "\n")
+        return 0
+    print(obs.format_run_manifest(manifest))
     return 0
 
 
@@ -183,6 +285,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_analyze(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         return _cmd_acquire(args)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -10,10 +10,19 @@
 3. derive the performance measures: BER from the tails of the stationary
    noisy-phase distribution, cycle-slip rate / mean time between slips
    from the wrap flux, and phase-error statistics.
+
+Every run is traced with :mod:`repro.obs` spans: the root ``cdr.analyze``
+span (stored on the result as :attr:`CDRAnalysis.trace`) nests
+``cdr.build_tpm``, ``markov.solve`` and ``cdr.measures`` children, and the
+solver's per-iteration telemetry is always recorded (available as
+:attr:`CDRAnalysis.solver_recording` for run manifests).  The legacy
+``form_time`` / ``solve_time`` floats survive as deprecated properties
+derived from those spans.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -22,8 +31,10 @@ import numpy as np
 from repro.cdr.model import CDRChainModel
 from repro.core import measures as _measures
 from repro.core.spec import CDRSpec
+from repro.markov.monitor import RecordingMonitor, TeeMonitor
 from repro.markov.solvers.result import StationaryResult
 from repro.markov.stationary import stationary_distribution
+from repro.obs import Tracer, get_registry, get_tracer, span, use_tracer
 
 __all__ = ["CDRAnalysis", "analyze_cdr", "analyze_model"]
 
@@ -42,6 +53,10 @@ class CDRAnalysis:
     slip_rate: float
     mean_symbols_between_slips: float
     phase_stats: Dict[str, float] = field(default_factory=dict)
+    #: Root span of this run (``cdr.analyze``) with nested stage spans.
+    trace: Optional[object] = field(default=None, repr=False)
+    #: Per-iteration solver telemetry recorded during the solve.
+    solver_recording: Optional[RecordingMonitor] = field(default=None, repr=False)
 
     @property
     def stationary(self) -> np.ndarray:
@@ -52,12 +67,52 @@ class CDRAnalysis:
         return self.model.n_states
 
     @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Wall seconds per pipeline stage, from the run's spans.
+
+        Keys are span names (``cdr.build_tpm``, ``markov.solve``,
+        ``cdr.measures``); the build entry falls back to the model's
+        recorded assembly time when the model was built outside this
+        analysis (``analyze_model`` on a pre-built model).
+        """
+        stages: Dict[str, float] = {}
+        if self.trace is not None:
+            stages.update(self.trace.stage_seconds())
+        stages.setdefault("cdr.build_tpm", self.model.form_time)
+        stages.setdefault("markov.solve", self.solver_result.solve_time)
+        return stages
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall seconds spent assembling the TPM (paper "Matrixformtime")."""
+        return self.stage_seconds["cdr.build_tpm"]
+
+    @property
+    def solve_seconds(self) -> float:
+        """Wall seconds spent in the stationary solver (paper "Solvetime")."""
+        return self.stage_seconds["markov.solve"]
+
+    @property
     def form_time(self) -> float:
-        return self.model.form_time
+        """Deprecated alias of :attr:`build_seconds` (span-derived)."""
+        warnings.warn(
+            "CDRAnalysis.form_time is deprecated; use build_seconds or "
+            "stage_seconds['cdr.build_tpm']",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.build_seconds
 
     @property
     def solve_time(self) -> float:
-        return self.solver_result.solve_time
+        """Deprecated alias of :attr:`solve_seconds` (span-derived)."""
+        warnings.warn(
+            "CDRAnalysis.solve_time is deprecated; use solve_seconds or "
+            "stage_seconds['markov.solve']",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.solve_seconds
 
     @property
     def phase_rms(self) -> float:
@@ -85,10 +140,97 @@ class CDRAnalysis:
         )
         line2 = (
             f"Size: {self.n_states}  Iter: {self.solver_result.iterations}  "
-            f"Matrixformtime: {self.form_time / 60.0:.2f} mins  "
-            f"Solvetime: {self.solve_time / 60.0:.2f} mins"
+            f"Matrixformtime: {self.build_seconds / 60.0:.2f} mins  "
+            f"Solvetime: {self.solve_seconds / 60.0:.2f} mins"
         )
         return line1 + "\n" + line2
+
+
+class _ensure_tracer:
+    """Activate a private tracer when none is active (so spans always
+    record), leaving an externally-installed tracer untouched."""
+
+    def __init__(self) -> None:
+        self._cm = None
+
+    def __enter__(self):
+        tracer = get_tracer()
+        if tracer is None:
+            self._cm = use_tracer(Tracer())
+            tracer = self._cm.__enter__()
+        return tracer
+
+    def __exit__(self, *exc) -> bool:
+        if self._cm is not None:
+            return bool(self._cm.__exit__(*exc))
+        return False
+
+
+def _solve_and_measure(
+    model: CDRChainModel,
+    spec: Optional[CDRSpec],
+    root,
+    solver: str,
+    tol: float,
+    max_iter: Optional[int],
+    solver_kwargs,
+) -> CDRAnalysis:
+    """The solve + measures stages, recorded under the open ``root`` span."""
+    if solver == "auto":
+        solver = "multigrid" if model.n_states >= _MULTIGRID_MIN_STATES else "direct"
+    if solver == "multigrid":
+        # The paper's structured coarsening plus heavy Gauss-Jacobi
+        # smoothing: CDR chains are drift-dominated, where extra cheap
+        # sweeps per V-cycle pay for themselves several times over.
+        solver_kwargs.setdefault("strategy", model.multigrid_strategy())
+        solver_kwargs.setdefault("nu_pre", 8)
+        solver_kwargs.setdefault("nu_post", 8)
+
+    # Always record the solver's per-iteration events so run manifests can
+    # embed the full repro.solver-trace/1 story; tee to a caller monitor.
+    recorder = RecordingMonitor()
+    user_monitor = solver_kwargs.pop("monitor", None)
+    monitor = recorder if user_monitor is None else TeeMonitor(recorder, user_monitor)
+
+    with span("markov.solve", n_states=model.n_states) as solve_span:
+        result = stationary_distribution(
+            model.chain, method=solver, tol=tol, max_iter=max_iter,
+            monitor=monitor, **solver_kwargs,
+        )
+        solve_span.set_attributes(
+            method=result.method,
+            iterations=result.iterations,
+            residual=result.residual,
+            converged=result.converged,
+        )
+    registry = get_registry()
+    registry.counter(
+        "repro_solver_iterations_total",
+        "Stationary-solver iterations across all solves",
+    ).inc(result.iterations, method=result.method)
+    registry.histogram(
+        "repro_solve_seconds", "Wall time of stationary solves"
+    ).observe(result.solve_time, method=result.method)
+
+    eta = result.distribution
+    with span("cdr.measures"):
+        analysis = CDRAnalysis(
+            spec=spec,
+            model=model,
+            solver_result=result,
+            ber=_measures.bit_error_rate(model, eta),
+            ber_discrete=_measures.bit_error_rate_discrete(model, eta),
+            slip_rate=_measures.cycle_slip_rate(model, eta),
+            mean_symbols_between_slips=_measures.mean_symbols_between_slips(model, eta),
+            phase_stats=_measures.phase_statistics(model, eta),
+            trace=root,
+            solver_recording=recorder,
+        )
+    root.set_attributes(n_states=model.n_states, ber=analysis.ber)
+    registry.counter(
+        "repro_analyses_total", "Completed end-to-end CDR analyses"
+    ).inc()
+    return analysis
 
 
 def analyze_model(
@@ -100,29 +242,10 @@ def analyze_model(
     **solver_kwargs,
 ) -> CDRAnalysis:
     """Analyze an already-built model (see :func:`analyze_cdr`)."""
-    if solver == "auto":
-        solver = "multigrid" if model.n_states >= _MULTIGRID_MIN_STATES else "direct"
-    if solver == "multigrid":
-        # The paper's structured coarsening plus heavy Gauss-Jacobi
-        # smoothing: CDR chains are drift-dominated, where extra cheap
-        # sweeps per V-cycle pay for themselves several times over.
-        solver_kwargs.setdefault("strategy", model.multigrid_strategy())
-        solver_kwargs.setdefault("nu_pre", 8)
-        solver_kwargs.setdefault("nu_post", 8)
-    result = stationary_distribution(
-        model.chain, method=solver, tol=tol, max_iter=max_iter, **solver_kwargs
-    )
-    eta = result.distribution
-    return CDRAnalysis(
-        spec=spec,
-        model=model,
-        solver_result=result,
-        ber=_measures.bit_error_rate(model, eta),
-        ber_discrete=_measures.bit_error_rate_discrete(model, eta),
-        slip_rate=_measures.cycle_slip_rate(model, eta),
-        mean_symbols_between_slips=_measures.mean_symbols_between_slips(model, eta),
-        phase_stats=_measures.phase_statistics(model, eta),
-    )
+    with _ensure_tracer(), span("cdr.analyze") as root:
+        return _solve_and_measure(
+            model, spec, root, solver, tol, max_iter, solver_kwargs
+        )
 
 
 def analyze_cdr(
@@ -146,9 +269,18 @@ def analyze_cdr(
         Forwarded to the solver.  Pass
         ``monitor=repro.markov.RecordingMonitor()`` here to capture the
         solve's per-iteration telemetry (the CLI's ``--trace`` flag does
-        exactly this and exports the recording as JSON).
+        exactly this and exports the recording as JSON); the analyzer
+        additionally keeps its own recording on
+        :attr:`CDRAnalysis.solver_recording` either way.
+
+    The whole run is traced: the returned analysis carries the root
+    ``cdr.analyze`` span with nested build/solve/measures children
+    (:attr:`CDRAnalysis.trace` / :attr:`CDRAnalysis.stage_seconds`), and
+    when a :func:`repro.obs.use_tracer` context is active the spans also
+    land in that tracer for run-manifest export.
     """
-    model = spec.build_model()
-    return analyze_model(
-        model, spec=spec, solver=solver, tol=tol, max_iter=max_iter, **solver_kwargs
-    )
+    with _ensure_tracer(), span("cdr.analyze") as root:
+        model = spec.build_model()  # emits the cdr.build_tpm child span
+        return _solve_and_measure(
+            model, spec, root, solver, tol, max_iter, solver_kwargs
+        )

@@ -18,7 +18,11 @@ def format_table(
     if not records:
         return "(no rows)"
     if columns is None:
-        columns = list(records[0].keys())
+        # Union of keys across all records, in first-seen order, so a
+        # ragged record list still renders every field.
+        columns = list(dict.fromkeys(k for rec in records for k in rec))
+    if not columns:
+        return "(no columns)"
 
     def fmt(v) -> str:
         if isinstance(v, float):
@@ -47,8 +51,16 @@ def format_pdf_ascii(
     Bins the atoms into ``n_bins`` columns and draws a column chart --
     enough to see the Figure-4 densities without a plotting stack.
     """
-    values = np.asarray(values, dtype=float)
-    probs = np.asarray(probs, dtype=float)
+    values = np.asarray(values, dtype=float).ravel()
+    probs = np.asarray(probs, dtype=float).ravel()
+    if values.shape != probs.shape:
+        raise ValueError("values and probs must have the same shape")
+    # Non-finite atoms (NaN/inf values or weights) cannot be binned;
+    # drop them rather than propagating NaN into the whole chart.
+    finite = np.isfinite(values) & np.isfinite(probs)
+    values, probs = values[finite], probs[finite]
+    if values.size == 0:
+        return (title + "\n" if title else "") + "(no finite probability mass)"
     lo, hi = float(values.min()), float(values.max())
     if hi <= lo:
         hi = lo + 1.0
@@ -68,6 +80,8 @@ def format_pdf_ascii(
 
 def format_record(record: Dict, floatfmt: str = ".4g") -> str:
     """One-record ``key: value`` listing."""
+    if not record:
+        return "(empty record)"
     return "\n".join(
         f"{k}: {format(v, floatfmt) if isinstance(v, float) else v}"
         for k, v in record.items()

@@ -101,9 +101,10 @@ def analysis_to_dict(analysis: CDRAnalysis, include_pdf: bool = False) -> Dict:
             "iterations": analysis.solver_result.iterations,
             "residual": analysis.solver_result.residual,
             "converged": analysis.solver_result.converged,
-            "solve_time_s": analysis.solve_time,
+            "solve_time_s": analysis.solve_seconds,
         },
-        "form_time_s": analysis.form_time,
+        "form_time_s": analysis.build_seconds,
+        "stage_seconds": dict(analysis.stage_seconds),
     }
     if include_pdf:
         values, probs = analysis.phase_error_pdf()

@@ -24,6 +24,8 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import LinearOperator
 
+from repro.obs import get_registry, span
+
 __all__ = ["KroneckerDescriptor", "kron_matvec", "synchronous_product"]
 
 Matrix = Union[np.ndarray, sp.spmatrix]
@@ -162,15 +164,23 @@ class KroneckerDescriptor:
         x = np.full(n, 1.0 / n) if x0 is None else np.asarray(x0, dtype=float) / np.sum(x0)
         res = np.inf
         it = 0
-        for it in range(1, max_iter + 1):
-            y = self.rmatvec(x)
-            if damping != 1.0:
-                y = damping * y + (1.0 - damping) * x
-            y /= y.sum()
-            res = float(np.abs(self.rmatvec(y) - y).sum())
-            x = y
-            if res < tol:
-                break
+        with span(
+            "fsm.kron.power_iteration", n_states=n, n_terms=self.n_terms
+        ) as kron_span:
+            for it in range(1, max_iter + 1):
+                y = self.rmatvec(x)
+                if damping != 1.0:
+                    y = damping * y + (1.0 - damping) * x
+                y /= y.sum()
+                res = float(np.abs(self.rmatvec(y) - y).sum())
+                x = y
+                if res < tol:
+                    break
+            kron_span.set_attributes(iterations=it, residual=res)
+        get_registry().counter(
+            "repro_kron_matvecs_total",
+            "Matrix-free Kronecker descriptor applications",
+        ).inc(2 * it)
         return x, it, res
 
 

@@ -41,6 +41,7 @@ import scipy.sparse as sp
 from repro.fsm.machine import FSM
 from repro.fsm.stochastic import MarkovSource
 from repro.markov.chain import MarkovChain
+from repro.obs import get_registry, span
 
 __all__ = ["FSMNetwork", "NetworkChain"]
 
@@ -227,6 +228,10 @@ class FSMNetwork:
         """
         if not self._sources and not self._machines:
             raise ValueError(f"{self.name}: empty network")
+        with span("fsm.network.compile", network=self.name) as compile_span:
+            return self._compile(max_states, compile_span)
+
+    def _compile(self, max_states: int, compile_span) -> NetworkChain:
         start = time.perf_counter()
         index: Dict[Tuple, int] = {}
         order: List[Tuple] = []
@@ -279,9 +284,20 @@ class FSMNetwork:
             else:
                 E = sp.csr_matrix((n, n))
             event_matrices[name] = E
+        build_time = time.perf_counter() - start
+        compile_span.set_attributes(
+            n_states=n, nnz=int(P.nnz), n_events=len(event_matrices)
+        )
+        registry = get_registry()
+        registry.counter(
+            "repro_network_compiles_total", "FSM networks compiled to chains"
+        ).inc()
+        registry.histogram(
+            "repro_network_compile_seconds", "Wall time of network compilation"
+        ).observe(build_time)
         return NetworkChain(
             chain=chain,
-            build_time=time.perf_counter() - start,
+            build_time=build_time,
             event_matrices=event_matrices,
         )
 

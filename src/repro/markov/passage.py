@@ -23,6 +23,7 @@ import scipy.sparse as sp
 from scipy.sparse.linalg import MatrixRankWarning, splu, spsolve
 
 from repro.markov.chain import MarkovChain
+from repro.obs import span
 
 __all__ = [
     "mean_first_passage_times",
@@ -67,24 +68,27 @@ def mean_first_passage_times(
     t = np.zeros(n)
     if others.size == 0:
         return t
-    Q = P[others][:, others].tocsc()
-    A = sp.identity(others.size, format="csc") - Q
-    ones = np.ones(others.size)
-    try:
-        # Unreachable targets make A singular; spsolve then warns and
-        # returns non-finite values, which we translate to inf below.
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", MatrixRankWarning)
-            sol = spsolve(A, ones)
-    except RuntimeError:
-        sol = np.full(others.size, np.inf)
-    sol = np.asarray(sol, dtype=float)
-    # Numerical singularity (unreachable targets) shows up as huge/negative
-    # values; flag them as inf.
-    bad = ~np.isfinite(sol) | (sol < 0) | (sol > 1e15)
-    sol[bad] = np.inf
-    t[others] = sol
-    return t
+    with span(
+        "markov.passage.mfpt", n_states=n, n_targets=int(mask.sum())
+    ):
+        Q = P[others][:, others].tocsc()
+        A = sp.identity(others.size, format="csc") - Q
+        ones = np.ones(others.size)
+        try:
+            # Unreachable targets make A singular; spsolve then warns and
+            # returns non-finite values, which we translate to inf below.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", MatrixRankWarning)
+                sol = spsolve(A, ones)
+        except RuntimeError:
+            sol = np.full(others.size, np.inf)
+        sol = np.asarray(sol, dtype=float)
+        # Numerical singularity (unreachable targets) shows up as
+        # huge/negative values; flag them as inf.
+        bad = ~np.isfinite(sol) | (sol < 0) | (sol > 1e15)
+        sol[bad] = np.inf
+        t[others] = sol
+        return t
 
 
 def hitting_time_moments(
@@ -110,18 +114,21 @@ def hitting_time_moments(
     var = np.zeros(n)
     if others.size == 0:
         return mean, var
-    Q = P[others][:, others].tocsc()
-    A = (sp.identity(others.size, format="csc") - Q)
-    ones = np.ones(others.size)
-    try:
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", MatrixRankWarning)
-            lu = splu(A)
-            m = lu.solve(ones)
-            s = lu.solve(ones + 2.0 * Q.dot(m))
-    except RuntimeError:
-        m = np.full(others.size, np.inf)
-        s = np.full(others.size, np.inf)
+    with span(
+        "markov.passage.hitting_moments", n_states=n, n_targets=int(mask.sum())
+    ):
+        Q = P[others][:, others].tocsc()
+        A = (sp.identity(others.size, format="csc") - Q)
+        ones = np.ones(others.size)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", MatrixRankWarning)
+                lu = splu(A)
+                m = lu.solve(ones)
+                s = lu.solve(ones + 2.0 * Q.dot(m))
+        except RuntimeError:
+            m = np.full(others.size, np.inf)
+            s = np.full(others.size, np.inf)
     m = np.asarray(m, dtype=float)
     s = np.asarray(s, dtype=float)
     bad = ~np.isfinite(m) | (m < 0) | (m > 1e15)

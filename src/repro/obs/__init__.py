@@ -1,0 +1,68 @@
+"""Pipeline-wide observability: spans, metrics, and run manifests.
+
+Three layers, designed to compose into one artifact per run:
+
+:mod:`repro.obs.tracing`
+    A lightweight span tracer.  Library code opens nested spans
+    (``with span("cdr.build_tpm") as sp: ...``) carrying wall/CPU time
+    and structured attributes; a no-op fallback keeps the uninstrumented
+    cost to one context-variable lookup.
+:mod:`repro.obs.metrics`
+    A process-wide registry of counters, gauges and histograms with
+    Prometheus text exposition and a JSON snapshot form.
+:mod:`repro.obs.manifest`
+    Run manifests (schema ``repro.run-trace/1``): spec, versions, span
+    tree, stage timings, peak RSS, result digests, the embedded
+    ``repro.solver-trace/1`` solver trace, and the metrics snapshot.
+
+The CLI surfaces all of it: ``python -m repro analyze --metrics out.json``
+writes a manifest and ``python -m repro stats out.json`` pretty-prints one.
+"""
+
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    span,
+    use_tracer,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.manifest import (
+    RUN_TRACE_SCHEMA,
+    build_run_manifest,
+    digest_array,
+    format_run_manifest,
+    load_run_manifest,
+    peak_rss_bytes,
+    write_run_manifest,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "current_span",
+    "get_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "RUN_TRACE_SCHEMA",
+    "build_run_manifest",
+    "write_run_manifest",
+    "load_run_manifest",
+    "format_run_manifest",
+    "peak_rss_bytes",
+    "digest_array",
+]

@@ -1,0 +1,337 @@
+"""Run manifests: one JSON artifact telling a whole analysis's story.
+
+A manifest (schema ``repro.run-trace/1``, the pipeline-wide extension of
+the solver-level ``repro.solver-trace/1`` from :mod:`repro.markov.monitor`)
+captures everything needed to audit or reproduce one run:
+
+* the :class:`~repro.core.spec.CDRSpec` that was analyzed,
+* package versions (python / numpy / scipy / repro) and the platform,
+* the nested span tree (stage wall/CPU timings and structured attributes,
+  see :mod:`repro.obs.tracing`) plus a flat per-stage summary,
+* peak RSS of the process,
+* headline results with SHA-256 digests of the stationary vector and the
+  result record (regression-diffable without storing megabytes),
+* the embedded per-iteration solver trace (``repro.solver-trace/1``),
+* a metrics snapshot, both as JSON and as Prometheus exposition text.
+
+The CLI writes one via ``python -m repro analyze ... --metrics out.json``
+and pretty-prints one via ``python -m repro stats out.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "RUN_TRACE_SCHEMA",
+    "build_run_manifest",
+    "write_run_manifest",
+    "load_run_manifest",
+    "format_run_manifest",
+    "peak_rss_bytes",
+    "digest_array",
+]
+
+#: Schema tag embedded in every run manifest.
+RUN_TRACE_SCHEMA = "repro.run-trace/1"
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, or None when unavailable."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kibibytes on Linux, bytes on macOS.
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
+def digest_array(arr) -> str:
+    """SHA-256 hex digest of an ndarray's contiguous byte image."""
+    import numpy as np
+
+    a = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _digest_json(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _versions() -> Dict[str, str]:
+    import numpy
+    import scipy
+
+    import repro
+
+    return {
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "repro": repro.__version__,
+    }
+
+
+def _platform() -> Dict[str, str]:
+    import platform
+
+    return {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "python_implementation": platform.python_implementation(),
+    }
+
+
+def build_run_manifest(
+    *,
+    kind: str = "analysis",
+    spec: Any = None,
+    analysis: Any = None,
+    tracer: Optional[Tracer] = None,
+    results: Optional[Dict[str, Any]] = None,
+    solver_trace: Optional[Dict[str, Any]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    argv: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Assemble a ``repro.run-trace/1`` manifest dict.
+
+    Every argument is optional so the same builder serves analyses,
+    sweeps, acquisition runs and benchmarks; pass whatever the run
+    produced and the manifest records that subset.
+
+    Parameters
+    ----------
+    kind:
+        Free-form run category (``analysis`` / ``sweep`` / ``acquire`` /
+        ``benchmark`` ...).
+    spec:
+        A :class:`~repro.core.spec.CDRSpec` or an already-serialized dict.
+    analysis:
+        A :class:`~repro.core.analyzer.CDRAnalysis`; contributes headline
+        results, digests, stage timings, the span tree and the embedded
+        solver trace when not given explicitly.
+    tracer:
+        The run's :class:`~repro.obs.tracing.Tracer`; its root spans
+        become the manifest's ``spans`` (overriding ``analysis.trace``).
+    results:
+        Extra result fields merged over the analysis-derived ones.
+    solver_trace:
+        A ``repro.solver-trace/1`` dict (e.g.
+        ``RecordingMonitor.to_trace()``); defaults to the recording the
+        analyzer captured.
+    registry:
+        Metrics registry to snapshot; defaults to the process-wide one.
+    argv:
+        Command line to record (defaults to ``sys.argv`` of the process).
+    """
+    registry = get_registry() if registry is None else registry
+
+    spec_dict: Optional[Dict[str, Any]] = None
+    if spec is None and analysis is not None:
+        spec = getattr(analysis, "spec", None)
+    if spec is not None:
+        if isinstance(spec, dict):
+            spec_dict = spec
+        else:
+            from repro.core.serialize import spec_to_dict
+
+            spec_dict = spec_to_dict(spec)
+
+    spans: List[Dict[str, Any]] = []
+    stages: Dict[str, float] = {}
+    if tracer is not None:
+        spans = tracer.to_dicts()
+        for root in tracer.roots:
+            for name, seconds in root.stage_seconds().items():
+                stages[name] = stages.get(name, 0.0) + seconds
+    elif analysis is not None and getattr(analysis, "trace", None) is not None:
+        spans = [analysis.trace.to_dict()]
+    if analysis is not None:
+        # The analyzer's canonical stage summary wins over raw span sums.
+        stages.update(getattr(analysis, "stage_seconds", {}) or {})
+
+    result_record: Dict[str, Any] = {}
+    digests: Dict[str, str] = {}
+    if analysis is not None:
+        result_record = {
+            "n_states": analysis.n_states,
+            "ber": analysis.ber,
+            "ber_discrete": analysis.ber_discrete,
+            "slip_rate": analysis.slip_rate,
+            "mean_symbols_between_slips": analysis.mean_symbols_between_slips,
+            "phase_stats": dict(analysis.phase_stats),
+            "solver_method": analysis.solver_result.method,
+            "solver_iterations": analysis.solver_result.iterations,
+            "solver_residual": analysis.solver_result.residual,
+            "solver_converged": analysis.solver_result.converged,
+        }
+        digests["stationary_sha256"] = digest_array(analysis.stationary)
+        if solver_trace is None and analysis.solver_recording is not None:
+            solver_trace = analysis.solver_recording.to_trace()
+    if results:
+        result_record.update(results)
+    if result_record:
+        digests["results_sha256"] = _digest_json(result_record)
+    if spec_dict is not None:
+        digests["spec_sha256"] = _digest_json(spec_dict)
+
+    return {
+        "schema": RUN_TRACE_SCHEMA,
+        "kind": kind,
+        "created_unix": time.time(),
+        "argv": list(sys.argv) if argv is None else list(argv),
+        "versions": _versions(),
+        "platform": _platform(),
+        "spec": spec_dict,
+        "spans": spans,
+        "stages": stages,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "results": result_record,
+        "digests": digests,
+        "solver_trace": solver_trace,
+        "metrics": {
+            "snapshot": registry.to_dict(),
+            "prometheus": registry.render_prometheus(),
+        },
+    }
+
+
+def write_run_manifest(
+    path_or_file: Union[str, IO[str]],
+    manifest: Dict[str, Any],
+    indent: int = 2,
+) -> None:
+    """Write a manifest as JSON to a path or open text file."""
+    if manifest.get("schema") != RUN_TRACE_SCHEMA:
+        raise ValueError("not a run manifest (missing/wrong schema tag)")
+    if hasattr(path_or_file, "write"):
+        json.dump(manifest, path_or_file, indent=indent)
+        return
+    with open(path_or_file, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=indent)
+        fh.write("\n")
+
+
+def load_run_manifest(path: str) -> Dict[str, Any]:
+    """Read a manifest back, validating its schema tag."""
+    with open(path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("schema") != RUN_TRACE_SCHEMA:
+        raise ValueError(
+            f"unrecognized manifest schema {manifest.get('schema')!r}; "
+            f"expected {RUN_TRACE_SCHEMA!r}"
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------- #
+# pretty-printing (the `repro stats` command)
+# ---------------------------------------------------------------------- #
+
+_SPAN_ATTR_ORDER = (
+    "n_states", "nnz", "memory_bytes", "method", "iterations", "residual",
+    "converged", "parameter", "value", "mode", "symbols_per_second",
+)
+
+
+def _format_span(node: Dict[str, Any], depth: int, lines: List[str]) -> None:
+    attrs = node.get("attributes", {})
+    shown = []
+    for key in _SPAN_ATTR_ORDER:
+        if key in attrs:
+            v = attrs[key]
+            shown.append(f"{key}={v:.3g}" if isinstance(v, float) else f"{key}={v}")
+    extra = f"  [{' '.join(shown)}]" if shown else ""
+    lines.append(
+        f"  {'  ' * depth}{node['name']:<{max(28 - 2 * depth, 8)}} "
+        f"{node['wall_s']:9.3f} s  (cpu {node['cpu_s']:.3f} s){extra}"
+    )
+    for child in node.get("children", []):
+        _format_span(child, depth + 1, lines)
+
+
+def format_run_manifest(manifest: Dict[str, Any]) -> str:
+    """Human-readable rendering of a run manifest (``repro stats``)."""
+    lines: List[str] = []
+    created = time.strftime(
+        "%Y-%m-%d %H:%M:%S", time.localtime(manifest.get("created_unix", 0))
+    )
+    lines.append(f"{manifest['schema']} ({manifest.get('kind', '?')}) -- {created}")
+    versions = manifest.get("versions", {})
+    if versions:
+        lines.append(
+            "versions: " + "  ".join(f"{k} {v}" for k, v in versions.items())
+        )
+    rss = manifest.get("peak_rss_bytes")
+    if rss:
+        lines.append(f"peak RSS: {rss / 1e6:.1f} MB")
+    spec = manifest.get("spec")
+    if spec:
+        keys = ("n_phase_points", "n_clock_phases", "counter_length",
+                "nw_std", "nr_max", "nr_mean")
+        lines.append(
+            "spec: " + "  ".join(f"{k}={spec[k]}" for k in keys if k in spec)
+        )
+    spans = manifest.get("spans") or []
+    if spans:
+        lines.append("spans:")
+        for root in spans:
+            _format_span(root, 0, lines)
+    results = manifest.get("results") or {}
+    if results:
+        lines.append("results:")
+        for key, value in results.items():
+            if isinstance(value, float):
+                lines.append(f"  {key}: {value:.6g}")
+            elif not isinstance(value, (dict, list)):
+                lines.append(f"  {key}: {value}")
+    trace = manifest.get("solver_trace")
+    if trace:
+        lines.append(
+            f"solver trace: {trace.get('method')} -- "
+            f"{trace.get('iterations')} iterations recorded, "
+            f"residual {trace.get('residual'):.3e}, "
+            f"{len(trace.get('vcycle_events') or [])} V-cycle level events"
+        )
+    snapshot = (manifest.get("metrics") or {}).get("snapshot") or {}
+    if snapshot:
+        lines.append(f"metrics ({len(snapshot)}):")
+        for name, payload in snapshot.items():
+            samples = payload.get("samples", [])
+            if payload.get("type") == "histogram":
+                n = sum(s.get("count", 0) for s in samples)
+                total = sum(s.get("sum", 0.0) for s in samples)
+                lines.append(
+                    f"  {name} ({payload['type']}): "
+                    f"count={n} sum={total:.6g}"
+                )
+            else:
+                parts = []
+                for s in samples[:4]:
+                    labels = dict(s.get("labels") or {})
+                    tag = (
+                        "{" + ",".join(f'{k}="{v}"' for k, v in labels.items()) + "} "
+                        if labels else ""
+                    )
+                    parts.append(f"{tag}{s['value']:g}")
+                lines.append(f"  {name} ({payload['type']}): {', '.join(parts)}")
+    digests = manifest.get("digests") or {}
+    if digests:
+        lines.append(
+            "digests: "
+            + "  ".join(f"{k}={v[:12]}" for k, v in digests.items())
+        )
+    return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Process-wide metrics registry with Prometheus text exposition.
+
+Counters, gauges and histograms for the analysis pipeline, exportable two
+ways from the same registry:
+
+* :meth:`MetricsRegistry.render_prometheus` -- the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` + samples), ready to serve
+  from a ``/metrics`` endpoint or push to a gateway;
+* :meth:`MetricsRegistry.to_dict` -- a JSON-friendly snapshot embedded in
+  run manifests (:mod:`repro.obs.manifest`).
+
+Library code uses the process-wide default registry so metrics accumulate
+across every analysis in the process::
+
+    from repro.obs import get_registry
+
+    get_registry().counter(
+        "repro_analyses_total", "Completed end-to-end analyses"
+    ).inc()
+
+Metric instances are get-or-create: asking for an existing name returns
+the registered instance (a conflicting type raises ``ValueError``).
+Labels are passed per-observation (``c.inc(1, solver="multigrid")``);
+each distinct label combination is tracked as its own sample series.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+]
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    return repr(float(v))
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, per-label-set samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str) -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def _type_line(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {_escape(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, symbols, iterations)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str) -> None:
+        super().__init__(name, help)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = self._type_line()
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(key)} "
+                f"{_format_value(self._values[key])}"
+            )
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "samples": [
+                {"labels": dict(k), "value": v}
+                for k, v in sorted(self._values.items())
+            ],
+        }
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (throughput, sizes, residuals)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str) -> None:
+        super().__init__(name, help)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    render = Counter.render
+    to_dict = Counter.to_dict
+
+
+#: Default histogram buckets, tuned for stage durations in seconds.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0
+)
+
+
+class Histogram(_Metric):
+    """Distribution of observations with cumulative Prometheus buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        # per label-set: (per-bound counts, total count, total sum)
+        self._series: Dict[_LabelKey, Tuple[List[int], List[float]]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            if key not in self._series:
+                self._series[key] = ([0] * len(self.bounds), [0, 0.0])
+            counts, totals = self._series[key]
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[i] += 1
+            totals[0] += 1
+            totals[1] += value
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(_label_key(labels))
+        return int(series[1][0]) if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        return float(series[1][1]) if series else 0.0
+
+    def render(self) -> List[str]:
+        lines = self._type_line()
+        for key in sorted(self._series):
+            counts, (n, total) = self._series[key]
+            for bound, c in zip(self.bounds, counts):
+                le = _render_labels(key, [("le", _format_value(bound))])
+                lines.append(f"{self.name}_bucket{le} {int(c)}")
+            le = _render_labels(key, [("le", "+Inf")])
+            lines.append(f"{self.name}_bucket{le} {int(n)}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} {_format_value(total)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {int(n)}")
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "buckets": list(self.bounds),
+            "samples": [
+                {
+                    "labels": dict(key),
+                    "bucket_counts": list(counts),
+                    "count": int(n),
+                    "sum": total,
+                }
+                for key, (counts, (n, total)) in sorted(self._series.items())
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Registry of named metrics with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every registered metric (test isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export ---------------------------------------------------------- #
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot ``{metric name: {type, help, samples}}``."""
+        return {name: m.to_dict() for name, m in sorted(self._metrics.items())}
+
+
+#: The process-wide default registry used by instrumented library code.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return REGISTRY

@@ -1,0 +1,284 @@
+"""Span-based tracing for the end-to-end analysis pipeline.
+
+The paper's tractability argument ("million state problems in less than an
+hour") is a statement about *where time goes*: matrix formation versus the
+stationary solve versus the measure extraction.  This module generalizes
+the ad-hoc ``form_time`` / ``solve_time`` floats into nested, attributed
+spans covering the whole flow:
+
+* a :class:`Span` records wall-clock time (``perf_counter``), CPU time
+  (``process_time``), arbitrary structured attributes (``n_states``,
+  ``nnz``, ``memory_bytes`` ...) and its child spans;
+* a :class:`Tracer` owns a stack of open spans and the finished roots;
+* the module-level :func:`span` context manager reports to the *active*
+  tracer (a :mod:`contextvars` variable, so nested/threaded flows behave),
+  and collapses to a shared no-op when no tracer is active -- instrumented
+  library code costs one context-variable lookup when nobody is listening.
+
+Typical use::
+
+    from repro.obs import Tracer, use_tracer, span
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("cdr.analyze"):
+            ...  # nested spans from the library land under this root
+    print(tracer.to_dicts())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "current_span",
+    "get_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One timed, attributed stage of a pipeline run.
+
+    Times are ``perf_counter`` / ``process_time`` readings; consumers
+    should only use differences (:attr:`wall_time`, :attr:`cpu_time`) and
+    the start offsets relative to an enclosing span.
+    """
+
+    name: str
+    start: float
+    cpu_start: float
+    end: Optional[float] = None
+    cpu_end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def finish(self) -> "Span":
+        if self.end is None:
+            self.end = time.perf_counter()
+            self.cpu_end = time.process_time()
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def wall_time(self) -> float:
+        """Wall-clock seconds (elapsed so far when still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    @property
+    def cpu_time(self) -> float:
+        """Process CPU seconds (elapsed so far when still open)."""
+        cpu_end = self.cpu_end if self.cpu_end is not None else time.process_time()
+        return cpu_end - self.cpu_start
+
+    # -- attributes ------------------------------------------------------ #
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def set_attributes(self, **attributes: Any) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    # -- queries --------------------------------------------------------- #
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span (depth-first, self included) with the given name."""
+        for s in self.iter_spans():
+            if s.name == name:
+                return s
+        return None
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Wall seconds of each *direct* child, keyed by span name.
+
+        Duplicate names accumulate (e.g. per-point sweep spans).
+        """
+        out: Dict[str, float] = {}
+        for child in self.children:
+            out[child.name] = out.get(child.name, 0.0) + child.wall_time
+        return out
+
+    def to_dict(self, origin: Optional[float] = None) -> Dict[str, Any]:
+        """JSON-serializable nested form; offsets relative to ``origin``."""
+        if origin is None:
+            origin = self.start
+        return {
+            "name": self.name,
+            "start_offset_s": self.start - origin,
+            "wall_s": self.wall_time,
+            "cpu_s": self.cpu_time,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict(origin) for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.wall_time:.6f}s" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Stateless stand-in yielded when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def set_attributes(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager opening one span on a specific tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and self._span is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects a tree of spans for one run (not thread-safe by design:
+    use one tracer per worker and merge the exported dicts)."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a child span of the innermost open span (or a new root)."""
+        return _SpanContext(self, name, attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON form of all root spans (offsets relative to first root)."""
+        if not self.roots:
+            return []
+        origin = self.roots[0].start
+        return [r.to_dict(origin) for r in self.roots]
+
+    def find(self, name: str) -> Optional[Span]:
+        for root in self.roots + self._stack[:1]:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    # -- internal -------------------------------------------------------- #
+
+    def _open(self, name: str, attributes: Dict[str, Any]) -> Span:
+        s = Span(
+            name=name,
+            start=time.perf_counter(),
+            cpu_start=time.process_time(),
+            attributes=dict(attributes),
+        )
+        if self._stack:
+            self._stack[-1].children.append(s)
+        self._stack.append(s)
+        return s
+
+    def _close(self, s: Optional[Span]) -> None:
+        if s is None:
+            return
+        s.finish()
+        if self._stack and self._stack[-1] is s:
+            self._stack.pop()
+        else:  # tolerate out-of-order exits instead of corrupting the tree
+            try:
+                self._stack.remove(s)
+            except ValueError:
+                pass
+        if not self._stack and s not in self.roots:
+            self.roots.append(s)
+
+
+_ACTIVE_TRACER: ContextVar[Optional[Tracer]] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The tracer instrumented library code currently reports to."""
+    return _ACTIVE_TRACER.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` as the active tracer for the enclosed block."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the active tracer (no-op when none is active).
+
+    Usage::
+
+        with span("cdr.build_tpm", n_states=n) as sp:
+            ...
+            sp.set_attributes(nnz=P.nnz)
+    """
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def current_span():
+    """The innermost open span of the active tracer (or a no-op span)."""
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None or tracer.current is None:
+        return _NULL_SPAN
+    return tracer.current

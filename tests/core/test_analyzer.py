@@ -52,8 +52,34 @@ class TestAnalyzeCDR:
         assert 0.0 < analysis.phase_rms < 0.5
 
     def test_timings(self, analysis):
-        assert analysis.form_time > 0.0
-        assert analysis.solve_time > 0.0
+        assert analysis.build_seconds > 0.0
+        assert analysis.solve_seconds > 0.0
+
+    def test_stage_seconds(self, analysis):
+        stages = analysis.stage_seconds
+        assert stages["cdr.build_tpm"] > 0.0
+        assert stages["markov.solve"] > 0.0
+
+    def test_trace_spans_recorded(self, analysis):
+        assert analysis.trace is not None
+        names = [s.name for s in analysis.trace.iter_spans()]
+        assert "cdr.analyze" in names
+        assert "cdr.build_tpm" in names
+        assert "markov.solve" in names
+        assert "cdr.measures" in names
+
+    def test_solver_recording_attached(self, analysis):
+        rec = analysis.solver_recording
+        assert rec is not None
+        trace = rec.to_trace()
+        assert trace["iterations"] == analysis.solver_result.iterations
+        assert trace["method"] == analysis.solver_result.method
+
+    def test_legacy_timing_properties_deprecated(self, analysis):
+        with pytest.deprecated_call():
+            assert analysis.form_time == analysis.build_seconds
+        with pytest.deprecated_call():
+            assert analysis.solve_time == analysis.solve_seconds
 
     def test_report_format(self, analysis):
         report = analysis.report()

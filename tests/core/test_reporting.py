@@ -30,6 +30,20 @@ class TestFormatTable:
         out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
         assert "3" in out
 
+    def test_empty_records(self):
+        assert format_table([{}, {}]) == "(no columns)"
+
+    def test_ragged_records_union_columns(self):
+        out = format_table([{"a": 1}, {"b": 2}])
+        header = out.splitlines()[0]
+        assert "a" in header and "b" in header
+        assert "2" in out
+
+    def test_nonfinite_floats_render(self):
+        out = format_table([{"x": float("nan"), "y": float("inf")}])
+        assert "nan" in out
+        assert "inf" in out
+
 
 class TestFormatPDF:
     def test_renders_histogram(self):
@@ -47,9 +61,38 @@ class TestFormatPDF:
         out = format_pdf_ascii(np.array([0.0]), np.array([1.0]), n_bins=10, height=4)
         assert "#" in out
 
+    def test_empty_input(self):
+        out = format_pdf_ascii(np.array([]), np.array([]), title="phi")
+        assert out == "phi\n(no finite probability mass)"
+
+    def test_all_nonfinite_mass(self):
+        values = np.array([np.nan, np.inf])
+        probs = np.array([0.5, 0.5])
+        out = format_pdf_ascii(values, probs)
+        assert "(no finite probability mass)" in out
+
+    def test_nonfinite_atoms_dropped(self):
+        values = np.array([-0.1, 0.0, 0.1, np.nan, np.inf])
+        probs = np.array([0.25, 0.5, 0.25, np.nan, 1.0])
+        out = format_pdf_ascii(values, probs, n_bins=10, height=4)
+        assert "#" in out
+        assert "-0.100" in out and "+0.100" in out
+
+    def test_shape_mismatch_rejected(self):
+        with np.testing.assert_raises(ValueError):
+            format_pdf_ascii(np.zeros(3), np.zeros(2))
+
 
 class TestFormatRecord:
     def test_basic(self):
         out = format_record({"ber": 1e-9, "size": 100})
         assert "ber: 1e-09" in out
         assert "size: 100" in out
+
+    def test_empty(self):
+        assert format_record({}) == "(empty record)"
+
+    def test_nonfinite_floats(self):
+        out = format_record({"a": float("nan"), "b": float("-inf")})
+        assert "a: nan" in out
+        assert "b: -inf" in out

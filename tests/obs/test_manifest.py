@@ -1,0 +1,148 @@
+"""Tests for run manifests (repro.obs.manifest)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import CDRSpec, analyze_cdr, obs
+from repro.obs import (
+    RUN_TRACE_SCHEMA,
+    Tracer,
+    build_run_manifest,
+    digest_array,
+    format_run_manifest,
+    load_run_manifest,
+    peak_rss_bytes,
+    use_tracer,
+    write_run_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def fast_spec():
+    return CDRSpec(
+        n_phase_points=64, n_clock_phases=16, counter_length=2,
+        max_run_length=2, nw_std=0.08, nw_atoms=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        analysis = analyze_cdr(fast_spec(), solver="direct")
+    return tracer, analysis
+
+
+class TestHelpers:
+    def test_peak_rss_positive(self):
+        rss = peak_rss_bytes()
+        assert rss is None or rss > 1_000_000
+
+    def test_digest_array_stable_and_sensitive(self):
+        a = np.arange(6, dtype=float)
+        assert digest_array(a) == digest_array(a.copy())
+        assert digest_array(a) != digest_array(a.reshape(2, 3))
+        assert digest_array(a) != digest_array(a + 1)
+
+
+class TestBuildRunManifest:
+    def test_acceptance_full_manifest(self, traced_run):
+        """The PR's acceptance shape: nested spans for build / solve /
+        measures, embedded solver-monitor events, and a
+        Prometheus-renderable metrics snapshot."""
+        tracer, analysis = traced_run
+        m = build_run_manifest(
+            kind="analysis", spec=analysis.spec, analysis=analysis,
+            tracer=tracer,
+        )
+        assert m["schema"] == RUN_TRACE_SCHEMA
+
+        # nested spans: cdr.analyze > {cdr.build_tpm, markov.solve, cdr.measures}
+        roots = {s["name"]: s for s in m["spans"]}
+        assert "cdr.analyze" in roots
+        children = {c["name"] for c in roots["cdr.analyze"]["children"]}
+        assert {"cdr.build_tpm", "markov.solve", "cdr.measures"} <= children
+        assert m["stages"]["cdr.build_tpm"] > 0.0
+        assert m["stages"]["markov.solve"] > 0.0
+
+        # embedded solver trace with per-iteration events
+        trace = m["solver_trace"]
+        assert trace["schema"] == "repro.solver-trace/1"
+        assert trace["iterations"] == len(trace["events"]) >= 1
+        assert trace["method"] == analysis.solver_result.method
+
+        # metrics snapshot in both forms
+        assert "repro_analyses_total" in m["metrics"]["snapshot"]
+        assert "# TYPE repro_analyses_total counter" in m["metrics"]["prometheus"]
+
+        # environment + digests
+        assert m["versions"]["repro"]
+        assert m["spec"]["counter_length"] == 2
+        assert len(m["digests"]["stationary_sha256"]) == 64
+        assert m["results"]["ber"] == analysis.ber
+
+    def test_minimal_manifest(self):
+        m = build_run_manifest(kind="benchmark", registry=MetricsRegistry())
+        assert m["schema"] == RUN_TRACE_SCHEMA
+        assert m["spans"] == []
+        assert m["results"] == {}
+        assert m["spec"] is None
+
+    def test_results_merge_over_analysis(self, traced_run):
+        tracer, analysis = traced_run
+        m = build_run_manifest(
+            analysis=analysis, tracer=tracer, results={"ber": 42.0, "extra": 1},
+        )
+        assert m["results"]["ber"] == 42.0
+        assert m["results"]["extra"] == 1
+
+    def test_json_serializable(self, traced_run):
+        tracer, analysis = traced_run
+        m = build_run_manifest(analysis=analysis, tracer=tracer)
+        json.dumps(m)
+
+
+class TestWriteLoadFormat:
+    def test_roundtrip(self, tmp_path, traced_run):
+        tracer, analysis = traced_run
+        m = build_run_manifest(
+            kind="analysis", spec=analysis.spec, analysis=analysis,
+            tracer=tracer,
+        )
+        path = tmp_path / "run.json"
+        write_run_manifest(str(path), m)
+        loaded = load_run_manifest(str(path))
+        assert loaded["schema"] == RUN_TRACE_SCHEMA
+        assert loaded["digests"] == m["digests"]
+
+    def test_write_rejects_non_manifest(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_run_manifest(str(tmp_path / "x.json"), {"schema": "bogus"})
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"schema": "something-else/9"}')
+        with pytest.raises(ValueError):
+            load_run_manifest(str(path))
+
+    def test_format_renders_sections(self, traced_run):
+        tracer, analysis = traced_run
+        m = build_run_manifest(
+            kind="analysis", spec=analysis.spec, analysis=analysis,
+            tracer=tracer,
+        )
+        text = format_run_manifest(m)
+        assert RUN_TRACE_SCHEMA in text
+        assert "spans:" in text
+        assert "cdr.build_tpm" in text
+        assert "markov.solve" in text
+        assert "solver trace:" in text
+        assert "metrics (" in text
+        assert "stationary_sha256=" in text
+
+    def test_public_api_reexported(self):
+        for name in ("Tracer", "span", "use_tracer", "get_registry",
+                     "build_run_manifest", "RUN_TRACE_SCHEMA"):
+            assert hasattr(obs, name)

@@ -1,0 +1,135 @@
+"""Tests for the metrics registry and Prometheus exposition."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("events_total", "events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_labels_are_separate_series(self, registry):
+        c = registry.counter("solves_total")
+        c.inc(method="direct")
+        c.inc(2, method="multigrid")
+        assert c.value(method="direct") == 1
+        assert c.value(method="multigrid") == 2
+        assert c.value() == 0
+
+    def test_negative_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name!", "")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == pytest.approx(13.0)
+        g.dec(20)
+        assert g.value() == pytest.approx(-7.0)
+
+
+class TestHistogram:
+    def test_observe_count_sum(self, registry):
+        h = registry.histogram("lat_seconds", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+
+    def test_cumulative_buckets(self, registry):
+        h = registry.histogram("lat_seconds", buckets=[0.1, 1.0])
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = "\n".join(h.render())
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self, registry):
+        a = registry.counter("x_total", "help text")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_type_conflict_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_names_and_get(self, registry):
+        registry.gauge("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+        assert isinstance(registry.get("b"), Gauge)
+        assert registry.get("missing") is None
+
+    def test_reset(self, registry):
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.names() == []
+
+    def test_process_wide_registry(self):
+        assert get_registry() is get_registry()
+
+
+class TestPrometheusRendering:
+    def test_full_exposition(self, registry):
+        c = registry.counter("runs_total", "Completed runs")
+        c.inc(3, kind="analysis")
+        g = registry.gauge("rss_bytes", "Peak RSS")
+        g.set(1.5e6)
+        text = registry.render_prometheus()
+        assert "# HELP runs_total Completed runs" in text
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{kind="analysis"} 3.0' in text
+        assert "# TYPE rss_bytes gauge" in text
+        assert "rss_bytes 1500000.0" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prometheus() == ""
+
+    def test_label_escaping(self, registry):
+        registry.counter("esc_total").inc(1, path='a"b\\c\nd')
+        text = registry.render_prometheus()
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_to_dict_snapshot(self, registry):
+        registry.counter("a_total").inc(2, k="v")
+        h = registry.histogram("d_seconds", buckets=[1.0])
+        h.observe(0.5)
+        snap = registry.to_dict()
+        assert snap["a_total"]["type"] == "counter"
+        assert snap["a_total"]["samples"][0] == {"labels": {"k": "v"}, "value": 2.0}
+        assert snap["d_seconds"]["samples"][0]["count"] == 1
+        assert snap["d_seconds"]["buckets"] == [1.0]

@@ -1,0 +1,146 @@
+"""Tests for the span tracer (repro.obs.tracing)."""
+
+import pytest
+
+from repro.obs.tracing import (
+    _NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    span,
+    use_tracer,
+)
+
+
+class TestSpan:
+    def test_wall_and_cpu_time(self):
+        s = Span(name="x", start=1.0, cpu_start=2.0, end=3.5, cpu_end=2.25)
+        assert s.wall_time == pytest.approx(2.5)
+        assert s.cpu_time == pytest.approx(0.25)
+        assert s.finished
+
+    def test_finish_idempotent(self):
+        s = Span(name="x", start=0.0, cpu_start=0.0)
+        s.finish()
+        end = s.end
+        s.finish()
+        assert s.end == end
+
+    def test_attributes(self):
+        s = Span(name="x", start=0.0, cpu_start=0.0)
+        s.set_attribute("a", 1).set_attributes(b=2, c="z")
+        assert s.attributes == {"a": 1, "b": 2, "c": "z"}
+
+    def test_iter_and_find(self):
+        root = Span(name="root", start=0.0, cpu_start=0.0)
+        child = Span(name="child", start=0.1, cpu_start=0.0)
+        grand = Span(name="leaf", start=0.2, cpu_start=0.0)
+        child.children.append(grand)
+        root.children.append(child)
+        assert [s.name for s in root.iter_spans()] == ["root", "child", "leaf"]
+        assert root.find("leaf") is grand
+        assert root.find("missing") is None
+
+    def test_stage_seconds_accumulates_duplicates(self):
+        root = Span(name="root", start=0.0, cpu_start=0.0, end=10.0, cpu_end=0.0)
+        for t0, t1 in [(0.0, 1.0), (2.0, 5.0)]:
+            root.children.append(
+                Span(name="work", start=t0, cpu_start=0.0, end=t1, cpu_end=0.0)
+            )
+        assert root.stage_seconds() == {"work": pytest.approx(4.0)}
+
+    def test_to_dict_offsets(self):
+        root = Span(name="root", start=5.0, cpu_start=0.0, end=7.0, cpu_end=1.0)
+        root.children.append(
+            Span(name="c", start=5.5, cpu_start=0.0, end=6.0, cpu_end=0.0)
+        )
+        d = root.to_dict()
+        assert d["start_offset_s"] == 0.0
+        assert d["wall_s"] == pytest.approx(2.0)
+        assert d["children"][0]["start_offset_s"] == pytest.approx(0.5)
+
+
+class TestTracer:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", n=3) as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert len(tracer.roots) == 1
+        assert tracer.roots[0] is outer
+        assert outer.children == [inner]
+        assert inner.attributes == {"n": 3}
+
+    def test_multiple_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+        dicts = tracer.to_dicts()
+        assert len(dicts) == 2
+        assert dicts[1]["start_offset_s"] >= 0.0
+
+    def test_exception_sets_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        root = tracer.roots[0]
+        assert root.finished
+        assert root.attributes["error"] == "RuntimeError"
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        assert tracer.find("leaf").name == "leaf"
+        assert tracer.find("missing") is None
+
+
+class TestModuleLevelSpan:
+    def test_noop_without_tracer(self):
+        assert get_tracer() is None
+        s = span("anything", n=1)
+        assert s is _NULL_SPAN
+        with s as inner:
+            inner.set_attribute("a", 1).set_attributes(b=2)
+        assert current_span() is _NULL_SPAN
+
+    def test_records_with_active_tracer(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with span("stage", n=5) as s:
+                assert current_span() is s
+        assert get_tracer() is None
+        assert tracer.roots[0].name == "stage"
+        assert tracer.roots[0].attributes == {"n": 5}
+
+    def test_nested_use_tracer_restores(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                with span("x"):
+                    pass
+            assert get_tracer() is outer
+        assert inner.roots and not outer.roots
+
+    def test_library_instrumentation_lands_in_tracer(self):
+        from repro import CDRSpec
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            CDRSpec(
+                n_phase_points=64, n_clock_phases=16, counter_length=2,
+                max_run_length=2, nw_std=0.08, nw_atoms=7,
+            ).build_model()
+        build = tracer.find("cdr.build_tpm")
+        assert build is not None
+        assert build.attributes["n_states"] == 384
+        assert build.attributes["nnz"] > 0

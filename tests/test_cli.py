@@ -125,3 +125,82 @@ class TestAcquireCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "P(locked at symbol" in out
+
+
+class TestMetricsFlag:
+    def test_analyze_writes_valid_manifest(self, capsys, tmp_path):
+        from repro.obs import RUN_TRACE_SCHEMA, load_run_manifest
+
+        path = tmp_path / "run.json"
+        rc = main(["analyze", *FAST, "--solver", "direct",
+                   "--metrics", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert f"run manifest written to {path}" in captured.err
+        m = load_run_manifest(str(path))
+        assert m["schema"] == RUN_TRACE_SCHEMA
+        assert m["kind"] == "analysis"
+        roots = {s["name"] for s in m["spans"]}
+        assert "cdr.analyze" in roots
+        assert m["solver_trace"]["method"] == "direct"
+        assert "repro_analyses_total" in m["metrics"]["snapshot"]
+
+    def test_sweep_writes_manifest(self, tmp_path):
+        from repro.obs import load_run_manifest
+
+        path = tmp_path / "sweep.json"
+        rc = main(["sweep", *FAST, "--solver", "direct",
+                   "--parameter", "counter_length", "--values", "1,2",
+                   "--metrics", str(path)])
+        assert rc == 0
+        m = load_run_manifest(str(path))
+        assert m["kind"] == "sweep"
+        assert len(m["results"]["records"]) == 2
+        assert any(s["name"] == "cdr.sweep" for s in m["spans"])
+
+    def test_acquire_writes_manifest(self, tmp_path):
+        from repro.obs import load_run_manifest
+
+        path = tmp_path / "acq.json"
+        rc = main(["acquire", *FAST, "--metrics", str(path)])
+        assert rc == 0
+        m = load_run_manifest(str(path))
+        assert m["kind"] == "acquire"
+        assert m["results"]["worst_case_symbols"] > 0
+
+
+class TestStatsCommand:
+    def test_pretty_prints_manifest(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(["analyze", *FAST, "--solver", "direct",
+                     "--metrics", str(path)]) == 0
+        capsys.readouterr()
+        rc = main(["stats", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro.run-trace/1" in out
+        assert "cdr.build_tpm" in out
+        assert "markov.solve" in out
+        assert "metrics (" in out
+
+    def test_prometheus_dump(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(["analyze", *FAST, "--solver", "direct",
+                     "--metrics", str(path)]) == 0
+        capsys.readouterr()
+        rc = main(["stats", str(path), "--prometheus"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# TYPE repro_analyses_total counter" in out
+
+    def test_missing_file_exits_1(self, capsys, tmp_path):
+        rc = main(["stats", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_wrong_schema_exits_1(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "not-a-run-trace"}')
+        rc = main(["stats", str(path)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
