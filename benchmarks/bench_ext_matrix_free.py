@@ -13,7 +13,19 @@ Shape claims checked:
 * matrix-free and assembled applications agree to machine precision;
 * both application costs scale linearly, so the matrix-free route trades
   no asymptotic time for its O(1) descriptor memory.
+
+The end-to-end sweep (``TestEndToEndSolve``) additionally runs the full
+BER pipeline -- spec -> backend registry -> multigrid -> measures -- once
+per (backend, grid size) pair in a *fresh subprocess*, so ``ru_maxrss``
+is a faithful per-configuration peak, and writes the comparison table to
+``BENCH_ext_op.json``.
 """
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -84,3 +96,86 @@ class TestMatrixFreeOperator:
     def test_agreement_at_all_sizes(self, size_sweep):
         for row in size_sweep:
             assert row["max_abs_diff"] < 1e-13, row
+
+
+_CHILD = """\
+import json, resource, sys, time
+from repro.core.analyzer import analyze_cdr
+from repro.core.spec import CDRSpec
+
+backend, M = sys.argv[1], int(sys.argv[2])
+spec = CDRSpec(n_phase_points=M, n_clock_phases=16, counter_length=8,
+               max_run_length=2, nw_std=0.1, nw_atoms=9)
+t0 = time.perf_counter()
+res = analyze_cdr(spec, backend=backend, solver="multigrid", tol=1e-10)
+wall = time.perf_counter() - t0
+rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform != "darwin":
+    rss *= 1024  # kibibytes on Linux
+print(json.dumps({
+    "backend": backend,
+    "M": M,
+    "n_states": res.n_states,
+    "wall_s": round(wall, 3),
+    "peak_rss_mb": round(rss / 1e6, 1),
+    "ber": res.ber,
+    "iterations": res.solver_result.iterations,
+    "converged": res.solver_result.converged,
+}))
+"""
+
+
+def _run_child(backend, M):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, backend, str(M)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+@pytest.fixture(scope="module")
+def solve_sweep():
+    rows = []
+    for M in (128, 512, 2048):
+        for backend in ("assembled", "matrix-free"):
+            rows.append(_run_child(backend, M))
+    return rows
+
+
+class TestEndToEndSolve:
+    """[EXT-OP] assembled vs matrix-free multigrid, end to end."""
+
+    def test_bench_end_to_end_sweep(self, solve_sweep):
+        print("\n[EXT-OP] assembled vs matrix-free multigrid (per-process)")
+        print(format_table(solve_sweep))
+        Path("BENCH_ext_op.json").write_text(
+            json.dumps({"experiment": "ext_op", "rows": solve_sweep}, indent=2)
+            + "\n"
+        )
+        for row in solve_sweep:
+            assert row["converged"], row
+
+    def test_backends_agree_at_every_size(self, solve_sweep):
+        by_m = {}
+        for row in solve_sweep:
+            by_m.setdefault(row["M"], {})[row["backend"]] = row
+        for M, pair in by_m.items():
+            a, mf = pair["assembled"], pair["matrix-free"]
+            assert abs(mf["ber"] - a["ber"]) <= 1e-6 * a["ber"], M
+
+    def test_matrix_free_memory_no_worse_at_scale(self, solve_sweep):
+        at_largest = {
+            r["backend"]: r for r in solve_sweep if r["M"] == 2048
+        }
+        # The matrix-free run never assembles the fine TPM; allow noise
+        # from allocator behaviour but its peak must not exceed the
+        # assembled run's by more than 10%.
+        assert (
+            at_largest["matrix-free"]["peak_rss_mb"]
+            <= 1.1 * at_largest["assembled"]["peak_rss_mb"]
+        ), at_largest

@@ -33,6 +33,7 @@ from repro.cdr.montecarlo import (
 )
 from repro.cdr.network import build_cdr_network, compile_cdr_network
 from repro.cdr.operator import CDRTransitionOperator
+from repro.cdr.backends import KroneckerCDROperator, OperatorCDRModel
 from repro.cdr.phase_detector import (
     PD_LABELS,
     PD_LAG,
@@ -70,6 +71,8 @@ __all__ = [
     "build_cdr_network",
     "compile_cdr_network",
     "CDRTransitionOperator",
+    "OperatorCDRModel",
+    "KroneckerCDROperator",
     "MonteCarloResult",
     "simulate_cdr",
     "required_symbols_for_ber",

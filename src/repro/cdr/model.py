@@ -45,7 +45,32 @@ from repro.markov.multigrid import CoarseningStrategy, pairing_hierarchy
 from repro.noise.distributions import DiscreteDistribution
 from repro.obs import get_registry, span
 
-__all__ = ["CDRChainModel", "build_cdr_chain"]
+__all__ = ["CDRChainModel", "build_cdr_chain", "phase_pairing_partitions"]
+
+
+def phase_pairing_partitions(
+    n_blocks: int, n_phase_points: int, coarsest_phase_points: int = 8
+) -> List[Partition]:
+    """The paper's coarsening hierarchy for a ``(d, c) x phase`` state space.
+
+    Level ``l`` maps a state space with ``M_l`` phase points onto
+    ``ceil(M_l / 2)`` points by lumping consecutive phase grid values,
+    preserving the ``n_blocks = D * C`` non-phase coordinates.  Shared by
+    the assembled :class:`CDRChainModel` and the matrix-free
+    :class:`~repro.cdr.operator.CDRTransitionOperator` so both backends
+    coarsen identically.
+    """
+    if coarsest_phase_points < 2:
+        raise ValueError("coarsest_phase_points must be at least 2")
+    partitions = []
+    M = n_phase_points
+    while M > coarsest_phase_points:
+        Mc = (M + 1) // 2
+        i = np.arange(n_blocks * M)
+        assign = (i // M) * Mc + (i % M) // 2
+        partitions.append(Partition(assign))
+        M = Mc
+    return partitions
 
 
 @dataclass
@@ -173,18 +198,11 @@ class CDRChainModel:
         the data and counter coordinates, "so the lumped problems resemble
         the original problem but with coarser phase error discretization".
         """
-        if coarsest_phase_points < 2:
-            raise ValueError("coarsest_phase_points must be at least 2")
-        partitions = []
-        DC = self.n_data_states * self.n_counter_states
-        M = self.n_phase_points
-        while M > coarsest_phase_points:
-            Mc = (M + 1) // 2
-            i = np.arange(DC * M)
-            assign = (i // M) * Mc + (i % M) // 2
-            partitions.append(Partition(assign))
-            M = Mc
-        return partitions
+        return phase_pairing_partitions(
+            self.n_data_states * self.n_counter_states,
+            self.n_phase_points,
+            coarsest_phase_points,
+        )
 
     def multigrid_strategy(self, coarsest_phase_points: int = 8) -> CoarseningStrategy:
         """A ready-to-use coarsening strategy for the multigrid solver."""

@@ -202,6 +202,22 @@ class ModulatedCDRModel:
     def multigrid_strategy(self, coarsest_phase_points: int = 8) -> CoarseningStrategy:
         return pairing_hierarchy(self.phase_pairing_partitions(coarsest_phase_points))
 
+    def transition_operator(self):
+        """The chain as a :class:`~repro.markov.linop.TransitionOperator`.
+
+        The modulated builder always assembles, so this is the
+        :class:`~repro.markov.linop.AssembledOperator` adapter -- it makes
+        modulated models first-class citizens of the registry dispatch
+        (``stationary_distribution(model.transition_operator(), ...)``).
+        """
+        from repro.markov.linop import as_operator
+
+        return as_operator(self.chain)
+
+    def slip_row_sums(self) -> np.ndarray:
+        """Per-state cycle-slip flux (matches ``slip_matrix.sum(axis=1)``)."""
+        return np.asarray(self.slip_matrix.sum(axis=1)).ravel()
+
     def __repr__(self) -> str:
         return (
             f"ModulatedCDRModel(states={self.n_states}, D={self.n_data_states}, "

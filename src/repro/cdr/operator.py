@@ -21,21 +21,28 @@ matrix for 1e7 states at ~9 nnz/row would already need multiple GB).
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import List, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.cdr.data_source import transition_run_length_source
 from repro.cdr.loop_filter import counter_state_count
 from repro.cdr.model import _sign_masses
 from repro.cdr.phase_error import PhaseGrid
 from repro.fsm.stochastic import MarkovSource
-from repro.markov.solvers.result import StationaryResult, prepare_initial_guess
+from repro.markov.lumping import Partition, prepare_block_weights
+from repro.markov.multigrid import CoarseningStrategy, pairing_hierarchy
+from repro.markov.solvers.result import StationaryResult
 from repro.noise.distributions import DiscreteDistribution
 from repro.obs import get_registry, span
 
 __all__ = ["CDRTransitionOperator"]
+
+#: Terms per chunk when aggregating the Galerkin coarse operator; bounds
+#: the transient COO triplet storage at ~_RESTRICT_CHUNK * M entries.
+_RESTRICT_CHUNK = 128
 
 
 class CDRTransitionOperator:
@@ -197,7 +204,212 @@ class CDRTransitionOperator:
         )
 
     # ------------------------------------------------------------------ #
-    # matrix-free stationary solve
+    # structural queries (TransitionOperator protocol)
+    # ------------------------------------------------------------------ #
+
+    def diagonal(self) -> np.ndarray:
+        """``diag(P)`` from the term structure (for Jacobi splittings)."""
+        M = self.M
+        diag = np.zeros((self.D * self.C, M))
+        for src, dst, shift, q_vec, scalar in self._terms:
+            if src == dst and shift % M == 0:
+                diag[src] += scalar * (q_vec if q_vec is not None else 1.0)
+        return diag.ravel()
+
+    def row_sums(self) -> np.ndarray:
+        """``P 1`` -- all ones for this stochastic-by-construction chain."""
+        return self.matvec(np.ones(self.n))
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Materialize the explicit CSR matrix (identical to the builder's).
+
+        Only needed by solvers that require the assembled sparsity pattern;
+        costs the O(nnz) memory the operator otherwise avoids.
+        """
+        M, n = self.M, self.n
+        m_idx = np.arange(M)
+        rows, cols, vals = [], [], []
+        for src, dst, shift, q_vec, scalar in self._terms:
+            rows.append(src * M + m_idx)
+            cols.append(dst * M + (m_idx + shift) % M)
+            vals.append(
+                np.full(M, scalar) if q_vec is None else scalar * q_vec
+            )
+        P = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        ).tocsr()
+        P.sum_duplicates()
+        P.eliminate_zeros()
+        return P
+
+    def restrict(
+        self, partition: Partition, weights: Optional[np.ndarray] = None
+    ) -> sp.csr_matrix:
+        """Weighted Galerkin coarse operator, built without assembling ``P``.
+
+        Numerically equivalent (up to summation order) to
+        ``lumped_tpm(self.to_csr(), partition, weights)`` -- the multigrid
+        coarse-level construction -- but the fine matrix never exists: each
+        roll term contributes its ``M`` COO triplets directly in coarse
+        block coordinates, aggregated in chunks of :data:`_RESTRICT_CHUNK`
+        terms so transient memory stays O(chunk * M), not O(nnz).
+        """
+        if partition.n_states != self.n:
+            raise ValueError("partition size does not match operator size")
+        w, block_mass = prepare_block_weights(partition, weights)
+        block = partition.block_of
+        nb = partition.n_blocks
+        M = self.M
+        m_idx = np.arange(M)
+        acc = sp.csr_matrix((nb, nb))
+        rows_c: List[np.ndarray] = []
+        cols_c: List[np.ndarray] = []
+        vals_c: List[np.ndarray] = []
+
+        def flush() -> sp.csr_matrix:
+            chunk = sp.coo_matrix(
+                (
+                    np.concatenate(vals_c),
+                    (np.concatenate(rows_c), np.concatenate(cols_c)),
+                ),
+                shape=(nb, nb),
+            ).tocsr()
+            rows_c.clear()
+            cols_c.clear()
+            vals_c.clear()
+            return chunk
+
+        for src, dst, shift, q_vec, scalar in self._terms:
+            rows = src * M + m_idx
+            cols = dst * M + (m_idx + shift) % M
+            vals = (np.full(M, scalar) if q_vec is None else scalar * q_vec)
+            rows_c.append(block[rows])
+            cols_c.append(block[cols])
+            vals_c.append(vals * w[rows])
+            if len(rows_c) >= _RESTRICT_CHUNK:
+                acc = acc + flush()
+        if rows_c:
+            acc = acc + flush()
+        acc.sum_duplicates()
+        return sp.diags(1.0 / block_mass).dot(acc).tocsr()
+
+    def slip_row_sums(self) -> np.ndarray:
+        """Per-state probability of a phase-wrap (cycle-slip) transition.
+
+        Matches ``slip_matrix.sum(axis=1)`` of the assembled model: a term
+        with circular shift ``s > 0`` wraps exactly for source phases
+        ``m >= M - s`` and ``s < 0`` for ``m < -s`` (same convention as
+        ``PhaseGrid.shift_indices``).  This is all
+        :func:`~repro.markov.passage.stationary_event_rate` needs, so slip
+        rate and MTBF work without the slip matrix ever existing.
+        """
+        M = self.M
+        out = np.zeros((self.D * self.C, M))
+        m_idx = np.arange(M)
+        for src, dst, shift, q_vec, scalar in self._terms:
+            if shift == 0:
+                continue
+            wrapped = (m_idx >= M - shift) if shift > 0 else (m_idx < -shift)
+            if not np.any(wrapped):
+                continue
+            if q_vec is None:
+                out[src, wrapped] += scalar
+            else:
+                out[src, wrapped] += scalar * q_vec[wrapped]
+        return out.ravel()
+
+    def to_kronecker(self):
+        """Kronecker/SAN descriptor of the same matrix over ``[D, C, M]``.
+
+        One descriptor term per (data state, decision, drift atom): a
+        ``D x D`` data-branch factor, a single-entry counter factor and a
+        shifted-diagonal phase factor, with the drift probability as the
+        coefficient.  The sum of terms reproduces the chain exactly (a
+        test invariant), which is what makes the ``kronecker`` backend a
+        drop-in for the matrix-free one.
+        """
+        from repro.fsm.kronecker import KroneckerDescriptor
+
+        N = self.counter_length
+        C, D, M = self.C, self.D, self.M
+        g = self.phase_step_units
+        desc = KroneckerDescriptor([D, C, M])
+        m_idx = np.arange(M)
+        for d in range(D):
+            t = self.data_source.symbol(d)
+            branches = self.data_source.branches(d)
+            d_next_idx = np.array([b[0] for b in branches])
+            d_probs = np.array([b[1] for b in branches], dtype=float)
+            data_factor = sp.csr_matrix(
+                (d_probs, (np.full(len(branches), d), d_next_idx)),
+                shape=(D, D),
+            )
+            decisions = (
+                [(1, self._masses[1]), (0, self._masses[0]), (-1, self._masses[-1])]
+                if t == 1
+                else [(0, None)]
+            )
+            for c in range(C):
+                c_val = c - (N - 1)
+                for o, q_vec in decisions:
+                    v = c_val + o
+                    if v >= N:
+                        direction, c_next_val = 1, 0
+                    elif v <= -N:
+                        direction, c_next_val = -1, 0
+                    else:
+                        direction, c_next_val = 0, v
+                    c_next = c_next_val + (N - 1)
+                    counter_factor = sp.csr_matrix(
+                        ([1.0], ([c], [c_next])), shape=(C, C)
+                    )
+                    for r_steps, q_r in zip(
+                        self.nr_steps.values, self.nr_steps.probs
+                    ):
+                        shift = -g * direction + int(r_steps)
+                        phase_vals = (
+                            np.full(M, 1.0) if q_vec is None else q_vec
+                        )
+                        phase_factor = sp.csr_matrix(
+                            (phase_vals, (m_idx, (m_idx + shift) % M)),
+                            shape=(M, M),
+                        )
+                        desc.add_term(
+                            [data_factor, counter_factor, phase_factor],
+                            coefficient=float(q_r),
+                        )
+        return desc
+
+    # ------------------------------------------------------------------ #
+    # multigrid coarsening (the paper's phase-pairing strategy)
+    # ------------------------------------------------------------------ #
+
+    def phase_pairing_partitions(
+        self, coarsest_phase_points: int = 8
+    ) -> List[Partition]:
+        """The paper's coarsening: lump consecutive phase grid values.
+
+        Identical to
+        :meth:`repro.cdr.model.CDRChainModel.phase_pairing_partitions`, so
+        matrix-free multigrid coarsens exactly like the assembled solve.
+        """
+        from repro.cdr.model import phase_pairing_partitions
+
+        return phase_pairing_partitions(
+            self.D * self.C, self.M, coarsest_phase_points
+        )
+
+    def multigrid_strategy(
+        self, coarsest_phase_points: int = 8
+    ) -> CoarseningStrategy:
+        """A ready-to-use coarsening strategy for the multigrid solver."""
+        return pairing_hierarchy(
+            self.phase_pairing_partitions(coarsest_phase_points)
+        )
+
+    # ------------------------------------------------------------------ #
+    # matrix-free stationary solve (deprecated shim)
     # ------------------------------------------------------------------ #
 
     def stationary_power(
@@ -207,40 +419,29 @@ class CDRTransitionOperator:
         x0: Optional[np.ndarray] = None,
         damping: float = 1.0,
     ) -> StationaryResult:
-        """Matrix-free power iteration for the stationary distribution."""
-        if not 0.0 < damping <= 1.0:
-            raise ValueError("damping must be in (0, 1]")
-        x = prepare_initial_guess(self.n, x0)
-        start = time.perf_counter()
-        history = []
-        converged = False
-        it = 0
-        with span("cdr.operator.stationary_power", n_states=self.n) as mf_span:
-            for it in range(1, max_iter + 1):
-                y = self.rmatvec(x)
-                if damping != 1.0:
-                    y = damping * y + (1.0 - damping) * x
-                y /= y.sum()
-                res = float(np.abs(self.rmatvec(y) - y).sum())
-                history.append(res)
-                x = y
-                if res < tol:
-                    converged = True
-                    break
-            mf_span.set_attributes(
-                iterations=it,
-                residual=history[-1] if history else float("nan"),
-                converged=converged,
-            )
-        elapsed = time.perf_counter() - start
-        return StationaryResult(
-            distribution=x,
-            iterations=it,
-            residual=history[-1] if history else float("nan"),
-            converged=converged,
-            method="matrix-free-power",
-            residual_history=history,
-            solve_time=elapsed,
+        """Deprecated: use ``stationary_distribution(op, method="power")``.
+
+        The private power loop is gone; this shim delegates to the solver
+        registry so matrix-free solves emit the same
+        ``repro.solver-trace/1`` telemetry as assembled ones.  The result's
+        ``method`` is now ``"power"`` (previously ``"matrix-free-power"``).
+        """
+        warnings.warn(
+            "CDRTransitionOperator.stationary_power is deprecated; use "
+            "repro.markov.stationary_distribution(operator, method='power') "
+            "(same matrix-free solve, uniform solver telemetry)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.markov.stationary import stationary_distribution
+
+        return stationary_distribution(
+            self,
+            method="power",
+            tol=tol,
+            max_iter=max_iter,
+            x0=x0,
+            damping=damping,
         )
 
     def phase_marginal(self, distribution: np.ndarray) -> np.ndarray:

@@ -24,6 +24,7 @@ def sweep_parameter(
     values: Sequence,
     solver: str = "multigrid",
     tol: float = 1e-10,
+    backend: Optional[str] = None,
 ) -> List[Dict]:
     """Analyze ``base_spec`` with ``parameter`` swept over ``values``.
 
@@ -31,6 +32,7 @@ def sweep_parameter(
     statistics (the fields of the paper's per-plot annotation lines).
     Each design point runs under a ``cdr.sweep.point`` span (nested in a
     ``cdr.sweep`` root) so a traced sweep shows where the time went.
+    ``backend`` overrides the spec's TPM backend for every point.
     """
     records = []
     counter = get_registry().counter(
@@ -40,11 +42,12 @@ def sweep_parameter(
         for value in values:
             spec = base_spec.replace(**{parameter: value})
             with span("cdr.sweep.point", parameter=parameter, value=value):
-                result = analyze_cdr(spec, solver=solver, tol=tol)
+                result = analyze_cdr(spec, solver=solver, tol=tol, backend=backend)
             counter.inc()
             records.append(
                 {
                     parameter: value,
+                    "backend": result.backend,
                     "ber": result.ber,
                     "ber_discrete": result.ber_discrete,
                     "slip_rate": result.slip_rate,

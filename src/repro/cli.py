@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands mirror the library's main entry points:
+The commands mirror the library's main entry points:
 
 ``analyze``
     One design point: build, solve, print the paper-style report plus the
@@ -13,6 +13,10 @@ Four commands mirror the library's main entry points:
     lock-probability curve checkpoints.
 ``stats``
     Pretty-print a run manifest written by ``--metrics``.
+``solvers``
+    List the registered stationary solvers (with their matrix-free
+    capability) and TPM backends -- the ``--solver`` / ``--backend``
+    choices.
 
 ``analyze``, ``sweep`` and ``acquire`` all accept ``--metrics PATH``: the
 run executes under a :mod:`repro.obs` tracer and writes a
@@ -50,6 +54,7 @@ _SPEC_FIELDS = {
     "nw_atoms": int,
     "nr_max": float,
     "nr_mean": float,
+    "backend": str,
 }
 
 
@@ -157,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--prometheus", action="store_true",
                       help="dump the embedded Prometheus metrics snapshot "
                            "instead of the summary")
+
+    sub.add_parser(
+        "solvers",
+        help="list registered stationary solvers and TPM backends")
     return parser
 
 
@@ -267,6 +276,19 @@ def _cmd_acquire(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    from repro.markov.registry import backend_table, solver_table
+
+    print("stationary solvers (--solver):")
+    for entry in solver_table():
+        mf = "matrix-free" if entry.matrix_free else "needs-csr  "
+        print(f"  {entry.name:<13} {mf}  {entry.description}")
+    print("TPM backends (--backend):")
+    for backend in backend_table():
+        print(f"  {backend.name:<13} {backend.description}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     manifest = obs.load_run_manifest(args.manifest)
     if args.prometheus:
@@ -279,6 +301,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    from repro.markov import OperatorCapabilityError
+
     args = build_parser().parse_args(argv)
     try:
         if args.command == "analyze":
@@ -287,8 +311,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "solvers":
+            return _cmd_solvers(args)
         return _cmd_acquire(args)
-    except (ValueError, OSError) as exc:
+    except (ValueError, OSError, OperatorCapabilityError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

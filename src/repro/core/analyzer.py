@@ -28,10 +28,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
+import repro.cdr.backends  # noqa: F401  (registers the built-in backends)
 from repro.cdr.model import CDRChainModel
 from repro.core import measures as _measures
 from repro.core.spec import CDRSpec
 from repro.markov.monitor import RecordingMonitor, TeeMonitor
+from repro.markov.registry import get_backend
 from repro.markov.solvers.result import StationaryResult
 from repro.markov.stationary import stationary_distribution
 from repro.obs import Tracer, get_registry, get_tracer, span, use_tracer
@@ -53,6 +55,10 @@ class CDRAnalysis:
     slip_rate: float
     mean_symbols_between_slips: float
     phase_stats: Dict[str, float] = field(default_factory=dict)
+    #: Registered backend that realized the transition matrix.
+    backend: str = "assembled"
+    #: Registry key of the solver that actually ran (``auto`` resolved).
+    solver_entry: Optional[str] = None
     #: Root span of this run (``cdr.analyze``) with nested stage spans.
     trace: Optional[object] = field(default=None, repr=False)
     #: Per-iteration solver telemetry recorded during the solve.
@@ -174,10 +180,20 @@ def _solve_and_measure(
     tol: float,
     max_iter: Optional[int],
     solver_kwargs,
+    backend: str = "assembled",
 ) -> CDRAnalysis:
     """The solve + measures stages, recorded under the open ``root`` span."""
     if solver == "auto":
-        solver = "multigrid" if model.n_states >= _MULTIGRID_MIN_STATES else "direct"
+        if isinstance(model, CDRChainModel):
+            solver = (
+                "multigrid" if model.n_states >= _MULTIGRID_MIN_STATES else "direct"
+            )
+        else:
+            # Matrix-free backends never assemble: direct LU is off the
+            # table, so small models fall back to power iteration.
+            solver = (
+                "multigrid" if model.n_states >= _MULTIGRID_MIN_STATES else "power"
+            )
     if solver == "multigrid":
         # The paper's structured coarsening plus heavy Gauss-Jacobi
         # smoothing: CDR chains are drift-dominated, where extra cheap
@@ -192,7 +208,9 @@ def _solve_and_measure(
     user_monitor = solver_kwargs.pop("monitor", None)
     monitor = recorder if user_monitor is None else TeeMonitor(recorder, user_monitor)
 
-    with span("markov.solve", n_states=model.n_states) as solve_span:
+    with span(
+        "markov.solve", n_states=model.n_states, backend=backend
+    ) as solve_span:
         result = stationary_distribution(
             model.chain, method=solver, tol=tol, max_iter=max_iter,
             monitor=monitor, **solver_kwargs,
@@ -223,6 +241,8 @@ def _solve_and_measure(
             slip_rate=_measures.cycle_slip_rate(model, eta),
             mean_symbols_between_slips=_measures.mean_symbols_between_slips(model, eta),
             phase_stats=_measures.phase_statistics(model, eta),
+            backend=backend,
+            solver_entry=solver,
             trace=root,
             solver_recording=recorder,
         )
@@ -241,10 +261,18 @@ def analyze_model(
     max_iter: Optional[int] = None,
     **solver_kwargs,
 ) -> CDRAnalysis:
-    """Analyze an already-built model (see :func:`analyze_cdr`)."""
+    """Analyze an already-built model (see :func:`analyze_cdr`).
+
+    ``model`` may be the classic assembled
+    :class:`~repro.cdr.model.CDRChainModel` or a matrix-free
+    :class:`~repro.cdr.backends.OperatorCDRModel` facade; the analysis
+    records which backend produced it.
+    """
+    backend = getattr(model, "backend", "assembled")
     with _ensure_tracer(), span("cdr.analyze") as root:
         return _solve_and_measure(
-            model, spec, root, solver, tol, max_iter, solver_kwargs
+            model, spec, root, solver, tol, max_iter, solver_kwargs,
+            backend=backend,
         )
 
 
@@ -253,6 +281,7 @@ def analyze_cdr(
     solver: str = "auto",
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
+    backend: Optional[str] = None,
     **solver_kwargs,
 ) -> CDRAnalysis:
     """Build and analyze a CDR design point.
@@ -262,9 +291,15 @@ def analyze_cdr(
     spec:
         The design/jitter specification.
     solver:
-        Any name accepted by :func:`repro.markov.stationary.stationary_distribution`;
-        ``"auto"`` picks direct LU for small chains and the paper's
-        multigrid (with phase-pairing coarsening) for large ones.
+        Any name registered in :mod:`repro.markov.registry`; ``"auto"``
+        picks direct LU for small assembled chains and the paper's
+        multigrid (with phase-pairing coarsening) for large ones.  With a
+        matrix-free backend, ``auto`` picks power iteration for small
+        models and multigrid for large ones (direct LU needs the
+        assembled matrix).
+    backend:
+        Registered TPM backend (``assembled`` / ``matrix-free`` /
+        ``kronecker``); ``None`` uses ``spec.backend``.
     tol, max_iter, solver_kwargs:
         Forwarded to the solver.  Pass
         ``monitor=repro.markov.RecordingMonitor()`` here to capture the
@@ -279,8 +314,10 @@ def analyze_cdr(
     when a :func:`repro.obs.use_tracer` context is active the spans also
     land in that tracer for run-manifest export.
     """
-    with _ensure_tracer(), span("cdr.analyze") as root:
-        model = spec.build_model()  # emits the cdr.build_tpm child span
+    entry = get_backend(spec.backend if backend is None else backend)
+    with _ensure_tracer(), span("cdr.analyze", backend=entry.name) as root:
+        model = entry.build(spec)  # emits the cdr.build_tpm child span
         return _solve_and_measure(
-            model, spec, root, solver, tol, max_iter, solver_kwargs
+            model, spec, root, solver, tol, max_iter, solver_kwargs,
+            backend=entry.name,
         )

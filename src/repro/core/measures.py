@@ -116,14 +116,24 @@ def _erfc(x: np.ndarray) -> np.ndarray:
     return erfc(x)
 
 
+def _slip_events(model: CDRChainModel):
+    """Slip-event description: the sparse flux matrix when the backend
+    assembled one, otherwise the per-state flux vector computed
+    structurally (matrix-free backends never build the matrix)."""
+    E = getattr(model, "slip_matrix", None)
+    if E is not None:
+        return E
+    return model.slip_row_sums()
+
+
 def cycle_slip_rate(model: CDRChainModel, stationary: np.ndarray) -> float:
     """Expected cycle slips per symbol (stationary flux through the wrap)."""
-    return stationary_event_rate(stationary, model.slip_matrix)
+    return stationary_event_rate(stationary, _slip_events(model))
 
 
 def mean_symbols_between_slips(model: CDRChainModel, stationary: np.ndarray) -> float:
     """The paper's "average time between cycle slips", in symbols."""
-    return mean_time_between_events(stationary, model.slip_matrix)
+    return mean_time_between_events(stationary, _slip_events(model))
 
 
 def phase_statistics(model: CDRChainModel, stationary: np.ndarray) -> Dict[str, float]:

@@ -39,6 +39,7 @@ _SCALAR_FIELDS = (
     "nr_max",
     "nr_mean",
     "nr_skew",
+    "backend",
 )
 
 
@@ -96,7 +97,9 @@ def analysis_to_dict(analysis: CDRAnalysis, include_pdf: bool = False) -> Dict:
             analysis.mean_symbols_between_slips
         ),
         "phase_stats": dict(analysis.phase_stats),
+        "backend": analysis.backend,
         "solver": {
+            "entry": analysis.solver_entry,
             "method": analysis.solver_result.method,
             "iterations": analysis.solver_result.iterations,
             "residual": analysis.solver_result.residual,

@@ -60,6 +60,11 @@ class CDRSpec:
         models (advanced use; ``nw_std`` / ``nr_*`` are then ignored for
         model building but ``nw_std`` is still used for Gaussian-tail BER
         unless a value is derivable from the override).
+    backend:
+        How the transition matrix is realized: any name registered in
+        :mod:`repro.markov.registry` (``assembled`` builds the explicit
+        sparse TPM; ``matrix-free`` and ``kronecker`` apply the operator
+        structurally without materializing it).
     """
 
     n_phase_points: int = 256
@@ -75,6 +80,7 @@ class CDRSpec:
     nr_skew: float = 0.25
     nw_override: Optional[DiscreteDistribution] = None
     nr_override: Optional[DiscreteDistribution] = None
+    backend: str = "assembled"
 
     def __post_init__(self) -> None:
         if self.n_phase_points < 2:
@@ -101,6 +107,13 @@ class CDRSpec:
                 raise ValueError("nr_max must be positive")
             if abs(self.nr_mean) > self.nr_max:
                 raise ValueError("|nr_mean| must not exceed nr_max")
+        # Validate against the registry (importing repro.cdr.backends makes
+        # sure the built-in backends have registered themselves).
+        import repro.cdr.backends  # noqa: F401
+        from repro.markov.registry import backend_names, get_backend
+
+        if self.backend not in backend_names():
+            get_backend(self.backend)  # raises the choose-from ValueError
 
     # ------------------------------------------------------------------ #
 

@@ -133,6 +133,26 @@ class KroneckerDescriptor:
             self.shape, matvec=self.matvec, rmatvec=self.rmatvec, dtype=float
         )
 
+    def diagonal(self) -> np.ndarray:
+        """``diag(M)`` -- the Kronecker product of the factor diagonals."""
+        out = np.zeros(self.n)
+        for coeff, mats in self._terms:
+            d = np.array([1.0])
+            for A in mats:
+                d = np.kron(d, A.diagonal())
+            out += coeff * d
+        return out
+
+    def row_sums(self) -> np.ndarray:
+        """``M 1`` -- the Kronecker product of the factor row sums."""
+        out = np.zeros(self.n)
+        for coeff, mats in self._terms:
+            s = np.array([1.0])
+            for A in mats:
+                s = np.kron(s, np.asarray(A.sum(axis=1)).ravel())
+            out += coeff * s
+        return out
+
     def to_sparse(self) -> sp.csr_matrix:
         """Materialize the full matrix (verification on small models only)."""
         if self.n > 100_000:
@@ -144,6 +164,24 @@ class KroneckerDescriptor:
                 term = sp.kron(term, A, format="csr")
             out = out + coeff * term
         return out.tocsr()
+
+    def to_csr(self) -> sp.csr_matrix:
+        """TransitionOperator-protocol materialization.
+
+        Same as :meth:`to_sparse`, but the size guard raises
+        :class:`~repro.markov.linop.OperatorCapabilityError` so solvers
+        that need the assembled matrix fail with a clear capability message
+        instead of a generic ``ValueError``.
+        """
+        if self.n > 100_000:
+            from repro.markov.linop import OperatorCapabilityError
+
+            raise OperatorCapabilityError(
+                f"Kronecker descriptor with n={self.n} is too large to "
+                "materialize; use a matrix-free solver (power, jacobi, "
+                "krylov, multigrid)"
+            )
+        return self.to_sparse()
 
     def power_iteration_stationary(
         self,

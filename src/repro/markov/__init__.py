@@ -84,7 +84,27 @@ from repro.markov.perturbation import (
     perturbed_stationary,
     stationary_perturbation,
 )
-from repro.markov.stationary import SOLVER_NAMES, stationary_distribution
+from repro.markov.linop import (
+    AssembledOperator,
+    OperatorCapabilityError,
+    TransitionOperator,
+    as_operator,
+    ensure_csr,
+    operator_residual,
+)
+from repro.markov.registry import (
+    BackendEntry,
+    SolverEntry,
+    backend_names,
+    backend_table,
+    get_backend,
+    get_solver,
+    register_backend,
+    register_solver,
+    solver_names,
+    solver_table,
+)
+from repro.markov.stationary import stationary_distribution
 from repro.markov.correlation import (
     autocorrelation,
     autocovariance,
@@ -97,6 +117,16 @@ from repro.markov.transient import (
     mixing_time,
     total_variation,
 )
+
+
+def __getattr__(name: str):
+    # Deprecated SOLVER_NAMES alias: delegates to repro.markov.stationary's
+    # module __getattr__, which warns and exports the registry keys.
+    if name == "SOLVER_NAMES":
+        from repro.markov import stationary
+
+        return stationary.SOLVER_NAMES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "MarkovChain",
@@ -140,6 +170,22 @@ __all__ = [
     "subdominant_eigenvalue",
     "stationary_distribution",
     "SOLVER_NAMES",
+    "TransitionOperator",
+    "AssembledOperator",
+    "OperatorCapabilityError",
+    "as_operator",
+    "ensure_csr",
+    "operator_residual",
+    "SolverEntry",
+    "register_solver",
+    "get_solver",
+    "solver_names",
+    "solver_table",
+    "BackendEntry",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "backend_table",
     "deviation_matrix",
     "fundamental_matrix_kemeny_snell",
     "kemeny_constant",

@@ -1,0 +1,191 @@
+"""Transition operators: one protocol over every TPM backend.
+
+The paper's scaling complaint is that "explicit sparse storage" of the
+transition probability matrix limits the model size, and its future-work
+answer is hierarchical Kronecker-algebra representations.  This module is
+the seam that makes both worlds interchangeable: a
+:class:`TransitionOperator` is anything that can apply ``P v`` and
+``P^T x`` and answer a few cheap structural queries, whether the matrix is
+an assembled ``scipy.sparse`` CSR, the structural block-roll operator of
+:class:`repro.cdr.operator.CDRTransitionOperator`, or a Kronecker/SAN
+descriptor (:class:`repro.fsm.kronecker.KroneckerDescriptor`).
+
+Every stationary solver in :mod:`repro.markov.solvers` and the multigrid
+of :mod:`repro.markov.multigrid` consumes this protocol.  The iterative
+methods (power, Jacobi, Krylov, multigrid) run fully matrix-free; methods
+that need the explicit sparsity pattern (direct LU, Gauss-Seidel/SOR
+triangular sweeps, ARPACK) call :func:`ensure_csr`, which materializes via
+the operator's optional ``to_csr()`` or raises a clear
+:class:`OperatorCapabilityError`.
+
+Protocol summary (duck-typed; no inheritance required):
+
+========================  ====================================================
+``shape``                 ``(n, n)``
+``matvec(v)``             ``P v`` (column action; row-sum/absorption queries)
+``rmatvec(x)``            ``P^T x`` (distribution propagation -- what
+                          stationary iterations need)
+``diagonal()``            ``diag(P)`` (Jacobi splittings)
+``row_sums()``            ``P 1`` (stochasticity checks)
+``to_csr()``              *optional* -- explicit CSR materialization
+``restrict(partition,     *optional* -- weighted Galerkin coarse operator
+weights)``                (what matrix-free multigrid coarsening calls)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain
+from repro.markov.lumping import Partition, lumped_tpm
+
+__all__ = [
+    "OperatorCapabilityError",
+    "TransitionOperator",
+    "AssembledOperator",
+    "as_operator",
+    "ensure_csr",
+    "operator_residual",
+]
+
+
+class OperatorCapabilityError(TypeError):
+    """A solver asked a transition operator for a capability it lacks.
+
+    Raised e.g. when the direct LU solver is pointed at a matrix-free
+    operator that cannot (or was told not to) materialize itself as a CSR
+    matrix.  Pick a matrix-free solver (``power``, ``jacobi``, ``krylov``,
+    ``multigrid``) or provide ``to_csr()`` on the operator.
+    """
+
+
+@runtime_checkable
+class TransitionOperator(Protocol):
+    """Structural protocol for transition-matrix backends (duck-typed)."""
+
+    @property
+    def shape(self) -> Tuple[int, int]: ...
+
+    def matvec(self, v: np.ndarray) -> np.ndarray: ...
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray: ...
+
+    def diagonal(self) -> np.ndarray: ...
+
+    def row_sums(self) -> np.ndarray: ...
+
+
+class AssembledOperator:
+    """The assembled-CSR backend: wraps an explicit sparse TPM.
+
+    The transpose is computed lazily and cached, so a solver that applies
+    ``rmatvec`` thousands of times pays the transposition once -- exactly
+    what the hand-written solvers did with their local ``PT = P.T.tocsr()``.
+    """
+
+    __slots__ = ("P", "_PT")
+
+    def __init__(self, P: sp.spmatrix) -> None:
+        self.P = P.tocsr()
+        if self.P.shape[0] != self.P.shape[1]:
+            raise ValueError("transition matrix must be square")
+        self._PT: Optional[sp.csr_matrix] = None
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.P.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.P.nnz)
+
+    def _transpose(self) -> sp.csr_matrix:
+        if self._PT is None:
+            self._PT = self.P.T.tocsr()
+        return self._PT
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.P.dot(v)
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        return self._transpose().dot(x)
+
+    def diagonal(self) -> np.ndarray:
+        return self.P.diagonal()
+
+    def row_sums(self) -> np.ndarray:
+        return np.asarray(self.P.sum(axis=1)).ravel()
+
+    def to_csr(self) -> sp.csr_matrix:
+        return self.P
+
+    def restrict(
+        self, partition: Partition, weights: Optional[np.ndarray] = None
+    ) -> sp.csr_matrix:
+        """Weighted Galerkin coarse operator (see :func:`lumped_tpm`)."""
+        return lumped_tpm(self.P, partition, weights=weights)
+
+    def __repr__(self) -> str:
+        return f"AssembledOperator(n={self.shape[0]}, nnz={self.nnz})"
+
+
+def as_operator(obj) -> TransitionOperator:
+    """Coerce any supported TPM representation to a :class:`TransitionOperator`.
+
+    Accepts a :class:`~repro.markov.chain.MarkovChain`, a sparse matrix, a
+    dense ndarray (all wrapped in :class:`AssembledOperator`), or anything
+    already satisfying the protocol (returned unchanged).
+    """
+    if isinstance(obj, AssembledOperator):
+        return obj
+    if isinstance(obj, MarkovChain):
+        return AssembledOperator(obj.P)
+    if sp.issparse(obj):
+        return AssembledOperator(obj.tocsr())
+    if isinstance(obj, np.ndarray):
+        return AssembledOperator(sp.csr_matrix(np.asarray(obj, dtype=float)))
+    if (
+        hasattr(obj, "matvec")
+        and hasattr(obj, "rmatvec")
+        and hasattr(obj, "shape")
+    ):
+        return obj
+    raise TypeError(
+        f"cannot interpret {type(obj).__name__!r} as a transition operator; "
+        "expected a MarkovChain, a sparse/dense matrix, or an object with "
+        "matvec/rmatvec/shape"
+    )
+
+
+def ensure_csr(obj) -> sp.csr_matrix:
+    """Explicit CSR form of any operator, or a clear capability error.
+
+    Solvers that need the assembled sparsity pattern (direct LU,
+    triangular-sweep methods, ARPACK, ILU preconditioning) call this; an
+    operator without ``to_csr()`` raises :class:`OperatorCapabilityError`
+    naming the fix.
+    """
+    if isinstance(obj, MarkovChain):
+        return obj.P
+    if sp.issparse(obj):
+        return obj.tocsr()
+    if isinstance(obj, np.ndarray):
+        return sp.csr_matrix(np.asarray(obj, dtype=float))
+    to_csr = getattr(obj, "to_csr", None)
+    if to_csr is None:
+        raise OperatorCapabilityError(
+            f"{type(obj).__name__} cannot materialize an explicit CSR matrix; "
+            "this solver needs the assembled sparsity pattern -- use a "
+            "matrix-free solver (power, jacobi, krylov, multigrid) or an "
+            "operator that implements to_csr()"
+        )
+    return to_csr()
+
+
+def operator_residual(op: TransitionOperator, x: np.ndarray) -> float:
+    """1-norm stationary residual ``||x P - x||_1`` through the operator."""
+    return float(np.abs(op.rmatvec(x) - x).sum())

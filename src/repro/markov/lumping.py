@@ -13,7 +13,7 @@ aggregation/disaggregation and multigrid methods.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -25,6 +25,7 @@ __all__ = [
     "is_lumpable",
     "lump",
     "lumped_tpm",
+    "prepare_block_weights",
     "aggregate_distribution",
 ]
 
@@ -131,6 +132,36 @@ def is_lumpable(
     return True
 
 
+def prepare_block_weights(
+    partition: Partition, weights: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate aggregation weights and return ``(weights, block masses)``.
+
+    Defaults to uniform weights; blocks whose total weight vanishes fall
+    back to uniform intra-block weights so the coarse matrix stays
+    stochastic.  Shared by :func:`lumped_tpm` and the matrix-free Galerkin
+    ``restrict`` implementations, which must agree exactly.
+    """
+    n = partition.n_states
+    if weights is None:
+        w = np.full(n, 1.0)
+    else:
+        w = np.asarray(weights, dtype=float).copy()
+        if w.shape != (n,):
+            raise ValueError("weights must have one entry per state")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+    block = partition.block_of
+    nb = partition.n_blocks
+    block_mass = np.bincount(block, weights=w, minlength=nb)
+    empty = block_mass <= 0.0
+    if np.any(empty):
+        counts = np.bincount(block, minlength=nb)
+        w = w + np.where(empty[block], 1.0 / counts[block], 0.0)
+        block_mass = np.bincount(block, weights=w, minlength=nb)
+    return w, block_mass
+
+
 def lumped_tpm(
     P: sp.csr_matrix,
     partition: Partition,
@@ -150,22 +181,9 @@ def lumped_tpm(
     n = P.shape[0]
     if partition.n_states != n:
         raise ValueError("partition size does not match matrix size")
-    if weights is None:
-        w = np.full(n, 1.0)
-    else:
-        w = np.asarray(weights, dtype=float).copy()
-        if w.shape != (n,):
-            raise ValueError("weights must have one entry per state")
-        if np.any(w < 0):
-            raise ValueError("weights must be non-negative")
+    w, block_mass = prepare_block_weights(partition, weights)
     block = partition.block_of
     nb = partition.n_blocks
-    block_mass = np.bincount(block, weights=w, minlength=nb)
-    empty = block_mass <= 0.0
-    if np.any(empty):
-        counts = np.bincount(block, minlength=nb)
-        w = w + np.where(empty[block], 1.0 / counts[block], 0.0)
-        block_mass = np.bincount(block, weights=w, minlength=nb)
     # C[I, J] = sum_{i in I} w_i P[i, j in J] / mass(I), assembled directly
     # in COO coordinates (much faster than sparse triple products).
     coo = P.tocoo()

@@ -22,28 +22,43 @@ V-cycles repeat until the fine-level residual ``||x P - x||_1`` drops below
 tolerance.  The coarsening strategy is pluggable: the CDR model supplies
 the paper's phase-pairing strategy via state labels; a generic
 strongest-coupling pairwise aggregation is provided for arbitrary chains.
+
+The *fine* level is matrix-free capable: any
+:class:`~repro.markov.linop.TransitionOperator` works unassembled --
+smoothing routes the Jacobi splitting through ``rmatvec``/``diagonal()``,
+the fine-level residual uses ``rmatvec``, and the first coarse operator is
+built via the operator's Galerkin ``restrict(partition, weights)``.  Coarse
+levels are always assembled CSR matrices (they are small), so levels >= 1
+run exactly as before.  Note that the *generic* pairwise coarsening
+strategy needs the assembled matrix; unassembled operators should supply a
+structural strategy (the CDR model's phase pairing) or implement
+``to_csr()``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.markov.aggregation import disaggregate
-from repro.markov.chain import MarkovChain
+from repro.markov.linop import (
+    AssembledOperator,
+    OperatorCapabilityError,
+    as_operator,
+    ensure_csr,
+    operator_residual,
+)
 from repro.markov.lumping import Partition, lumped_tpm
 from repro.markov.monitor import NULL_MONITOR, SolverMonitor, instrument
+from repro.markov.registry import register_solver
 from repro.markov.solvers.direct import solve_direct
 from repro.markov.solvers.jacobi import jacobi_split, jacobi_sweeps
-from repro.markov.solvers.result import (
-    StationaryResult,
-    prepare_initial_guess,
-    residual_norm,
-)
+from repro.markov.solvers.power import solve_power
+from repro.markov.solvers.result import StationaryResult, prepare_initial_guess
 
 __all__ = [
     "MultigridOptions",
@@ -58,6 +73,13 @@ _WEIGHT_FLOOR = 1e-300
 # A coarsening strategy maps (level, current TPM) -> Partition or None
 # (None meaning "stop coarsening here").
 CoarseningStrategy = Callable[[int, sp.csr_matrix], Optional[Partition]]
+
+
+def _default_strategy(level: int, P) -> Partition:
+    """Generic coarsening for arbitrary inputs (assembles operators)."""
+    if not sp.issparse(P):
+        P = ensure_csr(P)
+    return pairwise_strength_partition(P)
 
 
 def pairwise_strength_partition(P: sp.csr_matrix) -> Partition:
@@ -183,7 +205,7 @@ class MultigridSolver:
         strategy: Optional[CoarseningStrategy] = None,
         options: Optional[MultigridOptions] = None,
     ) -> None:
-        self._strategy = strategy or (lambda level, P: pairwise_strength_partition(P))
+        self._strategy = strategy or _default_strategy
         self.options = options or MultigridOptions()
         self._levels_used = 0
         # Fine-level structures are identical on every V-cycle; cache the
@@ -201,7 +223,7 @@ class MultigridSolver:
 
     def solve(
         self,
-        P: Union[sp.csr_matrix, MarkovChain],
+        P,
         x0: Optional[np.ndarray] = None,
         monitor: Optional[SolverMonitor] = None,
     ) -> StationaryResult:
@@ -212,22 +234,23 @@ class MultigridSolver:
         per level visited in each cycle (size, nnz, aggregate count and
         smoothing timings of that level).
         """
-        if isinstance(P, MarkovChain):
-            P = P.P
-        P = P.tocsr()
+        op = as_operator(P)
+        # Assembled inputs keep flowing through the hierarchy as plain CSR
+        # matrices; unassembled operators stay unassembled on the fine
+        # level and only their Galerkin-restricted coarse images are built.
+        fine = op.P if isinstance(op, AssembledOperator) else op
         opt = self.options
-        n = P.shape[0]
+        n = op.shape[0]
         self._fine_split = None
         self._fine_agg = None
         x = prepare_initial_guess(n, x0)
-        PT = P.T.tocsr()
         method = "multigrid" if opt.cycle_type == "V" else "multigrid-W"
         recorder, mon = instrument(method, n, opt.tol, monitor)
         start = time.perf_counter()
         converged = False
         for cycle in range(1, opt.max_cycles + 1):
-            x = self._vcycle(P, x, level=0, cycle=cycle, mon=mon)
-            res = float(np.abs(PT.dot(x) - x).sum())
+            x = self._vcycle(fine, x, level=0, cycle=cycle, mon=mon)
+            res = operator_residual(op, x)
             mon.iteration_finished(cycle, res, time.perf_counter() - start)
             if res < opt.tol:
                 converged = True
@@ -235,7 +258,7 @@ class MultigridSolver:
         elapsed = time.perf_counter() - start
         residual = recorder.last_residual()
         if residual is None:
-            residual = residual_norm(P, x)
+            residual = operator_residual(op, x)
         mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
         return StationaryResult(
             distribution=x,
@@ -249,16 +272,34 @@ class MultigridSolver:
 
     # ------------------------------------------------------------------ #
 
-    def _smooth(self, P: sp.csr_matrix, x: np.ndarray, sweeps: int, level: int) -> np.ndarray:
+    def _smooth(self, P, x: np.ndarray, sweeps: int, level: int) -> np.ndarray:
         if level == 0:
             if self._fine_split is None:
                 self._fine_split = jacobi_split(P)
             return jacobi_sweeps(P, x, sweeps, split=self._fine_split)
         return jacobi_sweeps(P, x, sweeps)
 
+    def _coarsest_solve(self, P, x: np.ndarray) -> np.ndarray:
+        if sp.issparse(P):
+            return solve_direct(P).distribution
+        # An unassembled operator small enough to be its own coarsest
+        # level: keep the no-materialization guarantee and solve it with
+        # matrix-free power iteration seeded from the current iterate.
+        return solve_power(P, tol=self.options.tol, x0=x).distribution
+
     def _coarse_tpm(
-        self, P: sp.csr_matrix, partition: Partition, w: np.ndarray, level: int
+        self, P, partition: Partition, w: np.ndarray, level: int
     ) -> sp.csr_matrix:
+        if not sp.issparse(P):
+            # Matrix-free fine level: delegate the weighted Galerkin
+            # aggregation to the operator so the fine TPM never exists.
+            restrict = getattr(P, "restrict", None)
+            if restrict is None:
+                raise OperatorCapabilityError(
+                    f"{type(P).__name__} has no restrict(partition, weights); "
+                    "matrix-free multigrid needs it to build coarse levels"
+                )
+            return restrict(partition, w)
         if level != 0:
             return lumped_tpm(P, partition, weights=w)
         if self._fine_agg is None:
@@ -279,7 +320,7 @@ class MultigridSolver:
 
     def _vcycle(
         self,
-        P: sp.csr_matrix,
+        P,
         x: np.ndarray,
         level: int,
         cycle: int = 0,
@@ -287,11 +328,12 @@ class MultigridSolver:
     ) -> np.ndarray:
         opt = self.options
         n = P.shape[0]
+        nnz = int(P.nnz) if sp.issparse(P) else int(getattr(P, "nnz", 0))
         self._levels_used = max(self._levels_used, level + 1)
         if n <= opt.coarsest_size or level + 1 >= opt.max_levels:
             # Coarsest level: solved directly, no aggregation (n_blocks=0).
-            mon.vcycle_level(cycle, level, n, P.nnz, 0, 0.0, 0.0)
-            return solve_direct(P).distribution
+            mon.vcycle_level(cycle, level, n, nnz, 0, 0.0, 0.0)
+            return self._coarsest_solve(P, x)
         pre_time = 0.0
         if opt.nu_pre:
             t0 = time.perf_counter()
@@ -301,9 +343,9 @@ class MultigridSolver:
         if partition is None or partition.n_blocks >= n:
             # Strategy declined to coarsen: fall back to direct solve when
             # affordable, otherwise keep smoothing.
-            mon.vcycle_level(cycle, level, n, P.nnz, 0, pre_time, 0.0)
+            mon.vcycle_level(cycle, level, n, nnz, 0, pre_time, 0.0)
             if n <= 8 * opt.coarsest_size:
-                return solve_direct(P).distribution
+                return self._coarsest_solve(P, x)
             return self._smooth(P, x, opt.nu_post or 1, level)
         gamma = 2 if opt.cycle_type == "W" else 1
         post_time = 0.0
@@ -321,13 +363,13 @@ class MultigridSolver:
                 x = self._smooth(P, x, opt.nu_post, level)
                 post_time += time.perf_counter() - t1
         mon.vcycle_level(
-            cycle, level, n, P.nnz, partition.n_blocks, pre_time, post_time
+            cycle, level, n, nnz, partition.n_blocks, pre_time, post_time
         )
         return x
 
 
 def solve_multigrid(
-    P: Union[sp.csr_matrix, MarkovChain],
+    P,
     strategy: Optional[CoarseningStrategy] = None,
     tol: float = 1e-10,
     max_cycles: int = 200,
@@ -349,4 +391,26 @@ def solve_multigrid(
     )
     return MultigridSolver(strategy=strategy, options=options).solve(
         P, x0=x0, monitor=monitor
+    )
+
+
+@register_solver(
+    "multigrid",
+    matrix_free=True,
+    description="multi-level aggregation V/W-cycles (the paper's solver)",
+    default_max_iter=200,
+)
+def _dispatch_multigrid(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    return solve_multigrid(
+        P,
+        strategy=kwargs.pop("strategy", None),
+        tol=tol,
+        max_cycles=200 if max_iter is None else max_iter,
+        x0=x0,
+        nu_pre=kwargs.pop("nu_pre", 1),
+        nu_post=kwargs.pop("nu_post", 1),
+        coarsest_size=kwargs.pop("coarsest_size", 512),
+        cycle_type=kwargs.pop("cycle_type", "V"),
+        monitor=monitor,
+        **kwargs,
     )

@@ -37,7 +37,19 @@ __all__ = [
 
 
 def _as_P(chain: Union[MarkovChain, sp.csr_matrix]) -> sp.csr_matrix:
-    return chain.P if isinstance(chain, MarkovChain) else chain.tocsr()
+    """Accept chains, sparse matrices, and transition operators.
+
+    Passage analyses slice the matrix by state subsets, so operators must
+    materialize; :func:`~repro.markov.linop.ensure_csr` raises
+    ``OperatorCapabilityError`` when they cannot.
+    """
+    if isinstance(chain, MarkovChain):
+        return chain.P
+    if sp.issparse(chain):
+        return chain.tocsr()
+    from repro.markov.linop import ensure_csr
+
+    return ensure_csr(chain)
 
 
 def _target_mask(n: int, targets: Sequence[int]) -> np.ndarray:
@@ -216,7 +228,7 @@ def mean_recurrence_time(stationary: np.ndarray, states: Sequence[int]) -> float
 
 def stationary_event_rate(
     stationary: np.ndarray,
-    event_matrix: sp.spmatrix,
+    event_matrix: Union[sp.spmatrix, np.ndarray],
 ) -> float:
     """Expected events per step in stationarity.
 
@@ -224,18 +236,30 @@ def stationary_event_rate(
     transition *and* triggering the event (so ``0 <= E <= P`` entrywise).
     The rate is ``sum_i eta_i sum_j E[i, j]``.  The CDR model builder emits
     such a matrix for phase-wrap (cycle-slip) transitions.
+
+    The per-destination structure only enters through the row sums, so a
+    1-D array of per-state event probabilities ``e_i = sum_j E[i, j]`` is
+    accepted directly -- what matrix-free backends compute structurally
+    without ever holding the event matrix.
     """
     stationary = np.asarray(stationary, dtype=float)
-    E = event_matrix.tocsr()
-    if E.shape[0] != stationary.size:
-        raise ValueError("event matrix size does not match distribution")
-    per_state = np.asarray(E.sum(axis=1)).ravel()
+    if sp.issparse(event_matrix):
+        E = event_matrix.tocsr()
+        if E.shape[0] != stationary.size:
+            raise ValueError("event matrix size does not match distribution")
+        per_state = np.asarray(E.sum(axis=1)).ravel()
+    else:
+        per_state = np.asarray(event_matrix, dtype=float)
+        if per_state.ndim == 2:
+            per_state = per_state.sum(axis=1)
+        if per_state.shape != stationary.shape:
+            raise ValueError("event vector size does not match distribution")
     return float(np.dot(stationary, per_state))
 
 
 def mean_time_between_events(
     stationary: np.ndarray,
-    event_matrix: sp.spmatrix,
+    event_matrix: Union[sp.spmatrix, np.ndarray],
 ) -> float:
     """``1 / rate``: mean symbols between events (inf when the rate is zero)."""
     rate = stationary_event_rate(stationary, event_matrix)

@@ -6,6 +6,11 @@ made nonsingular by replacing one equation with the normalization
 system has a unique solution.  This is the coarsest-level solver inside the
 multigrid method ("the coarsest problem is solved exactly with a direct
 method") and the reference answer in tests.
+
+Needs the assembled sparsity pattern: matrix-free operators are accepted
+but are materialized through :func:`~repro.markov.linop.ensure_csr` (which
+raises :class:`~repro.markov.linop.OperatorCapabilityError` when the
+backend cannot assemble itself).
 """
 
 from __future__ import annotations
@@ -17,7 +22,9 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import splu
 
+from repro.markov.linop import ensure_csr
 from repro.markov.monitor import SolverMonitor, instrument
+from repro.markov.registry import register_solver
 from repro.markov.solvers.result import StationaryResult, residual_norm
 
 __all__ = ["solve_direct", "augmented_system"]
@@ -28,19 +35,31 @@ def augmented_system(P: sp.csr_matrix, row: Optional[int] = None) -> sp.csc_matr
 
     ``row`` defaults to the last equation.  The associated right-hand side
     is ``e_row`` (zeros except a 1 in that position).
+
+    The row replacement is done by direct CSR index surgery -- splicing a
+    dense ones-row into the ``data``/``indices``/``indptr`` arrays --
+    instead of a ``tolil()`` round-trip, which rebuilds the whole matrix as
+    Python lists and is an O(n^2)-risk pattern on large chains.
     """
     n = P.shape[0]
     if row is None:
         row = n - 1
     if not 0 <= row < n:
         raise ValueError("row out of range")
-    A = (sp.identity(n, format="csr") - P.T.tocsr()).tolil()
-    A[row, :] = np.ones(n)
-    return A.tocsc()
+    A = (sp.identity(n, format="csr") - P.T.tocsr()).tocsr()
+    A.sort_indices()
+    start, end = int(A.indptr[row]), int(A.indptr[row + 1])
+    data = np.concatenate([A.data[:start], np.ones(n), A.data[end:]])
+    indices = np.concatenate(
+        [A.indices[:start], np.arange(n, dtype=A.indices.dtype), A.indices[end:]]
+    )
+    indptr = A.indptr.copy()
+    indptr[row + 1 :] += n - (end - start)
+    return sp.csr_matrix((data, indices, indptr), shape=(n, n)).tocsc()
 
 
 def solve_direct(
-    P: sp.csr_matrix,
+    P,
     tol: float = 1e-10,
     x0: Optional[np.ndarray] = None,
     monitor: Optional[SolverMonitor] = None,
@@ -53,6 +72,7 @@ def solve_direct(
     singular).  The monitor sees a single iteration event with the final
     residual.
     """
+    P = ensure_csr(P)
     n = P.shape[0]
     recorder, mon = instrument("direct", n, tol, monitor)
     start = time.perf_counter()
@@ -88,3 +108,14 @@ def solve_direct(
         residual_history=recorder.residual_history,
         solve_time=elapsed,
     )
+
+
+@register_solver(
+    "direct",
+    matrix_free=False,
+    description="sparse LU on the augmented normalization system",
+)
+def _dispatch_direct(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    # max_iter is meaningless for a direct factorization; accepted and
+    # ignored so the registry contract stays uniform.
+    return solve_direct(P, tol=tol, x0=x0, monitor=monitor, **kwargs)

@@ -6,6 +6,10 @@ largest-magnitude eigenpairs of ``P^T`` directly.  As a byproduct it
 exposes the *subdominant* eigenvalue, whose modulus governs the mixing
 rate -- the quantity that decides whether the basic iterative methods are
 viable or the multigrid is needed.
+
+Needs the assembled matrix (ARPACK wants a concrete sparse operator with a
+cheap transpose), so matrix-free operators are materialized through
+:func:`~repro.markov.linop.ensure_csr`.
 """
 
 from __future__ import annotations
@@ -17,7 +21,9 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import ArpackNoConvergence, eigs
 
+from repro.markov.linop import ensure_csr
 from repro.markov.monitor import SolverMonitor, instrument
+from repro.markov.registry import register_solver
 from repro.markov.solvers.result import (
     StationaryResult,
     prepare_initial_guess,
@@ -28,7 +34,7 @@ __all__ = ["solve_eigen", "subdominant_eigenvalue"]
 
 
 def solve_eigen(
-    P: sp.csr_matrix,
+    P,
     tol: float = 1e-10,
     max_iter: int = 10_000,
     x0: Optional[np.ndarray] = None,
@@ -39,6 +45,7 @@ def solve_eigen(
     The monitor sees a single iteration event with the final residual
     (ARPACK does not expose per-restart residuals).
     """
+    P = ensure_csr(P)
     n = P.shape[0]
     if n < 3:
         # ARPACK needs k < n - 1; fall back to the direct solver.
@@ -75,6 +82,23 @@ def solve_eigen(
         method="arnoldi",
         residual_history=recorder.residual_history,
         solve_time=elapsed,
+    )
+
+
+@register_solver(
+    "arnoldi",
+    matrix_free=False,
+    description="ARPACK Arnoldi on P^T (largest-magnitude eigenpair)",
+    default_max_iter=10_000,
+)
+def _dispatch_eigen(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    return solve_eigen(
+        P,
+        tol=tol,
+        max_iter=10_000 if max_iter is None else max_iter,
+        x0=x0,
+        monitor=monitor,
+        **kwargs,
     )
 
 

@@ -6,23 +6,23 @@ strictly upper triangular), each sweep solves the triangular system
 converges in fewer sweeps than Jacobi on Markov problems at the cost of a
 triangular solve per sweep (Stewart, *Introduction to the Numerical
 Solution of Markov Chains*, ch. 3 -- reference [4] of the paper).
+
+Needs the assembled triangular factors, so matrix-free operators are
+materialized through :func:`~repro.markov.linop.ensure_csr`.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
-from repro.markov.monitor import SolverMonitor, instrument
-from repro.markov.solvers.result import (
-    StationaryResult,
-    prepare_initial_guess,
-    residual_norm,
-)
+from repro.markov.linop import ensure_csr
+from repro.markov.monitor import SolverMonitor
+from repro.markov.registry import register_solver
+from repro.markov.solvers.result import StationaryResult, iterate_fixed_point
 
 __all__ = ["solve_gauss_seidel"]
 
@@ -30,15 +30,15 @@ _DIAG_FLOOR = 1e-14
 
 
 def solve_gauss_seidel(
-    P: sp.csr_matrix,
+    P,
     tol: float = 1e-10,
     max_iter: int = 50_000,
     x0: Optional[np.ndarray] = None,
     monitor: Optional[SolverMonitor] = None,
 ) -> StationaryResult:
     """Gauss-Seidel sweeps on ``(I - P^T) x = 0`` with renormalization."""
+    P = ensure_csr(P)
     n = P.shape[0]
-    x = prepare_initial_guess(n, x0)
     A = (sp.identity(n, format="csr") - P.T).tocsr()
     lower = sp.tril(A, k=0).tocsr()
     # Guard absorbing states (zero diagonal in A) so the triangular solve
@@ -49,33 +49,42 @@ def solve_gauss_seidel(
         lower = lower + sp.diags(np.where(fix, _DIAG_FLOOR, 0.0))
     upper = (-sp.triu(A, k=1)).tocsr()
     PT = P.T.tocsr()
-    recorder, mon = instrument("gauss-seidel", n, tol, monitor)
-    start = time.perf_counter()
-    converged = False
-    for it in range(1, max_iter + 1):
+
+    def step(x: np.ndarray) -> np.ndarray:
         rhs = upper.dot(x)
         x = spsolve_triangular(lower, rhs, lower=True)
         x = np.clip(x, 0.0, None)
         total = x.sum()
         if total <= 0:
             raise ArithmeticError("Gauss-Seidel sweep annihilated the iterate")
-        x /= total
-        res = float(np.abs(PT.dot(x) - x).sum())
-        mon.iteration_finished(it, res, time.perf_counter() - start)
-        if res < tol:
-            converged = True
-            break
-    elapsed = time.perf_counter() - start
-    residual = recorder.last_residual()
-    if residual is None:
-        residual = residual_norm(P, x)
-    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
-    return StationaryResult(
-        distribution=x,
-        iterations=recorder.n_iterations,
-        residual=residual,
-        converged=converged,
+        return x / total
+
+    return iterate_fixed_point(
+        n,
+        step,
+        lambda x: float(np.abs(PT.dot(x) - x).sum()),
         method="gauss-seidel",
-        residual_history=recorder.residual_history,
-        solve_time=elapsed,
+        tol=tol,
+        max_iter=max_iter,
+        x0=x0,
+        monitor=monitor,
+    )
+
+
+@register_solver(
+    "gauss-seidel",
+    matrix_free=False,
+    description="Gauss-Seidel triangular sweeps",
+    default_max_iter=50_000,
+)
+def _dispatch_gauss_seidel(
+    P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs
+):
+    return solve_gauss_seidel(
+        P,
+        tol=tol,
+        max_iter=50_000 if max_iter is None else max_iter,
+        x0=x0,
+        monitor=monitor,
+        **kwargs,
     )

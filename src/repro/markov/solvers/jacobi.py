@@ -17,22 +17,25 @@ weighted sweep ::
 
 damps every unit-circle mode except the Perron eigenvalue and therefore
 converges for any irreducible chain.  ``omega = 1`` recovers plain Jacobi.
+
+Fully matrix-free: for an unassembled
+:class:`~repro.markov.linop.TransitionOperator` the off-diagonal product is
+computed as ``P^T x - diag(P) * x`` through ``rmatvec``, so the splitting
+never materializes a matrix.  That is what lets the multigrid smoother run
+on the matrix-free fine level.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.markov.monitor import SolverMonitor, instrument
-from repro.markov.solvers.result import (
-    StationaryResult,
-    prepare_initial_guess,
-    residual_norm,
-)
+from repro.markov.linop import AssembledOperator, as_operator, operator_residual
+from repro.markov.monitor import SolverMonitor
+from repro.markov.registry import register_solver
+from repro.markov.solvers.result import StationaryResult, iterate_fixed_point
 
 __all__ = ["solve_jacobi", "jacobi_sweeps", "jacobi_split", "DEFAULT_WEIGHT"]
 
@@ -43,34 +46,65 @@ _DIAG_FLOOR = 1e-14
 DEFAULT_WEIGHT = 0.7
 
 
-def _split(P: sp.csr_matrix) -> Tuple[sp.csr_matrix, np.ndarray]:
-    """Return (P^T without its diagonal, inverse Jacobi diagonal)."""
-    PT = P.T.tocsr()
-    diag = P.diagonal()
-    off = PT - sp.diags(diag)
+class _OperatorOffDiagonal:
+    """``P^T - diag(P)`` applied through an operator's ``rmatvec``.
+
+    Quacks like the sparse off-diagonal factor of :func:`jacobi_split`
+    (exposes ``dot``), so :func:`jacobi_sweeps` runs unchanged on
+    matrix-free backends.
+    """
+
+    __slots__ = ("_op", "_diag")
+
+    def __init__(self, op, diag: np.ndarray) -> None:
+        self._op = op
+        self._diag = diag
+
+    def dot(self, x: np.ndarray) -> np.ndarray:
+        return self._op.rmatvec(x) - self._diag * x
+
+
+def _inverse_diag(diag: np.ndarray) -> np.ndarray:
     denom = 1.0 - diag
     # A state with P[i,i] == 1 is absorbing; the Jacobi update for it is
     # undefined.  Clamp so the sweep stays finite; such chains should be
     # handled by classification before solving.
     denom = np.where(denom < _DIAG_FLOOR, _DIAG_FLOOR, denom)
-    return off.tocsr(), 1.0 / denom
+    return 1.0 / denom
 
 
-def jacobi_split(P: sp.csr_matrix) -> Tuple[sp.csr_matrix, np.ndarray]:
+def _split(P: sp.csr_matrix) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Return (P^T without its diagonal, inverse Jacobi diagonal)."""
+    PT = P.T.tocsr()
+    diag = P.diagonal()
+    off = PT - sp.diags(diag)
+    return off.tocsr(), _inverse_diag(diag)
+
+
+def jacobi_split(P) -> Tuple[object, np.ndarray]:
     """Precompute the Jacobi splitting of ``P`` for repeated sweeps.
 
     The multigrid solver smooths with the same fine-level matrix on every
-    V-cycle; caching this avoids re-transposing ``P`` each time.
+    V-cycle; caching this avoids re-transposing ``P`` each time.  For an
+    assembled matrix the first element is the explicit off-diagonal CSR
+    factor; for a matrix-free operator it is an equivalent ``dot``-able
+    wrapper that routes through ``rmatvec``.
     """
-    return _split(P)
+    if sp.issparse(P):
+        return _split(P.tocsr())
+    op = as_operator(P)
+    if isinstance(op, AssembledOperator):
+        return _split(op.P)
+    diag = np.asarray(op.diagonal(), dtype=float)
+    return _OperatorOffDiagonal(op, diag), _inverse_diag(diag)
 
 
 def jacobi_sweeps(
-    P: sp.csr_matrix,
+    P,
     x: np.ndarray,
     n_sweeps: int,
     weight: float = DEFAULT_WEIGHT,
-    split: Optional[Tuple[sp.csr_matrix, np.ndarray]] = None,
+    split: Optional[Tuple[object, np.ndarray]] = None,
 ) -> np.ndarray:
     """Apply ``n_sweeps`` normalized weighted-Jacobi sweeps to ``x``.
 
@@ -80,7 +114,7 @@ def jacobi_sweeps(
     """
     if not 0.0 < weight <= 1.0:
         raise ValueError("weight must be in (0, 1]")
-    off, inv_diag = _split(P) if split is None else split
+    off, inv_diag = jacobi_split(P) if split is None else split
     for _ in range(n_sweeps):
         h = off.dot(x) * inv_diag
         x = (1.0 - weight) * x + weight * h
@@ -92,7 +126,7 @@ def jacobi_sweeps(
 
 
 def solve_jacobi(
-    P: sp.csr_matrix,
+    P,
     tol: float = 1e-10,
     max_iter: int = 100_000,
     x0: Optional[np.ndarray] = None,
@@ -102,34 +136,40 @@ def solve_jacobi(
     """Iterate weighted-Jacobi sweeps until ``||x P - x||_1 < tol``."""
     if not 0.0 < weight <= 1.0:
         raise ValueError("weight must be in (0, 1]")
-    n = P.shape[0]
-    x = prepare_initial_guess(n, x0)
-    off, inv_diag = _split(P)
-    PT = P.T.tocsr()
+    op = as_operator(P)
+    n = op.shape[0]
+    off, inv_diag = jacobi_split(op)
     method = "jacobi" if weight == 1.0 else f"jacobi(weight={weight:g})"
-    recorder, mon = instrument(method, n, tol, monitor)
-    start = time.perf_counter()
-    converged = False
-    for it in range(1, max_iter + 1):
+
+    def step(x: np.ndarray) -> np.ndarray:
         h = off.dot(x) * inv_diag
         x = (1.0 - weight) * x + weight * h
-        x /= x.sum()
-        res = float(np.abs(PT.dot(x) - x).sum())
-        mon.iteration_finished(it, res, time.perf_counter() - start)
-        if res < tol:
-            converged = True
-            break
-    elapsed = time.perf_counter() - start
-    residual = recorder.last_residual()
-    if residual is None:
-        residual = residual_norm(P, x)
-    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
-    return StationaryResult(
-        distribution=x,
-        iterations=recorder.n_iterations,
-        residual=residual,
-        converged=converged,
+        return x / x.sum()
+
+    return iterate_fixed_point(
+        n,
+        step,
+        lambda x: operator_residual(op, x),
         method=method,
-        residual_history=recorder.residual_history,
-        solve_time=elapsed,
+        tol=tol,
+        max_iter=max_iter,
+        x0=x0,
+        monitor=monitor,
+    )
+
+
+@register_solver(
+    "jacobi",
+    matrix_free=True,
+    description="weighted Gauss-Jacobi sweeps (the paper's smoother)",
+    default_max_iter=100_000,
+)
+def _dispatch_jacobi(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    return solve_jacobi(
+        P,
+        tol=tol,
+        max_iter=100_000 if max_iter is None else max_iter,
+        x0=x0,
+        monitor=monitor,
+        **kwargs,
     )

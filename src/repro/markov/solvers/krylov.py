@@ -4,6 +4,12 @@ The paper mentions that aggregation/disaggregation can accelerate "possibly
 the Krylov subspace methods"; here GMRES / BiCGStab from scipy are applied
 to the augmented nonsingular system (one stationary equation replaced by the
 normalization), optionally preconditioned with an ILU factorization.
+
+Matrix-free capable: for an unassembled
+:class:`~repro.markov.linop.TransitionOperator` the augmented system is
+applied as ``y = x - P^T x`` with the last entry overwritten by ``sum(x)``
+-- no matrix is formed.  ILU preconditioning requires the assembled matrix
+and is silently skipped on matrix-free backends.
 """
 
 from __future__ import annotations
@@ -12,22 +18,19 @@ import time
 from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 from scipy.sparse.linalg import LinearOperator, bicgstab, gmres, spilu
 
+from repro.markov.linop import AssembledOperator, as_operator, operator_residual
 from repro.markov.monitor import SolverMonitor, instrument
+from repro.markov.registry import register_solver
 from repro.markov.solvers.direct import augmented_system
-from repro.markov.solvers.result import (
-    StationaryResult,
-    prepare_initial_guess,
-    residual_norm,
-)
+from repro.markov.solvers.result import StationaryResult, prepare_initial_guess
 
 __all__ = ["solve_krylov"]
 
 
 def solve_krylov(
-    P: sp.csr_matrix,
+    P,
     tol: float = 1e-10,
     max_iter: int = 5_000,
     x0: Optional[np.ndarray] = None,
@@ -46,6 +49,8 @@ def solve_krylov(
         ``"ilu"`` for an incomplete-LU right preconditioner, ``None`` to
         disable (ILU can fail on highly structured singular-ish systems;
         in that case the solver transparently retries unpreconditioned).
+        ILU needs the assembled matrix, so it is skipped for matrix-free
+        operators.
     restart:
         GMRES restart length.
     monitor:
@@ -57,34 +62,43 @@ def solve_krylov(
     """
     if variant not in ("gmres", "bicgstab"):
         raise ValueError(f"unknown Krylov variant {variant!r}")
-    n = P.shape[0]
+    if preconditioner not in (None, "ilu"):
+        raise ValueError(f"unknown preconditioner {preconditioner!r}")
+    op = as_operator(P)
+    n = op.shape[0]
     x_init = prepare_initial_guess(n, x0)
-    A = augmented_system(P).tocsc()
     b = np.zeros(n)
     b[n - 1] = 1.0
 
     M = None
-    if preconditioner == "ilu":
-        try:
-            ilu = spilu(A, drop_tol=1e-5, fill_factor=10)
-            M = LinearOperator((n, n), matvec=ilu.solve)
-        except RuntimeError:
-            M = None
-    elif preconditioner is not None:
-        raise ValueError(f"unknown preconditioner {preconditioner!r}")
+    if isinstance(op, AssembledOperator):
+        A = augmented_system(op.P).tocsc()
+        if preconditioner == "ilu":
+            try:
+                ilu = spilu(A, drop_tol=1e-5, fill_factor=10)
+                M = LinearOperator((n, n), matvec=ilu.solve)
+            except RuntimeError:
+                M = None
+        A_op = LinearOperator((n, n), matvec=A.dot)
+    else:
+        def apply_augmented(v: np.ndarray) -> np.ndarray:
+            v = np.asarray(v, dtype=float)
+            y = v - op.rmatvec(v)
+            y[n - 1] = v.sum()
+            return y
+
+        A_op = LinearOperator((n, n), matvec=apply_augmented)
 
     method = f"krylov-{variant}" + ("" if M is None else "+ilu")
     recorder, mon = instrument(method, n, tol, monitor)
     start = time.perf_counter()
-
-    A_op = LinearOperator((n, n), matvec=A.dot)
 
     def snapshot_residual(v: np.ndarray) -> float:
         v = np.clip(np.asarray(v, dtype=float), 0.0, None)
         total = v.sum()
         if total <= 0:
             return float("inf")
-        return residual_norm(P, v / total)
+        return operator_residual(op, v / total)
 
     def on_snapshot(xk: np.ndarray) -> None:
         mon.iteration_finished(
@@ -109,7 +123,7 @@ def solve_krylov(
     if total <= 0:
         raise ArithmeticError(f"{variant} produced a zero stationary vector")
     x /= total
-    res = residual_norm(P, x)
+    res = operator_residual(op, x)
     elapsed = time.perf_counter() - start
     mon.iteration_finished(recorder.n_iterations + 1, res, elapsed)
     mon.solve_finished(info == 0, recorder.n_iterations, res, elapsed)
@@ -121,4 +135,23 @@ def solve_krylov(
         method=method,
         residual_history=recorder.residual_history,
         solve_time=elapsed,
+    )
+
+
+@register_solver(
+    "krylov",
+    matrix_free=True,
+    description="GMRES/BiCGStab on the augmented system (ILU when assembled)",
+    default_max_iter=5_000,
+)
+def _dispatch_krylov(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    return solve_krylov(
+        P,
+        tol=tol,
+        max_iter=5_000 if max_iter is None else max_iter,
+        x0=x0,
+        monitor=monitor,
+        variant=kwargs.pop("variant", "gmres"),
+        preconditioner=kwargs.pop("preconditioner", "ilu"),
+        **kwargs,
     )

@@ -6,28 +6,27 @@ renormalization.  An optional damping factor iterates on the *lazy* chain
 ``alpha P + (1 - alpha) I`` instead, which has the same stationary vector
 but is guaranteed aperiodic, so the method also converges on periodic
 chains.
+
+Fully matrix-free: the sweep only needs ``rmatvec``, so any
+:class:`~repro.markov.linop.TransitionOperator` backend works unassembled.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.markov.monitor import SolverMonitor, instrument
-from repro.markov.solvers.result import (
-    StationaryResult,
-    prepare_initial_guess,
-    residual_norm,
-)
+from repro.markov.linop import as_operator, operator_residual
+from repro.markov.monitor import SolverMonitor
+from repro.markov.registry import register_solver
+from repro.markov.solvers.result import StationaryResult, iterate_fixed_point
 
 __all__ = ["solve_power"]
 
 
 def solve_power(
-    P: sp.csr_matrix,
+    P,
     tol: float = 1e-10,
     max_iter: int = 100_000,
     x0: Optional[np.ndarray] = None,
@@ -39,7 +38,9 @@ def solve_power(
     Parameters
     ----------
     P:
-        Row-stochastic CSR matrix.
+        Row-stochastic transition matrix in any
+        :func:`~repro.markov.linop.as_operator`-coercible form (CSR,
+        MarkovChain, matrix-free operator, Kronecker descriptor, ...).
     tol:
         Convergence threshold on ``||x P - x||_1``.
     max_iter:
@@ -53,36 +54,41 @@ def solve_power(
     """
     if not 0.0 < damping <= 1.0:
         raise ValueError("damping must be in (0, 1]")
-    n = P.shape[0]
-    x = prepare_initial_guess(n, x0)
-    PT = P.T.tocsr()
+    op = as_operator(P)
+    n = op.shape[0]
     method = "power" if damping == 1.0 else f"power(damping={damping:g})"
-    recorder, mon = instrument(method, n, tol, monitor)
-    start = time.perf_counter()
-    converged = False
-    for it in range(1, max_iter + 1):
-        px = PT.dot(x)
+
+    def step(x: np.ndarray) -> np.ndarray:
+        px = op.rmatvec(x)
         if damping != 1.0:
             px = damping * px + (1.0 - damping) * x
-        px_sum = px.sum()
-        px /= px_sum
-        res = float(np.abs(PT.dot(px) - px).sum())
-        mon.iteration_finished(it, res, time.perf_counter() - start)
-        x = px
-        if res < tol:
-            converged = True
-            break
-    elapsed = time.perf_counter() - start
-    residual = recorder.last_residual()
-    if residual is None:
-        residual = residual_norm(P, x)
-    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
-    return StationaryResult(
-        distribution=x,
-        iterations=recorder.n_iterations,
-        residual=residual,
-        converged=converged,
+        return px / px.sum()
+
+    return iterate_fixed_point(
+        n,
+        step,
+        lambda x: operator_residual(op, x),
         method=method,
-        residual_history=recorder.residual_history,
-        solve_time=elapsed,
+        tol=tol,
+        max_iter=max_iter,
+        x0=x0,
+        monitor=monitor,
+    )
+
+
+@register_solver(
+    "power",
+    matrix_free=True,
+    description="damped power iteration x <- x P",
+    default_max_iter=100_000,
+)
+def _dispatch_power(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    return solve_power(
+        P,
+        tol=tol,
+        max_iter=100_000 if max_iter is None else max_iter,
+        x0=x0,
+        monitor=monitor,
+        damping=kwargs.pop("damping", 1.0),
+        **kwargs,
     )

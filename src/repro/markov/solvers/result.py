@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["StationaryResult", "residual_norm", "prepare_initial_guess"]
+__all__ = [
+    "StationaryResult",
+    "residual_norm",
+    "prepare_initial_guess",
+    "iterate_fixed_point",
+]
 
 
 def residual_norm(P: sp.csr_matrix, x: np.ndarray) -> float:
@@ -29,6 +35,70 @@ def prepare_initial_guess(n: int, x0: Optional[np.ndarray]) -> np.ndarray:
     if total <= 0:
         raise ValueError("initial guess must have positive mass")
     return x / total
+
+
+def iterate_fixed_point(
+    n: int,
+    step: Callable[[np.ndarray], np.ndarray],
+    residual_fn: Callable[[np.ndarray], float],
+    *,
+    method: str,
+    tol: float,
+    max_iter: int,
+    x0: Optional[np.ndarray] = None,
+    monitor=None,
+) -> "StationaryResult":
+    """Shared driver for normalized fixed-point stationary iterations.
+
+    Power iteration, weighted Jacobi, Gauss-Seidel and SOR (and formerly
+    the CDR operator's private power loop) all share the same skeleton:
+    prepare a guess, repeatedly apply a normalizing sweep, measure
+    ``||x P - x||_1``, emit one monitor event per iteration, and stop at
+    ``tol``.  This function is that skeleton, so every solver built on it
+    reports iterations/residual/history through the same
+    :class:`~repro.markov.monitor.RecordingMonitor` invariants
+    (``iterations == len(events)``, ``residual == events[-1].residual``).
+
+    Parameters
+    ----------
+    n:
+        State count (sets the uniform default guess).
+    step:
+        ``step(x) -> x'``: one sweep, returning the next *normalized*
+        iterate (must not mutate its argument's meaning for the caller).
+    residual_fn:
+        ``residual_fn(x') -> float``: the stationary residual of an
+        iterate, conventionally ``||x' P - x'||_1``.
+    method:
+        Solver name recorded in the result and the telemetry trace.
+    """
+    from repro.markov.monitor import instrument
+
+    x = prepare_initial_guess(n, x0)
+    recorder, mon = instrument(method, n, tol, monitor)
+    start = time.perf_counter()
+    converged = False
+    for iteration in range(1, max_iter + 1):
+        x = step(x)
+        res = float(residual_fn(x))
+        mon.iteration_finished(iteration, res, time.perf_counter() - start)
+        if res < tol:
+            converged = True
+            break
+    elapsed = time.perf_counter() - start
+    residual = recorder.last_residual()
+    if residual is None:
+        residual = float(residual_fn(x))
+    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
+    return StationaryResult(
+        distribution=x,
+        iterations=recorder.n_iterations,
+        residual=residual,
+        converged=converged,
+        method=method,
+        residual_history=recorder.residual_history,
+        solve_time=elapsed,
+    )
 
 
 @dataclass

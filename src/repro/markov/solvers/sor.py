@@ -5,23 +5,23 @@ one GS sweep is scaled by ``omega`` (over-relaxation for ``omega > 1``,
 under-relaxation below).  On the banded, advection-dominated chains of
 the CDR model a modest over-relaxation typically shaves 20-40% off the
 Gauss-Seidel sweep count (Stewart, ch. 3).
+
+Needs the assembled triangular factors, so matrix-free operators are
+materialized through :func:`~repro.markov.linop.ensure_csr`.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
-from repro.markov.monitor import SolverMonitor, instrument
-from repro.markov.solvers.result import (
-    StationaryResult,
-    prepare_initial_guess,
-    residual_norm,
-)
+from repro.markov.linop import ensure_csr
+from repro.markov.monitor import SolverMonitor
+from repro.markov.registry import register_solver
+from repro.markov.solvers.result import StationaryResult, iterate_fixed_point
 
 __all__ = ["solve_sor"]
 
@@ -29,7 +29,7 @@ _DIAG_FLOOR = 1e-14
 
 
 def solve_sor(
-    P: sp.csr_matrix,
+    P,
     tol: float = 1e-10,
     max_iter: int = 50_000,
     x0: Optional[np.ndarray] = None,
@@ -44,8 +44,8 @@ def solve_sor(
     """
     if not 0.0 < omega < 2.0:
         raise ValueError("omega must be in (0, 2)")
+    P = ensure_csr(P)
     n = P.shape[0]
-    x = prepare_initial_guess(n, x0)
     A = (sp.identity(n, format="csr") - P.T).tocsr()
     D = A.diagonal()
     D = np.where(D < _DIAG_FLOOR, _DIAG_FLOOR, D)
@@ -56,33 +56,47 @@ def solve_sor(
     N = sp.diags((1.0 / omega - 1.0) * D) - U
     PT = P.T.tocsr()
     method = f"sor(omega={omega:g})"
-    recorder, mon = instrument(method, n, tol, monitor)
-    start = time.perf_counter()
-    converged = False
-    for it in range(1, max_iter + 1):
+
+    def step(x: np.ndarray) -> np.ndarray:
         rhs = N.dot(x)
-        x = spsolve_triangular(M, rhs, lower=True)
-        x = np.clip(x, 0.0, None)
+        y = spsolve_triangular(M, rhs, lower=True)
+        # For omega > 1 the N diagonal turns negative, so an over-relaxed
+        # sweep can flip the whole iterate's sign (it still spans the same
+        # Perron direction).  Keep whichever sign orientation carries the
+        # mass instead of clipping the raw iterate to an all-zero vector.
+        pos = np.clip(y, 0.0, None)
+        neg = np.clip(-y, 0.0, None)
+        x = pos if pos.sum() >= neg.sum() else neg
         total = x.sum()
         if total <= 0:
             raise ArithmeticError("SOR sweep annihilated the iterate")
-        x /= total
-        res = float(np.abs(PT.dot(x) - x).sum())
-        mon.iteration_finished(it, res, time.perf_counter() - start)
-        if res < tol:
-            converged = True
-            break
-    elapsed = time.perf_counter() - start
-    residual = recorder.last_residual()
-    if residual is None:
-        residual = residual_norm(P, x)
-    mon.solve_finished(converged, recorder.n_iterations, residual, elapsed)
-    return StationaryResult(
-        distribution=x,
-        iterations=recorder.n_iterations,
-        residual=residual,
-        converged=converged,
+        return x / total
+
+    return iterate_fixed_point(
+        n,
+        step,
+        lambda x: float(np.abs(PT.dot(x) - x).sum()),
         method=method,
-        residual_history=recorder.residual_history,
-        solve_time=elapsed,
+        tol=tol,
+        max_iter=max_iter,
+        x0=x0,
+        monitor=monitor,
+    )
+
+
+@register_solver(
+    "sor",
+    matrix_free=False,
+    description="over-relaxed Gauss-Seidel (omega) sweeps",
+    default_max_iter=50_000,
+)
+def _dispatch_sor(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    return solve_sor(
+        P,
+        tol=tol,
+        max_iter=50_000 if max_iter is None else max_iter,
+        x0=x0,
+        monitor=monitor,
+        omega=kwargs.pop("omega", 1.2),
+        **kwargs,
     )

@@ -2,51 +2,84 @@
 
 ``stationary_distribution(chain)`` picks a sensible solver automatically
 (direct for small chains, multigrid for large ones) or dispatches to a
-named method.  All solvers return a
+named method through the solver registry
+(:mod:`repro.markov.registry`).  All solvers return a
 :class:`~repro.markov.solvers.result.StationaryResult`.
+
+``chain`` may be anything :func:`repro.markov.linop.as_operator` accepts:
+a :class:`~repro.markov.chain.MarkovChain`, a row-stochastic matrix, or an
+unassembled :class:`~repro.markov.linop.TransitionOperator` (matrix-free
+CDR operator, Kronecker descriptor).  Matrix-free operators reach every
+solver whose registry entry is flagged ``matrix_free``; the others
+materialize via ``to_csr()`` or raise
+:class:`~repro.markov.linop.OperatorCapabilityError`.
+
+The historical ``SOLVER_NAMES`` tuple is deprecated: the registry is the
+source of truth now.  Importing it still works for one release (module
+``__getattr__`` emits a :class:`DeprecationWarning` and returns
+``("auto",) + solver_names()``).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import warnings
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.markov.chain import MarkovChain
 from repro.markov.classify import is_irreducible
+from repro.markov.linop import AssembledOperator, as_operator, ensure_csr
 from repro.markov.monitor import SolverMonitor
-from repro.markov.multigrid import MultigridOptions, MultigridSolver
-from repro.markov.solvers import (
-    StationaryResult,
-    solve_direct,
-    solve_eigen,
-    solve_gauss_seidel,
-    solve_jacobi,
-    solve_krylov,
-    solve_power,
-    solve_sor,
-)
+from repro.markov.registry import get_solver, solver_names
+from repro.markov.solvers import StationaryResult
+
+# Importing the solver modules populates the registry (each registers
+# itself with @register_solver); multigrid registers "multigrid".
+import repro.markov.multigrid  # noqa: F401
+import repro.markov.solvers.direct  # noqa: F401
+import repro.markov.solvers.eigen  # noqa: F401
+import repro.markov.solvers.gauss_seidel  # noqa: F401
+import repro.markov.solvers.jacobi  # noqa: F401
+import repro.markov.solvers.krylov  # noqa: F401
+import repro.markov.solvers.power  # noqa: F401
+import repro.markov.solvers.sor  # noqa: F401
 
 __all__ = ["stationary_distribution", "SOLVER_NAMES"]
-
-SOLVER_NAMES = (
-    "auto",
-    "direct",
-    "power",
-    "jacobi",
-    "gauss-seidel",
-    "sor",
-    "krylov",
-    "arnoldi",
-    "multigrid",
-)
 
 _DIRECT_CUTOFF = 20_000
 
 
+def __getattr__(name: str):
+    if name == "SOLVER_NAMES":
+        warnings.warn(
+            "SOLVER_NAMES is deprecated; use "
+            "repro.markov.registry.solver_names() (the registry is the "
+            "source of truth for available solvers)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ("auto",) + solver_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _resolve_auto(op, n: int) -> str:
+    """Pick a concrete method for ``method='auto'``.
+
+    Assembled chains keep the historical policy (direct below ~20k states,
+    multigrid above).  Unassembled operators default to power iteration --
+    the one method guaranteed to work matrix-free without a coarsening
+    strategy; callers with structure should pass ``method='multigrid'``
+    plus a strategy (the analyzer does).
+    """
+    if isinstance(op, AssembledOperator):
+        return "direct" if n <= _DIRECT_CUTOFF else "multigrid"
+    return "power"
+
+
 def stationary_distribution(
-    chain: Union[MarkovChain, sp.spmatrix, np.ndarray],
+    chain,
     method: str = "auto",
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
@@ -60,10 +93,12 @@ def stationary_distribution(
     Parameters
     ----------
     chain:
-        A :class:`MarkovChain` or a row-stochastic matrix.
+        A :class:`MarkovChain`, a row-stochastic matrix, or a
+        :class:`~repro.markov.linop.TransitionOperator`.
     method:
-        One of :data:`SOLVER_NAMES`.  ``"auto"`` uses a direct sparse-LU
-        solve below ~20k states and multigrid above.
+        ``"auto"`` or a registered solver name (see
+        :func:`repro.markov.registry.solver_names`).  ``"auto"`` uses a
+        direct sparse-LU solve below ~20k states and multigrid above.
     tol:
         Residual tolerance ``||eta P - eta||_1`` for iterative methods.
     max_iter:
@@ -73,6 +108,7 @@ def stationary_distribution(
     check_irreducible:
         When True, verify irreducibility first and raise ``ValueError`` on
         reducible chains (which have non-unique stationary vectors).
+        Requires an assembled (or assemblable) chain.
     monitor:
         Optional :class:`~repro.markov.monitor.SolverMonitor` receiving the
         solver's per-iteration telemetry (see :mod:`repro.markov.monitor`).
@@ -81,57 +117,22 @@ def stationary_distribution(
         ``strategy`` for multigrid, ``variant`` for krylov).
     """
     if isinstance(chain, MarkovChain):
-        mc = chain
+        op = as_operator(chain)
+    elif sp.issparse(chain) or isinstance(chain, np.ndarray):
+        # Route raw matrices through MarkovChain to keep the historical
+        # stochasticity validation.
+        op = as_operator(MarkovChain(chain))
     else:
-        mc = MarkovChain(chain)
-    if method not in SOLVER_NAMES:
-        raise ValueError(f"unknown method {method!r}; choose from {SOLVER_NAMES}")
-    if check_irreducible and not is_irreducible(mc):
+        op = as_operator(chain)
+    n = op.shape[0]
+    if method != "auto":
+        entry = get_solver(method)
+    else:
+        entry = get_solver(_resolve_auto(op, n))
+    if check_irreducible and not is_irreducible(MarkovChain(ensure_csr(op))):
         raise ValueError(
             "chain is reducible: the stationary distribution is not unique"
         )
-    P = mc.P
-    if method == "auto":
-        method = "direct" if mc.n_states <= _DIRECT_CUTOFF else "multigrid"
-    if method == "direct":
-        return solve_direct(P, tol=tol, monitor=monitor)
-    if method == "power":
-        return solve_power(
-            P, tol=tol, max_iter=max_iter or 100_000, x0=x0,
-            damping=kwargs.get("damping", 1.0), monitor=monitor,
-        )
-    if method == "jacobi":
-        return solve_jacobi(
-            P, tol=tol, max_iter=max_iter or 100_000, x0=x0, monitor=monitor
-        )
-    if method == "gauss-seidel":
-        return solve_gauss_seidel(
-            P, tol=tol, max_iter=max_iter or 50_000, x0=x0, monitor=monitor
-        )
-    if method == "sor":
-        return solve_sor(
-            P, tol=tol, max_iter=max_iter or 50_000, x0=x0,
-            omega=kwargs.get("omega", 1.2), monitor=monitor,
-        )
-    if method == "arnoldi":
-        return solve_eigen(
-            P, tol=tol, max_iter=max_iter or 10_000, x0=x0, monitor=monitor
-        )
-    if method == "krylov":
-        return solve_krylov(
-            P, tol=tol, max_iter=max_iter or 5_000, x0=x0,
-            variant=kwargs.get("variant", "gmres"),
-            preconditioner=kwargs.get("preconditioner", "ilu"),
-            monitor=monitor,
-        )
-    # multigrid
-    options = MultigridOptions(
-        tol=tol,
-        max_cycles=max_iter or 200,
-        nu_pre=kwargs.get("nu_pre", 1),
-        nu_post=kwargs.get("nu_post", 1),
-        coarsest_size=kwargs.get("coarsest_size", 512),
-        cycle_type=kwargs.get("cycle_type", "V"),
+    return entry.fn(
+        op, tol=tol, max_iter=max_iter, x0=x0, monitor=monitor, **kwargs
     )
-    solver = MultigridSolver(strategy=kwargs.get("strategy"), options=options)
-    return solver.solve(P, x0=x0, monitor=monitor)

@@ -173,6 +173,8 @@ def build_run_manifest(
             "slip_rate": analysis.slip_rate,
             "mean_symbols_between_slips": analysis.mean_symbols_between_slips,
             "phase_stats": dict(analysis.phase_stats),
+            "backend": getattr(analysis, "backend", None),
+            "solver_entry": getattr(analysis, "solver_entry", None),
             "solver_method": analysis.solver_result.method,
             "solver_iterations": analysis.solver_result.iterations,
             "solver_residual": analysis.solver_result.residual,

@@ -1,0 +1,245 @@
+"""Backend-equivalence suite: assembled / matrix-free / kronecker.
+
+All three registered TPM backends must realize the *same* matrix: matvec
+and rmatvec agree on random vectors to near machine precision, structural
+queries (diagonal, row sums, slip flux, Galerkin restriction) match the
+assembled reference, and the stationary distribution -- and therefore BER
+and slip MTBF -- agree through the registry for every solver the backend
+supports.
+"""
+
+import numpy as np
+import pytest
+
+import repro.cdr.backends  # noqa: F401  (registers the built-in backends)
+from repro.cdr.backends import KroneckerCDROperator, OperatorCDRModel
+from repro.cdr.operator import CDRTransitionOperator
+from repro.core.analyzer import analyze_cdr
+from repro.core.spec import CDRSpec
+from repro.markov import as_operator, backend_names, get_backend, solver_table
+from repro.markov.lumping import Partition, lumped_tpm
+
+pytestmark = pytest.mark.operator
+
+
+def small_spec(**overrides) -> CDRSpec:
+    base = dict(
+        n_phase_points=32,
+        n_clock_phases=16,
+        counter_length=2,
+        max_run_length=2,
+        nw_std=0.08,
+        nw_atoms=7,
+    )
+    base.update(overrides)
+    return CDRSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def triplet():
+    """The same small spec realized by all three backends."""
+    spec = small_spec()
+    assembled = get_backend("assembled").build(spec)
+    mf = get_backend("matrix-free").build(spec)
+    kron = get_backend("kronecker").build(spec)
+    return spec, assembled, mf, kron
+
+
+class TestRegisteredBackends:
+    def test_names(self):
+        assert set(backend_names()) >= {"assembled", "kronecker", "matrix-free"}
+
+    def test_unknown_backend_error(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("bogus")
+
+    def test_spec_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            small_spec(backend="bogus")
+
+    def test_facade_types(self, triplet):
+        _, assembled, mf, kron = triplet
+        assert isinstance(mf, OperatorCDRModel)
+        assert isinstance(mf.chain, CDRTransitionOperator)
+        assert isinstance(kron.chain, KroneckerCDROperator)
+        assert mf.slip_matrix is None
+        assert assembled.slip_matrix is not None
+
+
+class TestMatvecAgreement:
+    """matvec/rmatvec across the three adapters, rtol 1e-12."""
+
+    def test_random_vectors(self, triplet):
+        _, assembled, mf, kron = triplet
+        P = assembled.chain.P
+        ops = {
+            "assembled": as_operator(assembled.chain),
+            "matrix-free": mf.chain,
+            "kronecker": kron.chain,
+        }
+        rng = np.random.default_rng(42)
+        for _ in range(5):
+            v = rng.random(assembled.n_states)
+            ref_mv = P.dot(v)
+            ref_rmv = P.T.dot(v)
+            for name, op in ops.items():
+                np.testing.assert_allclose(
+                    op.matvec(v), ref_mv, rtol=1e-12, atol=1e-14, err_msg=name
+                )
+                np.testing.assert_allclose(
+                    op.rmatvec(v), ref_rmv, rtol=1e-12, atol=1e-14, err_msg=name
+                )
+
+    def test_diagonal_and_row_sums(self, triplet):
+        _, assembled, mf, kron = triplet
+        P = assembled.chain.P
+        for name, op in (("matrix-free", mf.chain), ("kronecker", kron.chain)):
+            np.testing.assert_allclose(
+                op.diagonal(), P.diagonal(), atol=1e-14, err_msg=name
+            )
+            np.testing.assert_allclose(
+                op.row_sums(), 1.0, atol=1e-12, err_msg=name
+            )
+
+    def test_to_csr_reproduces_assembled(self, triplet):
+        _, assembled, mf, kron = triplet
+        P = assembled.chain.P
+        for name, op in (("matrix-free", mf.chain), ("kronecker", kron.chain)):
+            diff = abs(op.to_csr() - P)
+            assert diff.max() < 1e-14, name
+
+    def test_slip_row_sums_match_slip_matrix(self, triplet):
+        _, assembled, mf, kron = triplet
+        ref = np.asarray(assembled.slip_matrix.sum(axis=1)).ravel()
+        for name, model in (("matrix-free", mf), ("kronecker", kron)):
+            np.testing.assert_allclose(
+                model.slip_row_sums(), ref, atol=1e-14, err_msg=name
+            )
+
+    def test_restrict_matches_lumped_tpm(self, triplet):
+        _, assembled, mf, kron = triplet
+        part = mf.phase_pairing_partitions()[0]
+        w = np.random.default_rng(7).random(assembled.n_states)
+        ref = lumped_tpm(assembled.chain.P, part, weights=w)
+        for name, op in (("matrix-free", mf.chain), ("kronecker", kron.chain)):
+            C = op.restrict(part, w)
+            np.testing.assert_allclose(
+                C.toarray(), ref.toarray(), atol=1e-12, err_msg=name
+            )
+
+
+class TestStationaryAgreement:
+    """Every backend x iterative-solver pair through the registry."""
+
+    def test_all_pairs(self, triplet):
+        from repro.markov import stationary_distribution
+
+        spec, assembled, mf, kron = triplet
+        ref = stationary_distribution(assembled.chain, method="direct").distribution
+        models = {"assembled": assembled, "matrix-free": mf, "kronecker": kron}
+        for entry in solver_table():
+            for backend, model in models.items():
+                if not entry.matrix_free and backend == "assembled":
+                    continue  # covered by the reference + solver suites
+                res = stationary_distribution(
+                    model.chain, method=entry.name, tol=1e-11
+                )
+                assert res.converged, (backend, entry.name)
+                assert np.abs(res.distribution - ref).sum() < 1e-7, (
+                    backend, entry.name,
+                )
+
+
+class TestAnalyzerAgreement:
+    def test_ber_and_slips_agree(self):
+        # nw_std chosen so BER and the slip rate are well above the solver
+        # tolerance; deeper tails are unresolved noise at tol=1e-12 and
+        # cannot be expected to agree between exact and iterative solves.
+        spec = small_spec(nw_std=0.25)
+        ref = analyze_cdr(spec)
+        for backend in ("matrix-free", "kronecker"):
+            res = analyze_cdr(spec, backend=backend, solver="multigrid", tol=1e-12)
+            assert res.backend == backend
+            assert res.solver_entry == "multigrid"
+            assert abs(res.ber - ref.ber) <= 1e-8 * ref.ber, backend
+            if np.isfinite(ref.mean_symbols_between_slips):
+                assert np.isclose(
+                    res.mean_symbols_between_slips,
+                    ref.mean_symbols_between_slips,
+                    rtol=1e-6,
+                ), backend
+
+    def test_auto_solver_policy_matrix_free(self):
+        res = analyze_cdr(small_spec(), backend="matrix-free")
+        # Small model + no assembled matrix -> power, not direct.
+        assert res.solver_entry == "power"
+        assert res.solver_result.converged
+
+    def test_backend_recorded_in_manifest(self):
+        from repro.obs import Tracer, build_run_manifest, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            analysis = analyze_cdr(small_spec(), backend="matrix-free")
+            manifest = build_run_manifest(
+                kind="analysis", spec=analysis.spec, analysis=analysis,
+                tracer=tracer,
+            )
+        assert manifest["results"]["backend"] == "matrix-free"
+        assert manifest["results"]["solver_entry"] == analysis.solver_entry
+        assert manifest["spec"]["backend"] == "assembled"
+
+    def test_spec_backend_round_trips(self):
+        from repro.core.serialize import spec_from_dict, spec_to_dict
+
+        spec = small_spec(backend="kronecker")
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+class TestNeverMaterializes:
+    def test_matrix_free_multigrid_never_calls_to_csr(self, monkeypatch):
+        def boom(self):  # pragma: no cover - failure path
+            raise AssertionError("matrix-free path materialized the TPM")
+
+        monkeypatch.setattr(CDRTransitionOperator, "to_csr", boom)
+        spec = small_spec(n_phase_points=64)
+        res = analyze_cdr(spec, backend="matrix-free", solver="multigrid")
+        assert res.solver_result.converged
+        assert res.ber > 0
+
+    def test_direct_raises_capability_error_matrix_free(self, monkeypatch):
+        from repro.markov import OperatorCapabilityError
+
+        def boom(self):
+            raise OperatorCapabilityError("no materialization in this test")
+
+        monkeypatch.setattr(CDRTransitionOperator, "to_csr", boom)
+        with pytest.raises(OperatorCapabilityError):
+            analyze_cdr(small_spec(), backend="matrix-free", solver="direct")
+
+
+@pytest.mark.slow
+class TestAcceptanceScale:
+    def test_1e5_states_end_to_end_matrix_free(self, monkeypatch):
+        """>=1e5-state spec: BER + slip MTBF via matrix-free multigrid,
+        never materializing, matching assembled to rtol 1e-8."""
+
+        def boom(self):  # pragma: no cover - failure path
+            raise AssertionError("matrix-free path materialized the TPM")
+
+        spec = CDRSpec(n_phase_points=2048, counter_length=12, nw_std=0.15)
+        assert spec.expected_state_count() >= 100_000
+
+        monkeypatch.setattr(CDRTransitionOperator, "to_csr", boom)
+        mf = analyze_cdr(spec, backend="matrix-free", solver="multigrid", tol=1e-12)
+        monkeypatch.undo()
+        ref = analyze_cdr(spec, solver="multigrid", tol=1e-12)
+
+        assert mf.solver_result.converged
+        assert abs(mf.ber - ref.ber) <= 1e-8 * ref.ber
+        assert np.isfinite(mf.mean_symbols_between_slips)
+        assert np.isclose(
+            mf.mean_symbols_between_slips,
+            ref.mean_symbols_between_slips,
+            rtol=1e-6,
+        )

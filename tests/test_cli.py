@@ -52,6 +52,42 @@ class TestAnalyzeCommand:
         assert rc == 1
         assert "error:" in err
 
+    def test_unknown_backend_reports_error(self, capsys):
+        rc = main(["analyze", *FAST, "--backend", "bogus"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "unknown backend" in err
+
+    def test_capability_error_reports_cleanly(self, capsys, monkeypatch):
+        # A csr-only solver on an operator that cannot materialize must
+        # exit 1 with an `error:` line, not a traceback.
+        from repro.cdr.operator import CDRTransitionOperator
+        from repro.markov import OperatorCapabilityError
+
+        def boom(self):
+            raise OperatorCapabilityError("cannot materialize; matrix-free")
+
+        monkeypatch.setattr(CDRTransitionOperator, "to_csr", boom)
+        rc = main(["analyze", *FAST, "--backend", "matrix-free",
+                   "--solver", "direct"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "error: cannot materialize" in err
+
+    def test_backend_flag_matrix_free(self, capsys):
+        rc = main(["analyze", *FAST, "--backend", "matrix-free",
+                   "--solver", "multigrid"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "BER (Gaussian tail)" in out
+
+    def test_solvers_listing(self, capsys):
+        rc = main(["solvers"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "multigrid" in out and "matrix-free" in out
+        assert "assembled" in out and "kronecker" in out
+
     def test_trace_flag_writes_valid_json(self, capsys, tmp_path):
         from repro.markov.monitor import TRACE_SCHEMA, load_trace
 
