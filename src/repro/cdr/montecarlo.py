@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +31,13 @@ from repro.fsm.stochastic import MarkovSource
 from repro.noise.distributions import DiscreteDistribution
 from repro.obs import get_registry, span
 
-__all__ = ["MonteCarloResult", "simulate_cdr", "required_symbols_for_ber"]
+__all__ = [
+    "MonteCarloResult",
+    "CampaignResult",
+    "simulate_cdr",
+    "simulate_cdr_campaign",
+    "required_symbols_for_ber",
+]
 
 
 @dataclass
@@ -240,3 +246,140 @@ def simulate_cdr(
             phase_mean=mean,
             phase_rms=math.sqrt(var + mean * mean),
         )
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a multi-seed Monte-Carlo campaign.
+
+    ``records`` holds one dict per completed seed (the checkpointed unit);
+    ``failed_seeds`` the per-seed error entries of seeds that died.  A
+    resumed campaign replays completed seeds from the checkpoint ledger,
+    so the pooled statistics are bit-identical to an uninterrupted run.
+    """
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    failed_seeds: List[Dict[str, Any]] = field(default_factory=list)
+    resumed_seeds: int = 0
+    mode: str = "discretized"
+
+    @property
+    def n_symbols(self) -> int:
+        return sum(r["n_symbols"] for r in self.records)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(r["n_errors"] for r in self.records)
+
+    @property
+    def n_slips(self) -> int:
+        return sum(r["n_slips"] for r in self.records)
+
+    @property
+    def ber(self) -> float:
+        n = self.n_symbols
+        return self.n_errors / n if n else float("nan")
+
+    @property
+    def slip_rate(self) -> float:
+        n = self.n_symbols
+        return self.n_slips / n if n else float("nan")
+
+    def summary(self) -> str:
+        parts = [
+            f"MC campaign[{self.mode}]: {len(self.records)} seeds, "
+            f"{self.n_symbols} symbols, BER {self.ber:.3e}, "
+            f"{self.n_slips} slips"
+        ]
+        if self.resumed_seeds:
+            parts.append(f"{self.resumed_seeds} seeds replayed from checkpoint")
+        if self.failed_seeds:
+            parts.append(f"{len(self.failed_seeds)} seeds FAILED")
+        return "; ".join(parts)
+
+
+def simulate_cdr_campaign(
+    grid: PhaseGrid,
+    nw: DiscreteDistribution,
+    nr: DiscreteDistribution,
+    counter_length: int,
+    phase_step_units: int,
+    data_source: MarkovSource,
+    n_symbols: int,
+    seeds: Sequence[int],
+    mode: str = "discretized",
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    **sim_kwargs,
+) -> CampaignResult:
+    """Run :func:`simulate_cdr` once per seed, with per-seed checkpoints.
+
+    The seed is the unit of work: each completes independently (a dying
+    seed is recorded in :attr:`CampaignResult.failed_seeds` and the rest
+    still run) and, with ``checkpoint_path``, each completed seed's
+    statistics persist immediately (schema ``repro.points/1``).
+    ``resume=True`` replays completed seeds from the ledger -- because a
+    seed fully determines its RNG stream, the pooled campaign statistics
+    after a mid-campaign kill and resume are bit-identical to an
+    uninterrupted campaign.
+    """
+    checkpointer = None
+    resumed = 0
+    if checkpoint_path is not None:
+        from repro.resilience.checkpoint import PointCheckpointer
+
+        checkpointer = PointCheckpointer(checkpoint_path, {
+            "kind": "mc-campaign",
+            "n_symbols": int(n_symbols),
+            "seeds": [int(s) for s in seeds],
+            "mode": mode,
+            "counter_length": int(counter_length),
+            "phase_step_units": int(phase_step_units),
+            "n_phase_points": int(grid.n_points),
+        })
+        if resume:
+            checkpointer.resume()
+
+    records: List[Dict[str, Any]] = []
+    failed: List[Dict[str, Any]] = []
+    with span("cdr.mc_campaign", mode=mode, n_seeds=len(seeds)):
+        for index, seed in enumerate(seeds):
+            if checkpointer is not None and checkpointer.is_done(index):
+                records.append(checkpointer.completed_record(index))
+                resumed += 1
+                continue
+            try:
+                result = simulate_cdr(
+                    grid, nw, nr, counter_length, phase_step_units,
+                    data_source, n_symbols,
+                    rng=np.random.default_rng(int(seed)), mode=mode,
+                    **sim_kwargs,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 - per-seed isolation
+                entry = {
+                    "index": index,
+                    "seed": int(seed),
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                }
+                failed.append(entry)
+                if checkpointer is not None:
+                    checkpointer.record_failure(index, entry)
+                continue
+            record = {
+                "seed": int(seed),
+                "n_symbols": result.n_symbols,
+                "n_errors": result.n_errors,
+                "n_slips": result.n_slips,
+                "phase_mean": result.phase_mean,
+                "phase_rms": result.phase_rms,
+                "sim_time": result.sim_time,
+            }
+            records.append(record)
+            if checkpointer is not None:
+                checkpointer.record(index, record)
+    return CampaignResult(
+        records=records, failed_seeds=failed, resumed_seeds=resumed, mode=mode
+    )

@@ -5,17 +5,90 @@ counter length for given levels of noise, the computation of which is
 enabled by the accurate and efficient analysis method described in the
 paper").  These helpers run such sweeps through the high-level analyzer
 and return tidy records ready for tabulation.
+
+Sweeps are resilient by construction: a point that fails (solver
+diagnosis, worker death) is recorded in :attr:`SweepResult.failed_points`
+and the sweep continues -- a 40-point study no longer dies at point 37
+with nothing to show.  With ``checkpoint_path`` every completed point is
+persisted immediately (schema ``repro.points/1``) and ``resume=True``
+skips already-completed points, replaying their saved records
+bit-identically.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.analyzer import analyze_cdr
 from repro.core.spec import CDRSpec
 from repro.obs import get_registry, span
 
-__all__ = ["sweep_parameter", "sweep_counter_length", "optimal_counter_length"]
+__all__ = [
+    "SweepResult",
+    "sweep_parameter",
+    "sweep_counter_length",
+    "optimal_counter_length",
+]
+
+
+class SweepResult(List[Dict[str, Any]]):
+    """Sweep records (a plain list) plus the per-point failure summary.
+
+    Behaves exactly like the list of record dicts older callers iterate
+    and index; :attr:`failed_points` carries one entry per failed point
+    (``index``, swept ``value``, ``error_type``, ``message``) and
+    :attr:`resumed_points` counts records replayed from a checkpoint.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[Dict[str, Any]] = (),
+        failed_points: Optional[List[Dict[str, Any]]] = None,
+        resumed_points: int = 0,
+    ) -> None:
+        super().__init__(records)
+        self.failed_points: List[Dict[str, Any]] = failed_points or []
+        self.resumed_points = resumed_points
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed_points)
+
+    def summary(self) -> str:
+        parts = [f"{len(self)} points completed"]
+        if self.resumed_points:
+            parts.append(f"{self.resumed_points} replayed from checkpoint")
+        if self.failed_points:
+            kinds = ", ".join(
+                f"point {e['index']} ({e['error_type']})"
+                for e in self.failed_points
+            )
+            parts.append(f"{self.n_failed} FAILED: {kinds}")
+        return "; ".join(parts)
+
+
+def _json_safe(value: Any) -> Any:
+    """Checkpoint records must round-trip through JSON unchanged."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def _record_from_analysis(parameter: str, value, result) -> Dict[str, Any]:
+    return {
+        parameter: value,
+        "backend": result.backend,
+        "ber": result.ber,
+        "ber_discrete": result.ber_discrete,
+        "slip_rate": result.slip_rate,
+        "mean_symbols_between_slips": result.mean_symbols_between_slips,
+        "phase_rms": result.phase_rms,
+        "n_states": result.n_states,
+        "iterations": result.solver_result.iterations,
+        "form_time_s": result.build_seconds,
+        "solve_time_s": result.solve_seconds,
+    }
 
 
 def sweep_parameter(
@@ -25,41 +98,120 @@ def sweep_parameter(
     solver: str = "multigrid",
     tol: float = 1e-10,
     backend: Optional[str] = None,
-) -> List[Dict]:
+    resilience=None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    analyze_fn: Optional[Callable[..., Any]] = None,
+) -> SweepResult:
     """Analyze ``base_spec`` with ``parameter`` swept over ``values``.
 
-    Returns one record per value with the headline measures and solver
+    Returns a :class:`SweepResult` -- a list with one record per
+    *successful* value carrying the headline measures and solver
     statistics (the fields of the paper's per-plot annotation lines).
     Each design point runs under a ``cdr.sweep.point`` span (nested in a
     ``cdr.sweep`` root) so a traced sweep shows where the time went.
     ``backend`` overrides the spec's TPM backend for every point.
+
+    A failing point no longer aborts the sweep: its typed error is
+    appended to :attr:`SweepResult.failed_points` (and persisted in the
+    checkpoint when one is active) and the remaining points still run.
+    Only ``KeyboardInterrupt``/``SystemExit`` propagate.
+
+    Parameters
+    ----------
+    resilience:
+        Forwarded to :func:`~repro.core.analyzer.analyze_cdr` -- ``True``
+        or a :class:`~repro.resilience.FallbackPolicy` gives every point
+        guarded solves with fallback escalation.
+    checkpoint_path:
+        Per-point progress ledger (``repro.points/1``): every completed
+        point is written immediately, so a killed sweep loses at most the
+        in-flight point.
+    resume:
+        Load ``checkpoint_path`` first and skip points already completed
+        there (their saved records are returned in place, bit-identically).
+        A checkpoint written by a different sweep raises
+        :class:`~repro.resilience.CheckpointMismatch`.
+    analyze_fn:
+        The per-point analysis callable, defaulting to
+        :func:`~repro.core.analyzer.analyze_cdr`.  Injection point for the
+        fault harness (and for tests that stub the analyzer).
     """
-    records = []
-    counter = get_registry().counter(
+    analyze = analyze_cdr if analyze_fn is None else analyze_fn
+    registry = get_registry()
+    counter = registry.counter(
         "repro_sweep_points_total", "Design points analyzed by sweeps"
     )
+    failure_counter = registry.counter(
+        "repro_sweep_point_failures_total", "Sweep points that failed"
+    )
+
+    checkpointer = None
+    resumed = 0
+    if checkpoint_path is not None:
+        from repro.core.serialize import spec_to_dict
+        from repro.resilience.checkpoint import PointCheckpointer
+
+        job = {
+            "kind": "sweep",
+            "parameter": parameter,
+            "values": [_json_safe(v) for v in values],
+            "solver": solver,
+            "tol": tol,
+            "backend": backend,
+            "spec": spec_to_dict(base_spec),
+        }
+        checkpointer = PointCheckpointer(checkpoint_path, job)
+        if resume:
+            checkpointer.resume()
+
+    records: List[Dict[str, Any]] = []
+    failed: List[Dict[str, Any]] = []
     with span("cdr.sweep", parameter=parameter, n_values=len(values)):
-        for value in values:
+        for index, value in enumerate(values):
+            if checkpointer is not None and checkpointer.is_done(index):
+                records.append(checkpointer.completed_record(index))
+                resumed += 1
+                continue
             spec = base_spec.replace(**{parameter: value})
-            with span("cdr.sweep.point", parameter=parameter, value=value):
-                result = analyze_cdr(spec, solver=solver, tol=tol, backend=backend)
+            with span(
+                "cdr.sweep.point", parameter=parameter, value=value
+            ) as point_span:
+                try:
+                    result = analyze(
+                        spec, solver=solver, tol=tol, backend=backend,
+                        **({} if resilience is None else {"resilience": resilience}),
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:  # noqa: BLE001 - per-point isolation
+                    entry = {
+                        "index": index,
+                        parameter: _json_safe(value),
+                        "value": _json_safe(value),
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                    }
+                    events = getattr(exc, "attempts", None)
+                    if events:
+                        entry["attempts"] = events
+                    failed.append(entry)
+                    failure_counter.inc(error_type=type(exc).__name__)
+                    point_span.set_attributes(
+                        failed=True, error_type=type(exc).__name__
+                    )
+                    if checkpointer is not None:
+                        checkpointer.record_failure(index, entry)
+                    continue
             counter.inc()
-            records.append(
-                {
-                    parameter: value,
-                    "backend": result.backend,
-                    "ber": result.ber,
-                    "ber_discrete": result.ber_discrete,
-                    "slip_rate": result.slip_rate,
-                    "mean_symbols_between_slips": result.mean_symbols_between_slips,
-                    "phase_rms": result.phase_rms,
-                    "n_states": result.n_states,
-                    "iterations": result.solver_result.iterations,
-                    "form_time_s": result.build_seconds,
-                    "solve_time_s": result.solve_seconds,
-                }
-            )
-    return records
+            record = _record_from_analysis(parameter, value, result)
+            resilience_events = getattr(result, "resilience_events", None)
+            if resilience_events:
+                record["resilience_events"] = resilience_events
+            records.append(record)
+            if checkpointer is not None:
+                checkpointer.record(index, record)
+    return SweepResult(records, failed_points=failed, resumed_points=resumed)
 
 
 def sweep_counter_length(
@@ -67,7 +219,7 @@ def sweep_counter_length(
     counter_lengths: Iterable[int],
     solver: str = "multigrid",
     tol: float = 1e-10,
-) -> List[Dict]:
+) -> SweepResult:
     """The Figure-5 experiment: BER as a function of counter length."""
     return sweep_parameter(
         base_spec, "counter_length", list(counter_lengths), solver=solver, tol=tol

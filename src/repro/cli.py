@@ -17,6 +17,16 @@ The commands mirror the library's main entry points:
     List the registered stationary solvers (with their matrix-free
     capability) and TPM backends -- the ``--solver`` / ``--backend``
     choices.
+``faults``
+    Run the deterministic fault-injection battery
+    (:mod:`repro.resilience.faults`) and report whether every injected
+    fault produced its expected typed diagnosis.
+
+``analyze`` and ``sweep`` also take the resilience flags: ``--resilient``
+runs guarded solves with declarative fallback escalation,
+``--checkpoint PATH`` persists progress (solver snapshots for
+``analyze``, per-point ledgers for ``sweep``), and ``--resume`` continues
+a previous run from that checkpoint.
 
 ``analyze``, ``sweep`` and ``acquire`` all accept ``--metrics PATH``: the
 run executes under a :mod:`repro.obs` tracer and writes a
@@ -82,6 +92,27 @@ def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
              "with `repro stats PATH`")
 
 
+def _add_resilience_arguments(
+    parser: argparse.ArgumentParser, *, interval: bool
+) -> None:
+    parser.add_argument(
+        "--resilient", action="store_true",
+        help="run guarded solves with fallback escalation (numerical "
+             "guards, typed diagnoses, solver-chain retries)")
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="persist progress to PATH so an interrupted run can be "
+             "continued with --resume")
+    if interval:
+        parser.add_argument(
+            "--checkpoint-interval", type=int, default=25, metavar="N",
+            help="snapshot the solver every N iterations "
+                 "(default: %(default)s)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the --checkpoint file instead of starting over")
+
+
 class _RunObservation(contextlib.AbstractContextManager):
     """Optional per-run tracing: active only when ``--metrics`` was given."""
 
@@ -134,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--trace", metavar="PATH", default=None,
                       help="record per-iteration solver telemetry and write "
                            "it as a JSON trace to PATH")
+    _add_resilience_arguments(p_an, interval=True)
     _add_metrics_argument(p_an)
 
     p_sw = sub.add_parser("sweep", help="sweep one spec field")
@@ -144,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated values, e.g. 1,2,4,8")
     p_sw.add_argument("--solver", default="auto")
     p_sw.add_argument("--tol", type=float, default=1e-10)
+    _add_resilience_arguments(p_sw, interval=False)
     _add_metrics_argument(p_sw)
 
     p_aq = sub.add_parser("acquire", help="lock-acquisition analysis")
@@ -166,18 +199,50 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "solvers",
         help="list registered stationary solvers and TPM backends")
+
+    p_fl = sub.add_parser(
+        "faults",
+        help="run the deterministic fault-injection battery")
+    p_fl.add_argument("--profile", choices=("quick", "full"), default="full",
+                      help="scenario subset to run (default: %(default)s)")
+    p_fl.add_argument("--only", metavar="NAME", action="append", default=None,
+                      help="run only the named scenario (repeatable)")
     return parser
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """Map the CLI resilience flags onto ``analyze_cdr``/``sweep`` kwargs.
+
+    ``--checkpoint`` / ``--resume`` imply ``--resilient``: checkpoints are
+    written by the resilient solve loop.
+    """
+    resilient = args.resilient or args.checkpoint or args.resume
+    if args.resume and not args.checkpoint:
+        raise ValueError("--resume requires --checkpoint PATH")
+    kwargs = {}
+    if resilient:
+        kwargs["resilience"] = True
+    if args.checkpoint:
+        kwargs["checkpoint_path"] = args.checkpoint
+        kwargs["resume"] = args.resume
+        if getattr(args, "checkpoint_interval", None) is not None:
+            kwargs["checkpoint_interval"] = args.checkpoint_interval
+    return kwargs
+
+
+def _print_resilience_events(events) -> None:
+    if not events:
+        return
+    from repro.obs.manifest import _format_resilience_event
+
+    print("resilience trail:", file=sys.stderr)
+    for ev in events:
+        print(f"  {_format_resilience_event(ev)}", file=sys.stderr)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    solver_kwargs = {}
-    monitor = None
-    if args.trace:
-        from repro.markov import RecordingMonitor
-
-        monitor = RecordingMonitor()
-        solver_kwargs["monitor"] = monitor
+    solver_kwargs = _resilience_kwargs(args)
     with _RunObservation(args.metrics) as obs_run:
         analysis = analyze_cdr(
             spec, solver=args.solver, tol=args.tol, **solver_kwargs
@@ -193,8 +258,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "mean_symbols_between_slips": analysis.mean_symbols_between_slips,
             },
         )
-    if monitor is not None:
-        monitor.write_trace(args.trace)
+    _print_resilience_events(getattr(analysis, "resilience_events", None))
+    if args.trace:
+        # The analyzer always records the solve (the winning attempt, on
+        # a resilient run) -- export that recording.
+        analysis.solver_recording.write_trace(args.trace)
         print(f"solver trace written to {args.trace}", file=sys.stderr)
     if args.json:
         from repro.core import analysis_to_json
@@ -226,21 +294,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not values:
         print("error: --values is empty", file=sys.stderr)
         return 2
+    kwargs = _resilience_kwargs(args)
     with _RunObservation(args.metrics) as obs_run:
         records = sweep_parameter(
-            spec, args.parameter, values, solver=args.solver, tol=args.tol
+            spec, args.parameter, values, solver=args.solver, tol=args.tol,
+            **kwargs,
         )
         obs_run.write(
             kind="sweep",
             spec=spec,
-            results={"parameter": args.parameter, "records": records},
+            results={
+                "parameter": args.parameter,
+                "records": list(records),
+                "failed_points": records.failed_points,
+                "resumed_points": records.resumed_points,
+            },
         )
     print(format_table(
         records,
         columns=[args.parameter, "ber", "slip_rate", "phase_rms",
                  "n_states", "solve_time_s"],
     ))
-    return 0
+    if records.resumed_points or records.failed_points:
+        print(records.summary(), file=sys.stderr)
+    return 1 if records.failed_points and not records else 0
 
 
 def _cmd_acquire(args: argparse.Namespace) -> int:
@@ -289,6 +366,15 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.resilience.faults import format_fault_report, run_fault_suite
+
+    outcomes = run_fault_suite(profile=args.profile, names=args.only)
+    print(format_fault_report(outcomes))
+    missed = [o for o in outcomes if not o.caught]
+    return 1 if missed else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     manifest = obs.load_run_manifest(args.manifest)
     if args.prometheus:
@@ -300,8 +386,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Every diagnosable failure -- bad arguments, capability mismatches,
+    and the whole typed resilience taxonomy (solver divergence,
+    exhausted fallback chains, corrupted checkpoints, budget breaches)
+    -- is reported as a one-line ``error:`` message with a nonzero exit
+    code, never a raw traceback.
+    """
     from repro.markov import OperatorCapabilityError
+    from repro.resilience import ResilienceError
 
     args = build_parser().parse_args(argv)
     try:
@@ -313,8 +407,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_stats(args)
         if args.command == "solvers":
             return _cmd_solvers(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
         return _cmd_acquire(args)
-    except (ValueError, OSError, OperatorCapabilityError) as exc:
+    except (
+        ValueError, OSError, ArithmeticError,
+        OperatorCapabilityError, ResilienceError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

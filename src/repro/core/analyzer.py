@@ -22,9 +22,10 @@ derived from those spans.
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -32,7 +33,7 @@ import repro.cdr.backends  # noqa: F401  (registers the built-in backends)
 from repro.cdr.model import CDRChainModel
 from repro.core import measures as _measures
 from repro.core.spec import CDRSpec
-from repro.markov.monitor import RecordingMonitor, TeeMonitor
+from repro.markov.monitor import MultiSolveRecorder, RecordingMonitor, TeeMonitor
 from repro.markov.registry import get_backend
 from repro.markov.solvers.result import StationaryResult
 from repro.markov.stationary import stationary_distribution
@@ -63,6 +64,10 @@ class CDRAnalysis:
     trace: Optional[object] = field(default=None, repr=False)
     #: Per-iteration solver telemetry recorded during the solve.
     solver_recording: Optional[RecordingMonitor] = field(default=None, repr=False)
+    #: Structured resilience events (solver attempts, escalations, backend
+    #: degradations, checkpoint resumes) when the run used the resilient
+    #: solve path; empty for plain solves.  Embedded in run manifests.
+    resilience_events: List[Dict[str, Any]] = field(default_factory=list, repr=False)
 
     @property
     def stationary(self) -> np.ndarray:
@@ -172,6 +177,29 @@ class _ensure_tracer:
         return False
 
 
+def _resolve_resilience_policy(model, solver, max_iter, solver_kwargs, resilience):
+    """Turn the ``resilience`` argument into a concrete FallbackPolicy.
+
+    ``True`` builds the registry default chain headed by the requested
+    solver (with the caller's solver kwargs and ``max_iter`` applied to
+    that first attempt only); a :class:`~repro.resilience.FallbackPolicy`
+    is used as-is.
+    """
+    from repro.resilience import FallbackPolicy
+
+    if isinstance(resilience, FallbackPolicy):
+        return resilience
+    policy = FallbackPolicy.from_registry(
+        model.chain,
+        first_method=solver,
+        first_kwargs=dict(solver_kwargs),
+    )
+    if max_iter is not None:
+        steps = (dataclasses.replace(policy.steps[0], max_iter=max_iter),)
+        policy = dataclasses.replace(policy, steps=steps + policy.steps[1:])
+    return policy
+
+
 def _solve_and_measure(
     model: CDRChainModel,
     spec: Optional[CDRSpec],
@@ -181,6 +209,10 @@ def _solve_and_measure(
     max_iter: Optional[int],
     solver_kwargs,
     backend: str = "assembled",
+    resilience=None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_interval: int = 25,
+    resume: bool = False,
 ) -> CDRAnalysis:
     """The solve + measures stages, recorded under the open ``root`` span."""
     if solver == "auto":
@@ -204,17 +236,37 @@ def _solve_and_measure(
 
     # Always record the solver's per-iteration events so run manifests can
     # embed the full repro.solver-trace/1 story; tee to a caller monitor.
-    recorder = RecordingMonitor()
+    # The resilient path may run several attempts, each opening a fresh
+    # solve -- a multi-solve recorder keeps the winning attempt's trace.
+    recorder = MultiSolveRecorder() if resilience is not None else RecordingMonitor()
     user_monitor = solver_kwargs.pop("monitor", None)
     monitor = recorder if user_monitor is None else TeeMonitor(recorder, user_monitor)
 
+    resilience_events: List[Dict[str, Any]] = []
     with span(
         "markov.solve", n_states=model.n_states, backend=backend
     ) as solve_span:
-        result = stationary_distribution(
-            model.chain, method=solver, tol=tol, max_iter=max_iter,
-            monitor=monitor, **solver_kwargs,
-        )
+        if resilience is not None:
+            from repro.resilience import resilient_stationary
+
+            policy = _resolve_resilience_policy(
+                model, solver, max_iter, solver_kwargs, resilience
+            )
+            outcome = resilient_stationary(
+                model.chain, policy, tol=tol, monitor=monitor,
+                checkpoint_path=checkpoint_path,
+                checkpoint_interval=checkpoint_interval, resume=resume,
+            )
+            result = outcome.result
+            resilience_events = outcome.events()
+            solve_span.set_attributes(
+                attempts=len(outcome.attempts), escalations=outcome.escalations
+            )
+        else:
+            result = stationary_distribution(
+                model.chain, method=solver, tol=tol, max_iter=max_iter,
+                monitor=monitor, **solver_kwargs,
+            )
         solve_span.set_attributes(
             method=result.method,
             iterations=result.iterations,
@@ -245,6 +297,7 @@ def _solve_and_measure(
             solver_entry=solver,
             trace=root,
             solver_recording=recorder,
+            resilience_events=resilience_events,
         )
     root.set_attributes(n_states=model.n_states, ber=analysis.ber)
     registry.counter(
@@ -259,6 +312,10 @@ def analyze_model(
     solver: str = "auto",
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
+    resilience=None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_interval: int = 25,
+    resume: bool = False,
     **solver_kwargs,
 ) -> CDRAnalysis:
     """Analyze an already-built model (see :func:`analyze_cdr`).
@@ -272,7 +329,9 @@ def analyze_model(
     with _ensure_tracer(), span("cdr.analyze") as root:
         return _solve_and_measure(
             model, spec, root, solver, tol, max_iter, solver_kwargs,
-            backend=backend,
+            backend=backend, resilience=resilience,
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=checkpoint_interval, resume=resume,
         )
 
 
@@ -282,6 +341,10 @@ def analyze_cdr(
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
     backend: Optional[str] = None,
+    resilience=None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_interval: int = 25,
+    resume: bool = False,
     **solver_kwargs,
 ) -> CDRAnalysis:
     """Build and analyze a CDR design point.
@@ -300,6 +363,19 @@ def analyze_cdr(
     backend:
         Registered TPM backend (``assembled`` / ``matrix-free`` /
         ``kronecker``); ``None`` uses ``spec.backend``.
+    resilience:
+        ``None`` (default) solves directly.  ``True`` or a
+        :class:`~repro.resilience.FallbackPolicy` routes the solve through
+        :func:`~repro.resilience.resilient_stationary`: numerical guards
+        on every iterate, escalation through the registry fallback chain,
+        and -- when the policy carries a memory budget that trips on an
+        assembled backend -- one automatic rebuild with the matrix-free
+        backend.  The attempt/escalation trail lands on
+        :attr:`CDRAnalysis.resilience_events` and in run manifests.
+    checkpoint_path, checkpoint_interval, resume:
+        Solver-state checkpointing for the resilient path (the CLI's
+        ``--checkpoint`` / ``--resume`` flags); see
+        :class:`~repro.resilience.SolverCheckpointer`.
     tol, max_iter, solver_kwargs:
         Forwarded to the solver.  Pass
         ``monitor=repro.markov.RecordingMonitor()`` here to capture the
@@ -315,9 +391,59 @@ def analyze_cdr(
     land in that tracer for run-manifest export.
     """
     entry = get_backend(spec.backend if backend is None else backend)
+    degradation_event = None
     with _ensure_tracer(), span("cdr.analyze", backend=entry.name) as root:
         model = entry.build(spec)  # emits the cdr.build_tpm child span
-        return _solve_and_measure(
-            model, spec, root, solver, tol, max_iter, solver_kwargs,
-            backend=entry.name,
+        try:
+            return _solve_and_measure(
+                model, spec, root, solver, tol, max_iter, dict(solver_kwargs),
+                backend=entry.name, resilience=resilience,
+                checkpoint_path=checkpoint_path,
+                checkpoint_interval=checkpoint_interval, resume=resume,
+            )
+        except Exception as exc:
+            from repro.resilience import BudgetExceeded
+
+            if not (
+                isinstance(exc, BudgetExceeded)
+                and exc.budget == "memory"
+                and entry.name == "assembled"
+                and resilience is not None
+            ):
+                raise
+            # The assembled TPM blew the memory budget: degrade to the
+            # O(n)-memory matrix-free backend and solve there.  More
+            # fallback methods cannot un-allocate the matrix; a different
+            # backend can.
+            degradation_event = {
+                "event": "backend_degraded",
+                "from_backend": entry.name,
+                "to_backend": "matrix-free",
+                "reason": str(exc),
+            }
+            root.set_attributes(backend_degraded="matrix-free")
+            get_registry().counter(
+                "repro_backend_degradations_total",
+                "Analyses degraded from assembled to matrix-free on memory budget",
+            ).inc()
+    free_entry = get_backend("matrix-free")
+    from repro.markov.registry import get_solver
+    from repro.resilience import FallbackPolicy
+
+    if solver != "auto" and not get_solver(solver).matrix_free:
+        solver = "auto"  # the requested solver cannot run unassembled
+    if isinstance(resilience, FallbackPolicy):
+        # Peak RSS is monotone: the budget that tripped on the assembled
+        # matrix would trip again instantly.  Degrading the backend *is*
+        # the recovery, so the retry runs without the memory gate.
+        resilience = dataclasses.replace(resilience, memory_budget_bytes=None)
+    with _ensure_tracer(), span("cdr.analyze", backend=free_entry.name) as root:
+        model = free_entry.build(spec)
+        analysis = _solve_and_measure(
+            model, spec, root, solver, tol, max_iter, dict(solver_kwargs),
+            backend=free_entry.name, resilience=resilience,
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=checkpoint_interval, resume=resume,
         )
+    analysis.resilience_events.insert(0, degradation_event)
+    return analysis

@@ -83,30 +83,71 @@ class CDRSpec:
     backend: str = "assembled"
 
     def __post_init__(self) -> None:
+        # Every rejection names the offending value and says how to fix
+        # it: a bad spec must fail here, before any model is built, not
+        # hours later inside a sweep.
         if self.n_phase_points < 2:
-            raise ValueError("n_phase_points must be at least 2")
+            raise ValueError(
+                f"n_phase_points must be at least 2 (got "
+                f"{self.n_phase_points}): the phase grid needs at least "
+                f"two points to represent a phase error"
+            )
         if self.n_clock_phases < 1:
-            raise ValueError("n_clock_phases must be at least 1")
+            raise ValueError(
+                f"n_clock_phases must be at least 1 (got "
+                f"{self.n_clock_phases}): the phase selector needs at "
+                f"least one clock phase to choose from"
+            )
         if self.n_phase_points % self.n_clock_phases != 0:
             raise ValueError(
-                "n_phase_points must be a multiple of n_clock_phases so the "
-                "phase-select step lands on the grid"
+                f"n_phase_points ({self.n_phase_points}) must be a "
+                f"multiple of n_clock_phases ({self.n_clock_phases}) so "
+                f"the phase-select step lands on the quantizer grid; "
+                f"try n_phase_points="
+                f"{self.n_clock_phases * max(1, round(self.n_phase_points / self.n_clock_phases))}"
             )
         if self.counter_length < 1:
-            raise ValueError("counter_length must be at least 1")
+            raise ValueError(
+                f"counter_length must be at least 1 (got "
+                f"{self.counter_length}): the up/down counter needs at "
+                f"least one count before it can fire a phase step"
+            )
         if not 0.0 < self.transition_density <= 1.0:
-            raise ValueError("transition_density must be in (0, 1]")
+            raise ValueError(
+                f"transition_density must be in (0, 1] (got "
+                f"{self.transition_density}): it is the probability of a "
+                f"data transition per symbol, and without transitions the "
+                f"loop receives no timing information"
+            )
         if self.max_run_length < 1:
-            raise ValueError("max_run_length must be at least 1")
-        if self.nw_std < 0:
-            raise ValueError("nw_std must be non-negative")
+            raise ValueError(
+                f"max_run_length must be at least 1 (got "
+                f"{self.max_run_length})"
+            )
+        if self.nw_override is None and self.nw_std <= 0:
+            raise ValueError(
+                f"nw_std must be positive (got {self.nw_std}): a zero or "
+                f"negative sigma makes the discretized eye-opening noise "
+                f"degenerate; pass nw_override=DiscreteDistribution(...) "
+                f"to model a custom (even noiseless) eye"
+            )
         if self.nw_atoms < 1:
-            raise ValueError("nw_atoms must be at least 1")
+            raise ValueError(
+                f"nw_atoms must be at least 1 (got {self.nw_atoms})"
+            )
         if self.nr_override is None:
             if self.nr_max <= 0:
-                raise ValueError("nr_max must be positive")
+                raise ValueError(
+                    f"nr_max must be positive (got {self.nr_max}); pass "
+                    f"nr_override=DiscreteDistribution(...) for a custom "
+                    f"drift model"
+                )
             if abs(self.nr_mean) > self.nr_max:
-                raise ValueError("|nr_mean| must not exceed nr_max")
+                raise ValueError(
+                    f"|nr_mean| must not exceed nr_max (got nr_mean="
+                    f"{self.nr_mean}, nr_max={self.nr_max}): the drift "
+                    f"distribution is supported on [-nr_max, nr_max]"
+                )
         # Validate against the registry (importing repro.cdr.backends makes
         # sure the built-in backends have registered themselves).
         import repro.cdr.backends  # noqa: F401

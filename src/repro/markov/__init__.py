@@ -33,6 +33,7 @@ from repro.markov.aggregation import disaggregate, solve_aggregation_disaggregat
 from repro.markov.monitor import (
     IterationEvent,
     NullMonitor,
+    MultiSolveRecorder,
     RecordingMonitor,
     SolverMonitor,
     TeeMonitor,
@@ -154,6 +155,7 @@ __all__ = [
     "pairwise_strength_partition",
     "SolverMonitor",
     "NullMonitor",
+    "MultiSolveRecorder",
     "RecordingMonitor",
     "TeeMonitor",
     "IterationEvent",

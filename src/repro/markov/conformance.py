@@ -44,13 +44,20 @@ __all__ = [
     "CONFORMANCE_SOLVERS",
     "ConformanceCase",
     "SolverRun",
+    "PathologyVerdict",
     "birth_death_fixture",
     "periodic_fixture",
     "nearly_uncoupled_fixture",
     "bottleneck_fixture",
     "cdr_phase_error_fixture",
+    "absorbing_fixture",
+    "reducible_fixture",
+    "zero_row_fixture",
     "default_cases",
+    "pathological_cases",
     "run_case",
+    "diagnose_chain",
+    "run_pathology",
     "check_agreement",
     "check_monitor_consistency",
     "check_residual_trend",
@@ -189,6 +196,55 @@ def cdr_phase_error_fixture() -> MarkovChain:
         nw_atoms=7,
     )
     return spec.build_model().chain
+
+
+# --------------------------------------------------------------------- #
+# Pathological fixtures: chains a solver must diagnose, not chew on
+# --------------------------------------------------------------------- #
+
+def absorbing_fixture(n: int = 12, up: float = 0.3, down: float = 0.4) -> MarkovChain:
+    """Birth-death chain whose state 0 is absorbing.
+
+    The chain is reducible; the unique stationary distribution is the
+    point mass on the absorbing state.  A solver must either reach that
+    delta or raise a typed diagnosis -- returning a smeared-out vector
+    silently would be the bug.
+    """
+    chain = birth_death_fixture(n, up=up, down=down)
+    P = chain.P.tolil()
+    P[0, :] = 0.0
+    P[0, 0] = 1.0
+    return MarkovChain(P.tocsr())
+
+
+def reducible_fixture(n_half: int = 8) -> MarkovChain:
+    """Two disconnected birth-death components -- no unique stationary
+    distribution.
+
+    Each block is individually a valid chain but nothing couples them, so
+    ``pi P = pi`` has a two-dimensional solution space.  Iterative solvers
+    land on a mixture fixed by the initial guess; the direct solver's
+    augmented system is singular.  Either outcome is acceptable to
+    :func:`diagnose_chain` -- hanging or returning non-finite garbage is
+    not.
+    """
+    A = birth_death_fixture(n_half, up=0.3, down=0.4).P
+    B = birth_death_fixture(n_half, up=0.45, down=0.2).P
+    return MarkovChain(sp.block_diag([A, B], format="csr"))
+
+
+def zero_row_fixture(n: int = 10) -> MarkovChain:
+    """An invalid "transition matrix" with one all-zero row.
+
+    Built with ``validate=False`` (the constructor would reject it), this
+    models a corrupted or half-assembled operator reaching the solve
+    layer.  The resilience pre-check
+    (:func:`repro.resilience.check_operator`) must refuse it before any
+    solver burns iterations on it.
+    """
+    P = birth_death_fixture(n).P.tolil()
+    P[n // 2, :] = 0.0
+    return MarkovChain(P.tocsr(), validate=False)
 
 
 @dataclass(frozen=True)
@@ -348,6 +404,91 @@ def check_residual_trend(run: SolverRun, tol: float = DEFAULT_TOL) -> None:
         )
     if any(r < 0 for r in history):
         raise AssertionError(f"{run.solver}: negative residual recorded")
+
+
+# --------------------------------------------------------------------- #
+# Pathology diagnosis: every solver must return or raise, never hang
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PathologyVerdict:
+    """What one solver did with one pathological chain.
+
+    ``outcome`` is ``"converged"`` (a finite, non-negative stationary
+    vector came back) or ``"diagnosed"`` (a typed error explained why
+    not).  Anything else -- a hang, a raw crash, silent garbage -- is a
+    conformance failure, surfaced as an exception from
+    :func:`diagnose_chain` itself.
+    """
+
+    solver: str
+    outcome: str
+    diagnosis: Optional[str]
+    message: str
+    result: Optional[StationaryResult] = None
+
+
+def pathological_cases() -> List[ConformanceCase]:
+    """The pathological fixture family for :func:`run_pathology`."""
+    return [
+        ConformanceCase("absorbing", absorbing_fixture),
+        ConformanceCase("reducible", reducible_fixture),
+        ConformanceCase("zero-row", zero_row_fixture),
+    ]
+
+
+def diagnose_chain(
+    chain: MarkovChain,
+    solver: str,
+    tol: float = 1e-10,
+    max_iter: int = 2000,
+    wall_clock_budget: float = 30.0,
+) -> PathologyVerdict:
+    """Run one solver on a (possibly pathological) chain under full guards.
+
+    Bounded three ways -- ``max_iter``, a stagnation guard, and a
+    wall-clock budget -- so no chain can hang the caller.  Every
+    diagnosable failure (the resilience taxonomy, singular factorizations,
+    capability mismatches, eigensolver breakdowns) is folded into a
+    ``"diagnosed"`` verdict carrying the error type and message; a
+    convergent solve is checked for contamination before being accepted.
+    """
+    from repro.markov.linop import OperatorCapabilityError
+    from repro.resilience import GuardPolicy, ResilienceError, guarded_solve
+
+    guard = GuardPolicy(wall_clock_budget=wall_clock_budget)
+    try:
+        result = guarded_solve(
+            chain, method=solver, guard=guard, tol=tol, max_iter=max_iter
+        )
+    except (
+        ResilienceError,            # the typed taxonomy (guards, budgets)
+        ArithmeticError,            # singular factorization (direct)
+        OperatorCapabilityError,    # solver needs a capability op lacks
+        np.linalg.LinAlgError,      # dense/eigen breakdowns
+        ValueError,                 # scipy rejecting a malformed system
+        RuntimeError,               # ARPACK no-convergence and kin
+    ) as exc:
+        return PathologyVerdict(
+            solver, "diagnosed", type(exc).__name__, str(exc)
+        )
+    return PathologyVerdict(
+        solver, "converged", None,
+        f"converged in {result.iterations} iterations at residual "
+        f"{result.residual:.3e}",
+        result,
+    )
+
+
+def run_pathology(
+    case: ConformanceCase,
+    solvers: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> Dict[str, PathologyVerdict]:
+    """Run :func:`diagnose_chain` for every solver on one pathological case."""
+    chain = case.build()
+    names = list(solvers) if solvers is not None else list(CONFORMANCE_SOLVERS)
+    return {name: diagnose_chain(chain, name, **kwargs) for name in names}
 
 
 def run_conformance(

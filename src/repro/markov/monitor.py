@@ -37,6 +37,7 @@ __all__ = [
     "NullMonitor",
     "NULL_MONITOR",
     "RecordingMonitor",
+    "MultiSolveRecorder",
     "TeeMonitor",
     "as_monitor",
     "instrument",
@@ -266,6 +267,63 @@ class RecordingMonitor:
         with open(path_or_file, "w", encoding="utf-8") as fh:
             json.dump(trace, fh, indent=indent)
             fh.write("\n")
+
+
+class MultiSolveRecorder:
+    """Record a *sequence* of solves, one fresh recorder per ``solve_started``.
+
+    A plain :class:`RecordingMonitor` refuses a second solve; drivers that
+    legitimately run several (the resilient fallback chain retrying or
+    escalating through methods) use this instead.  ``recorders`` holds one
+    recorder per attempt in order; ``last`` -- the most recent attempt,
+    i.e. the winning one after a successful escalation -- answers the
+    single-solve API (``to_trace`` / ``write_trace``) so run manifests and
+    ``--trace`` export work unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.recorders: List[RecordingMonitor] = []
+
+    @property
+    def last(self) -> Optional[RecordingMonitor]:
+        return self.recorders[-1] if self.recorders else None
+
+    # -- SolverMonitor protocol ---------------------------------------- #
+
+    def solve_started(self, method: str, n_states: int, tol: float) -> None:
+        recorder = RecordingMonitor()
+        recorder.solve_started(method, n_states, tol)
+        self.recorders.append(recorder)
+
+    def iteration_finished(
+        self, iteration: int, residual: float, elapsed: float
+    ) -> None:
+        if self.recorders:
+            self.recorders[-1].iteration_finished(iteration, residual, elapsed)
+
+    def vcycle_level(self, *args: Any, **kwargs: Any) -> None:
+        if self.recorders:
+            self.recorders[-1].vcycle_level(*args, **kwargs)
+
+    def solve_finished(
+        self, converged: bool, iterations: int, residual: float, elapsed: float
+    ) -> None:
+        if self.recorders:
+            self.recorders[-1].solve_finished(
+                converged, iterations, residual, elapsed
+            )
+
+    # -- Single-solve API, answered by the winning attempt -------------- #
+
+    def to_trace(self) -> Dict[str, Any]:
+        if self.last is None:
+            raise RuntimeError("MultiSolveRecorder holds no solves yet")
+        return self.last.to_trace()
+
+    def write_trace(self, path_or_file: Union[str, IO[str]], indent: int = 2) -> None:
+        if self.last is None:
+            raise RuntimeError("MultiSolveRecorder holds no solves yet")
+        self.last.write_trace(path_or_file, indent=indent)
 
 
 class TeeMonitor:

@@ -226,13 +226,16 @@ class MultigridSolver:
         P,
         x0: Optional[np.ndarray] = None,
         monitor: Optional[SolverMonitor] = None,
+        on_iterate=None,
     ) -> StationaryResult:
         """Run V-cycles until converged; returns a :class:`StationaryResult`.
 
         When a ``monitor`` is passed it receives one iteration event per
         V-cycle plus one :class:`~repro.markov.monitor.VCycleLevelEvent`
         per level visited in each cycle (size, nnz, aggregate count and
-        smoothing timings of that level).
+        smoothing timings of that level).  ``on_iterate(cycle, x)`` is
+        called with the fine-level iterate after every V-cycle (the
+        checkpointing attachment point).
         """
         op = as_operator(P)
         # Assembled inputs keep flowing through the hierarchy as plain CSR
@@ -250,6 +253,8 @@ class MultigridSolver:
         converged = False
         for cycle in range(1, opt.max_cycles + 1):
             x = self._vcycle(fine, x, level=0, cycle=cycle, mon=mon)
+            if on_iterate is not None:
+                on_iterate(cycle, x)
             res = operator_residual(op, x)
             mon.iteration_finished(cycle, res, time.perf_counter() - start)
             if res < opt.tol:
@@ -379,6 +384,7 @@ def solve_multigrid(
     coarsest_size: int = 512,
     cycle_type: str = "V",
     monitor: Optional[SolverMonitor] = None,
+    on_iterate=None,
 ) -> StationaryResult:
     """Convenience wrapper around :class:`MultigridSolver`."""
     options = MultigridOptions(
@@ -390,7 +396,7 @@ def solve_multigrid(
         cycle_type=cycle_type,
     )
     return MultigridSolver(strategy=strategy, options=options).solve(
-        P, x0=x0, monitor=monitor
+        P, x0=x0, monitor=monitor, on_iterate=on_iterate
     )
 
 
@@ -399,6 +405,7 @@ def solve_multigrid(
     matrix_free=True,
     description="multi-level aggregation V/W-cycles (the paper's solver)",
     default_max_iter=200,
+    fallback_priority=10,
 )
 def _dispatch_multigrid(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
     return solve_multigrid(

@@ -16,7 +16,9 @@ Entries carry a uniform dispatch contract::
 where ``operator`` is anything :func:`repro.markov.linop.as_operator`
 accepts.  ``matrix_free`` records whether the solver can run without an
 assembled CSR matrix -- the capability matrix the CLI's ``repro solvers``
-command prints.
+command prints.  ``fallback_priority`` orders solvers in the default
+escalation chain of :class:`repro.resilience.fallback.FallbackPolicy`
+(lower tries first; ``None`` keeps a solver out of default chains).
 """
 
 from __future__ import annotations
@@ -56,6 +58,7 @@ class SolverEntry:
     matrix_free: bool
     description: str = ""
     default_max_iter: Optional[int] = None
+    fallback_priority: Optional[int] = None
 
 
 _SOLVERS: Dict[str, SolverEntry] = {}
@@ -67,6 +70,7 @@ def register_solver(
     matrix_free: bool,
     description: str = "",
     default_max_iter: Optional[int] = None,
+    fallback_priority: Optional[int] = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register the decorated dispatch function as the solver ``name``."""
 
@@ -79,6 +83,7 @@ def register_solver(
             matrix_free=matrix_free,
             description=description,
             default_max_iter=default_max_iter,
+            fallback_priority=fallback_priority,
         )
         return fn
 

@@ -114,8 +114,11 @@ def solve_direct(
     "direct",
     matrix_free=False,
     description="sparse LU on the augmented normalization system",
+    fallback_priority=40,
 )
 def _dispatch_direct(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
-    # max_iter is meaningless for a direct factorization; accepted and
+    # max_iter is meaningless for a direct factorization, and on_iterate
+    # never fires (there are no intermediate iterates); both accepted and
     # ignored so the registry contract stays uniform.
+    kwargs.pop("on_iterate", None)
     return solve_direct(P, tol=tol, x0=x0, monitor=monitor, **kwargs)

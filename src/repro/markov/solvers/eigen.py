@@ -92,6 +92,8 @@ def solve_eigen(
     default_max_iter=10_000,
 )
 def _dispatch_eigen(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    # ARPACK exposes no per-iteration iterate, so on_iterate never fires.
+    kwargs.pop("on_iterate", None)
     return solve_eigen(
         P,
         tol=tol,

@@ -35,6 +35,7 @@ def solve_gauss_seidel(
     max_iter: int = 50_000,
     x0: Optional[np.ndarray] = None,
     monitor: Optional[SolverMonitor] = None,
+    on_iterate=None,
 ) -> StationaryResult:
     """Gauss-Seidel sweeps on ``(I - P^T) x = 0`` with renormalization."""
     P = ensure_csr(P)
@@ -68,6 +69,7 @@ def solve_gauss_seidel(
         max_iter=max_iter,
         x0=x0,
         monitor=monitor,
+        on_iterate=on_iterate,
     )
 
 

@@ -132,6 +132,7 @@ def solve_jacobi(
     x0: Optional[np.ndarray] = None,
     weight: float = DEFAULT_WEIGHT,
     monitor: Optional[SolverMonitor] = None,
+    on_iterate=None,
 ) -> StationaryResult:
     """Iterate weighted-Jacobi sweeps until ``||x P - x||_1 < tol``."""
     if not 0.0 < weight <= 1.0:
@@ -155,6 +156,7 @@ def solve_jacobi(
         max_iter=max_iter,
         x0=x0,
         monitor=monitor,
+        on_iterate=on_iterate,
     )
 
 

@@ -38,6 +38,7 @@ def solve_krylov(
     preconditioner: Optional[str] = "ilu",
     restart: int = 50,
     monitor: Optional[SolverMonitor] = None,
+    on_iterate=None,
 ) -> StationaryResult:
     """Solve the augmented system with GMRES or BiCGStab.
 
@@ -101,6 +102,11 @@ def solve_krylov(
         return operator_residual(op, v / total)
 
     def on_snapshot(xk: np.ndarray) -> None:
+        if on_iterate is not None:
+            v = np.clip(np.asarray(xk, dtype=float), 0.0, None)
+            total = v.sum()
+            if total > 0:
+                on_iterate(recorder.n_iterations + 1, v / total)
         mon.iteration_finished(
             recorder.n_iterations + 1,
             snapshot_residual(xk),
@@ -143,6 +149,7 @@ def solve_krylov(
     matrix_free=True,
     description="GMRES/BiCGStab on the augmented system (ILU when assembled)",
     default_max_iter=5_000,
+    fallback_priority=20,
 )
 def _dispatch_krylov(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
     return solve_krylov(

@@ -32,6 +32,7 @@ def solve_power(
     x0: Optional[np.ndarray] = None,
     damping: float = 1.0,
     monitor: Optional[SolverMonitor] = None,
+    on_iterate=None,
 ) -> StationaryResult:
     """Power iteration ``x <- x (alpha P + (1-alpha) I)``.
 
@@ -51,6 +52,9 @@ def solve_power(
     monitor:
         Optional :class:`~repro.markov.monitor.SolverMonitor` receiving one
         event per iteration.
+    on_iterate:
+        Optional ``on_iterate(iteration, x)`` hook per new iterate (the
+        checkpointing attachment point).
     """
     if not 0.0 < damping <= 1.0:
         raise ValueError("damping must be in (0, 1]")
@@ -73,6 +77,7 @@ def solve_power(
         max_iter=max_iter,
         x0=x0,
         monitor=monitor,
+        on_iterate=on_iterate,
     )
 
 
@@ -81,6 +86,7 @@ def solve_power(
     matrix_free=True,
     description="damped power iteration x <- x P",
     default_max_iter=100_000,
+    fallback_priority=30,
 )
 def _dispatch_power(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
     return solve_power(

@@ -47,6 +47,7 @@ def iterate_fixed_point(
     max_iter: int,
     x0: Optional[np.ndarray] = None,
     monitor=None,
+    on_iterate: Optional[Callable[[int, np.ndarray], None]] = None,
 ) -> "StationaryResult":
     """Shared driver for normalized fixed-point stationary iterations.
 
@@ -71,6 +72,18 @@ def iterate_fixed_point(
         iterate, conventionally ``||x' P - x'||_1``.
     method:
         Solver name recorded in the result and the telemetry trace.
+    on_iterate:
+        Optional ``on_iterate(iteration, x)`` hook called with each new
+        iterate *before* the monitor event -- the attachment point for
+        periodic checkpointing
+        (:class:`repro.resilience.checkpoint.SolverCheckpointer`).
+
+    Raises
+    ------
+    repro.resilience.errors.NumericalContamination
+        The moment an iterate turns non-finite: a NaN/inf iterate can
+        never recover, so burning the remaining ``max_iter`` sweeps on it
+        would only waste hours and then return garbage.
     """
     from repro.markov.monitor import instrument
 
@@ -80,6 +93,19 @@ def iterate_fixed_point(
     converged = False
     for iteration in range(1, max_iter + 1):
         x = step(x)
+        if not np.all(np.isfinite(x)):
+            from repro.resilience.errors import NumericalContamination
+
+            bad = int(np.flatnonzero(~np.isfinite(x))[0])
+            res = float("nan")
+            mon.iteration_finished(iteration, res, time.perf_counter() - start)
+            raise NumericalContamination(
+                f"{method}: iterate turned non-finite at iteration "
+                f"{iteration} (first bad entry at state {bad})",
+                method=method, iteration=iteration, residual=res,
+            )
+        if on_iterate is not None:
+            on_iterate(iteration, x)
         res = float(residual_fn(x))
         mon.iteration_finished(iteration, res, time.perf_counter() - start)
         if res < tol:

@@ -35,6 +35,7 @@ def solve_sor(
     x0: Optional[np.ndarray] = None,
     omega: float = 1.2,
     monitor: Optional[SolverMonitor] = None,
+    on_iterate=None,
 ) -> StationaryResult:
     """SOR sweeps on ``(I - P^T) x = 0`` with renormalization.
 
@@ -81,6 +82,7 @@ def solve_sor(
         max_iter=max_iter,
         x0=x0,
         monitor=monitor,
+        on_iterate=on_iterate,
     )
 
 

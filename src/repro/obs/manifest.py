@@ -105,6 +105,7 @@ def build_run_manifest(
     solver_trace: Optional[Dict[str, Any]] = None,
     registry: Optional[MetricsRegistry] = None,
     argv: Optional[List[str]] = None,
+    resilience: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """Assemble a ``repro.run-trace/1`` manifest dict.
 
@@ -136,6 +137,11 @@ def build_run_manifest(
         Metrics registry to snapshot; defaults to the process-wide one.
     argv:
         Command line to record (defaults to ``sys.argv`` of the process).
+    resilience:
+        Structured resilience events (solver attempts, escalations,
+        backend degradations, checkpoint resumes, fault injections);
+        defaults to ``analysis.resilience_events`` when the analysis ran
+        on the resilient path.
     """
     registry = get_registry() if registry is None else registry
 
@@ -183,6 +189,8 @@ def build_run_manifest(
         digests["stationary_sha256"] = digest_array(analysis.stationary)
         if solver_trace is None and analysis.solver_recording is not None:
             solver_trace = analysis.solver_recording.to_trace()
+        if resilience is None:
+            resilience = getattr(analysis, "resilience_events", None) or None
     if results:
         result_record.update(results)
     if result_record:
@@ -204,6 +212,7 @@ def build_run_manifest(
         "results": result_record,
         "digests": digests,
         "solver_trace": solver_trace,
+        "resilience": list(resilience) if resilience else None,
         "metrics": {
             "snapshot": registry.to_dict(),
             "prometheus": registry.render_prometheus(),
@@ -265,6 +274,31 @@ def _format_span(node: Dict[str, Any], depth: int, lines: List[str]) -> None:
         _format_span(child, depth + 1, lines)
 
 
+def _format_resilience_event(ev: Dict[str, Any]) -> str:
+    kind = ev.get("event", "?")
+    if kind == "solver_attempt":
+        line = f"[{ev.get('status', '?')}] {ev.get('method', '?')}"
+        if ev.get("iterations") is not None:
+            line += f": {ev['iterations']} iterations"
+        if ev.get("residual") is not None:
+            line += f", residual {ev['residual']:.3e}"
+        if ev.get("perturbed_x0"):
+            line += " (perturbed x0)"
+        if ev.get("error_type"):
+            line += f" -- {ev['error_type']}: {ev.get('message', '')}"
+        return line
+    if kind == "backend_degraded":
+        return (
+            f"backend degraded {ev.get('from_backend', '?')} -> "
+            f"{ev.get('to_backend', '?')} ({ev.get('reason', '')})"
+        )
+    if kind == "checkpoint_resume":
+        return (
+            f"resumed from checkpoint at iteration {ev.get('iteration', '?')}"
+        )
+    return " ".join(f"{k}={v}" for k, v in ev.items())
+
+
 def format_run_manifest(manifest: Dict[str, Any]) -> str:
     """Human-readable rendering of a run manifest (``repro stats``)."""
     lines: List[str] = []
@@ -308,6 +342,11 @@ def format_run_manifest(manifest: Dict[str, Any]) -> str:
             f"residual {trace.get('residual'):.3e}, "
             f"{len(trace.get('vcycle_events') or [])} V-cycle level events"
         )
+    resilience = manifest.get("resilience") or []
+    if resilience:
+        lines.append("resilience:")
+        for ev in resilience:
+            lines.append("  " + _format_resilience_event(ev))
     snapshot = (manifest.get("metrics") or {}).get("snapshot") or {}
     if snapshot:
         lines.append(f"metrics ({len(snapshot)}):")

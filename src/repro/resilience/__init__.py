@@ -1,0 +1,93 @@
+"""Pipeline-wide fault tolerance: guards, fallback, checkpoints, faults.
+
+Long-lived stationary solves (the ROADMAP's million-state multigrid jobs)
+fail in characteristic ways -- NaN contamination, silent stagnation,
+divergence, exhausted budgets, killed sweep workers.  This package makes
+every one of those loud, typed and recoverable:
+
+* :mod:`repro.resilience.errors` -- the typed failure taxonomy;
+* :mod:`repro.resilience.guards` -- per-iteration numerical guards riding
+  the :class:`~repro.markov.monitor.SolverMonitor` hook, plus
+  :func:`guarded_solve`;
+* :mod:`repro.resilience.fallback` -- declarative solver escalation
+  (:class:`FallbackPolicy`) with per-attempt budgets and structured
+  attempt trails for the run manifest;
+* :mod:`repro.resilience.checkpoint` -- digest-verified solver-state and
+  per-point checkpoints behind ``--resume``;
+* :mod:`repro.resilience.faults` -- deterministic fault injection so CI
+  exercises every guard path (``repro faults``).
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    POINTS_SCHEMA,
+    PointCheckpointer,
+    SolverCheckpoint,
+    SolverCheckpointer,
+    decode_array,
+    encode_array,
+    load_solver_checkpoint,
+    save_solver_checkpoint,
+)
+from repro.resilience.errors import (
+    BudgetExceeded,
+    CheckpointCorrupted,
+    CheckpointError,
+    CheckpointMismatch,
+    FallbackExhausted,
+    NumericalContamination,
+    ResilienceError,
+    SolverDiverged,
+    SolverFailure,
+    SolverStagnated,
+)
+from repro.resilience.fallback import (
+    AttemptRecord,
+    FallbackPolicy,
+    FallbackStep,
+    ResilientSolveOutcome,
+    resilient_stationary,
+)
+from repro.resilience.guards import (
+    GuardedMonitor,
+    GuardPolicy,
+    check_operator,
+    check_result,
+    guarded_solve,
+)
+
+__all__ = [
+    # errors
+    "ResilienceError",
+    "SolverFailure",
+    "SolverDiverged",
+    "SolverStagnated",
+    "NumericalContamination",
+    "BudgetExceeded",
+    "CheckpointError",
+    "CheckpointCorrupted",
+    "CheckpointMismatch",
+    "FallbackExhausted",
+    # guards
+    "GuardPolicy",
+    "GuardedMonitor",
+    "check_operator",
+    "check_result",
+    "guarded_solve",
+    # fallback
+    "FallbackStep",
+    "FallbackPolicy",
+    "AttemptRecord",
+    "ResilientSolveOutcome",
+    "resilient_stationary",
+    # checkpoints
+    "CHECKPOINT_SCHEMA",
+    "POINTS_SCHEMA",
+    "SolverCheckpoint",
+    "SolverCheckpointer",
+    "PointCheckpointer",
+    "save_solver_checkpoint",
+    "load_solver_checkpoint",
+    "encode_array",
+    "decode_array",
+]

@@ -1,0 +1,317 @@
+"""Checkpoint/resume for long-lived solves, sweeps and MC campaigns.
+
+Two artifact kinds, both JSON with a SHA-256 integrity digest and an atomic
+write (temp file + rename) so a kill mid-write can never leave a
+half-checkpoint that silently resumes wrong:
+
+* **solver checkpoints** (schema ``repro.checkpoint/1``) -- the current
+  iterate vector (exact float64 bytes, base64), iteration number, residual
+  history tail and optional RNG state of one stationary solve.  Saved
+  periodically by :class:`SolverCheckpointer` riding the solvers'
+  ``on_iterate`` hook; a resumed solve seeds ``x0`` from the snapshot and,
+  because every stationary iteration here is memoryless in the iterate,
+  continues exactly the trajectory the interrupted run would have taken.
+* **point checkpoints** (schema ``repro.points/1``) -- per-point progress
+  of a sweep or Monte-Carlo campaign: which points completed (with their
+  result records), which failed (with their typed error entries), keyed to
+  a job fingerprint so ``--resume`` refuses to splice foreign results.
+
+Corruption is detected, not trusted: a payload whose digest does not match
+raises :class:`~repro.resilience.errors.CheckpointCorrupted`; resuming
+against a different job raises
+:class:`~repro.resilience.errors.CheckpointMismatch`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.resilience.errors import CheckpointCorrupted, CheckpointMismatch
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "POINTS_SCHEMA",
+    "SolverCheckpoint",
+    "SolverCheckpointer",
+    "PointCheckpointer",
+    "save_solver_checkpoint",
+    "load_solver_checkpoint",
+    "encode_array",
+    "decode_array",
+]
+
+#: Schema tag of solver-state checkpoints.
+CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+
+#: Schema tag of per-point (sweep / MC campaign) checkpoints.
+POINTS_SCHEMA = "repro.points/1"
+
+#: Residual-history tail kept in solver checkpoints (full histories of a
+#: 100k-iteration solve would dominate the file for no diagnostic value).
+_HISTORY_TAIL = 256
+
+
+def encode_array(a: np.ndarray) -> Dict[str, Any]:
+    """Exact, JSON-safe encoding of an ndarray (dtype, shape, raw bytes)."""
+    a = np.ascontiguousarray(a)
+    return {
+        "dtype": str(a.dtype),
+        "shape": list(a.shape),
+        "data": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array` (bit-exact round trip)."""
+    try:
+        raw = base64.b64decode(payload["data"].encode("ascii"))
+        arr = np.frombuffer(raw, dtype=payload["dtype"]).copy()
+        return arr.reshape(payload["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointCorrupted(f"undecodable array payload: {exc}") from exc
+
+
+def _payload_digest(payload: Dict[str, Any]) -> str:
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _atomic_write_json(path: str, document: Dict[str, Any]) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _load_verified(path: str, schema: str) -> Dict[str, Any]:
+    """Read a checkpoint document, verifying schema tag and digest."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointCorrupted(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict) or document.get("schema") != schema:
+        raise CheckpointCorrupted(
+            f"{path}: schema {document.get('schema') if isinstance(document, dict) else None!r}, "
+            f"expected {schema!r}"
+        )
+    payload = document.get("payload")
+    digest = document.get("sha256")
+    if not isinstance(payload, dict) or not isinstance(digest, str):
+        raise CheckpointCorrupted(f"{path}: missing payload or digest")
+    if _payload_digest(payload) != digest:
+        raise CheckpointCorrupted(
+            f"{path}: integrity digest mismatch -- the checkpoint is "
+            "corrupted (truncated write or bit rot); delete it and restart "
+            "from scratch"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------- #
+# solver-state checkpoints
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class SolverCheckpoint:
+    """One snapshot of an in-flight stationary solve."""
+
+    method: str
+    iteration: int
+    vector: np.ndarray
+    residual_history: List[float] = field(default_factory=list)
+    job: Dict[str, Any] = field(default_factory=dict)
+    rng_state: Optional[Dict[str, Any]] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "method": self.method,
+            "iteration": int(self.iteration),
+            "vector": encode_array(np.asarray(self.vector, dtype=float)),
+            "residual_history": [float(r) for r in self.residual_history[-_HISTORY_TAIL:]],
+            "job": self.job,
+            "rng_state": self.rng_state,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SolverCheckpoint":
+        try:
+            return cls(
+                method=payload["method"],
+                iteration=int(payload["iteration"]),
+                vector=decode_array(payload["vector"]),
+                residual_history=list(payload.get("residual_history", [])),
+                job=dict(payload.get("job") or {}),
+                rng_state=payload.get("rng_state"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointCorrupted(
+                f"malformed solver checkpoint payload: {exc}"
+            ) from exc
+
+
+def save_solver_checkpoint(path: str, checkpoint: SolverCheckpoint) -> None:
+    """Atomically write a solver checkpoint with its integrity digest."""
+    payload = checkpoint.to_payload()
+    _atomic_write_json(
+        path,
+        {
+            "schema": CHECKPOINT_SCHEMA,
+            "payload": payload,
+            "sha256": _payload_digest(payload),
+        },
+    )
+
+
+def load_solver_checkpoint(path: str) -> SolverCheckpoint:
+    """Read a solver checkpoint back, verifying integrity."""
+    return SolverCheckpoint.from_payload(_load_verified(path, CHECKPOINT_SCHEMA))
+
+
+class SolverCheckpointer:
+    """Periodic solver-state snapshots riding the ``on_iterate`` hook.
+
+    Pass the instance as ``on_iterate=`` to any iterative stationary solver
+    (or let :func:`repro.resilience.fallback.resilient_stationary` wire it
+    up); every ``interval`` iterations the current iterate is written to
+    ``path``.  After the solve, :attr:`saves` tells how many snapshots were
+    taken and :meth:`load` (or module-level
+    :func:`load_solver_checkpoint`) reads the latest back.
+
+    Resuming: seed the new solve with ``x0=checkpoint.vector``.  Because
+    each supported iteration (power/Jacobi/GS/SOR sweeps, multigrid
+    V-cycles, Krylov restarts from a snapshot) depends only on the current
+    iterate, the resumed trajectory is the continuation of the interrupted
+    one, and both converge to the same stationary vector.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        interval: int = 25,
+        method: str = "",
+        job: Optional[Dict[str, Any]] = None,
+        rng_state: Optional[Callable[[], Optional[Dict[str, Any]]]] = None,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be at least 1")
+        self.path = path
+        self.interval = interval
+        self.method = method
+        self.job = dict(job or {})
+        self._rng_state = rng_state
+        self.saves = 0
+        self._history: List[float] = []
+
+    def note_residual(self, residual: float) -> None:
+        """Optionally feed residuals so snapshots carry a history tail."""
+        self._history.append(float(residual))
+
+    def __call__(self, iteration: int, x: np.ndarray) -> None:
+        if iteration % self.interval != 0:
+            return
+        save_solver_checkpoint(
+            self.path,
+            SolverCheckpoint(
+                method=self.method,
+                iteration=iteration,
+                vector=x,
+                residual_history=self._history,
+                job=self.job,
+                rng_state=self._rng_state() if self._rng_state else None,
+            ),
+        )
+        self.saves += 1
+
+    def load(self) -> SolverCheckpoint:
+        return load_solver_checkpoint(self.path)
+
+
+# ---------------------------------------------------------------------- #
+# per-point checkpoints (sweeps, MC campaigns)
+# ---------------------------------------------------------------------- #
+
+class PointCheckpointer:
+    """Per-point progress ledger for sweeps and Monte-Carlo campaigns.
+
+    The job fingerprint (spec digest, swept parameter, value list, ...) is
+    written into the checkpoint; :meth:`resume` verifies it so a
+    checkpoint from a different sweep cannot be spliced into this one.
+    Every :meth:`record` / :meth:`record_failure` persists immediately, so
+    a kill between points loses at most the in-flight point.
+    """
+
+    def __init__(self, path: str, job: Dict[str, Any]) -> None:
+        self.path = path
+        self.job = dict(job)
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        self.failed: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def job_digest(self) -> str:
+        return _payload_digest(self.job)
+
+    def resume(self) -> bool:
+        """Load prior progress; returns False when no checkpoint exists."""
+        if not os.path.exists(self.path):
+            return False
+        payload = _load_verified(self.path, POINTS_SCHEMA)
+        if payload.get("job_digest") != self.job_digest:
+            raise CheckpointMismatch(
+                f"{self.path}: checkpoint belongs to a different job "
+                f"(digest {payload.get('job_digest')!r} != "
+                f"{self.job_digest!r}); point the resume at the original "
+                "run directory or delete the stale checkpoint"
+            )
+        self.completed = dict(payload.get("completed") or {})
+        self.failed = dict(payload.get("failed") or {})
+        return True
+
+    def is_done(self, index: int) -> bool:
+        return str(index) in self.completed
+
+    def completed_record(self, index: int) -> Dict[str, Any]:
+        return self.completed[str(index)]
+
+    def record(self, index: int, record: Dict[str, Any]) -> None:
+        self.completed[str(index)] = record
+        self.failed.pop(str(index), None)
+        self.save()
+
+    def record_failure(self, index: int, entry: Dict[str, Any]) -> None:
+        self.failed[str(index)] = entry
+        self.save()
+
+    def save(self) -> None:
+        payload = {
+            "job_digest": self.job_digest,
+            "job": self.job,
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+        _atomic_write_json(
+            self.path,
+            {
+                "schema": POINTS_SCHEMA,
+                "payload": payload,
+                "sha256": _payload_digest(payload),
+            },
+        )

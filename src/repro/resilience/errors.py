@@ -1,0 +1,170 @@
+"""Typed failure taxonomy for the resilient solve pipeline.
+
+Every way a long-running solve can go wrong gets its own exception class,
+so callers (the fallback escalation of :mod:`repro.resilience.fallback`,
+the sweep driver, the CLI) can react to the *kind* of failure instead of
+pattern-matching error strings:
+
+``SolverDiverged``
+    The residual blew up relative to the best value seen -- the iteration
+    is moving away from the fixed point (wrong damping, ill-conditioned
+    splitting, broken operator).
+``SolverStagnated``
+    The residual stopped improving while still above tolerance -- the
+    classic silent failure mode where a solver burns its whole iteration
+    budget making no progress (mixing gap ~ 0, bad coarsening, Krylov
+    breakdown).
+``NumericalContamination``
+    A non-finite residual/iterate, negative probability mass beyond
+    round-off, or transition-operator row sums drifting from one -- the
+    answer would be garbage even if the iteration "converged".
+``BudgetExceeded``
+    An explicit resource budget (iterations, wall-clock seconds, memory
+    bytes) ran out before convergence.
+``CheckpointCorrupted`` / ``CheckpointMismatch``
+    A checkpoint file failed its integrity digest / belongs to a
+    different job than the one being resumed.
+``FallbackExhausted``
+    Every method in a :class:`~repro.resilience.fallback.FallbackPolicy`
+    chain failed; carries the full attempt trail for the run manifest.
+
+The module is intentionally dependency-light (stdlib only) so low-level
+code like :func:`repro.markov.solvers.result.iterate_fixed_point` can
+raise these without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "ResilienceError",
+    "SolverFailure",
+    "SolverDiverged",
+    "SolverStagnated",
+    "NumericalContamination",
+    "BudgetExceeded",
+    "CheckpointError",
+    "CheckpointCorrupted",
+    "CheckpointMismatch",
+    "FallbackExhausted",
+]
+
+
+class ResilienceError(Exception):
+    """Base class of every typed diagnosis raised by the resilience layer."""
+
+
+class SolverFailure(ResilienceError):
+    """A stationary solve failed with a diagnosable numerical condition.
+
+    Attributes
+    ----------
+    method:
+        Solver name as reported to the telemetry layer (``"multigrid"``,
+        ``"power"``, ...), or None when unknown.
+    iteration:
+        Iteration at which the condition was diagnosed (solver's natural
+        unit), or None for pre-/post-solve checks.
+    residual:
+        Residual observed at diagnosis time, or None.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        method: Optional[str] = None,
+        iteration: Optional[int] = None,
+        residual: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.method = method
+        self.iteration = iteration
+        self.residual = residual
+
+    def to_event(self) -> Dict[str, Any]:
+        """Structured form for run manifests / fault-suite reports."""
+        return {
+            "diagnosis": type(self).__name__,
+            "message": str(self),
+            "method": self.method,
+            "iteration": self.iteration,
+            "residual": self.residual,
+        }
+
+
+class SolverDiverged(SolverFailure):
+    """The residual grew far beyond the best value seen during the solve."""
+
+
+class SolverStagnated(SolverFailure):
+    """The residual stopped improving while still above tolerance."""
+
+
+class NumericalContamination(SolverFailure):
+    """Non-finite values, negative mass, or row-sum drift in the solve."""
+
+
+class BudgetExceeded(SolverFailure):
+    """An explicit iteration / wall-clock / memory budget ran out.
+
+    Attributes
+    ----------
+    budget:
+        Which budget tripped: ``"iterations"``, ``"wall_clock"`` or
+        ``"memory"``.
+    limit, observed:
+        The configured limit and the value that exceeded it (same unit).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: str,
+        limit: float,
+        observed: float,
+        method: Optional[str] = None,
+        iteration: Optional[int] = None,
+        residual: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            message, method=method, iteration=iteration, residual=residual
+        )
+        self.budget = budget
+        self.limit = limit
+        self.observed = observed
+
+    def to_event(self) -> Dict[str, Any]:
+        event = super().to_event()
+        event.update(budget=self.budget, limit=self.limit, observed=self.observed)
+        return event
+
+
+class CheckpointError(ResilienceError):
+    """Base class for checkpoint save/load failures."""
+
+
+class CheckpointCorrupted(CheckpointError):
+    """A checkpoint file failed schema or integrity-digest validation."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """A checkpoint belongs to a different job than the resume target."""
+
+
+class FallbackExhausted(ResilienceError):
+    """Every method in the fallback chain failed.
+
+    Attributes
+    ----------
+    attempts:
+        The structured attempt records
+        (:meth:`repro.resilience.fallback.AttemptRecord.to_event` dicts)
+        accumulated before giving up -- the trail the run manifest embeds.
+    """
+
+    def __init__(self, message: str, attempts: Sequence[Dict[str, Any]] = ()) -> None:
+        super().__init__(message)
+        self.attempts: List[Dict[str, Any]] = list(attempts)

@@ -39,6 +39,43 @@ class TestValidation:
         with pytest.raises(ValueError, match="nr_mean"):
             CDRSpec(nr_max=0.001, nr_mean=0.01)
 
+    def test_zero_sigma_rejected(self):
+        with pytest.raises(ValueError, match="nw_std must be positive"):
+            CDRSpec(nw_std=0.0)
+
+    def test_zero_sigma_allowed_with_override(self):
+        # nw_std is ignored for model building when an override is given,
+        # so a degenerate sigma must not block a custom noise model.
+        nw = DiscreteDistribution([-0.1, 0.1], [0.5, 0.5])
+        spec = CDRSpec(nw_std=0.0, nw_override=nw)
+        assert spec.nw_distribution() == nw
+
+    @pytest.mark.parametrize(
+        "kwargs,fragment",
+        [
+            # Each message names the offending value and says what to do.
+            ({"counter_length": 0}, "got 0"),
+            ({"nw_std": -0.5}, "got -0.5"),
+            ({"nw_std": 0.0}, "nw_override"),
+            ({"transition_density": 0.0}, "data transition"),
+            ({"n_phase_points": 100, "n_clock_phases": 16},
+             "n_phase_points=96"),
+            ({"nr_max": -1.0}, "nr_override"),
+            ({"nr_max": 0.001, "nr_mean": 0.01}, "nr_mean=0.01"),
+        ],
+    )
+    def test_messages_are_actionable(self, kwargs, fragment):
+        with pytest.raises(ValueError) as excinfo:
+            CDRSpec(**kwargs)
+        assert fragment in str(excinfo.value)
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            CDRSpec(backend="bogus")
+        message = str(excinfo.value)
+        assert "bogus" in message
+        assert "assembled" in message  # the valid choices are offered
+
     def test_frozen(self):
         spec = CDRSpec()
         with pytest.raises(Exception):

@@ -96,6 +96,80 @@ class TestRunConformance:
             cf.check_agreement(runs, atol=1e-10)
 
 
+PATHOLOGICAL = {case.name: case for case in cf.pathological_cases()}
+
+_pathology_cache = {}
+
+
+def pathology_verdicts(name):
+    if name not in _pathology_cache:
+        _pathology_cache[name] = cf.run_pathology(
+            PATHOLOGICAL[name], wall_clock_budget=30.0
+        )
+    return _pathology_cache[name]
+
+
+class TestPathologicalChains:
+    """Reducible, absorbing, and zero-row chains: every registered solver
+    must either converge to a sane vector or raise a typed diagnosis --
+    never hang, never return garbage silently."""
+
+    @pytest.mark.parametrize("solver", SOLVER_NAMES)
+    @pytest.mark.parametrize("name", sorted(PATHOLOGICAL))
+    def test_every_solver_returns_or_diagnoses(self, name, solver):
+        verdict = pathology_verdicts(name)[solver]
+        assert verdict.outcome in ("converged", "diagnosed")
+        if verdict.outcome == "converged":
+            x = verdict.result.distribution
+            assert np.all(np.isfinite(x))
+            assert x.min() >= -1e-10
+            assert x.sum() == pytest.approx(1.0, abs=1e-8)
+        else:
+            # The diagnosis must be typed and carry an explanation.
+            assert verdict.diagnosis
+            assert verdict.message
+
+    @pytest.mark.parametrize("solver", SOLVER_NAMES)
+    def test_zero_row_is_refused_before_iterating(self, solver):
+        verdict = pathology_verdicts("zero-row")[solver]
+        assert verdict.outcome == "diagnosed"
+        assert verdict.diagnosis == "NumericalContamination"
+        assert "zero row" in verdict.message
+
+    def test_absorbing_mass_lands_on_absorbing_state(self):
+        # The unique stationary vector is the delta on state 0; any solver
+        # that claims convergence must have found it.
+        for solver, verdict in pathology_verdicts("absorbing").items():
+            if verdict.outcome != "converged":
+                continue
+            x = verdict.result.distribution
+            assert x[0] == pytest.approx(1.0, abs=1e-8), solver
+
+    def test_reducible_converged_vectors_are_stationary(self):
+        # The stationary distribution is non-unique, so solvers need not
+        # agree -- but whatever vector each returns must actually satisfy
+        # pi P = pi.
+        chain = PATHOLOGICAL["reducible"].build()
+        for solver, verdict in pathology_verdicts("reducible").items():
+            if verdict.outcome != "converged":
+                continue
+            x = verdict.result.distribution
+            drift = float(np.abs(chain.P.T @ x - x).sum())
+            assert drift < 1e-8, (solver, drift)
+
+    def test_fixture_structure(self):
+        from repro.markov.classify import classify
+
+        # reducible: two recurrent classes; absorbing: one (the absorber).
+        assert len(classify(PATHOLOGICAL["reducible"].build()).recurrent) == 2
+        absorbing = classify(PATHOLOGICAL["absorbing"].build())
+        assert len(absorbing.recurrent) == 1
+        zero_rows = np.asarray(
+            PATHOLOGICAL["zero-row"].build().P.sum(axis=1)
+        ).ravel()
+        assert np.any(zero_rows == 0.0)
+
+
 @pytest.mark.slow
 class TestScaledUpMatrix:
     """The large end of the conformance matrix (excluded from tier-1)."""

@@ -38,3 +38,22 @@ def test_tracing_overhead_below_five_percent():
         f"instrumented {instrumented:.3f}s vs baseline {baseline:.3f}s "
         f"({overhead:+.1%} overhead)"
     )
+
+
+def test_resilient_happy_path_overhead_below_five_percent():
+    # Guards + fallback bookkeeping are per-iteration float compares; on a
+    # convergent solve the whole resilient path must stay within the same
+    # 5% envelope as tracing.
+    spec = CDRSpec()
+    plain = lambda: analyze_cdr(spec, solver="auto")
+    resilient = lambda: analyze_cdr(spec, solver="auto", resilience=True)
+
+    plain()
+    resilient()  # warm the resilience imports too
+    baseline = _min_wall(plain, 3)
+    guarded = _min_wall(resilient, 3)
+    overhead = (guarded - baseline) / baseline
+    assert overhead < 0.05, (
+        f"resilient {guarded:.3f}s vs baseline {baseline:.3f}s "
+        f"({overhead:+.1%} overhead)"
+    )

@@ -1,0 +1,154 @@
+"""Checkpoint formats: bit-exact round trips, atomicity, corruption refusal."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CheckpointCorrupted,
+    CheckpointMismatch,
+    PointCheckpointer,
+    SolverCheckpoint,
+    SolverCheckpointer,
+    decode_array,
+    encode_array,
+    load_solver_checkpoint,
+    save_solver_checkpoint,
+)
+from repro.resilience.faults import corrupt_checkpoint
+
+
+class TestArrayEncoding:
+    def test_round_trip_is_bit_exact(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(1e-300, 1.0, 257)  # denormal-adjacent values too
+        back = decode_array(encode_array(x))
+        assert back.dtype == x.dtype
+        assert np.array_equal(
+            back.view(np.uint64), x.view(np.uint64)
+        )  # every bit, not just allclose
+
+    def test_shape_preserved(self):
+        x = np.arange(12.0).reshape(3, 4)
+        assert decode_array(encode_array(x)).shape == (3, 4)
+
+    def test_garbage_payload_is_corruption(self):
+        with pytest.raises(CheckpointCorrupted):
+            decode_array({"dtype": "float64", "shape": [2], "data": "!!!"})
+
+
+class TestSolverCheckpoint:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "solve.ckpt.json")
+        x = np.random.default_rng(0).dirichlet(np.ones(64))
+        save_solver_checkpoint(path, SolverCheckpoint(
+            method="multigrid", iteration=150, vector=x,
+            residual_history=[1.0, 0.1, 0.01],
+            job={"n_states": 64},
+        ))
+        back = load_solver_checkpoint(path)
+        assert back.method == "multigrid"
+        assert back.iteration == 150
+        assert np.array_equal(back.vector, x)
+        assert back.residual_history == [1.0, 0.1, 0.01]
+        assert back.job == {"n_states": 64}
+
+    def test_history_tail_is_bounded(self, tmp_path):
+        from repro.resilience.checkpoint import _HISTORY_TAIL
+
+        path = str(tmp_path / "solve.ckpt.json")
+        save_solver_checkpoint(path, SolverCheckpoint(
+            method="power", iteration=10_000, vector=np.ones(4) / 4,
+            residual_history=list(np.linspace(1, 0, 10_000)),
+        ))
+        back = load_solver_checkpoint(path)
+        assert len(back.residual_history) == _HISTORY_TAIL
+
+    @pytest.mark.parametrize("mode", ["payload", "truncate"])
+    def test_corruption_is_refused(self, tmp_path, mode):
+        path = str(tmp_path / "solve.ckpt.json")
+        save_solver_checkpoint(path, SolverCheckpoint(
+            method="power", iteration=1, vector=np.ones(4) / 4,
+        ))
+        corrupt_checkpoint(path, mode=mode)
+        with pytest.raises(CheckpointCorrupted):
+            load_solver_checkpoint(path)
+
+    def test_wrong_schema_is_refused(self, tmp_path):
+        path = str(tmp_path / "solve.ckpt.json")
+        with open(path, "w") as fh:
+            json.dump({"schema": "something-else/1", "payload": {}}, fh)
+        with pytest.raises(CheckpointCorrupted, match="schema"):
+            load_solver_checkpoint(path)
+
+    def test_missing_file_is_plain_oserror(self, tmp_path):
+        # A missing checkpoint is an OS condition, not corruption.
+        with pytest.raises(OSError):
+            load_solver_checkpoint(str(tmp_path / "nope.json"))
+
+    def test_no_tmp_litter_after_save(self, tmp_path):
+        path = str(tmp_path / "solve.ckpt.json")
+        for i in range(3):
+            save_solver_checkpoint(path, SolverCheckpoint(
+                method="power", iteration=i, vector=np.ones(4) / 4,
+            ))
+        assert sorted(os.listdir(tmp_path)) == ["solve.ckpt.json"]
+
+
+class TestSolverCheckpointer:
+    def test_saves_on_interval(self, tmp_path):
+        path = str(tmp_path / "solve.ckpt.json")
+        ckpt = SolverCheckpointer(path, interval=10, method="power",
+                                  job={"n_states": 8})
+        for i in range(1, 35):
+            ckpt(i, np.full(8, 1 / 8) * (1 + i * 1e-6))
+        assert ckpt.saves == 3  # iterations 10, 20, 30
+        assert ckpt.load().iteration == 30
+
+    def test_interval_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SolverCheckpointer(str(tmp_path / "x.json"), interval=0)
+
+
+class TestPointCheckpointer:
+    def test_resume_replays_completed_points(self, tmp_path):
+        path = str(tmp_path / "points.json")
+        job = {"kind": "sweep", "parameter": "counter_length"}
+        first = PointCheckpointer(path, job)
+        first.record(0, {"counter_length": 2, "ber": 1e-9})
+        first.record(1, {"counter_length": 4, "ber": 1e-12})
+
+        second = PointCheckpointer(path, job)
+        assert second.resume() is True
+        assert second.is_done(0) and second.is_done(1)
+        assert not second.is_done(2)
+        assert second.completed_record(1) == {"counter_length": 4, "ber": 1e-12}
+
+    def test_resume_with_no_file_is_fresh_start(self, tmp_path):
+        ckpt = PointCheckpointer(str(tmp_path / "nope.json"), {"kind": "sweep"})
+        assert ckpt.resume() is False
+
+    def test_foreign_job_is_mismatch(self, tmp_path):
+        path = str(tmp_path / "points.json")
+        PointCheckpointer(path, {"kind": "sweep", "tol": 1e-10}).record(0, {})
+        other = PointCheckpointer(path, {"kind": "sweep", "tol": 1e-8})
+        with pytest.raises(CheckpointMismatch, match="different job"):
+            other.resume()
+
+    def test_failures_are_persisted_and_cleared_on_success(self, tmp_path):
+        path = str(tmp_path / "points.json")
+        job = {"kind": "sweep"}
+        ckpt = PointCheckpointer(path, job)
+        ckpt.record_failure(3, {"error_type": "SolverStagnated"})
+
+        back = PointCheckpointer(path, job)
+        back.resume()
+        assert back.failed["3"]["error_type"] == "SolverStagnated"
+        # A later success on the same point supersedes the failure.
+        back.record(3, {"ber": 1e-9})
+        again = PointCheckpointer(path, job)
+        again.resume()
+        assert again.is_done(3)
+        assert "3" not in again.failed

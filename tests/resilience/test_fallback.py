@@ -1,0 +1,214 @@
+"""Fallback escalation and solver checkpoint/resume acceptance tests."""
+
+import numpy as np
+import pytest
+
+from repro.markov.conformance import birth_death_fixture
+from repro.resilience import (
+    BudgetExceeded,
+    CheckpointMismatch,
+    FallbackExhausted,
+    FallbackPolicy,
+    FallbackStep,
+    GuardPolicy,
+    resilient_stationary,
+)
+from repro.resilience.faults import StallingOperator
+
+
+class TestPolicyConstruction:
+    def test_default_chain_order(self):
+        chain = birth_death_fixture(32)
+        policy = FallbackPolicy.from_registry(chain)
+        assert [s.method for s in policy.steps] == [
+            "multigrid", "krylov", "power", "direct",
+        ]
+
+    def test_first_method_pins_the_head(self):
+        chain = birth_death_fixture(32)
+        policy = FallbackPolicy.from_registry(
+            chain, first_method="power", first_kwargs={"damping": 0.5}
+        )
+        assert policy.steps[0].method == "power"
+        assert policy.steps[0].kwargs == {"damping": 0.5}
+        # power appears once: the pinned head, not again from the registry.
+        assert [s.method for s in policy.steps].count("power") == 1
+
+    def test_matrix_free_operator_drops_direct(self):
+        class MatrixFreeView:
+            """Operator protocol surface without to_csr."""
+
+            def __init__(self, chain):
+                self._op = chain.P
+
+            @property
+            def shape(self):
+                return self._op.shape
+
+            def matvec(self, x):
+                return self._op @ x
+
+            def rmatvec(self, x):
+                return self._op.T @ x
+
+            def diagonal(self):
+                return self._op.diagonal()
+
+            def row_sums(self):
+                return np.asarray(self._op.sum(axis=1)).ravel()
+
+        policy = FallbackPolicy.from_registry(
+            MatrixFreeView(birth_death_fixture(32))
+        )
+        assert "direct" not in [s.method for s in policy.steps]
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FallbackPolicy(steps=())
+
+
+class TestEscalation:
+    def test_happy_path_single_attempt(self):
+        chain = birth_death_fixture(64)
+        outcome = resilient_stationary(chain, tol=1e-10)
+        assert outcome.escalations == 0
+        assert outcome.attempts[0].status == "converged"
+        assert outcome.result.converged
+
+    def test_failing_head_escalates_to_next_method(self):
+        # The first step runs out of iterations; the chain must complete
+        # on the next method and the trail must show both attempts.
+        chain = birth_death_fixture(32)
+        policy = FallbackPolicy(
+            steps=(
+                FallbackStep("power", max_iter=3),  # too few: fails
+                FallbackStep("krylov", max_iter=500),
+            ),
+            retry_perturbed=False,
+        )
+        outcome = resilient_stationary(chain, policy, tol=1e-10)
+        assert outcome.escalations == 1
+        assert [a.status for a in outcome.attempts] == ["failed", "converged"]
+        assert outcome.attempts[0].error_type == "BudgetExceeded"
+        assert outcome.method.startswith("krylov")
+
+    def test_fully_stalled_chain_raises_with_trail(self):
+        # Every method stalls on the corrupted operator: the driver must
+        # give up with the full structured attempt trail.
+        stalling = StallingOperator(birth_death_fixture(32), after=0)
+        policy = FallbackPolicy(
+            steps=(
+                FallbackStep("power", max_iter=200),
+                FallbackStep("krylov", max_iter=500),
+            ),
+            guard=GuardPolicy(stagnation_window=10),
+            retry_perturbed=False,
+        )
+        with pytest.raises(FallbackExhausted) as excinfo:
+            resilient_stationary(stalling, policy, tol=1e-10)
+        assert len(excinfo.value.attempts) >= 2
+        assert {a["method"] for a in excinfo.value.attempts} >= {"power"}
+
+    def test_stagnation_earns_perturbed_retry(self):
+        chain = birth_death_fixture(32)
+        stalling = StallingOperator(chain, after=0)
+        policy = FallbackPolicy(
+            steps=(FallbackStep("power", max_iter=200),),
+            guard=GuardPolicy(stagnation_window=10),
+            retry_perturbed=True,
+        )
+        with pytest.raises(FallbackExhausted) as excinfo:
+            resilient_stationary(stalling, policy, tol=1e-10)
+        events = excinfo.value.attempts
+        assert len(events) == 2
+        assert events[0]["perturbed_x0"] is False
+        assert events[1]["perturbed_x0"] is True
+
+    def test_memory_budget_aborts_the_chain(self):
+        chain = birth_death_fixture(16)
+        policy = FallbackPolicy(
+            steps=(FallbackStep("power"), FallbackStep("krylov")),
+            memory_budget_bytes=1,  # any real process exceeds this
+        )
+        with pytest.raises(BudgetExceeded) as excinfo:
+            resilient_stationary(chain, policy, tol=1e-10)
+        assert excinfo.value.budget == "memory"
+
+    def test_events_are_manifest_ready(self):
+        chain = birth_death_fixture(32)
+        outcome = resilient_stationary(chain, tol=1e-10)
+        events = outcome.events()
+        assert events[0]["event"] == "solver_attempt"
+        assert events[0]["status"] == "converged"
+        import json
+
+        json.dumps(events)  # structured events must be JSON-serializable
+
+
+class TestCheckpointResume:
+    def test_interrupted_solve_resumes_to_same_vector(self, tmp_path):
+        # Acceptance: kill a solve mid-flight (tiny per-attempt iteration
+        # budget), then resume from its checkpoint and converge; the
+        # resumed vector must match an uninterrupted solve to rtol 1e-10.
+        chain = birth_death_fixture(96, up=0.3, down=0.32)
+        path = str(tmp_path / "solve.ckpt.json")
+        interrupted = FallbackPolicy(
+            steps=(FallbackStep("power", max_iter=40),),
+            retry_perturbed=False,
+        )
+        with pytest.raises(FallbackExhausted):
+            resilient_stationary(
+                chain, interrupted, tol=1e-12,
+                checkpoint_path=path, checkpoint_interval=10,
+            )
+
+        full = FallbackPolicy(steps=(FallbackStep("power", max_iter=100_000),))
+        resumed = resilient_stationary(
+            chain, full, tol=1e-12, checkpoint_path=path, resume=True,
+        )
+        assert resumed.resumed_from_iteration == 40
+        uninterrupted = resilient_stationary(chain, full, tol=1e-12)
+        np.testing.assert_allclose(
+            resumed.result.distribution,
+            uninterrupted.result.distribution,
+            rtol=1e-10, atol=1e-14,
+        )
+        # Resuming from iteration 40 must save real work.
+        assert (
+            resumed.result.iterations + 40
+            <= uninterrupted.result.iterations + 5
+        )
+
+    def test_resume_event_in_trail(self, tmp_path):
+        chain = birth_death_fixture(64)
+        path = str(tmp_path / "solve.ckpt.json")
+        policy = FallbackPolicy(steps=(FallbackStep("power", max_iter=100_000),))
+        resilient_stationary(
+            chain, policy, tol=1e-12,
+            checkpoint_path=path, checkpoint_interval=10,
+        )
+        outcome = resilient_stationary(
+            chain, policy, tol=1e-12, checkpoint_path=path, resume=True,
+        )
+        assert outcome.events()[0]["event"] == "checkpoint_resume"
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path):
+        path = str(tmp_path / "solve.ckpt.json")
+        policy = FallbackPolicy(steps=(FallbackStep("power", max_iter=100_000),))
+        resilient_stationary(
+            birth_death_fixture(64), policy, tol=1e-10,
+            checkpoint_path=path, checkpoint_interval=5,
+        )
+        with pytest.raises(CheckpointMismatch):
+            resilient_stationary(
+                birth_death_fixture(32), policy, tol=1e-10,
+                checkpoint_path=path, resume=True,
+            )
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        outcome = resilient_stationary(
+            birth_death_fixture(32), tol=1e-10,
+            checkpoint_path=str(tmp_path / "none.json"), resume=True,
+        )
+        assert outcome.resumed_from_iteration is None
+        assert outcome.result.converged

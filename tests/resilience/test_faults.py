@@ -1,0 +1,52 @@
+"""Acceptance: every injected fault is caught and classified as expected."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_SCENARIOS,
+    format_fault_report,
+    run_fault_suite,
+)
+
+EXPECTED_DIAGNOSES = {
+    "nan_matvec": "NumericalContamination",
+    "stalled_residual": "SolverStagnated",
+    "killed_sweep_point": "SimulatedWorkerKill",
+    "corrupted_checkpoint": "CheckpointCorrupted",
+    "memory_budget": "BudgetExceeded",
+    "fallback_exhausted": "FallbackExhausted",
+}
+
+
+class TestFaultSuite:
+    def test_battery_covers_the_issue_faults(self):
+        assert set(EXPECTED_DIAGNOSES) <= set(FAULT_SCENARIOS)
+
+    def test_every_fault_is_caught(self):
+        outcomes = run_fault_suite(profile="full")
+        missed = [o.name for o in outcomes if not o.caught]
+        assert not missed, f"faults not caught: {missed}"
+
+    def test_diagnoses_match_expectations(self):
+        outcomes = {o.name: o for o in run_fault_suite(profile="full")}
+        for name, expected in EXPECTED_DIAGNOSES.items():
+            assert outcomes[name].diagnosis == expected, name
+
+    def test_outcomes_are_structured_events(self):
+        import json
+
+        for outcome in run_fault_suite(profile="quick"):
+            event = outcome.to_event()
+            assert event["event"] == "fault_injection"
+            json.dumps(event)
+
+    def test_report_is_renderable(self):
+        outcomes = run_fault_suite(profile="quick")
+        report = format_fault_report(outcomes)
+        assert "caught" in report
+        for outcome in outcomes:
+            assert outcome.name in report
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault scenario"):
+            run_fault_suite(names=["no-such-fault"])

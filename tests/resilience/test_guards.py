@@ -1,0 +1,197 @@
+"""Unit tests for the numerical guards (GuardedMonitor + solve brackets).
+
+The guard rides the SolverMonitor event stream, so most cases are driven
+with synthetic event sequences -- no solver needed to prove each
+diagnosis fires at exactly the configured threshold.
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.markov import RecordingMonitor
+from repro.markov.conformance import birth_death_fixture, zero_row_fixture
+from repro.resilience import (
+    BudgetExceeded,
+    GuardPolicy,
+    GuardedMonitor,
+    NumericalContamination,
+    SolverDiverged,
+    SolverStagnated,
+    check_operator,
+    check_result,
+    guarded_solve,
+)
+
+
+def feed(monitor, residuals, tol=1e-10):
+    monitor.solve_started("synthetic", 8, tol)
+    for i, r in enumerate(residuals, start=1):
+        monitor.iteration_finished(i, r, elapsed=0.001 * i)
+
+
+class TestGuardedMonitor:
+    def test_healthy_stream_passes(self):
+        mon = GuardedMonitor(GuardPolicy(stagnation_window=10))
+        feed(mon, [10.0 / (i + 1) for i in range(100)])
+
+    def test_nan_residual_is_contamination(self):
+        mon = GuardedMonitor()
+        with pytest.raises(NumericalContamination) as excinfo:
+            feed(mon, [1.0, 0.5, float("nan")])
+        assert excinfo.value.method == "synthetic"
+        assert excinfo.value.iteration == 3
+
+    def test_inf_residual_is_contamination(self):
+        mon = GuardedMonitor()
+        with pytest.raises(NumericalContamination):
+            feed(mon, [1.0, float("inf")])
+
+    def test_divergence_after_grace(self):
+        pol = GuardPolicy(divergence_factor=100.0, divergence_grace=5)
+        mon = GuardedMonitor(pol)
+        # 10 shrinking residuals arm the guard, then a 1000x blow-up.
+        with pytest.raises(SolverDiverged) as excinfo:
+            feed(mon, [1.0 / (i + 1) for i in range(10)] + [1000.0])
+        assert "diverging" in str(excinfo.value)
+
+    def test_divergence_grace_shields_early_wobble(self):
+        pol = GuardPolicy(divergence_factor=10.0, divergence_grace=10)
+        mon = GuardedMonitor(pol)
+        # A 100x wobble inside the grace window must be tolerated.
+        feed(mon, [1.0, 0.01, 1.0, 0.5, 0.1])
+
+    def test_stagnation_fires_at_window(self):
+        pol = GuardPolicy(stagnation_window=20, stagnation_rtol=1e-3)
+        mon = GuardedMonitor(pol)
+        with pytest.raises(SolverStagnated) as excinfo:
+            feed(mon, [0.5] * 50)
+        # Fires at the first iteration with a full window behind it.
+        assert excinfo.value.iteration == 21
+
+    def test_slow_but_real_progress_is_not_stagnation(self):
+        pol = GuardPolicy(stagnation_window=20, stagnation_rtol=1e-3)
+        mon = GuardedMonitor(pol)
+        # 0.5% decay per iteration: slow, but well above the 0.1% bar
+        # accumulated over 20 iterations.
+        feed(mon, [0.5 * 0.995 ** i for i in range(200)])
+
+    def test_stagnation_not_raised_below_tolerance(self):
+        pol = GuardPolicy(stagnation_window=5)
+        mon = GuardedMonitor(pol)
+        feed(mon, [1e-14] * 50, tol=1e-10)  # flat but already converged
+
+    def test_wall_clock_budget(self):
+        mon = GuardedMonitor(GuardPolicy(wall_clock_budget=0.5))
+        mon.solve_started("synthetic", 8, 1e-10)
+        mon.iteration_finished(1, 0.1, elapsed=0.1)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            mon.iteration_finished(2, 0.05, elapsed=1.0)
+        assert excinfo.value.budget == "wall_clock"
+        assert excinfo.value.observed == pytest.approx(1.0)
+
+    def test_inner_monitor_sees_fatal_event(self):
+        # Telemetry is teed BEFORE the guard raises, so the trail ends
+        # with the event that triggered the diagnosis.
+        rec = RecordingMonitor()
+        mon = GuardedMonitor(inner=rec)
+        with pytest.raises(NumericalContamination):
+            feed(mon, [1.0, float("nan")])
+        assert len(rec.events) == 2
+        assert math.isnan(rec.events[-1].residual)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            GuardPolicy(stagnation_window=-1)
+        with pytest.raises(ValueError):
+            GuardPolicy(stagnation_rtol=1.5)
+        with pytest.raises(ValueError):
+            GuardPolicy(wall_clock_budget=0.0)
+
+
+class TestSolveBrackets:
+    def test_check_operator_accepts_stochastic(self):
+        from repro.markov.linop import as_operator
+
+        check_operator(as_operator(birth_death_fixture(16)))
+
+    def test_check_operator_rejects_zero_row(self):
+        from repro.markov.linop import as_operator
+
+        with pytest.raises(NumericalContamination, match="zero row"):
+            check_operator(as_operator(zero_row_fixture(10)))
+
+    def test_check_result_rejects_nonfinite(self):
+        from repro.markov.solvers import StationaryResult
+
+        bad = StationaryResult(
+            distribution=np.array([0.5, float("nan"), 0.5]),
+            iterations=3, residual=1e-12, converged=True, method="x",
+        )
+        with pytest.raises(NumericalContamination, match="non-finite"):
+            check_result(bad)
+
+    def test_check_result_rejects_negative_mass(self):
+        from repro.markov.solvers import StationaryResult
+
+        bad = StationaryResult(
+            distribution=np.array([1.1, -0.1, 0.0]),
+            iterations=3, residual=1e-12, converged=True, method="x",
+        )
+        with pytest.raises(NumericalContamination, match="negative"):
+            check_result(bad)
+
+    def test_check_result_unconverged_is_budget_exceeded(self):
+        from repro.markov.solvers import StationaryResult
+
+        bad = StationaryResult(
+            distribution=np.full(4, 0.25),
+            iterations=500, residual=1e-3, converged=False, method="x",
+        )
+        with pytest.raises(BudgetExceeded) as excinfo:
+            check_result(bad)
+        assert excinfo.value.budget == "iterations"
+
+
+class TestGuardedSolve:
+    def test_happy_path_matches_plain_solve(self):
+        from repro.markov.stationary import stationary_distribution
+
+        chain = birth_death_fixture(32)
+        guarded = guarded_solve(chain, method="power", tol=1e-11)
+        plain = stationary_distribution(chain, method="power", tol=1e-11)
+        np.testing.assert_allclose(
+            guarded.distribution, plain.distribution, atol=1e-12
+        )
+        assert guarded.converged
+
+    def test_max_iter_exhaustion_is_typed(self):
+        chain = birth_death_fixture(64)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            guarded_solve(chain, method="power", tol=1e-12, max_iter=5)
+        assert excinfo.value.budget == "iterations"
+
+    def test_nonfinite_iterate_detected_immediately(self):
+        # Satellite check: iterate_fixed_point itself must catch a
+        # non-finite iterate the sweep it appears, not at max_iter.
+        from repro.markov.solvers.result import iterate_fixed_point
+
+        def step(x):
+            y = x.copy()
+            y[0] = float("nan")
+            return y
+
+        with pytest.raises(NumericalContamination) as excinfo:
+            iterate_fixed_point(
+                4,
+                step,
+                lambda x: 1.0,
+                method="unit-test",
+                tol=1e-10,
+                max_iter=10_000,
+                x0=np.full(4, 0.25),
+            )
+        assert excinfo.value.iteration == 1
+        assert "state 0" in str(excinfo.value)

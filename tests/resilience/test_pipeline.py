@@ -1,0 +1,326 @@
+"""Resilience threaded through the pipeline: analyzer, sweep, MC campaign,
+manifest and CLI.  Includes the mid-sweep-kill bit-identity acceptance test
+and the stagnating-head fallback demo with its attempt chain in the
+manifest."""
+
+import numpy as np
+import pytest
+
+from repro import CDRSpec, analyze_cdr, sweep_parameter
+from repro.resilience import FallbackPolicy, FallbackStep
+from repro.resilience.faults import SimulatedWorkerKill, killing_analyze_fn
+
+
+def small_spec(**overrides):
+    base = dict(
+        n_phase_points=64,
+        n_clock_phases=16,
+        counter_length=2,
+        max_run_length=2,
+        nw_std=0.08,
+        nw_atoms=7,
+    )
+    base.update(overrides)
+    return CDRSpec(**base)
+
+
+class TestAnalyzerResilience:
+    def test_resilient_analysis_records_attempts(self):
+        analysis = analyze_cdr(small_spec(), solver="power", resilience=True)
+        events = analysis.resilience_events
+        assert events and events[-1]["event"] == "solver_attempt"
+        assert events[-1]["status"] == "converged"
+        assert events[-1]["method"] == "power"
+
+    def test_plain_analysis_has_no_events(self):
+        analysis = analyze_cdr(small_spec(), solver="power")
+        assert analysis.resilience_events == []
+
+    def test_resilient_matches_plain_result(self):
+        spec = small_spec()
+        plain = analyze_cdr(spec, solver="power", tol=1e-11)
+        resilient = analyze_cdr(spec, solver="power", tol=1e-11,
+                                resilience=True)
+        np.testing.assert_allclose(
+            resilient.stationary, plain.stationary, atol=1e-12
+        )
+        assert resilient.ber == pytest.approx(plain.ber, rel=1e-9)
+
+    def test_fallback_demo_chain_visible(self):
+        # Acceptance demo: the requested head is strangled (3 iterations),
+        # the analysis still completes via the declared fallback, and the
+        # attempt chain is on the analysis for the manifest to embed.
+        policy = FallbackPolicy(
+            steps=(
+                FallbackStep("power", max_iter=3),
+                FallbackStep("krylov", max_iter=500),
+            ),
+            retry_perturbed=False,
+        )
+        analysis = analyze_cdr(small_spec(), solver="power",
+                               resilience=policy)
+        attempts = [e for e in analysis.resilience_events
+                    if e["event"] == "solver_attempt"]
+        assert [a["status"] for a in attempts] == ["failed", "converged"]
+        assert attempts[0]["error_type"] == "BudgetExceeded"
+        assert analysis.solver_result.converged
+
+    def test_memory_budget_degrades_to_matrix_free(self):
+        policy = FallbackPolicy(
+            steps=(FallbackStep("power"),), memory_budget_bytes=1,
+        )
+        analysis = analyze_cdr(small_spec(), solver="power",
+                               resilience=policy)
+        assert analysis.backend == "matrix-free"
+        kinds = [e["event"] for e in analysis.resilience_events]
+        assert kinds[0] == "backend_degraded"
+        assert "solver_attempt" in kinds
+
+
+class TestManifest:
+    def test_manifest_embeds_and_renders_the_trail(self, tmp_path):
+        from repro.obs import (
+            Tracer,
+            build_run_manifest,
+            format_run_manifest,
+            use_tracer,
+        )
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            analysis = analyze_cdr(small_spec(), solver="power",
+                                   resilience=True)
+        manifest = build_run_manifest(
+            kind="analysis", spec=small_spec(), analysis=analysis,
+            tracer=tracer,
+        )
+        assert manifest["resilience"] == analysis.resilience_events
+        text = format_run_manifest(manifest)
+        assert "resilience:" in text
+        assert "[converged] power" in text
+
+    def test_manifest_round_trips_through_json(self, tmp_path):
+        from repro.obs import (
+            Tracer,
+            build_run_manifest,
+            load_run_manifest,
+            use_tracer,
+            write_run_manifest,
+        )
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            analysis = analyze_cdr(small_spec(), solver="power",
+                                   resilience=True)
+        manifest = build_run_manifest(
+            kind="analysis", spec=small_spec(), analysis=analysis,
+            tracer=tracer,
+        )
+        path = str(tmp_path / "run.json")
+        write_run_manifest(path, manifest)
+        back = load_run_manifest(path)
+        assert back["resilience"] == manifest["resilience"]
+
+    def test_plain_manifest_omits_resilience(self):
+        from repro.obs import Tracer, build_run_manifest, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            analysis = analyze_cdr(small_spec(), solver="power")
+        manifest = build_run_manifest(
+            kind="analysis", spec=small_spec(), analysis=analysis,
+            tracer=tracer,
+        )
+        assert manifest["resilience"] is None
+
+
+class TestSweepResilience:
+    def test_failing_point_recorded_sweep_continues(self):
+        values = [0.4, 0.5, 0.6]
+        records = sweep_parameter(
+            small_spec(), "transition_density", values, solver="power",
+            analyze_fn=killing_analyze_fn(analyze_cdr, [1]),
+        )
+        assert len(records) == 2
+        assert records.n_failed == 1
+        entry = records.failed_points[0]
+        assert entry["index"] == 1
+        assert entry["error_type"] == "SimulatedWorkerKill"
+        assert "FAILED" in records.summary()
+
+    def test_keyboard_interrupt_still_propagates(self):
+        def interrupted(spec, **kwargs):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            sweep_parameter(
+                small_spec(), "transition_density", [0.5], solver="power",
+                analyze_fn=interrupted,
+            )
+
+    def test_mid_sweep_kill_then_resume_is_bit_identical(self, tmp_path):
+        # Acceptance: kill the sweep at point 1, resume, and get records
+        # bit-identical to an uninterrupted sweep for the completed points.
+        spec = small_spec()
+        values = [0.4, 0.5, 0.6]
+        path = str(tmp_path / "sweep.ckpt.json")
+
+        killer = killing_analyze_fn(analyze_cdr, [1])
+
+        def dying(s, **kwargs):
+            result = killer(s, **kwargs)
+            return result
+
+        first = sweep_parameter(
+            spec, "transition_density", values, solver="power",
+            checkpoint_path=path, analyze_fn=dying,
+        )
+        assert len(first) == 2 and first.n_failed == 1
+
+        resumed = sweep_parameter(
+            spec, "transition_density", values, solver="power",
+            checkpoint_path=path, resume=True,
+        )
+        assert len(resumed) == 3
+        assert resumed.n_failed == 0
+        assert resumed.resumed_points == 2
+        # The replayed records are the exact persisted dicts: compare
+        # against the first run's records field-by-field (floats included).
+        completed_values = [r["transition_density"] for r in first]
+        for record in resumed:
+            if record["transition_density"] in completed_values:
+                assert record in list(first)
+
+    def test_foreign_checkpoint_refused(self, tmp_path):
+        from repro.resilience import CheckpointMismatch
+
+        path = str(tmp_path / "sweep.ckpt.json")
+        sweep_parameter(
+            small_spec(), "transition_density", [0.5], solver="power",
+            checkpoint_path=path,
+        )
+        with pytest.raises(CheckpointMismatch):
+            sweep_parameter(
+                small_spec(), "transition_density", [0.4, 0.5],
+                solver="power", checkpoint_path=path, resume=True,
+            )
+
+
+class TestCampaignResilience:
+    def _campaign_kwargs(self):
+        from repro.cdr import transition_run_length_source
+        from repro.noise import eye_opening_noise, sonet_drift_noise
+
+        spec = small_spec()
+        grid = spec.grid
+        return dict(
+            grid=grid,
+            nw=eye_opening_noise(0.18, n_atoms=9),
+            nr=sonet_drift_noise(
+                max_ui=grid.step, mean_ui=0.3 * grid.step,
+                grid_step=grid.step,
+            ),
+            counter_length=2,
+            phase_step_units=spec.phase_step_units,
+            data_source=transition_run_length_source("data", 0.5, 3),
+            n_symbols=500,
+        )
+
+    def test_campaign_pools_seed_records(self):
+        from repro.cdr.montecarlo import simulate_cdr_campaign
+
+        campaign = simulate_cdr_campaign(
+            seeds=[1, 2, 3], **self._campaign_kwargs()
+        )
+        assert len(campaign.records) == 3
+        assert campaign.n_symbols == 1500
+        assert 0.0 <= campaign.ber <= 1.0
+
+    def test_campaign_kill_then_resume_is_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.cdr.montecarlo as mc
+        from repro.cdr.montecarlo import simulate_cdr_campaign
+
+        kwargs = self._campaign_kwargs()
+        path = str(tmp_path / "mc.ckpt.json")
+
+        # Kill the process (KeyboardInterrupt) while the third seed runs.
+        real = mc.simulate_cdr
+        calls = {"n": 0}
+
+        def dying(*args, **kw):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return real(*args, **kw)
+
+        monkeypatch.setattr(mc, "simulate_cdr", dying)
+        with pytest.raises(KeyboardInterrupt):
+            simulate_cdr_campaign(
+                seeds=[1, 2, 3], checkpoint_path=path, **kwargs
+            )
+        monkeypatch.setattr(mc, "simulate_cdr", real)
+
+        resumed = simulate_cdr_campaign(
+            seeds=[1, 2, 3], checkpoint_path=path, resume=True, **kwargs
+        )
+        uninterrupted = simulate_cdr_campaign(seeds=[1, 2, 3], **kwargs)
+        assert resumed.resumed_seeds == 2
+        assert resumed.n_symbols == uninterrupted.n_symbols
+        for a, b in zip(resumed.records, uninterrupted.records):
+            for key in ("seed", "n_symbols", "n_errors", "n_slips"):
+                assert a[key] == b[key], key
+        assert resumed.ber == uninterrupted.ber
+
+
+class TestCLI:
+    def test_faults_command_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["faults", "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "faults caught" in out
+
+    def test_analyze_resilient_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "analyze", "--n-phase-points", "64", "--n-clock-phases", "16",
+            "--counter-length", "2", "--max-run-length", "2",
+            "--nw-atoms", "7", "--nw-std", "0.08",
+            "--solver", "power", "--resilient",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "resilience trail" in captured.err
+        assert "[converged] power" in captured.err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "analyze", "--n-phase-points", "64", "--n-clock-phases", "16",
+            "--counter-length", "2", "--max-run-length", "2",
+            "--nw-atoms", "7", "--resume",
+        ])
+        assert rc == 1
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_sweep_checkpoint_resume_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "sweep.ckpt.json")
+        argv = [
+            "sweep", "--n-phase-points", "64", "--n-clock-phases", "16",
+            "--counter-length", "2", "--max-run-length", "2",
+            "--nw-atoms", "7", "--solver", "power",
+            "--parameter", "transition_density", "--values", "0.4,0.6",
+            "--checkpoint", path,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first  # bit-identical replayed table
+        assert "replayed from checkpoint" in captured.err
