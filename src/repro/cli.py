@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 from typing import List, Optional
 
@@ -207,6 +208,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scenario subset to run (default: %(default)s)")
     p_fl.add_argument("--only", metavar="NAME", action="append", default=None,
                       help="run only the named scenario (repeatable)")
+
+    p_sc = sub.add_parser(
+        "scenarios",
+        help="scenario catalog: list, run, verify against goldens")
+    sc_sub = p_sc.add_subparsers(dest="scenarios_command", required=True)
+
+    sc_sub.add_parser("list", help="list the registered scenarios")
+
+    p_run = sc_sub.add_parser("run", help="run one scenario and print its "
+                                          "measures")
+    p_run.add_argument("scenario", help="registered scenario name")
+    p_run.add_argument("--size", default="fast",
+                       help="registered size label (default: %(default)s)")
+    p_run.add_argument("--backend", default=None,
+                       help="TPM backend (default: the scenario's first)")
+    p_run.add_argument("--solver", default=None,
+                       help="stationary solver (default: the scenario's)")
+    p_run.add_argument("--tol", type=float, default=None,
+                       help="stationary solve tolerance "
+                            "(default: the golden-generation tolerance)")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit the run as JSON instead of the report")
+    p_run.add_argument("--update-golden", action="store_true",
+                       help="write the result as the checked-in golden "
+                            "(with a provenance run manifest)")
+    p_run.add_argument("--golden-dir", metavar="DIR", default=None,
+                       help="golden directory (default: the packaged one)")
+
+    p_vf = sc_sub.add_parser(
+        "verify",
+        help="re-solve scenarios on every backend and diff against goldens")
+    p_vf.add_argument("scenario", nargs="*", metavar="NAME",
+                      help="scenarios to verify (default: the whole catalog)")
+    p_vf.add_argument("--size", default="fast",
+                      help="size label to verify (default: %(default)s)")
+    p_vf.add_argument("--backend", action="append", default=None,
+                      metavar="NAME",
+                      help="restrict to this backend (repeatable; default: "
+                           "every backend each scenario registers)")
+    p_vf.add_argument("--solver", default=None,
+                      help="override the scenarios' default solver")
+    p_vf.add_argument("--golden-dir", metavar="DIR", default=None,
+                      help="golden directory (default: the packaged one)")
+    p_vf.add_argument("--report", metavar="PATH", default=None,
+                      help="write the verification report as JSON to PATH")
     return parser
 
 
@@ -375,6 +421,67 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if missed else 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        DEFAULT_RUN_TOL,
+        generate_golden,
+        run_scenario,
+        scenario_table,
+        verify_catalog,
+    )
+
+    if args.scenarios_command == "list":
+        for scenario in scenario_table():
+            print(f"{scenario.name:<22} {scenario.title}")
+            print(f"{'':<22} measures: {', '.join(scenario.measures)}")
+            print(f"{'':<22} backends: {', '.join(scenario.backends)}; "
+                  f"sizes: {', '.join(sorted(scenario.sizes))}; "
+                  f"cite: {scenario.citation}")
+        return 0
+
+    if args.scenarios_command == "run":
+        tol = DEFAULT_RUN_TOL if args.tol is None else args.tol
+        if args.update_golden:
+            run = generate_golden(
+                args.scenario, size=args.size, backend=args.backend,
+                solver=args.solver, tol=tol, directory=args.golden_dir,
+            )
+            print(f"golden updated for {run.scenario}[{run.size}] "
+                  f"(backend {run.backend}, solver {run.solver})",
+                  file=sys.stderr)
+        else:
+            run = run_scenario(
+                args.scenario, size=args.size, backend=args.backend,
+                solver=args.solver, tol=tol,
+            )
+        if args.json:
+            print(json.dumps(run.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"scenario {run.scenario} size={run.size} "
+                  f"backend={run.backend} solver={run.solver} "
+                  f"n_states={run.n_states} "
+                  f"({run.elapsed_seconds:.2f} s)")
+            for name in sorted(run.measures):
+                print(f"  {name:<26} {run.measures[name]:.6e}")
+        return 0
+
+    # verify
+    report = verify_catalog(
+        names=args.scenario or None,
+        size=args.size,
+        backends=args.backend,
+        solver=args.solver,
+        directory=args.golden_dir,
+    )
+    print(report.describe())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"verification report written to {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     manifest = obs.load_run_manifest(args.manifest)
     if args.prometheus:
@@ -409,6 +516,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_solvers(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         return _cmd_acquire(args)
     except (
         ValueError, OSError, ArithmeticError,

@@ -50,6 +50,9 @@ __all__ = [
     "nearly_uncoupled_fixture",
     "bottleneck_fixture",
     "cdr_phase_error_fixture",
+    "alexander_offset_fixture",
+    "bangbang_frequency_fixture",
+    "mesochronous_fixture",
     "absorbing_fixture",
     "reducible_fixture",
     "zero_row_fixture",
@@ -198,6 +201,55 @@ def cdr_phase_error_fixture() -> MarkovChain:
     return spec.build_model().chain
 
 
+def alexander_offset_fixture() -> MarkovChain:
+    """The Alexander-PD-with-sampler-offset scenario chain, scaled down.
+
+    Same product structure as :func:`cdr_phase_error_fixture` but with the
+    asymmetric decision threshold of the ``alexander-offset`` catalog
+    scenario (arXiv:2001.03553): the stationary phase distribution is
+    off-center, so solvers exercising symmetric-looking CDR chains do not
+    get a free pass from symmetry.
+    """
+    from repro.scenarios.registry import get_scenario
+
+    scenario = get_scenario("alexander-offset")
+    params = scenario.params_for("fast")
+    params["n_phase_points"] = 32
+    return scenario.build(params, backend="assembled").chain
+
+
+def bangbang_frequency_fixture() -> MarkovChain:
+    """The bang-bang frequency-error scenario chain at ``freq_max=1``.
+
+    With a frequency span of one notch every ``(f, m)`` state
+    communicates (larger spans leave the outer frequency rings
+    transient), so the fixture is irreducible -- safe for the full solver
+    matrix including the direct solve -- while still exercising the extra
+    state dimension none of the other fixtures have.
+    """
+    from repro.scenarios.registry import get_scenario
+
+    scenario = get_scenario("bangbang-freq")
+    params = scenario.params_for("fast")
+    params["n_phase_points"] = 32
+    params["freq_max"] = 1
+    return scenario.build(params, backend="assembled").chain
+
+
+def mesochronous_fixture() -> MarkovChain:
+    """The mesochronous-settling scenario chain, scaled down.
+
+    Zero-mean drift noise: the phase random walk has no deterministic
+    bias, a regime the biased ``cdr_phase_error_fixture`` never visits.
+    """
+    from repro.scenarios.registry import get_scenario
+
+    scenario = get_scenario("mesochronous-settle")
+    params = scenario.params_for("fast")
+    params["n_phase_points"] = 32
+    return scenario.build(params, backend="assembled").chain
+
+
 # --------------------------------------------------------------------- #
 # Pathological fixtures: chains a solver must diagnose, not chew on
 # --------------------------------------------------------------------- #
@@ -279,6 +331,11 @@ def default_cases() -> List[ConformanceCase]:
         ),
         ConformanceCase("nearly-uncoupled", nearly_uncoupled_fixture, dict(mg_small)),
         ConformanceCase("cdr-phase-error", cdr_phase_error_fixture, dict(mg_small)),
+        ConformanceCase("alexander-offset", alexander_offset_fixture, dict(mg_small)),
+        ConformanceCase(
+            "bangbang-frequency", bangbang_frequency_fixture, dict(mg_small)
+        ),
+        ConformanceCase("mesochronous", mesochronous_fixture, dict(mg_small)),
     ]
 
 

@@ -1,0 +1,77 @@
+"""Scenario catalog with golden-result verification.
+
+A *scenario* is a reusable, citable workload on the paper's Markov
+engine: a parameterized model builder, the headline measures the modeled
+architecture is studied for, and a checked-in golden result with content
+digests.  ``repro scenarios list|run|verify`` is the CLI surface;
+:func:`verify_catalog` is the regression battery that re-solves every
+scenario on every registered TPM backend and diffs against the goldens.
+"""
+
+from repro.scenarios.golden import (
+    GOLDEN_SCHEMA,
+    GoldenResult,
+    generate_golden,
+    golden_dir,
+    golden_path,
+    list_goldens,
+    load_golden,
+    write_golden,
+)
+from repro.scenarios.registry import (
+    Scenario,
+    ScenarioModel,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_table,
+)
+from repro.scenarios.runner import DEFAULT_RUN_TOL, ScenarioRun, run_scenario
+from repro.scenarios.spec import ScenarioSpec, canonical_digest, canonical_json
+from repro.scenarios.tolerance import (
+    MeasureDiff,
+    MeasureMismatch,
+    Tolerance,
+    compare_measures,
+    values_close,
+)
+from repro.scenarios.verify import (
+    VERIFY_SCHEMA,
+    ScenarioVerification,
+    VerificationReport,
+    verify_catalog,
+    verify_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioModel",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "scenario_table",
+    "ScenarioSpec",
+    "canonical_json",
+    "canonical_digest",
+    "Tolerance",
+    "values_close",
+    "MeasureMismatch",
+    "MeasureDiff",
+    "compare_measures",
+    "ScenarioRun",
+    "run_scenario",
+    "DEFAULT_RUN_TOL",
+    "GOLDEN_SCHEMA",
+    "GoldenResult",
+    "golden_dir",
+    "golden_path",
+    "list_goldens",
+    "load_golden",
+    "write_golden",
+    "generate_golden",
+    "VERIFY_SCHEMA",
+    "ScenarioVerification",
+    "VerificationReport",
+    "verify_scenario",
+    "verify_catalog",
+]

@@ -1,0 +1,21 @@
+"""The built-in scenario catalog.
+
+Importing this module registers every built-in scenario (each module's
+``@register_scenario`` decorator runs at import time);
+``repro.scenarios.registry`` imports it lazily on first lookup, so the
+catalog is populated no matter which entry point -- CLI, tests,
+conformance fixtures -- touches the registry first.
+
+Built-ins, one per modeled architecture:
+
+==================== ==================================================
+``baseline``         the source paper's phase-selection CDR
+``alexander-offset`` Alexander PD with sampler offset (arXiv:2001.03553)
+``bangbang-freq``    bang-bang CDR w/ frequency error (arXiv:1905.00273)
+``mesochronous-settle`` mesochronous retiming settling (arXiv:1604.00230)
+==================== ==================================================
+"""
+
+from repro.scenarios import alexander, bangbang, baseline, mesochronous
+
+__all__ = ["alexander", "bangbang", "baseline", "mesochronous"]

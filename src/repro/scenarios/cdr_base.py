@@ -1,0 +1,74 @@
+"""Shared glue for scenarios whose model is a :class:`CDRSpec` variant.
+
+Three of the built-in scenarios (baseline, Alexander-with-offset,
+mesochronous retiming) are parameterizations of the paper's
+phase-selection loop; they differ in the spec they compile and the
+measures they read off.  This module funnels them all through the *real*
+engine path -- the registered TPM backends of :mod:`repro.cdr.backends`
+and the analyzer of :mod:`repro.core.analyzer` -- so a scenario run
+exercises exactly the code a user's ``repro analyze`` does, spans,
+metrics, solver registry and all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.core.analyzer import CDRAnalysis, analyze_model
+from repro.core.spec import CDRSpec
+from repro.markov.registry import get_backend
+from repro.scenarios.registry import ScenarioModel
+
+__all__ = ["CDR_SPEC_KEYS", "spec_from_params", "build_cdr_scenario_model",
+           "analyze_scenario_model"]
+
+#: CDRSpec constructor fields a scenario params dict may carry directly.
+CDR_SPEC_KEYS = (
+    "n_phase_points",
+    "n_clock_phases",
+    "counter_length",
+    "transition_density",
+    "max_run_length",
+    "nw_std",
+    "nw_atoms",
+    "nw_span_sigmas",
+    "nr_max",
+    "nr_mean",
+    "nr_skew",
+)
+
+
+def spec_from_params(
+    params: Mapping[str, Any], backend: str = "assembled", **overrides
+) -> CDRSpec:
+    """A :class:`CDRSpec` from the CDR-shaped subset of a params dict."""
+    kwargs: Dict[str, Any] = {
+        key: params[key] for key in CDR_SPEC_KEYS if key in params
+    }
+    kwargs.update(overrides)
+    return CDRSpec(backend=backend, **kwargs)
+
+
+def build_cdr_scenario_model(
+    spec: CDRSpec, backend: str, **extras
+) -> ScenarioModel:
+    """Realize a spec on one registered TPM backend."""
+    model = get_backend(backend).build(spec)
+    return ScenarioModel(
+        chain=model.chain,
+        backend=backend,
+        n_states=model.n_states,
+        extras={"model": model, "spec": spec, **extras},
+    )
+
+
+def analyze_scenario_model(
+    scenario_model: ScenarioModel, *, solver: str, tol: float
+) -> CDRAnalysis:
+    """Run the full analyzer pipeline on a built scenario model."""
+    return analyze_model(
+        scenario_model.extras["model"],
+        spec=scenario_model.extras["spec"],
+        solver=solver,
+        tol=tol,
+    )

@@ -1,0 +1,225 @@
+"""The checked-in golden-result store for the scenario catalog.
+
+Each golden file (``goldens/<scenario>.<size>.json``, schema
+``repro.scenario-golden/1``) pins one scenario workload to its expected
+measure values: the full :class:`~repro.scenarios.spec.ScenarioSpec` it
+was generated from plus that spec's digest (so verification can detect a
+*stale* golden whose catalog parameters have since changed), the measure
+values plus their digest (so a hand-edited golden is detected as
+*tampered* rather than silently trusted), the per-measure tolerances in
+force when it was written, and generation provenance.  The provenance of
+the generating run -- solver trace, versions, platform, span tree -- is a
+companion ``repro.run-trace/1`` manifest next to the golden
+(``<scenario>.<size>.manifest.json``).
+
+Goldens live inside the package so an installed ``repro`` can verify
+itself; regeneration (``repro scenarios run --update-golden``) writes to
+the same tree and is expected to happen inside a source checkout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import Tracer, build_run_manifest, use_tracer, write_run_manifest
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import DEFAULT_RUN_TOL, ScenarioRun, run_scenario
+from repro.scenarios.spec import ScenarioSpec, canonical_digest
+from repro.scenarios.tolerance import Tolerance
+
+__all__ = [
+    "GOLDEN_SCHEMA",
+    "GoldenResult",
+    "golden_dir",
+    "golden_path",
+    "manifest_path",
+    "list_goldens",
+    "load_golden",
+    "write_golden",
+    "generate_golden",
+]
+
+GOLDEN_SCHEMA = "repro.scenario-golden/1"
+
+
+def golden_dir() -> str:
+    """The packaged golden directory."""
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "goldens")
+
+
+def golden_path(scenario: str, size: str, directory: Optional[str] = None) -> str:
+    return os.path.join(directory or golden_dir(), f"{scenario}.{size}.json")
+
+
+def manifest_path(scenario: str, size: str, directory: Optional[str] = None) -> str:
+    return os.path.join(
+        directory or golden_dir(), f"{scenario}.{size}.manifest.json"
+    )
+
+
+@dataclass(frozen=True)
+class GoldenResult:
+    """One loaded golden file."""
+
+    scenario: str
+    size: str
+    spec: ScenarioSpec
+    spec_digest: str
+    measures: Dict[str, float]
+    measures_digest: str
+    tolerances: Dict[str, Tolerance]
+    provenance: Dict[str, Any]
+    path: str
+
+    def integrity_errors(self) -> List[str]:
+        """Digest self-consistency: a tampered golden names its lies."""
+        errors = []
+        if self.spec.digest() != self.spec_digest:
+            errors.append(
+                f"spec_digest mismatch: recorded {self.spec_digest}, "
+                f"embedded spec hashes to {self.spec.digest()}"
+            )
+        actual = canonical_digest(
+            {k: float(v) for k, v in sorted(self.measures.items())}
+        )
+        if actual != self.measures_digest:
+            errors.append(
+                f"measures_digest mismatch: recorded {self.measures_digest}, "
+                f"stored measures hash to {actual}"
+            )
+        return errors
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": GOLDEN_SCHEMA,
+            "scenario": self.scenario,
+            "size": self.size,
+            "spec": self.spec.to_dict(),
+            "spec_digest": self.spec_digest,
+            "measures": dict(self.measures),
+            "measures_digest": self.measures_digest,
+            "tolerances": {k: t.to_dict() for k, t in self.tolerances.items()},
+            "provenance": dict(self.provenance),
+        }
+
+
+def list_goldens(directory: Optional[str] = None) -> List[Tuple[str, str]]:
+    """``(scenario, size)`` pairs with a golden on disk, sorted."""
+    directory = directory or golden_dir()
+    if not os.path.isdir(directory):
+        return []
+    pairs = []
+    for entry in os.listdir(directory):
+        if not entry.endswith(".json") or entry.endswith(".manifest.json"):
+            continue
+        stem = entry[: -len(".json")]
+        scenario, sep, size = stem.rpartition(".")
+        if sep and scenario:
+            pairs.append((scenario, size))
+    return sorted(pairs)
+
+
+def load_golden(
+    scenario: str, size: str = "fast", directory: Optional[str] = None
+) -> GoldenResult:
+    """Load and structurally validate one golden file."""
+    path = golden_path(scenario, size, directory)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no golden for scenario {scenario!r} size {size!r} "
+            f"(expected {path}); generate one with "
+            f"'repro scenarios run {scenario} --size {size} --update-golden'"
+        ) from None
+    if payload.get("schema") != GOLDEN_SCHEMA:
+        raise ValueError(
+            f"{path}: unrecognized golden schema {payload.get('schema')!r}; "
+            f"expected {GOLDEN_SCHEMA!r}"
+        )
+    return GoldenResult(
+        scenario=payload["scenario"],
+        size=payload["size"],
+        spec=ScenarioSpec.from_dict(payload["spec"]),
+        spec_digest=payload["spec_digest"],
+        measures={k: float(v) for k, v in payload["measures"].items()},
+        measures_digest=payload["measures_digest"],
+        tolerances={
+            k: Tolerance.from_dict(v)
+            for k, v in payload.get("tolerances", {}).items()
+        },
+        provenance=payload.get("provenance", {}),
+        path=path,
+    )
+
+
+def write_golden(
+    run: ScenarioRun,
+    directory: Optional[str] = None,
+    manifest: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Persist one run as the golden for its (scenario, size).
+
+    Returns the golden path; when ``manifest`` is given it is written as
+    the companion provenance file.
+    """
+    scenario = get_scenario(run.scenario)
+    directory = directory or golden_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = golden_path(run.scenario, run.size, directory)
+    mpath = manifest_path(run.scenario, run.size, directory)
+    provenance: Dict[str, Any] = {
+        "backend": run.backend,
+        "solver": run.solver,
+        "tol": run.tol,
+        "n_states": run.n_states,
+        "generated_unix": time.time(),
+        "manifest": os.path.basename(mpath) if manifest is not None else None,
+    }
+    golden = GoldenResult(
+        scenario=run.scenario,
+        size=run.size,
+        spec=run.spec,
+        spec_digest=run.spec.digest(),
+        measures=dict(run.measures),
+        measures_digest=run.measures_digest(),
+        tolerances={
+            key: scenario.tolerance_for(key)
+            for key in ("default",) + scenario.measures
+        },
+        provenance=provenance,
+        path=path,
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(golden.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if manifest is not None:
+        write_run_manifest(mpath, manifest)
+    return path
+
+
+def generate_golden(
+    scenario: str,
+    size: str = "fast",
+    backend: Optional[str] = None,
+    solver: Optional[str] = None,
+    tol: float = DEFAULT_RUN_TOL,
+    directory: Optional[str] = None,
+) -> ScenarioRun:
+    """Run a scenario under tracing and write golden + provenance manifest."""
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run = run_scenario(scenario, size=size, backend=backend, solver=solver, tol=tol)
+    manifest = build_run_manifest(
+        kind="scenario-golden",
+        spec=run.spec.to_dict(),
+        tracer=tracer,
+        results=run.to_dict(),
+    )
+    write_golden(run, directory=directory, manifest=manifest)
+    return run

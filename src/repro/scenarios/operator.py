@@ -1,0 +1,138 @@
+"""A generic matrix-free operator for branch-structured chains.
+
+The CDR chains in this codebase share one shape: every transition is a
+*branch* -- "with probability ``w_b(i)``, state ``i`` moves to the single
+destination ``dest_b(i)``" -- and the TPM is the superposition
+
+    P = sum_b diag(w_b) S_b,        (S_b)[i, dest_b(i)] = 1.
+
+:class:`repro.cdr.operator.CDRTransitionOperator` hand-optimizes this for
+the paper's phase-selection loop; this module provides the general form
+so *new* scenario chains (the bang-bang loop with a frequency-error
+dimension, and anything later sessions register) get a matrix-free
+backend for free: implement the branch enumeration once and both the
+``assembled`` realization (:meth:`BranchSumOperator.to_csr`) and the
+matrix-free one (``matvec``/``rmatvec`` from the terms alone, ``O(n)``
+memory) fall out of the same data -- identical by construction, which is
+exactly what cross-backend golden verification wants.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["BranchSumOperator"]
+
+
+class BranchSumOperator:
+    """Transition operator assembled from ``(weights, destinations)`` terms.
+
+    Parameters
+    ----------
+    n:
+        State count.
+    terms:
+        Sequence of ``(weights, dest)`` pairs; ``weights`` is a float
+        array of shape ``(n,)`` (zeros allowed -- the branch simply does
+        not fire from those states) and ``dest`` an int array of shape
+        ``(n,)`` with entries in ``[0, n)``.  Rows must sum to one across
+        terms (checked on construction to ``validate_atol``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        terms: Sequence[Tuple[np.ndarray, np.ndarray]],
+        validate_atol: float = 1e-9,
+    ) -> None:
+        if n < 1:
+            raise ValueError("operator needs at least one state")
+        if not terms:
+            raise ValueError("operator needs at least one branch term")
+        self.n = int(n)
+        compiled: List[Tuple[np.ndarray, np.ndarray]] = []
+        for weights, dest in terms:
+            w = np.ascontiguousarray(weights, dtype=float)
+            d = np.ascontiguousarray(dest, dtype=np.intp)
+            if w.shape != (self.n,) or d.shape != (self.n,):
+                raise ValueError(
+                    f"each term needs shape ({self.n},) weights and dests"
+                )
+            if np.any(w < 0.0):
+                raise ValueError("branch weights must be non-negative")
+            if d.min() < 0 or d.max() >= self.n:
+                raise ValueError("branch destination out of range")
+            if not np.any(w):
+                continue  # an everywhere-dead branch contributes nothing
+            compiled.append((w, d))
+        if not compiled:
+            raise ValueError("all branch terms have zero weight")
+        self._terms = compiled
+        rows = self.row_sums()
+        worst = float(np.abs(rows - 1.0).max())
+        if worst > validate_atol:
+            raise ValueError(
+                f"branch weights are not row-stochastic "
+                f"(worst row-sum error {worst:.3e})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # TransitionOperator protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n, self.n)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._terms)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """``P v``: each state gathers its branch destinations' values."""
+        v = np.asarray(v, dtype=float)
+        out = np.zeros(self.n)
+        for w, d in self._terms:
+            out += w * v[d]
+        return out
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``P^T x``: distribution mass scattered along every branch."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros(self.n)
+        for w, d in self._terms:
+            np.add.at(out, d, w * x)
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        idx = np.arange(self.n)
+        diag = np.zeros(self.n)
+        for w, d in self._terms:
+            stay = d == idx
+            diag[stay] += w[stay]
+        return diag
+
+    def row_sums(self) -> np.ndarray:
+        out = np.zeros(self.n)
+        for w, _ in self._terms:
+            out += w
+        return out
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Materialize the identical TPM the terms describe."""
+        idx = np.arange(self.n)
+        rows = np.concatenate([idx] * len(self._terms))
+        cols = np.concatenate([d for _, d in self._terms])
+        vals = np.concatenate([w for w, _ in self._terms])
+        nz = vals > 0.0
+        P = sp.coo_matrix(
+            (vals[nz], (rows[nz], cols[nz])), shape=(self.n, self.n)
+        ).tocsr()
+        P.sum_duplicates()
+        return P
+
+    def __repr__(self) -> str:
+        return f"BranchSumOperator(n={self.n}, terms={self.n_terms})"

@@ -1,0 +1,200 @@
+"""Decorator-registered scenario catalog.
+
+Mirrors the solver/backend registries of :mod:`repro.markov.registry`:
+each scenario module registers itself with :func:`register_scenario` at
+import time, and the CLI's ``repro scenarios`` command, the golden
+verification battery, and the conformance fixtures all look scenarios up
+here.
+
+A *scenario* packages one related-work CDR architecture as a reusable
+workload: a parameterized model builder (how the Markov chain is
+realized, on any registered TPM backend), an evaluator computing the
+headline measures the architecture is studied for (stationary BER,
+transient settling, first-passage acquisition time, ...), and the golden
+tolerances within which re-solves must reproduce the checked-in result.
+
+The registered object is a *definition class* carrying two staticmethods::
+
+    @register_scenario(name="...", title="...", citation="...", ...)
+    class MyScenario:
+        @staticmethod
+        def build(params, backend="assembled"): ...   # -> ScenarioModel
+        @staticmethod
+        def evaluate(model, params, *, solver, tol): ...  # -> {measure: float}
+
+``build`` must honor every backend listed in the scenario's ``backends``
+tuple; the golden verification battery re-solves each scenario on each of
+them and diffs the measures against the checked-in golden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.scenarios.tolerance import Tolerance
+
+__all__ = [
+    "Scenario",
+    "ScenarioModel",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "scenario_table",
+]
+
+
+@dataclass
+class ScenarioModel:
+    """What a scenario's ``build`` hands to its ``evaluate``.
+
+    ``chain`` is whatever the backend realized -- a
+    :class:`~repro.markov.chain.MarkovChain` for ``assembled`` builds, a
+    :class:`~repro.markov.linop.TransitionOperator` for matrix-free ones.
+    ``extras`` carries scenario-specific structure (the underlying CDR
+    model facade, state-space layout, locked-set masks) that the paired
+    evaluator knows how to read.
+    """
+
+    chain: Any
+    backend: str
+    n_states: int
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+def _freeze(mapping: Mapping) -> Mapping:
+    return MappingProxyType(dict(mapping))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the CLI's scenario argument).
+    title:
+        One-line human description.
+    citation:
+        Where the architecture comes from (the paper, or arXiv id of the
+        related work being modeled on the same engine).
+    measures:
+        Ordered names of the headline measures ``evaluate`` returns --
+        golden files store exactly this set.
+    sizes:
+        ``size name -> params dict``.  ``"fast"`` is the golden /
+        CI-verified size; ``"full"`` is the scaled-up variant for slow
+        tests and benchmarks.
+    backends:
+        TPM backends the scenario supports; the verification battery runs
+        every one of them.
+    default_solver:
+        Stationary solver used when the caller does not override
+        (``"auto"`` defers to the analyzer policy).
+    tolerances:
+        ``measure name -> Tolerance`` for golden comparison; the
+        ``"default"`` entry applies to measures without their own.
+    """
+
+    name: str
+    title: str
+    citation: str
+    measures: Tuple[str, ...]
+    build: Callable[..., ScenarioModel]
+    evaluate: Callable[..., Dict[str, float]]
+    sizes: Mapping[str, Mapping[str, Any]]
+    backends: Tuple[str, ...] = ("assembled", "matrix-free")
+    default_solver: str = "auto"
+    tolerances: Mapping[str, Tolerance] = field(
+        default_factory=lambda: _freeze({"default": Tolerance()})
+    )
+
+    def params_for(self, size: str) -> Dict[str, Any]:
+        """The parameter dict of one registered size (a fresh copy)."""
+        try:
+            return dict(self.sizes[size])
+        except KeyError:
+            raise ValueError(
+                f"scenario {self.name!r} has no size {size!r}; "
+                f"choose from {tuple(sorted(self.sizes))}"
+            ) from None
+
+    def tolerance_for(self, measure: str) -> Tolerance:
+        """Golden tolerance of one measure (falling back to ``default``)."""
+        if measure in self.tolerances:
+            return self.tolerances[measure]
+        return self.tolerances.get("default", Tolerance())
+
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str,
+    *,
+    title: str,
+    citation: str,
+    measures: Tuple[str, ...],
+    sizes: Mapping[str, Mapping[str, Any]],
+    backends: Tuple[str, ...] = ("assembled", "matrix-free"),
+    default_solver: str = "auto",
+    tolerances: Mapping[str, Tolerance] = None,
+):
+    """Register the decorated definition class as the scenario ``name``."""
+    if "fast" not in sizes:
+        raise ValueError(f"scenario {name!r} must define a 'fast' size")
+    if not measures:
+        raise ValueError(f"scenario {name!r} must declare its measures")
+
+    def decorate(definition):
+        if name in _SCENARIOS:
+            raise ValueError(f"scenario {name!r} is already registered")
+        tol = dict(tolerances) if tolerances else {}
+        tol.setdefault("default", Tolerance())
+        _SCENARIOS[name] = Scenario(
+            name=name,
+            title=title,
+            citation=citation,
+            measures=tuple(measures),
+            build=definition.build,
+            evaluate=definition.evaluate,
+            sizes=_freeze({k: dict(v) for k, v in sizes.items()}),
+            backends=tuple(backends),
+            default_solver=default_solver,
+            tolerances=_freeze(tol),
+        )
+        return definition
+
+    return decorate
+
+
+def _ensure_builtin() -> None:
+    # Importing the catalog registers the built-in scenarios; the import
+    # lives here (not at module top) to avoid a cycle, and is idempotent
+    # so `pytest -m scenario` works regardless of what imported first.
+    import repro.scenarios.catalog  # noqa: F401
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name, with a choose-from error on misses."""
+    _ensure_builtin()
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    _ensure_builtin()
+    return tuple(sorted(_SCENARIOS))
+
+
+def scenario_table() -> Tuple[Scenario, ...]:
+    """All registered scenarios, sorted by name."""
+    _ensure_builtin()
+    return tuple(_SCENARIOS[name] for name in scenario_names())

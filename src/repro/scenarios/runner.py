@@ -1,0 +1,127 @@
+"""Running one catalog scenario end to end.
+
+``run_scenario`` is the single execution path everything shares: the CLI's
+``repro scenarios run``, golden generation, golden verification, and the
+scenario tests all call it, so a golden is -- by construction -- produced
+by the same code that later checks it.  Each run is wrapped in an
+observability span (``scenario.run`` > build/evaluate children) so
+scenario work shows up in run manifests like any other pipeline stage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs import span
+from repro.scenarios.registry import Scenario, get_scenario
+from repro.scenarios.spec import ScenarioSpec, canonical_digest
+
+__all__ = ["ScenarioRun", "run_scenario"]
+
+#: Stationary-solve tolerance used for golden generation and verification.
+#: Far tighter than any golden tolerance, so the solver's truncation error
+#: never eats into the comparison budget.
+DEFAULT_RUN_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One completed scenario evaluation and its identity."""
+
+    scenario: str
+    size: str
+    backend: str
+    solver: str
+    tol: float
+    spec: ScenarioSpec
+    measures: Dict[str, float]
+    n_states: int
+    elapsed_seconds: float
+
+    def measures_digest(self) -> str:
+        """Content digest of the measured values (golden ``measures_digest``)."""
+        return canonical_digest(
+            {k: float(v) for k, v in sorted(self.measures.items())}
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "size": self.size,
+            "backend": self.backend,
+            "solver": self.solver,
+            "tol": self.tol,
+            "spec_digest": self.spec.digest(),
+            "measures": dict(self.measures),
+            "measures_digest": self.measures_digest(),
+            "n_states": self.n_states,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+def _resolve(scenario_or_name) -> Scenario:
+    if isinstance(scenario_or_name, Scenario):
+        return scenario_or_name
+    return get_scenario(scenario_or_name)
+
+
+def run_scenario(
+    scenario_or_name,
+    size: str = "fast",
+    backend: Optional[str] = None,
+    solver: Optional[str] = None,
+    tol: float = DEFAULT_RUN_TOL,
+    params_override: Optional[Mapping[str, Any]] = None,
+) -> ScenarioRun:
+    """Build and evaluate one scenario; returns the measured values.
+
+    ``backend`` defaults to the scenario's first registered backend,
+    ``solver`` to its ``default_solver``.  ``params_override`` patches
+    individual parameters over the registered size (sweeps, scaled-down
+    test variants); the override is part of the run's spec identity, so an
+    overridden run never digest-matches a catalog golden.
+    """
+    scenario = _resolve(scenario_or_name)
+    if backend is None:
+        backend = scenario.backends[0]
+    if backend not in scenario.backends:
+        raise ValueError(
+            f"scenario {scenario.name!r} supports backends "
+            f"{scenario.backends}, not {backend!r}"
+        )
+    if solver is None:
+        solver = scenario.default_solver
+    params = scenario.params_for(size)
+    if params_override:
+        params.update(params_override)
+    spec = ScenarioSpec(scenario=scenario.name, size=size, params=params)
+
+    started = time.perf_counter()
+    with span(
+        "scenario.run", scenario=scenario.name, size=size, backend=backend
+    ) as sp:
+        with span("scenario.build"):
+            model = scenario.build(params, backend=backend)
+        with span("scenario.evaluate", solver=solver):
+            measures = scenario.evaluate(model, params, solver=solver, tol=tol)
+        missing = set(scenario.measures) - set(measures)
+        extra = set(measures) - set(scenario.measures)
+        if missing or extra:
+            raise ValueError(
+                f"scenario {scenario.name!r} evaluate returned measures "
+                f"{sorted(measures)}; declared {sorted(scenario.measures)}"
+            )
+        sp.set_attributes(n_states=model.n_states)
+    return ScenarioRun(
+        scenario=scenario.name,
+        size=size,
+        backend=backend,
+        solver=solver,
+        tol=tol,
+        spec=spec,
+        measures={k: float(measures[k]) for k in scenario.measures},
+        n_states=model.n_states,
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,112 @@
+"""Scenario specs: canonical serialization and content digests.
+
+A :class:`ScenarioSpec` pins down one runnable workload -- scenario name,
+size label, and the full parameter dict -- exactly the identity a golden
+result is keyed by.  Its canonical JSON form (sorted keys, compact
+separators, ``repr``-faithful floats) is stable across Python sessions
+and platforms, so the SHA-256 digest doubles as a cache/golden key: if
+the digest of the catalog's current parameters stops matching a golden's
+recorded ``spec_digest``, the golden is stale and verification says so
+instead of comparing apples to oranges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+__all__ = ["ScenarioSpec", "canonical_json", "canonical_digest"]
+
+_ALLOWED_SCALARS = (str, int, float, bool, type(None))
+
+
+def _canonicalize(value: Any):
+    """Coerce a params payload to plain JSON types, rejecting the rest."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        # Normalize int-valued floats through json's repr; keep NaN/inf out
+        # of specs entirely -- they have no canonical JSON form.
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError("scenario params must be finite")
+        return value
+    if isinstance(value, Mapping):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise ValueError(f"param keys must be strings, got {key!r}")
+            out[key] = _canonicalize(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    raise ValueError(
+        f"scenario params must be JSON scalars/lists/dicts, got "
+        f"{type(value).__name__}"
+    )
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace, repr floats."""
+    return json.dumps(
+        _canonicalize(payload),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_digest(payload: Any) -> str:
+    """``sha256:...`` digest of the canonical JSON form of ``payload``."""
+    text = canonical_json(payload)
+    return "sha256:" + hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The serializable identity of one scenario workload."""
+
+    scenario: str
+    size: str
+    params: Mapping[str, Any]
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise ValueError("scenario name must be non-empty")
+        if not self.size:
+            raise ValueError("size label must be non-empty")
+        # Freeze the canonical form up front so a bad payload fails at
+        # construction, not at digest time deep inside a verify run.
+        object.__setattr__(self, "params", _canonicalize(dict(self.params)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "size": self.size,
+            "params": json.loads(canonical_json(self.params)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        payload = dict(payload)
+        spec = cls(
+            scenario=payload.pop("scenario"),
+            size=payload.pop("size"),
+            params=payload.pop("params"),
+        )
+        if payload:
+            raise ValueError(f"unknown scenario-spec fields: {sorted(payload)}")
+        return spec
+
+    def to_json(self, **json_kwargs) -> str:
+        return json.dumps(self.to_dict(), **json_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Content digest of the whole spec (scenario + size + params)."""
+        return canonical_digest(self.to_dict())

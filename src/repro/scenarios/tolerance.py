@@ -1,0 +1,177 @@
+"""Golden-tolerance comparison of scenario measure dictionaries.
+
+Golden verification needs a comparison that is *symmetric* (it must not
+matter whether the golden or the re-solve is called "expected" -- the
+mismatch set is the same either way, with the sides swapped) and honest
+about non-finite values (a golden ``inf`` mean-time-between-slips must
+match a recomputed ``inf``, and nothing else).  ``numpy.isclose`` is
+asymmetric in its relative term, so the helpers here use the symmetric
+form ``|a - b| <= atol + rtol * max(|a|, |b|)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "Tolerance",
+    "values_close",
+    "MeasureMismatch",
+    "MeasureDiff",
+    "compare_measures",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Symmetric absolute + relative tolerance for one measure."""
+
+    rtol: float = 1e-6
+    atol: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.rtol < 0 or self.atol < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    def allowed(self, a: float, b: float) -> float:
+        """The comparison bound for the pair ``(a, b)`` (symmetric in a, b)."""
+        return self.atol + self.rtol * max(abs(a), abs(b))
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"rtol": self.rtol, "atol": self.atol}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, float]) -> "Tolerance":
+        return cls(rtol=float(payload["rtol"]), atol=float(payload["atol"]))
+
+
+def values_close(a: float, b: float, tol: Tolerance) -> bool:
+    """Symmetric closeness: ``|a-b| <= atol + rtol * max(|a|,|b|)``.
+
+    Non-finite handling: two NaNs match (a golden NaN documents "this
+    measure is undefined here" and must stay undefined), two infinities
+    match only with equal sign, and a finite value never matches a
+    non-finite one.
+    """
+    a = float(a)
+    b = float(b)
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= tol.allowed(a, b)
+
+
+@dataclass(frozen=True)
+class MeasureMismatch:
+    """One measure whose two sides disagree beyond tolerance."""
+
+    name: str
+    left: float
+    right: float
+    allowed: float
+    delta: float
+
+    def swapped(self) -> "MeasureMismatch":
+        return MeasureMismatch(
+            self.name, self.right, self.left, self.allowed, self.delta
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.left!r} vs {self.right!r} "
+            f"(|delta|={self.delta:.3e}, allowed {self.allowed:.3e})"
+        )
+
+
+@dataclass(frozen=True)
+class MeasureDiff:
+    """Result of comparing two measure dictionaries.
+
+    ``missing`` are keys present on the left (expected) side only,
+    ``extra`` keys present on the right (actual) side only.  Swapping the
+    inputs swaps the two tuples and each mismatch's sides -- nothing else
+    changes (the symmetry the property tests pin down).
+    """
+
+    mismatches: Tuple[MeasureMismatch, ...] = ()
+    missing: Tuple[str, ...] = ()
+    extra: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not (self.mismatches or self.missing or self.extra)
+
+    def swapped(self) -> "MeasureDiff":
+        return MeasureDiff(
+            mismatches=tuple(m.swapped() for m in self.mismatches),
+            missing=self.extra,
+            extra=self.missing,
+        )
+
+    def describe(self) -> str:
+        if self.ok:
+            return "all measures within tolerance"
+        lines = [m.describe() for m in self.mismatches]
+        if self.missing:
+            lines.append(f"missing measures: {', '.join(self.missing)}")
+        if self.extra:
+            lines.append(f"unexpected measures: {', '.join(self.extra)}")
+        return "; ".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "mismatches": [
+                {
+                    "measure": m.name,
+                    "expected": _jsonable(m.left),
+                    "actual": _jsonable(m.right),
+                    "allowed": m.allowed,
+                    "delta": _jsonable(m.delta),
+                }
+                for m in self.mismatches
+            ],
+            "missing": list(self.missing),
+            "extra": list(self.extra),
+        }
+
+
+def _jsonable(x: float):
+    return x if math.isfinite(x) else repr(x)
+
+
+def compare_measures(
+    expected: Mapping[str, float],
+    actual: Mapping[str, float],
+    tolerances: Optional[Mapping[str, Tolerance]] = None,
+) -> MeasureDiff:
+    """Diff two measure dicts under per-measure tolerances.
+
+    ``tolerances`` maps measure names to :class:`Tolerance`; the
+    ``"default"`` entry (or a zero-slack default) covers the rest.  The
+    comparison itself is symmetric: ``compare_measures(a, b, t)`` equals
+    ``compare_measures(b, a, t).swapped()``.
+    """
+    tolerances = tolerances or {}
+    fallback = tolerances.get("default", Tolerance())
+    mismatches = []
+    for name in sorted(set(expected) & set(actual)):
+        tol = tolerances.get(name, fallback)
+        a, b = float(expected[name]), float(actual[name])
+        if not values_close(a, b, tol):
+            if math.isfinite(a) and math.isfinite(b):
+                delta = abs(a - b)
+                allowed = tol.allowed(a, b)
+            else:
+                # A finite/non-finite (or nan/inf) clash is categorical:
+                # no finite bound describes it, and ``max`` over a NaN is
+                # order-dependent, which would break swap symmetry.
+                delta = math.inf
+                allowed = math.inf
+            mismatches.append(MeasureMismatch(name, a, b, allowed, delta))
+    missing = tuple(sorted(set(expected) - set(actual)))
+    extra = tuple(sorted(set(actual) - set(expected)))
+    return MeasureDiff(tuple(mismatches), missing, extra)

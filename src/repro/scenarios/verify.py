@@ -1,0 +1,281 @@
+"""Golden verification battery: re-solve every scenario, diff every golden.
+
+``verify_catalog`` is the regression gate the CI ``scenarios`` job runs:
+for each registered scenario it loads the checked-in golden, checks the
+golden's *internal* integrity (digests), checks it is not *stale* against
+the catalog's current parameters, then re-solves the scenario on every
+registered backend and diffs the measures against the golden within the
+recorded tolerances.  Any failure mode gets a distinct status so the
+report says not just "broken" but *how*:
+
+``ok``
+    every backend reproduced the golden within tolerance;
+``mismatch``
+    a backend re-solve disagreed beyond tolerance (the regression case);
+``stale-spec``
+    the catalog's parameters changed since the golden was generated --
+    regenerate rather than compare apples to oranges;
+``tampered``
+    the golden file's content does not match its own digests;
+``missing-golden``
+    no golden checked in for this (scenario, size);
+``error``
+    the re-solve itself raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.scenarios.golden import GoldenResult, load_golden
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.runner import DEFAULT_RUN_TOL, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.tolerance import MeasureDiff, compare_measures
+
+__all__ = [
+    "VERIFY_SCHEMA",
+    "BackendCheck",
+    "ScenarioVerification",
+    "VerificationReport",
+    "verify_scenario",
+    "verify_catalog",
+]
+
+VERIFY_SCHEMA = "repro.scenario-verify/1"
+
+
+@dataclass(frozen=True)
+class BackendCheck:
+    """One backend's re-solve diffed against the golden."""
+
+    backend: str
+    solver: str
+    status: str  # "ok" | "mismatch" | "error"
+    detail: str = ""
+    diff: Optional[MeasureDiff] = None
+    measures: Dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "solver": self.solver,
+            "status": self.status,
+            "detail": self.detail,
+            "diff": self.diff.to_dict() if self.diff is not None else None,
+            "measures": dict(self.measures),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioVerification:
+    """All checks for one (scenario, size)."""
+
+    scenario: str
+    size: str
+    status: str
+    detail: str = ""
+    golden_path: Optional[str] = None
+    checks: Tuple[BackendCheck, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "size": self.size,
+            "status": self.status,
+            "detail": self.detail,
+            "golden": self.golden_path,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+    def describe(self) -> str:
+        head = f"{self.scenario}[{self.size}]: {self.status}"
+        if self.detail:
+            head += f" ({self.detail})"
+        lines = [head]
+        for check in self.checks:
+            line = f"  {check.backend}/{check.solver}: {check.status}"
+            if check.detail:
+                line += f" -- {check.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """The whole battery's outcome (the CI artifact)."""
+
+    size: str
+    results: Tuple[ScenarioVerification, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.results:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": VERIFY_SCHEMA,
+            "size": self.size,
+            "ok": self.ok,
+            "summary": self.counts(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def describe(self) -> str:
+        lines = [r.describe() for r in self.results]
+        summary = ", ".join(
+            f"{count} {status}" for status, count in sorted(self.counts().items())
+        )
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(f"{verdict}: {len(self.results)} scenario(s) -- {summary}")
+        return "\n".join(lines)
+
+
+def _check_backend(
+    scenario_name: str,
+    size: str,
+    backend: str,
+    solver: Optional[str],
+    tol: float,
+    golden: GoldenResult,
+    tolerances,
+) -> BackendCheck:
+    try:
+        run = run_scenario(
+            scenario_name, size=size, backend=backend, solver=solver, tol=tol
+        )
+    except Exception as exc:  # noqa: BLE001 -- every failure becomes a report row
+        return BackendCheck(
+            backend=backend,
+            solver=solver or "?",
+            status="error",
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    diff = compare_measures(golden.measures, run.measures, tolerances)
+    return BackendCheck(
+        backend=backend,
+        solver=run.solver,
+        status="ok" if diff.ok else "mismatch",
+        detail="" if diff.ok else diff.describe(),
+        diff=diff,
+        measures=run.measures,
+        elapsed_seconds=run.elapsed_seconds,
+    )
+
+
+def verify_scenario(
+    name: str,
+    size: str = "fast",
+    backends: Optional[Sequence[str]] = None,
+    solver: Optional[str] = None,
+    tol: float = DEFAULT_RUN_TOL,
+    directory: Optional[str] = None,
+) -> ScenarioVerification:
+    """Verify one scenario's golden on each requested backend."""
+    scenario = get_scenario(name)
+    try:
+        golden = load_golden(name, size, directory)
+    except FileNotFoundError as exc:
+        return ScenarioVerification(
+            scenario=name, size=size, status="missing-golden", detail=str(exc)
+        )
+    except ValueError as exc:
+        return ScenarioVerification(
+            scenario=name, size=size, status="tampered", detail=str(exc)
+        )
+
+    integrity = golden.integrity_errors()
+    if integrity:
+        return ScenarioVerification(
+            scenario=name,
+            size=size,
+            status="tampered",
+            detail="; ".join(integrity),
+            golden_path=golden.path,
+        )
+
+    current = ScenarioSpec(scenario=name, size=size, params=scenario.params_for(size))
+    if current.digest() != golden.spec_digest:
+        return ScenarioVerification(
+            scenario=name,
+            size=size,
+            status="stale-spec",
+            detail=(
+                f"catalog params digest {current.digest()} != golden "
+                f"{golden.spec_digest}; regenerate with --update-golden"
+            ),
+            golden_path=golden.path,
+        )
+
+    # The tolerances recorded at generation time are the contract; fall
+    # back to the live catalog for goldens written before a measure got
+    # its own entry.
+    tolerances = dict(scenario.tolerances)
+    tolerances.update(golden.tolerances)
+
+    chosen = tuple(backends) if backends else scenario.backends
+    unknown = set(chosen) - set(scenario.backends)
+    if unknown:
+        raise ValueError(
+            f"scenario {name!r} supports backends {scenario.backends}, "
+            f"not {sorted(unknown)}"
+        )
+    checks = tuple(
+        _check_backend(name, size, backend, solver, tol, golden, tolerances)
+        for backend in chosen
+    )
+    bad = [c for c in checks if c.status != "ok"]
+    if not bad:
+        status, detail = "ok", ""
+    elif any(c.status == "error" for c in bad):
+        status = "error"
+        detail = f"{len(bad)}/{len(checks)} backend check(s) failed"
+    else:
+        status = "mismatch"
+        detail = f"{len(bad)}/{len(checks)} backend check(s) failed"
+    return ScenarioVerification(
+        scenario=name,
+        size=size,
+        status=status,
+        detail=detail,
+        golden_path=golden.path,
+        checks=checks,
+    )
+
+
+def verify_catalog(
+    names: Optional[Sequence[str]] = None,
+    size: str = "fast",
+    backends: Optional[Sequence[str]] = None,
+    solver: Optional[str] = None,
+    tol: float = DEFAULT_RUN_TOL,
+    directory: Optional[str] = None,
+) -> VerificationReport:
+    """Run the full battery over the catalog (or the named subset)."""
+    names = tuple(names) if names else scenario_names()
+    results: List[ScenarioVerification] = []
+    for name in names:
+        results.append(
+            verify_scenario(
+                name,
+                size=size,
+                backends=backends,
+                solver=solver,
+                tol=tol,
+                directory=directory,
+            )
+        )
+    return VerificationReport(size=size, results=tuple(results))

@@ -1,0 +1,18 @@
+"""Repo-wide test configuration: deterministic hypothesis runs.
+
+Every numpy RNG in the suite is explicitly seeded, which leaves
+hypothesis's example generation as the only source of run-to-run
+variation -- exactly the kind of nondeterminism that lets a marginal
+tolerance pass on one run and fail the next.  The ``repro`` profile
+derandomizes example generation (examples are derived from the test
+function, stable across runs and machines) and disables the wall-clock
+deadline, which is noise on shared CI runners.
+
+Opt out locally with ``--hypothesis-profile=default`` to hunt for new
+counterexamples; CI and the default run stay reproducible.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")

@@ -43,7 +43,21 @@ class TestFixtures:
 
     def test_family_covers_required_structures(self):
         assert {"birth-death", "periodic", "nearly-uncoupled",
-                "cdr-phase-error"} <= set(CASES)
+                "cdr-phase-error", "alexander-offset",
+                "bangbang-frequency", "mesochronous"} <= set(CASES)
+
+    def test_scenario_fixtures_differ_from_baseline_cdr(self):
+        # The scenario-derived fixtures must exercise structure the plain
+        # CDR fixture does not: an off-center stationary phase (offset),
+        # an extra state dimension (frequency), zero-mean drift.
+        import scipy.sparse as sp
+
+        base = cf.cdr_phase_error_fixture()
+        alexander = cf.alexander_offset_fixture()
+        assert alexander.n_states != base.n_states or (
+            sp.csr_matrix(abs(alexander.P - base.P)).sum() > 0
+        )
+        assert cf.bangbang_frequency_fixture().n_states == 3 * 32
 
 
 @pytest.mark.parametrize("name", CASE_NAMES)
@@ -226,3 +240,24 @@ class TestScaledUpMatrix:
         cf.check_agreement(runs)
         for run in runs.values():
             cf.check_monitor_consistency(run)
+
+    def test_scaled_scenario_chains(self):
+        # The scenario-derived fixtures at their catalog "fast" sizes
+        # (the conformance defaults run them scaled down to 32 phase
+        # points).  Fast solvers only: the point is the chains, not the
+        # stationary methods' sweep counts.
+        from repro.scenarios.registry import get_scenario
+
+        solvers = ["direct", "krylov", "arnoldi"]
+        for name in ("alexander-offset", "bangbang-freq",
+                     "mesochronous-settle"):
+            scenario = get_scenario(name)
+            params = scenario.params_for("fast")
+            chain = scenario.build(params, backend="assembled").chain
+            case = cf.ConformanceCase(
+                f"scenario-{name}", lambda c=chain: c, {}
+            )
+            runs = cf.run_case(case, solvers=solvers)
+            cf.check_agreement(runs)
+            for run in runs.values():
+                cf.check_monitor_consistency(run)

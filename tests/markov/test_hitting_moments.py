@@ -78,16 +78,36 @@ class TestHittingTimeMoments:
         if not np.isfinite(mean[start]) or mean[start] > 200:
             return
         rng = np.random.default_rng(tseed)
-        samples = []
-        for _ in range(400):
-            s = start
-            for k in range(1, 5000):
-                path = chain.simulate(1, rng, initial_state=s)
-                s = int(path[1])
-                if s == target:
-                    samples.append(k)
-                    break
-        emp_mean = np.mean(samples)
-        assert emp_mean == pytest.approx(mean[start], rel=0.25)
-        if var[start] > 0.5:
-            assert np.var(samples) == pytest.approx(var[start], rel=0.5)
+        horizon = 20_000
+        n_samples = 1500
+        # All walkers advance in lockstep through the dense cumulative
+        # transition rows -- the chains here are <= 12 states, so this is
+        # both exact and orders of magnitude faster than per-path
+        # simulate() calls.
+        cum = np.cumsum(chain.P.toarray(), axis=1)
+        states = np.full(n_samples, start)
+        hit_at = np.zeros(n_samples, dtype=np.int64)
+        alive = np.arange(n_samples)
+        for k in range(1, horizon + 1):
+            u = rng.random(alive.size)
+            states[alive] = (u[:, None] < cum[states[alive]]).argmax(axis=1)
+            hit = states[alive] == target
+            hit_at[alive[hit]] = k
+            alive = alive[~hit]
+            if alive.size == 0:
+                break
+        # With mean <= 200 and a 20k-step horizon, essentially every
+        # trajectory hits; a censored tail would bias the moments down.
+        samples = hit_at[hit_at > 0].astype(float)
+        assert samples.size >= 0.99 * n_samples
+        # Statistically calibrated bound: the sample mean of n i.i.d.
+        # hitting times has standard error sqrt(var/n); allow 5 sigma
+        # (plus slack for near-deterministic cases where var ~ 0).
+        se_mean = np.sqrt(max(var[start], 0.0) / len(samples))
+        assert abs(samples.mean() - mean[start]) <= 5.0 * se_mean + 0.05
+        # The sample variance is far noisier (4th-moment fluctuations,
+        # heavy geometric tails), so only check order-of-magnitude
+        # agreement, and only when the variance is comfortably nonzero --
+        # a barely-positive variance cannot be resolved with n samples.
+        if var[start] > 2.0:
+            assert np.var(samples) == pytest.approx(var[start], rel=0.6)

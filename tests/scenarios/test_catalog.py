@@ -1,0 +1,166 @@
+"""Built-in scenarios: every one builds, evaluates, and agrees across
+backends at a scaled-down size (the full fast-size agreement is what
+``repro scenarios verify`` checks against the goldens)."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import compare_measures, get_scenario, run_scenario
+from repro.scenarios.bangbang import build_bangbang_operator, locked_mask
+from repro.scenarios.measures import (
+    expected_value_trajectory,
+    first_passage_survival,
+    tv_settling_time,
+)
+
+pytestmark = pytest.mark.scenario
+
+#: Scaled-down parameter patches keeping each cross-backend run fast.
+SMALL = {
+    "baseline": {"n_phase_points": 32},
+    "alexander-offset": {"n_phase_points": 32},
+    "bangbang-freq": {"n_phase_points": 32, "freq_max": 1},
+    "mesochronous-settle": {"n_phase_points": 32, "settle_horizon": 600},
+}
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cache = {}
+
+    def get(name, backend):
+        key = (name, backend)
+        if key not in cache:
+            cache[key] = run_scenario(
+                name, backend=backend, params_override=SMALL[name]
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+class TestCrossBackendAgreement:
+    def test_backends_agree_within_golden_tolerances(self, name, runs):
+        scenario = get_scenario(name)
+        reference = runs(name, "assembled")
+        for backend in scenario.backends:
+            if backend == "assembled":
+                continue
+            other = runs(name, backend)
+            diff = compare_measures(
+                reference.measures, other.measures, dict(scenario.tolerances)
+            )
+            assert diff.ok, f"{name} assembled vs {backend}: {diff.describe()}"
+
+    def test_measures_match_declaration(self, name, runs):
+        scenario = get_scenario(name)
+        run = runs(name, "assembled")
+        assert set(run.measures) == set(scenario.measures)
+        assert all(isinstance(v, float) for v in run.measures.values())
+
+    def test_measures_are_finite(self, name, runs):
+        for value in runs(name, "assembled").measures.values():
+            assert np.isfinite(value)
+
+
+class TestScenarioPhysics:
+    """Sanity of the modeled effects, not just plumbing."""
+
+    def test_alexander_offset_pulls_phase_negative(self, runs):
+        base = runs("baseline", "assembled").measures
+        off = runs("alexander-offset", "assembled").measures
+        # The loop servos the sampled zero crossing: a +offset at the
+        # sampler drags the stationary phase error below the baseline's.
+        assert off["phase_mean_ui"] < base["phase_mean_ui"]
+        assert abs(off["offset_tracking_error_ui"]) < 0.05
+
+    def test_bangbang_stationary_is_frequency_locked(self, runs):
+        measures = runs("bangbang-freq", "assembled").measures
+        assert measures["p_freq_locked"] > 0.99
+        assert measures["acq_mean_symbols"] > 0.0
+        assert measures["acq_p99_symbols"] >= 1.0
+
+    def test_mesochronous_settles_and_decays(self, runs):
+        measures = runs("mesochronous-settle", "assembled").measures
+        assert 0 < measures["settle_symbols"] < 600
+        assert measures["excess_error_sum"] > 0.0
+
+    def test_rejects_unsupported_backend(self):
+        with pytest.raises(ValueError, match="supports backends"):
+            run_scenario("bangbang-freq", backend="kronecker")
+
+
+class TestBangBangChain:
+    def test_operator_rows_are_stochastic(self):
+        params = get_scenario("bangbang-freq").params_for("fast")
+        params.update(SMALL["bangbang-freq"])
+        op = build_bangbang_operator(params)
+        np.testing.assert_allclose(op.row_sums(), 1.0, atol=1e-12)
+
+    def test_locked_mask_shape(self):
+        params = get_scenario("bangbang-freq").params_for("fast")
+        mask = locked_mask(params)
+        n = (2 * params["freq_max"] + 1) * params["n_phase_points"]
+        assert mask.shape == (n,)
+        assert 0 < mask.sum() < n
+
+    def test_first_passage_matches_assembled_reference(self):
+        # Survival iteration against the sparse-LU hitting-time solver on
+        # the identical assembled chain: the backend-agnostic measure
+        # kernel must not drift from the reference implementation.
+        from repro.markov import MarkovChain, hitting_time_moments
+
+        params = get_scenario("bangbang-freq").params_for("fast")
+        params.update(SMALL["bangbang-freq"])
+        op = build_bangbang_operator(params)
+        chain = MarkovChain(op.to_csr())
+        mask = locked_mask(params)
+        targets = np.flatnonzero(mask)
+        mean_ref, _ = hitting_time_moments(chain, targets.tolist())
+        start_state = (2 * params["freq_max"]) * params["n_phase_points"]
+        start = np.zeros(op.n)
+        start[start_state] = 1.0
+        summary = first_passage_survival(op, start, mask)
+        assert summary.mean_symbols == pytest.approx(
+            mean_ref[start_state], rel=1e-6
+        )
+        assert summary.p_unabsorbed <= 1e-12
+
+
+class TestMeasureKernels:
+    def test_tv_settling_time_zero_when_started_stationary(self):
+        params = get_scenario("bangbang-freq").params_for("fast")
+        params.update(SMALL["bangbang-freq"])
+        op = build_bangbang_operator(params)
+        from repro.markov.stationary import stationary_distribution
+
+        pi = stationary_distribution(op, method="krylov", tol=1e-12).distribution
+        assert tv_settling_time(op, pi, pi, 0.01, 100) == 0
+
+    def test_trajectory_converges_to_stationary_mean(self):
+        params = get_scenario("bangbang-freq").params_for("fast")
+        params.update(SMALL["bangbang-freq"])
+        op = build_bangbang_operator(params)
+        from repro.markov.stationary import stationary_distribution
+
+        pi = stationary_distribution(op, method="krylov", tol=1e-12).distribution
+        f = np.linspace(0.0, 1.0, op.n)
+        start = np.zeros(op.n)
+        start[0] = 1.0
+        traj = expected_value_trajectory(op, start, f, 3000)
+        assert traj[-1] == pytest.approx(float(pi @ f), abs=1e-6)
+
+    def test_first_passage_validates_inputs(self):
+        op = build_bangbang_operator(
+            {**get_scenario("bangbang-freq").params_for("fast"),
+             **SMALL["bangbang-freq"]}
+        )
+        start = np.zeros(op.n)
+        start[0] = 1.0
+        with pytest.raises(ValueError, match="non-empty"):
+            first_passage_survival(op, start, np.zeros(op.n, dtype=bool))
+        with pytest.raises(ValueError, match="quantile"):
+            first_passage_survival(
+                op, start, locked_mask({**get_scenario("bangbang-freq").params_for("fast"), **SMALL["bangbang-freq"]}), quantile=1.5
+            )

@@ -1,0 +1,93 @@
+"""CLI surface: ``repro scenarios list | run | verify``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import scenario_names
+
+pytestmark = pytest.mark.scenario
+
+
+class TestList:
+    def test_lists_every_scenario(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+        assert "arXiv:1905.00273" in out
+
+
+class TestRun:
+    def test_run_prints_measures(self, capsys):
+        code = main(["scenarios", "run", "baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ber" in out and "slip_rate" in out
+
+    def test_run_json(self, capsys):
+        code = main(["scenarios", "run", "baseline", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["scenario"] == "baseline"
+        assert payload["spec_digest"].startswith("sha256:")
+        assert set(payload["measures"]) == {
+            "ber", "ber_discrete", "slip_rate", "phase_mean_ui",
+            "phase_rms_ui",
+        }
+
+    def test_run_unknown_scenario_is_one_line_error(self, capsys):
+        code = main(["scenarios", "run", "no-such"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+
+    def test_run_backend_override(self, capsys):
+        code = main(
+            ["scenarios", "run", "baseline", "--backend", "matrix-free",
+             "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["backend"] == "matrix-free"
+
+    def test_update_golden_writes_to_custom_dir(self, tmp_path, capsys):
+        code = main(
+            ["scenarios", "run", "baseline", "--update-golden",
+             "--golden-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "baseline.fast.json").exists()
+        assert (tmp_path / "baseline.fast.manifest.json").exists()
+
+
+class TestVerify:
+    def test_verify_single_scenario_passes(self, capsys):
+        code = main(["scenarios", "verify", "baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+
+    def test_verify_writes_report_artifact(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main(
+            ["scenarios", "verify", "baseline", "--backend", "assembled",
+             "--report", str(report)]
+        )
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == "repro.scenario-verify/1"
+        assert payload["ok"] is True
+        assert payload["results"][0]["scenario"] == "baseline"
+
+    def test_verify_missing_golden_fails(self, tmp_path, capsys):
+        code = main(
+            ["scenarios", "verify", "baseline", "--golden-dir",
+             str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "missing-golden" in out
+        assert "FAIL" in out

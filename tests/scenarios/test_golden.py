@@ -1,0 +1,186 @@
+"""Golden store + verification battery.
+
+The checked-in goldens themselves are exercised end to end: ``verify``
+must pass for every catalog scenario on every backend it registers
+(the PR's acceptance criterion), and the failure taxonomy -- tampered,
+stale, missing -- must be detected, not silently compared around.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import load_run_manifest
+from repro.scenarios import (
+    generate_golden,
+    golden_dir,
+    golden_path,
+    list_goldens,
+    load_golden,
+    run_scenario,
+    scenario_names,
+    verify_catalog,
+    verify_scenario,
+    write_golden,
+)
+from repro.scenarios.golden import manifest_path
+
+pytestmark = pytest.mark.scenario
+
+SMALL = {"n_phase_points": 16}  # baseline patch for tmp-golden tests
+
+
+class TestCheckedInGoldens:
+    def test_every_scenario_has_a_fast_golden(self):
+        have = {s for s, size in list_goldens() if size == "fast"}
+        assert set(scenario_names()) <= have
+
+    def test_goldens_are_internally_consistent(self):
+        for scenario, size in list_goldens():
+            golden = load_golden(scenario, size)
+            assert golden.integrity_errors() == []
+            assert golden.spec_digest.startswith("sha256:")
+            assert golden.measures
+
+    def test_goldens_have_provenance_manifests(self):
+        for scenario, size in list_goldens():
+            golden = load_golden(scenario, size)
+            assert golden.provenance.get("manifest")
+            manifest = load_run_manifest(manifest_path(scenario, size))
+            assert manifest["kind"] == "scenario-golden"
+            assert manifest["results"]["scenario"] == scenario
+
+    @pytest.mark.parametrize("name", sorted({"baseline", "alexander-offset",
+                                             "bangbang-freq",
+                                             "mesochronous-settle"}))
+    def test_verify_passes_on_all_backends(self, name):
+        verification = verify_scenario(name)
+        assert verification.ok, verification.describe()
+        checked = {c.backend for c in verification.checks}
+        assert {"assembled", "matrix-free"} <= checked
+
+    def test_catalog_verify_report(self):
+        report = verify_catalog(names=["baseline"])
+        assert report.ok
+        payload = report.to_dict()
+        assert payload["schema"] == "repro.scenario-verify/1"
+        json.dumps(payload)  # the CI artifact must be serializable
+
+
+class TestGoldenLifecycle:
+    def test_generate_then_verify_roundtrip(self, tmp_path):
+        directory = str(tmp_path)
+        run = generate_golden("baseline", directory=directory)
+        assert run.scenario == "baseline"
+        golden = load_golden("baseline", directory=directory)
+        assert golden.integrity_errors() == []
+        assert golden.measures == run.measures
+        verification = verify_scenario("baseline", directory=directory)
+        assert verification.ok, verification.describe()
+        manifest = load_run_manifest(manifest_path("baseline", "fast", directory))
+        assert manifest["spec"]["scenario"] == "baseline"
+        assert manifest["spans"], "golden generation must be traced"
+
+    def test_missing_golden_status(self, tmp_path):
+        verification = verify_scenario("baseline", directory=str(tmp_path))
+        assert verification.status == "missing-golden"
+        assert not verification.ok
+
+    def test_tampered_measures_detected(self, tmp_path):
+        directory = str(tmp_path)
+        generate_golden("baseline", directory=directory)
+        path = golden_path("baseline", "fast", directory)
+        payload = json.loads(open(path).read())
+        payload["measures"]["ber"] = 0.5  # the lie
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        verification = verify_scenario("baseline", directory=directory)
+        assert verification.status == "tampered"
+        assert "measures_digest" in verification.detail
+
+    def test_tampered_spec_detected(self, tmp_path):
+        directory = str(tmp_path)
+        generate_golden("baseline", directory=directory)
+        path = golden_path("baseline", "fast", directory)
+        payload = json.loads(open(path).read())
+        payload["spec"]["params"]["nw_std"] = 0.5
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        verification = verify_scenario("baseline", directory=directory)
+        assert verification.status == "tampered"
+        assert "spec_digest" in verification.detail
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        directory = str(tmp_path)
+        generate_golden("baseline", directory=directory)
+        path = golden_path("baseline", "fast", directory)
+        payload = json.loads(open(path).read())
+        payload["schema"] = "repro.something-else/9"
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        verification = verify_scenario("baseline", directory=directory)
+        assert verification.status == "tampered"
+
+    def test_stale_spec_detected(self, tmp_path, monkeypatch):
+        # Golden generated from yesterday's catalog parameters: verify
+        # must flag staleness instead of comparing against them.
+        directory = str(tmp_path)
+        run = run_scenario("baseline", params_override={"nw_std": 0.123})
+        write_golden(run, directory=directory)
+        verification = verify_scenario("baseline", directory=directory)
+        assert verification.status == "stale-spec"
+        assert "regenerate" in verification.detail
+
+    def test_mismatch_detected(self, tmp_path):
+        # A golden whose spec matches the catalog but whose measure
+        # values are subtly wrong (a regression, from verify's view).
+        directory = str(tmp_path)
+        run = generate_golden("baseline", directory=directory)
+        path = golden_path("baseline", "fast", directory)
+        payload = json.loads(open(path).read())
+        doctored = dict(run.measures)
+        doctored["ber"] *= 1.5
+        from repro.scenarios.spec import canonical_digest
+
+        payload["measures"] = doctored
+        payload["measures_digest"] = canonical_digest(
+            {k: float(v) for k, v in sorted(doctored.items())}
+        )
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        verification = verify_scenario(
+            "baseline", backends=["assembled"], directory=directory
+        )
+        assert verification.status == "mismatch"
+        assert any(
+            m.name == "ber"
+            for c in verification.checks
+            if c.diff is not None
+            for m in c.diff.mismatches
+        )
+
+    def test_unknown_backend_filter_rejected(self):
+        with pytest.raises(ValueError, match="supports backends"):
+            verify_scenario("bangbang-freq", backends=["kronecker"])
+
+    def test_list_goldens_skips_manifests(self, tmp_path):
+        directory = str(tmp_path)
+        generate_golden("baseline", directory=directory)
+        pairs = list_goldens(directory)
+        assert pairs == [("baseline", "fast")]
+
+
+class TestRunIdentity:
+    def test_override_changes_spec_digest(self):
+        plain = run_scenario("baseline", params_override=SMALL)
+        bumped = run_scenario(
+            "baseline", params_override={**SMALL, "nw_std": 0.09}
+        )
+        assert plain.spec.digest() != bumped.spec.digest()
+
+    def test_measures_digest_tracks_values(self):
+        run = run_scenario("baseline", params_override=SMALL)
+        again = run_scenario("baseline", params_override=SMALL)
+        assert run.measures_digest() == again.measures_digest()
+        assert np.isfinite(list(run.measures.values())).all()

@@ -1,0 +1,124 @@
+"""BranchSumOperator: matrix-free/assembled equivalence by construction."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import MarkovChain
+from repro.markov.linop import as_operator
+from repro.scenarios.operator import BranchSumOperator
+
+pytestmark = [pytest.mark.scenario, pytest.mark.operator]
+
+
+def cyclic_op(n=8, p=0.7):
+    """Stay with 1-p, advance one state (mod n) with p."""
+    idx = np.arange(n)
+    return BranchSumOperator(
+        n,
+        [
+            (np.full(n, 1.0 - p), idx),
+            (np.full(n, p), (idx + 1) % n),
+        ],
+    )
+
+
+def random_branch_op(n=40, n_branches=5, seed=7):
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n)
+    raw = rng.uniform(0.05, 1.0, (n_branches, n))
+    raw /= raw.sum(axis=0, keepdims=True)
+    terms = [
+        (raw[b], rng.integers(0, n, size=n)) for b in range(n_branches)
+    ]
+    del idx
+    return BranchSumOperator(n, terms)
+
+
+class TestConstruction:
+    def test_rejects_non_stochastic(self):
+        n = 4
+        with pytest.raises(ValueError, match="row-stochastic"):
+            BranchSumOperator(n, [(np.full(n, 0.9), np.arange(n))])
+
+    def test_rejects_negative_weights(self):
+        n = 4
+        with pytest.raises(ValueError, match="non-negative"):
+            BranchSumOperator(
+                n,
+                [
+                    (np.array([1.1, 1.0, 1.0, 1.0]), np.arange(n)),
+                    (np.array([-0.1, 0.0, 0.0, 0.0]), np.arange(n)),
+                ],
+            )
+
+    def test_rejects_out_of_range_destination(self):
+        n = 4
+        with pytest.raises(ValueError, match="out of range"):
+            BranchSumOperator(n, [(np.ones(n), np.array([0, 1, 2, 4]))])
+
+    def test_rejects_empty_terms(self):
+        with pytest.raises(ValueError, match="at least one branch"):
+            BranchSumOperator(3, [])
+
+    def test_drops_dead_branches(self):
+        n = 3
+        op = BranchSumOperator(
+            n,
+            [
+                (np.ones(n), np.arange(n)),
+                (np.zeros(n), np.arange(n)),
+            ],
+        )
+        assert op.n_terms == 1
+
+
+class TestBackendEquivalence:
+    """The tentpole invariant: to_csr() and matvec/rmatvec describe the
+    same TPM, so assembled and matrix-free scenario builds cannot drift
+    apart."""
+
+    @pytest.mark.parametrize("make", [cyclic_op, random_branch_op])
+    def test_to_csr_matches_matvec(self, make):
+        op = make()
+        P = op.to_csr()
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=op.n)
+        np.testing.assert_allclose(op.matvec(v), P @ v, atol=1e-14)
+        np.testing.assert_allclose(op.rmatvec(v), P.T @ v, atol=1e-14)
+
+    @pytest.mark.parametrize("make", [cyclic_op, random_branch_op])
+    def test_to_csr_is_valid_chain(self, make):
+        chain = MarkovChain(make().to_csr())
+        rows = np.asarray(chain.P.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 1.0, atol=1e-12)
+
+    @pytest.mark.parametrize("make", [cyclic_op, random_branch_op])
+    def test_diagonal_and_row_sums(self, make):
+        op = make()
+        P = op.to_csr()
+        np.testing.assert_allclose(op.diagonal(), P.diagonal(), atol=1e-14)
+        np.testing.assert_allclose(
+            op.row_sums(), np.asarray(P.sum(axis=1)).ravel(), atol=1e-14
+        )
+
+    def test_duplicate_destinations_accumulate(self):
+        # Two branches landing on the same (row, col) must sum, exactly as
+        # coo -> csr sum_duplicates does.
+        n = 2
+        op = BranchSumOperator(
+            n,
+            [
+                (np.full(n, 0.5), np.zeros(n, dtype=int)),
+                (np.full(n, 0.5), np.zeros(n, dtype=int)),
+            ],
+        )
+        P = op.to_csr()
+        assert P[0, 0] == pytest.approx(1.0)
+        v = np.array([2.0, 3.0])
+        np.testing.assert_allclose(op.matvec(v), P @ v)
+
+    def test_speaks_transition_operator_protocol(self):
+        op = cyclic_op()
+        wrapped = as_operator(op)
+        v = np.ones(op.n) / op.n
+        np.testing.assert_allclose(wrapped.rmatvec(v), op.rmatvec(v))

@@ -1,0 +1,106 @@
+"""Scenario registry: registration contract, lookup, catalog contents."""
+
+import pytest
+
+from repro.scenarios import get_scenario, scenario_names, scenario_table
+from repro.scenarios.registry import ScenarioModel, register_scenario
+from repro.scenarios.tolerance import Tolerance
+
+pytestmark = pytest.mark.scenario
+
+BUILTINS = {
+    "baseline",
+    "alexander-offset",
+    "bangbang-freq",
+    "mesochronous-settle",
+}
+
+
+class TestCatalog:
+    def test_builtins_registered(self):
+        assert BUILTINS <= set(scenario_names())
+
+    def test_names_sorted(self):
+        names = scenario_names()
+        assert list(names) == sorted(names)
+
+    def test_table_matches_names(self):
+        assert tuple(s.name for s in scenario_table()) == scenario_names()
+
+    def test_every_scenario_declares_fast_size(self):
+        for scenario in scenario_table():
+            assert "fast" in scenario.sizes
+            assert scenario.measures
+            assert scenario.citation
+
+    def test_every_scenario_supports_both_required_backends(self):
+        # The verification battery's contract: every catalog scenario runs
+        # on the assembled and the matrix-free backend.
+        for scenario in scenario_table():
+            assert {"assembled", "matrix-free"} <= set(scenario.backends)
+
+    def test_unknown_scenario_lists_choices(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_params_for_returns_fresh_copies(self):
+        scenario = get_scenario("baseline")
+        a = scenario.params_for("fast")
+        a["n_phase_points"] = -1
+        assert scenario.params_for("fast")["n_phase_points"] > 0
+
+    def test_params_for_unknown_size(self):
+        with pytest.raises(ValueError, match="has no size"):
+            get_scenario("baseline").params_for("gigantic")
+
+    def test_tolerance_fallback(self):
+        scenario = get_scenario("baseline")
+        default = scenario.tolerance_for("some-unlisted-measure")
+        assert default == scenario.tolerances["default"]
+        assert scenario.tolerance_for("slip_rate") != default
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_scenario(
+                "baseline",
+                title="imposter",
+                citation="nowhere",
+                measures=("x",),
+                sizes={"fast": {}},
+            )
+            class Imposter:
+                @staticmethod
+                def build(params, backend="assembled"):
+                    return ScenarioModel(chain=None, backend=backend, n_states=0)
+
+                @staticmethod
+                def evaluate(model, params, *, solver, tol):
+                    return {"x": 0.0}
+
+    def test_fast_size_required(self):
+        with pytest.raises(ValueError, match="'fast' size"):
+            register_scenario(
+                "sizeless",
+                title="t",
+                citation="c",
+                measures=("x",),
+                sizes={"full": {}},
+            )
+
+    def test_measures_required(self):
+        with pytest.raises(ValueError, match="measures"):
+            register_scenario(
+                "measureless",
+                title="t",
+                citation="c",
+                measures=(),
+                sizes={"fast": {}},
+            )
+
+    def test_default_tolerance_injected(self):
+        scenario = get_scenario("bangbang-freq")
+        assert "default" in scenario.tolerances
+        assert isinstance(scenario.tolerances["default"], Tolerance)

@@ -1,0 +1,105 @@
+"""ScenarioSpec round-tripping: build -> serialize -> deserialize must
+preserve the canonical digest (the golden staleness check depends on it)."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scenarios import get_scenario, scenario_names
+from repro.scenarios.spec import ScenarioSpec, canonical_digest, canonical_json
+
+pytestmark = pytest.mark.scenario
+
+param_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.booleans(),
+    st.text(max_size=20),
+    st.none(),
+)
+param_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=15), param_values, max_size=8
+)
+specs = st.builds(
+    ScenarioSpec,
+    scenario=st.text(min_size=1, max_size=20),
+    size=st.sampled_from(["fast", "full", "tiny"]),
+    params=param_dicts,
+)
+
+
+class TestCanonicalJson:
+    @given(param_dicts)
+    def test_key_order_invariant(self, params):
+        reordered = dict(reversed(list(params.items())))
+        assert canonical_json(params) == canonical_json(reordered)
+        assert canonical_digest(params) == canonical_digest(reordered)
+
+    @given(param_dicts)
+    def test_roundtrip_through_json(self, params):
+        text = canonical_json(params)
+        assert canonical_json(json.loads(text)) == text
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            canonical_json({"x": float("nan")})
+        with pytest.raises(ValueError, match="finite"):
+            canonical_json({"x": float("inf")})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(ValueError, match="keys must be strings"):
+            canonical_json({1: 2.0})
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(ValueError, match="JSON scalars"):
+            canonical_json({"x": object()})
+
+
+class TestSpecRoundtrip:
+    @given(specs)
+    def test_dict_roundtrip_preserves_digest(self, spec):
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    @given(specs)
+    def test_json_roundtrip_preserves_digest(self, spec):
+        clone = ScenarioSpec.from_json(spec.to_json())
+        assert clone.digest() == spec.digest()
+
+    @given(specs)
+    def test_digest_is_stable_and_tagged(self, spec):
+        assert spec.digest() == spec.digest()
+        assert spec.digest().startswith("sha256:")
+
+    @given(specs, specs)
+    def test_distinct_specs_distinct_digests(self, a, b):
+        if a != b:
+            assert a.digest() != b.digest()
+
+    def test_unknown_fields_rejected(self):
+        payload = ScenarioSpec("s", "fast", {"a": 1}).to_dict()
+        payload["surprise"] = True
+        with pytest.raises(ValueError, match="unknown scenario-spec"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec("", "fast", {})
+        with pytest.raises(ValueError):
+            ScenarioSpec("s", "", {})
+
+
+class TestCatalogSpecs:
+    def test_every_registered_size_roundtrips(self):
+        # The property the goldens rely on, on the actual catalog data.
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            for size in scenario.sizes:
+                spec = ScenarioSpec(
+                    scenario=name, size=size, params=scenario.params_for(size)
+                )
+                clone = ScenarioSpec.from_json(spec.to_json())
+                assert clone.digest() == spec.digest()

@@ -1,0 +1,137 @@
+"""Golden-tolerance comparison helpers: properties the battery relies on.
+
+The hypothesis properties pin the two contracts the ISSUE calls out:
+*reflexivity* (every measure dict matches itself under any tolerance) and
+*symmetry of mismatch reporting* (swapping the sides of a comparison
+swaps the report, nothing else).
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scenarios.tolerance import (
+    MeasureDiff,
+    Tolerance,
+    compare_measures,
+    values_close,
+)
+
+pytestmark = pytest.mark.scenario
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+any_float = st.one_of(
+    finite,
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+)
+measure_names = st.sampled_from(
+    ["ber", "slip_rate", "phase_rms_ui", "settle_symbols", "acq_mean"]
+)
+measure_dicts = st.dictionaries(measure_names, any_float, max_size=5)
+tolerances = st.builds(
+    Tolerance,
+    rtol=st.floats(min_value=0.0, max_value=1e-2),
+    atol=st.floats(min_value=0.0, max_value=1e-6),
+)
+tolerance_maps = st.dictionaries(
+    st.one_of(st.just("default"), measure_names), tolerances, max_size=4
+)
+
+
+class TestValuesClose:
+    @given(any_float, tolerances)
+    def test_reflexive(self, x, tol):
+        assert values_close(x, x, tol)
+
+    @given(any_float, any_float, tolerances)
+    def test_symmetric(self, a, b, tol):
+        assert values_close(a, b, tol) == values_close(b, a, tol)
+
+    def test_nan_matches_only_nan(self):
+        tol = Tolerance(rtol=1.0, atol=1e300)
+        assert values_close(float("nan"), float("nan"), tol)
+        assert not values_close(float("nan"), 0.0, tol)
+        assert not values_close(0.0, float("nan"), tol)
+
+    def test_inf_needs_matching_sign(self):
+        tol = Tolerance(rtol=1.0, atol=1e300)
+        assert values_close(math.inf, math.inf, tol)
+        assert not values_close(math.inf, -math.inf, tol)
+        assert not values_close(math.inf, 1e308, tol)
+
+    def test_symmetric_relative_form(self):
+        # numpy.isclose(a, b) != numpy.isclose(b, a) in general; the
+        # symmetric form must not depend on argument order even right at
+        # the boundary.
+        tol = Tolerance(rtol=0.1, atol=0.0)
+        a, b = 1.0, 1.1000000001
+        assert values_close(a, b, tol) == values_close(b, a, tol)
+
+    def test_rejects_negative_tolerances(self):
+        with pytest.raises(ValueError):
+            Tolerance(rtol=-1e-9)
+        with pytest.raises(ValueError):
+            Tolerance(atol=-1e-9)
+
+    def test_roundtrip_dict(self):
+        tol = Tolerance(rtol=3e-5, atol=7e-11)
+        assert Tolerance.from_dict(tol.to_dict()) == tol
+
+
+class TestCompareMeasures:
+    @given(measure_dicts, tolerance_maps)
+    def test_reflexive(self, measures, tols):
+        diff = compare_measures(measures, measures, tols)
+        assert diff.ok
+        assert diff == MeasureDiff()
+
+    @given(measure_dicts, measure_dicts, tolerance_maps)
+    def test_swap_symmetry(self, left, right, tols):
+        forward = compare_measures(left, right, tols)
+        backward = compare_measures(right, left, tols)
+        assert backward == forward.swapped()
+        assert forward == backward.swapped()
+        assert forward.ok == backward.ok
+
+    @given(measure_dicts, measure_dicts, tolerance_maps)
+    def test_swapped_is_involution(self, left, right, tols):
+        diff = compare_measures(left, right, tols)
+        assert diff.swapped().swapped() == diff
+
+    def test_missing_and_extra_sides(self):
+        diff = compare_measures({"a": 1.0}, {"b": 2.0})
+        assert diff.missing == ("a",)
+        assert diff.extra == ("b",)
+        assert not diff.ok
+        back = diff.swapped()
+        assert back.missing == ("b",)
+        assert back.extra == ("a",)
+
+    def test_per_measure_tolerance_beats_default(self):
+        tols = {
+            "default": Tolerance(rtol=0.0, atol=0.0),
+            "loose": Tolerance(rtol=0.5, atol=0.0),
+        }
+        diff = compare_measures(
+            {"loose": 1.0, "tight": 1.0},
+            {"loose": 1.2, "tight": 1.0 + 1e-9},
+            tols,
+        )
+        assert [m.name for m in diff.mismatches] == ["tight"]
+
+    def test_describe_names_the_failure(self):
+        diff = compare_measures({"ber": 1e-9}, {"ber": 2e-9})
+        assert "ber" in diff.describe()
+        assert compare_measures({"x": 1.0}, {"x": 1.0}).describe()
+
+    def test_to_dict_serializes_nonfinite(self):
+        import json
+
+        diff = compare_measures({"a": math.inf}, {"a": 1.0})
+        json.dumps(diff.to_dict())  # must not raise
