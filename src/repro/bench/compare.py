@@ -1,0 +1,169 @@
+"""Noise-aware comparison of two ``repro.bench/1`` reports.
+
+``repro bench compare BASELINE CURRENT`` is the perf-regression gate: it
+exits nonzero when any benchmark present in both reports slowed down
+*meaningfully* -- by more than ``threshold`` relatively AND more than
+``min_delta_s`` absolutely.  The double condition is what makes the gate
+noise-aware: a 3x blowup of a 40 microsecond micro-benchmark is scheduler
+jitter, not a regression, and a 2 millisecond drift of a 10 second run is
+real work but far below any threshold worth failing CI over.
+
+Comparisons are on ``min_s`` (see :mod:`repro.bench.suite` for why the
+minimum is the stable statistic).  Benchmarks only present on one side are
+reported as added/removed but never fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_MIN_DELTA_S",
+    "ComparisonRow",
+    "Comparison",
+    "compare_reports",
+    "format_comparison",
+]
+
+#: Default relative slowdown tolerated before a benchmark counts as
+#: regressed (0.5 = +50%; a 2x slowdown always trips it).
+DEFAULT_THRESHOLD = 0.5
+
+#: Absolute floor: slowdowns smaller than this many seconds never regress,
+#: whatever the ratio (micro-benchmark jitter protection).
+DEFAULT_MIN_DELTA_S = 0.005
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One benchmark's baseline-vs-current verdict."""
+
+    name: str
+    status: str  # "ok" | "regressed" | "improved" | "added" | "removed"
+    base_min_s: float = float("nan")
+    cur_min_s: float = float("nan")
+    ratio: float = float("nan")
+
+
+@dataclass
+class Comparison:
+    """The full comparison: per-benchmark rows plus gate parameters."""
+
+    rows: List[ComparisonRow]
+    threshold: float
+    min_delta_s: float
+    fingerprint_changes: Dict[str, Any] = field(default_factory=dict)
+
+    def by_status(self, status: str) -> List[ComparisonRow]:
+        return [r for r in self.rows if r.status == status]
+
+    @property
+    def regressions(self) -> List[ComparisonRow]:
+        return self.by_status("regressed")
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.bench-compare/1",
+            "threshold": self.threshold,
+            "min_delta_s": self.min_delta_s,
+            "fingerprint_changes": dict(self.fingerprint_changes),
+            "regressed": len(self.regressions),
+            "rows": [
+                {
+                    "name": r.name,
+                    "status": r.status,
+                    "base_min_s": r.base_min_s,
+                    "cur_min_s": r.cur_min_s,
+                    "ratio": r.ratio,
+                }
+                for r in self.rows
+            ],
+        }
+
+
+def _fingerprint_diff(
+    base: Dict[str, Any], cur: Dict[str, Any]
+) -> Dict[str, Any]:
+    changes = {}
+    for key in sorted(set(base) | set(cur)):
+        if base.get(key) != cur.get(key):
+            changes[key] = {"baseline": base.get(key), "current": cur.get(key)}
+    return changes
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_delta_s: float = DEFAULT_MIN_DELTA_S,
+) -> Comparison:
+    """Diff two reports; see the module docstring for the gate semantics."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if min_delta_s < 0:
+        raise ValueError("min_delta_s must be non-negative")
+    base_rows = {r["name"]: r for r in baseline.get("results", [])}
+    cur_rows = {r["name"]: r for r in current.get("results", [])}
+    rows: List[ComparisonRow] = []
+    for name in sorted(set(base_rows) | set(cur_rows)):
+        if name not in cur_rows:
+            rows.append(
+                ComparisonRow(
+                    name, "removed", base_min_s=base_rows[name]["min_s"]
+                )
+            )
+            continue
+        if name not in base_rows:
+            rows.append(
+                ComparisonRow(name, "added", cur_min_s=cur_rows[name]["min_s"])
+            )
+            continue
+        base_min = float(base_rows[name]["min_s"])
+        cur_min = float(cur_rows[name]["min_s"])
+        ratio = cur_min / base_min if base_min > 0 else float("inf")
+        delta = cur_min - base_min
+        if delta > min_delta_s and ratio > 1.0 + threshold:
+            status = "regressed"
+        elif -delta > min_delta_s and ratio < 1.0 / (1.0 + threshold):
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(ComparisonRow(name, status, base_min, cur_min, ratio))
+    return Comparison(
+        rows=rows,
+        threshold=threshold,
+        min_delta_s=min_delta_s,
+        fingerprint_changes=_fingerprint_diff(
+            baseline.get("fingerprint", {}), current.get("fingerprint", {})
+        ),
+    )
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """Human-readable rendering (the ``repro bench compare`` output)."""
+    lines = [
+        f"{'benchmark':<42} {'baseline':>10} {'current':>10} {'ratio':>7}  status"
+    ]
+    for row in comparison.rows:
+        base = f"{row.base_min_s:.4f}s" if row.base_min_s == row.base_min_s else "-"
+        cur = f"{row.cur_min_s:.4f}s" if row.cur_min_s == row.cur_min_s else "-"
+        ratio = f"{row.ratio:.2f}x" if row.ratio == row.ratio else "-"
+        lines.append(f"{row.name:<42} {base:>10} {cur:>10} {ratio:>7}  {row.status}")
+    if comparison.fingerprint_changes:
+        lines.append(
+            "WARNING: environment fingerprint changed "
+            f"({', '.join(sorted(comparison.fingerprint_changes))}); "
+            "timings may not be machine-comparable"
+        )
+    n_reg = len(comparison.regressions)
+    lines.append(
+        f"{n_reg} regression(s) at threshold +{comparison.threshold:.0%} "
+        f"(min delta {comparison.min_delta_s * 1e3:.0f} ms)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Decorator-registered benchmark catalog.
+
+Exactly the pattern of the solver registry (:mod:`repro.markov.registry`)
+and the scenario catalog (:mod:`repro.scenarios.registry`): each benchmark
+registers itself at import time with :func:`register_benchmark` and the
+CLI (``repro bench``) looks it up here.  A benchmark is a *factory*
+returning a zero-argument workload callable::
+
+    @register_benchmark(
+        "operator/matvec-assembled",
+        suites=("smoke",),
+        rounds=5,
+        description="assembled-CSR rmatvec on the baseline chain",
+    )
+    def _bench():                     # the factory: setup, NOT timed
+        op = build_operator(...)
+        x = initial_vector(...)
+        def workload():               # the workload: timed min-of-rounds
+            for _ in range(100):
+                x2 = op.rmatvec(x)
+            return {"n_states": op.shape[0]}   # optional meta dict
+        return workload
+
+Setup cost (model assembly, imports) stays outside the timing loop; the
+workload's return value, when a dict, is recorded as the result's ``meta``.
+Benchmarks belong to one or more named *suites* (``smoke``, ``ext-op``,
+``parallel``, ...) which is what ``repro bench run --suite`` selects on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "BenchmarkEntry",
+    "register_benchmark",
+    "get_benchmark",
+    "benchmark_names",
+    "benchmark_table",
+    "suite_names",
+    "suite_benchmarks",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One registered benchmark.
+
+    ``factory()`` performs un-timed setup and returns the workload
+    callable that ``repro bench run`` times min-of-``rounds`` after
+    ``warmup`` discarded calls.
+    """
+
+    name: str
+    factory: Callable[[], Callable[[], Any]]
+    suites: Tuple[str, ...]
+    rounds: int
+    warmup: int
+    description: str = ""
+
+
+_BENCHMARKS: Dict[str, BenchmarkEntry] = {}
+
+
+def register_benchmark(
+    name: str,
+    *,
+    suites: Tuple[str, ...],
+    rounds: int = 5,
+    warmup: int = 1,
+    description: str = "",
+) -> Callable[[Callable[[], Callable[[], Any]]], Callable[[], Callable[[], Any]]]:
+    """Register the decorated factory as the benchmark ``name``."""
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    if not suites:
+        raise ValueError("a benchmark must belong to at least one suite")
+
+    def decorate(factory):
+        if name in _BENCHMARKS:
+            raise ValueError(f"benchmark {name!r} is already registered")
+        _BENCHMARKS[name] = BenchmarkEntry(
+            name=name,
+            factory=factory,
+            suites=tuple(suites),
+            rounds=rounds,
+            warmup=warmup,
+            description=description,
+        )
+        return factory
+
+    return decorate
+
+
+def _ensure_builtin() -> None:
+    """Populate the registry with the built-in workload battery."""
+    import repro.bench.workloads  # noqa: F401  (registers on import)
+
+
+def get_benchmark(name: str) -> BenchmarkEntry:
+    """Look a benchmark up by name, with a choose-from error on misses."""
+    _ensure_builtin()
+    try:
+        return _BENCHMARKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {benchmark_names()}"
+        ) from None
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """All registered benchmark names, sorted."""
+    _ensure_builtin()
+    return tuple(sorted(_BENCHMARKS))
+
+
+def benchmark_table() -> Tuple[BenchmarkEntry, ...]:
+    """All registered entries, sorted by name."""
+    _ensure_builtin()
+    return tuple(_BENCHMARKS[n] for n in benchmark_names())
+
+
+def suite_names() -> Tuple[str, ...]:
+    """Every suite any registered benchmark belongs to, sorted."""
+    _ensure_builtin()
+    suites = set()
+    for entry in _BENCHMARKS.values():
+        suites.update(entry.suites)
+    return tuple(sorted(suites))
+
+
+def suite_benchmarks(suite: Optional[str]) -> Tuple[BenchmarkEntry, ...]:
+    """The entries of one suite (all benchmarks when ``suite`` is None)."""
+    _ensure_builtin()
+    if suite is None:
+        return benchmark_table()
+    entries = tuple(e for e in benchmark_table() if suite in e.suites)
+    if not entries:
+        raise ValueError(
+            f"unknown suite {suite!r}; choose from {suite_names()}"
+        )
+    return entries

@@ -1,0 +1,296 @@
+"""The built-in benchmark battery.
+
+Four suites, registered at import time (see :mod:`repro.bench.registry`):
+
+``smoke``
+    The CI gate: all four catalog scenarios on both common backends
+    (assembled and matrix-free) at their ``fast`` sizes, operator-apply
+    micro-benchmarks on all three backends, and one small end-to-end
+    analyze.  Everything here finishes in seconds.
+``ext-op``
+    ROADMAP item 1's matrix-free vs assembled trajectory: per-apply
+    micro-cost at M=1024 and end-to-end multigrid solves at M=128/512 on
+    both backends (the ``BENCH_ext_op.json`` artifact).
+``parallel``
+    ROADMAP item 2's sweep-parallelism trajectory: one small nw_std sweep
+    run serially and fanned out over 2 and 4 worker processes (the
+    ``BENCH_parallel.json`` artifact).  Pool startup and per-worker
+    imports are *inside* the timing on purpose -- that is the cost a user
+    actually pays for a parallel sweep.
+``scenarios``
+    The scenario grid alone (a superset marker on the same benchmarks the
+    smoke suite uses), for benchmarking catalog changes in isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+
+#: rmatvec applications per timed workload call (micro-benchmarks).
+_APPLIES = 50
+
+
+def _small_spec():
+    from repro.core.spec import CDRSpec
+
+    return CDRSpec(
+        n_phase_points=64,
+        n_clock_phases=16,
+        counter_length=2,
+        max_run_length=2,
+        nw_std=0.08,
+        nw_atoms=7,
+    )
+
+
+def _ext_op_spec(M: int):
+    # The historical EXT-OP configuration (benchmarks/bench_ext_matrix_free).
+    from repro.core.spec import CDRSpec
+
+    return CDRSpec(
+        n_phase_points=M,
+        n_clock_phases=16,
+        counter_length=8,
+        max_run_length=2,
+        nw_std=0.1,
+        nw_atoms=9,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# operator-apply micro-benchmarks (one per backend)
+# ---------------------------------------------------------------------- #
+
+def _register_matvec_benchmarks() -> None:
+    for backend in ("assembled", "matrix-free", "kronecker"):
+
+        @register_benchmark(
+            f"operator/rmatvec-{backend}",
+            suites=("smoke",),
+            rounds=5,
+            warmup=1,
+            description=f"{_APPLIES}x rmatvec through the {backend} backend "
+            "at M=512",
+        )
+        def _factory(backend=backend):
+            from repro.markov.linop import as_operator
+            from repro.markov.registry import get_backend
+
+            model = get_backend(backend).build(_ext_op_spec(512))
+            op = as_operator(model.chain)
+            x = np.full(op.shape[0], 1.0 / op.shape[0])
+
+            def workload():
+                y = x
+                for _ in range(_APPLIES):
+                    y = op.rmatvec(x)
+                return {
+                    "backend": backend,
+                    "n_states": op.shape[0],
+                    "applies": _APPLIES,
+                    "checksum": float(y.sum()),
+                }
+
+            return workload
+
+
+_register_matvec_benchmarks()
+
+
+# ---------------------------------------------------------------------- #
+# scenario x backend grid (the correctness battery as a perf battery)
+# ---------------------------------------------------------------------- #
+
+_SCENARIO_BACKENDS = ("assembled", "matrix-free")
+
+
+def _register_scenario_benchmarks() -> None:
+    from repro.scenarios.registry import scenario_names
+
+    for name in scenario_names():
+        for backend in _SCENARIO_BACKENDS:
+
+            @register_benchmark(
+                f"scenario/{name}@{backend}",
+                suites=("smoke", "scenarios"),
+                rounds=3,
+                warmup=1,
+                description=f"scenario {name!r} end to end on the "
+                f"{backend} backend (fast size)",
+            )
+            def _factory(name=name, backend=backend):
+                from repro.scenarios.runner import run_scenario
+
+                def workload():
+                    run = run_scenario(name, size="fast", backend=backend)
+                    return {
+                        "scenario": name,
+                        "backend": backend,
+                        "n_states": run.n_states,
+                        "solver": run.solver,
+                    }
+
+                return workload
+
+
+_register_scenario_benchmarks()
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end analyze (the paper's headline pipeline)
+# ---------------------------------------------------------------------- #
+
+@register_benchmark(
+    "analyze/default-small",
+    suites=("smoke",),
+    rounds=3,
+    warmup=1,
+    description="analyze_cdr on a small default-style spec (auto solver)",
+)
+def _bench_analyze_small():
+    from repro.core.analyzer import analyze_cdr
+
+    spec = _small_spec()
+
+    def workload():
+        res = analyze_cdr(spec, solver="auto")
+        return {
+            "n_states": res.n_states,
+            "solver": res.solver_result.method,
+            "iterations": res.solver_result.iterations,
+        }
+
+    return workload
+
+
+# ---------------------------------------------------------------------- #
+# EXT-OP: matrix-free vs assembled, micro and end to end
+# ---------------------------------------------------------------------- #
+
+def _register_ext_op_benchmarks() -> None:
+    for backend in ("assembled", "matrix-free"):
+
+        @register_benchmark(
+            f"ext-op/rmatvec-{backend}-M1024",
+            suites=("ext-op",),
+            rounds=5,
+            warmup=1,
+            description=f"{_APPLIES}x rmatvec, {backend} backend, M=1024 "
+            "(ROADMAP item 1's per-apply gap)",
+        )
+        def _micro_factory(backend=backend):
+            from repro.markov.linop import as_operator
+            from repro.markov.registry import get_backend
+
+            model = get_backend(backend).build(_ext_op_spec(1024))
+            op = as_operator(model.chain)
+            x = np.full(op.shape[0], 1.0 / op.shape[0])
+
+            def workload():
+                for _ in range(_APPLIES):
+                    op.rmatvec(x)
+                return {
+                    "backend": backend,
+                    "n_states": op.shape[0],
+                    "applies": _APPLIES,
+                }
+
+            return workload
+
+        for M in (128, 512):
+
+            @register_benchmark(
+                f"ext-op/solve-{backend}-M{M}",
+                suites=("ext-op",),
+                rounds=3,
+                warmup=1,
+                description=f"end-to-end multigrid analyze, {backend} "
+                f"backend, M={M}",
+            )
+            def _e2e_factory(backend=backend, M=M):
+                from repro.core.analyzer import analyze_cdr
+
+                spec = _ext_op_spec(M)
+
+                def workload():
+                    res = analyze_cdr(
+                        spec, backend=backend, solver="multigrid", tol=1e-10
+                    )
+                    return {
+                        "backend": backend,
+                        "M": M,
+                        "n_states": res.n_states,
+                        "iterations": res.solver_result.iterations,
+                        "converged": bool(res.solver_result.converged),
+                        "ber": float(res.ber),
+                    }
+
+                return workload
+
+
+_register_ext_op_benchmarks()
+
+
+# ---------------------------------------------------------------------- #
+# parallel sweeps
+# ---------------------------------------------------------------------- #
+
+#: The swept parameter values of the parallel benchmark's workload.
+_SWEEP_VALUES = (0.06, 0.07, 0.08, 0.09, 0.10, 0.11)
+
+
+def _sweep_point(nw_std: float):
+    """One sweep design point (module-level for process-pool pickling)."""
+    from repro.core.analyzer import analyze_cdr
+
+    spec = dataclasses.replace(_small_spec(), nw_std=float(nw_std))
+    res = analyze_cdr(spec, solver="auto")
+    return float(res.ber)
+
+
+@register_benchmark(
+    "parallel/sweep-serial",
+    suites=("parallel",),
+    rounds=3,
+    warmup=1,
+    description=f"{len(_SWEEP_VALUES)}-point nw_std sweep, serial loop",
+)
+def _bench_sweep_serial():
+    def workload():
+        bers = [_sweep_point(v) for v in _SWEEP_VALUES]
+        return {"jobs": 1, "points": len(bers), "ber_sum": float(sum(bers))}
+
+    return workload
+
+
+def _register_parallel_benchmarks() -> None:
+    for jobs in (2, 4):
+
+        @register_benchmark(
+            f"parallel/sweep-{jobs}jobs",
+            suites=("parallel",),
+            rounds=3,
+            warmup=1,
+            description=f"{len(_SWEEP_VALUES)}-point nw_std sweep fanned "
+            f"out over {jobs} worker processes (pool startup included)",
+        )
+        def _factory(jobs=jobs):
+            def workload():
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    bers = list(pool.map(_sweep_point, _SWEEP_VALUES))
+                return {
+                    "jobs": jobs,
+                    "points": len(bers),
+                    "ber_sum": float(sum(bers)),
+                }
+
+            return workload
+
+
+_register_parallel_benchmarks()

@@ -13,6 +13,11 @@ The commands mirror the library's main entry points:
     lock-probability curve checkpoints.
 ``stats``
     Pretty-print a run manifest written by ``--metrics``.
+``bench``
+    The performance observatory: list the registered benchmarks, run a
+    suite into a versioned ``repro.bench/1`` report (the ``BENCH_*.json``
+    trajectory), diff two reports with the noise-aware regression gate,
+    or pretty-print a report.
 ``solvers``
     List the registered stationary solvers (with their matrix-free
     capability) and TPM backends -- the ``--solver`` / ``--backend``
@@ -115,20 +120,53 @@ def _add_resilience_arguments(
 
 
 class _RunObservation(contextlib.AbstractContextManager):
-    """Optional per-run tracing: active only when ``--metrics`` was given."""
+    """Optional per-run tracing and profiling.
 
-    def __init__(self, metrics_path: Optional[str]) -> None:
+    ``--metrics`` activates the tracer plus an operator-profile session
+    (so the manifest's ``profile`` section carries per-operator
+    matvec/rmatvec counts, bytes and wall time); ``--profile-stacks`` /
+    ``--profile-speedscope`` additionally run the deterministic stack
+    profiler and export the capture on exit.
+    """
+
+    def __init__(
+        self,
+        metrics_path: Optional[str],
+        stacks_path: Optional[str] = None,
+        speedscope_path: Optional[str] = None,
+    ) -> None:
         self.path = metrics_path
+        self.stacks_path = stacks_path
+        self.speedscope_path = speedscope_path
         self.tracer = obs.Tracer() if metrics_path else None
+        self.session = None
         self._cm = None
+        self._profile_cm = None
+        want_stacks = bool(stacks_path or speedscope_path)
+        if metrics_path or want_stacks:
+            self._profile_cm = obs.profiled(stacks=want_stacks)
 
     def __enter__(self) -> "_RunObservation":
         if self.tracer is not None:
             self._cm = obs.use_tracer(self.tracer)
             self._cm.__enter__()
+        if self._profile_cm is not None:
+            self.session = self._profile_cm.__enter__()
         return self
 
     def __exit__(self, *exc) -> bool:
+        if self._profile_cm is not None:
+            # Stops the stack profiler, so the capture is complete before
+            # the flamegraph exports below.
+            self._profile_cm.__exit__(*exc)
+            if self.stacks_path:
+                self.session.write_collapsed(self.stacks_path)
+                print(f"collapsed stacks written to {self.stacks_path}",
+                      file=sys.stderr)
+            if self.speedscope_path:
+                self.session.write_speedscope(self.speedscope_path)
+                print(f"speedscope profile written to {self.speedscope_path}",
+                      file=sys.stderr)
         if self._cm is not None:
             self._cm.__exit__(*exc)
         return False
@@ -166,6 +204,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--trace", metavar="PATH", default=None,
                       help="record per-iteration solver telemetry and write "
                            "it as a JSON trace to PATH")
+    p_an.add_argument("--profile-stacks", metavar="PATH", default=None,
+                      help="capture a deterministic profile of the run and "
+                           "write collapsed stacks (flamegraph.pl / "
+                           "speedscope input) to PATH")
+    p_an.add_argument("--profile-speedscope", metavar="PATH", default=None,
+                      help="capture a deterministic profile and write a "
+                           "speedscope JSON document to PATH")
     _add_resilience_arguments(p_an, interval=True)
     _add_metrics_argument(p_an)
 
@@ -253,6 +298,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="golden directory (default: the packaged one)")
     p_vf.add_argument("--report", metavar="PATH", default=None,
                       help="write the verification report as JSON to PATH")
+
+    p_be = sub.add_parser(
+        "bench",
+        help="registered benchmark suites and perf-regression tracking")
+    be_sub = p_be.add_subparsers(dest="bench_command", required=True)
+
+    be_sub.add_parser("list", help="list the registered benchmarks")
+
+    p_br = be_sub.add_parser(
+        "run", help="run a suite into a repro.bench/1 report")
+    p_br.add_argument("--suite", default="smoke",
+                      help="registered suite name (default: %(default)s); "
+                           "'all' runs every benchmark")
+    p_br.add_argument("--name", action="append", default=None,
+                      metavar="BENCH",
+                      help="run only the named benchmark (repeatable; "
+                           "overrides --suite)")
+    p_br.add_argument("--rounds", type=int, default=None, metavar="N",
+                      help="override every benchmark's registered rounds")
+    p_br.add_argument("--warmup", type=int, default=None, metavar="N",
+                      help="override every benchmark's registered warmup")
+    p_br.add_argument("--output", metavar="PATH", default=None,
+                      help="report path (default: BENCH_<suite>.json)")
+
+    p_bc = be_sub.add_parser(
+        "compare",
+        help="diff two reports; exits nonzero on a regression")
+    p_bc.add_argument("baseline", metavar="BASELINE",
+                      help="baseline repro.bench/1 report")
+    p_bc.add_argument("current", metavar="CURRENT",
+                      help="current repro.bench/1 report")
+    p_bc.add_argument("--threshold", type=float, default=None,
+                      metavar="FRAC",
+                      help="relative slowdown tolerated before a benchmark "
+                           "regresses (default: 0.5 = +50%%)")
+    p_bc.add_argument("--min-delta-ms", type=float, default=None,
+                      metavar="MS",
+                      help="absolute slowdown floor in milliseconds "
+                           "(default: 5)")
+    p_bc.add_argument("--report", metavar="PATH", default=None,
+                      help="write the comparison as JSON to PATH")
+
+    p_bp = be_sub.add_parser(
+        "report", help="pretty-print a repro.bench/1 report")
+    p_bp.add_argument("report", metavar="PATH",
+                      help="path of a repro.bench/1 JSON report")
     return parser
 
 
@@ -289,7 +380,11 @@ def _print_resilience_events(events) -> None:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     solver_kwargs = _resilience_kwargs(args)
-    with _RunObservation(args.metrics) as obs_run:
+    with _RunObservation(
+        args.metrics,
+        stacks_path=args.profile_stacks,
+        speedscope_path=args.profile_speedscope,
+    ) as obs_run:
         analysis = analyze_cdr(
             spec, solver=args.solver, tol=args.tol, **solver_kwargs
         )
@@ -485,10 +580,77 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     manifest = obs.load_run_manifest(args.manifest)
     if args.prometheus:
-        text = (manifest.get("metrics") or {}).get("prometheus", "")
+        metrics = manifest.get("metrics") or {}
+        text = metrics.get("prometheus", "")
+        if not text and metrics.get("snapshot"):
+            # Manifests carrying only the JSON snapshot (older schema
+            # versions, size-stripped artifacts) are re-rendered with full
+            # # HELP / # TYPE headers and escaped label values.
+            from repro.obs.metrics import render_snapshot_prometheus
+
+            text = render_snapshot_prometheus(metrics["snapshot"])
         print(text, end="" if text.endswith("\n") else "\n")
         return 0
     print(obs.format_run_manifest(manifest))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.bench_command == "list":
+        for entry in bench.benchmark_table():
+            suites = ",".join(entry.suites)
+            print(f"{entry.name:<42} [{suites}] rounds={entry.rounds} "
+                  f"{entry.description}")
+        return 0
+
+    if args.bench_command == "run":
+        suite = None if args.suite == "all" else args.suite
+
+        def progress(entry, row):
+            print(f"  {entry.name:<42} min {row['min_s']:9.4f} s  "
+                  f"mean {row['mean_s']:9.4f} s  ({row['rounds']} rounds)",
+                  file=sys.stderr)
+
+        report = bench.run_suite(
+            suite=suite, names=args.name, rounds=args.rounds,
+            warmup=args.warmup, progress=progress,
+        )
+        output = args.output or bench.default_output_path(report["suite"])
+        bench.write_report(output, report)
+        print(f"benchmark report ({len(report['results'])} benchmarks) "
+              f"written to {output}", file=sys.stderr)
+        return 0
+
+    if args.bench_command == "compare":
+        kwargs = {}
+        if args.threshold is not None:
+            kwargs["threshold"] = args.threshold
+        if args.min_delta_ms is not None:
+            kwargs["min_delta_s"] = args.min_delta_ms / 1e3
+        comparison = bench.compare_reports(
+            bench.load_report(args.baseline),
+            bench.load_report(args.current),
+            **kwargs,
+        )
+        print(bench.format_comparison(comparison))
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(comparison.to_dict(), fh, indent=2)
+                fh.write("\n")
+            print(f"comparison written to {args.report}", file=sys.stderr)
+        return comparison.exit_code
+
+    # report
+    report = bench.load_report(args.report)
+    fp = report.get("fingerprint", {})
+    print(f"{report['schema']} suite={report['suite']} "
+          f"({len(report['results'])} benchmarks)")
+    print("fingerprint: " + "  ".join(f"{k}={v}" for k, v in sorted(fp.items())))
+    for row in report["results"]:
+        print(f"  {row['name']:<42} min {row['min_s']:9.4f} s  "
+              f"mean {row['mean_s']:9.4f} s  ({row['rounds']} rounds)")
     return 0
 
 
@@ -518,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_faults(args)
         if args.command == "scenarios":
             return _cmd_scenarios(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         return _cmd_acquire(args)
     except (
         ValueError, OSError, ArithmeticError,

@@ -15,15 +15,15 @@ Every run is traced with :mod:`repro.obs` spans: the root ``cdr.analyze``
 span (stored on the result as :attr:`CDRAnalysis.trace`) nests
 ``cdr.build_tpm``, ``markov.solve`` and ``cdr.measures`` children, and the
 solver's per-iteration telemetry is always recorded (available as
-:attr:`CDRAnalysis.solver_recording` for run manifests).  The legacy
-``form_time`` / ``solve_time`` floats survive as deprecated properties
-derived from those spans.
+:attr:`CDRAnalysis.solver_recording` for run manifests).  Stage wall times
+are exposed as :attr:`CDRAnalysis.build_seconds` /
+:attr:`CDRAnalysis.solve_seconds` (the legacy ``form_time`` /
+``solve_time`` aliases have been removed).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -102,28 +102,6 @@ class CDRAnalysis:
     def solve_seconds(self) -> float:
         """Wall seconds spent in the stationary solver (paper "Solvetime")."""
         return self.stage_seconds["markov.solve"]
-
-    @property
-    def form_time(self) -> float:
-        """Deprecated alias of :attr:`build_seconds` (span-derived)."""
-        warnings.warn(
-            "CDRAnalysis.form_time is deprecated; use build_seconds or "
-            "stage_seconds['cdr.build_tpm']",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.build_seconds
-
-    @property
-    def solve_time(self) -> float:
-        """Deprecated alias of :attr:`solve_seconds` (span-derived)."""
-        warnings.warn(
-            "CDRAnalysis.solve_time is deprecated; use solve_seconds or "
-            "stage_seconds['markov.solve']",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.solve_seconds
 
     @property
     def phase_rms(self) -> float:

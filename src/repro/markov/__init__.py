@@ -120,15 +120,6 @@ from repro.markov.transient import (
 )
 
 
-def __getattr__(name: str):
-    # Deprecated SOLVER_NAMES alias: delegates to repro.markov.stationary's
-    # module __getattr__, which warns and exports the registry keys.
-    if name == "SOLVER_NAMES":
-        from repro.markov import stationary
-
-        return stationary.SOLVER_NAMES
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 __all__ = [
     "MarkovChain",
     "random_chain",
@@ -171,7 +162,6 @@ __all__ = [
     "solve_eigen",
     "subdominant_eigenvalue",
     "stationary_distribution",
-    "SOLVER_NAMES",
     "TransitionOperator",
     "AssembledOperator",
     "OperatorCapabilityError",

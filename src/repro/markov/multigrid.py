@@ -59,6 +59,7 @@ from repro.markov.solvers.direct import solve_direct
 from repro.markov.solvers.jacobi import jacobi_split, jacobi_sweeps
 from repro.markov.solvers.power import solve_power
 from repro.markov.solvers.result import StationaryResult, prepare_initial_guess
+from repro.obs.profile import InstrumentedOperator, get_profile_session
 
 __all__ = [
     "MultigridOptions",
@@ -287,6 +288,12 @@ class MultigridSolver:
     def _coarsest_solve(self, P, x: np.ndarray) -> np.ndarray:
         if sp.issparse(P):
             return solve_direct(P).distribution
+        if isinstance(P, InstrumentedOperator) and isinstance(
+            P.inner, AssembledOperator
+        ):
+            # Profiling must not change the numerical path: an instrumented
+            # assembled fine level still gets the direct coarsest solve.
+            return solve_direct(P.inner.P).distribution
         # An unassembled operator small enough to be its own coarsest
         # level: keep the no-materialization guarantee and solve it with
         # matrix-free power iteration seeded from the current iterate.
@@ -335,10 +342,20 @@ class MultigridSolver:
         n = P.shape[0]
         nnz = int(P.nnz) if sp.issparse(P) else int(getattr(P, "nnz", 0))
         self._levels_used = max(self._levels_used, level + 1)
+        # Per-level stage attribution (smoothing / coarse build / coarsest
+        # solve) for the hot-path profile; one contextvar lookup when off.
+        session = get_profile_session()
+        role = f"multigrid.L{level}"
         if n <= opt.coarsest_size or level + 1 >= opt.max_levels:
             # Coarsest level: solved directly, no aggregation (n_blocks=0).
             mon.vcycle_level(cycle, level, n, nnz, 0, 0.0, 0.0)
-            return self._coarsest_solve(P, x)
+            t0 = time.perf_counter()
+            x = self._coarsest_solve(P, x)
+            if session is not None:
+                session.record_stage(
+                    role, "coarsest_solve", time.perf_counter() - t0
+                )
+            return x
         pre_time = 0.0
         if opt.nu_pre:
             t0 = time.perf_counter()
@@ -349,14 +366,19 @@ class MultigridSolver:
             # Strategy declined to coarsen: fall back to direct solve when
             # affordable, otherwise keep smoothing.
             mon.vcycle_level(cycle, level, n, nnz, 0, pre_time, 0.0)
+            if session is not None:
+                session.record_stage(role, "smooth.pre", pre_time)
             if n <= 8 * opt.coarsest_size:
                 return self._coarsest_solve(P, x)
             return self._smooth(P, x, opt.nu_post or 1, level)
         gamma = 2 if opt.cycle_type == "W" else 1
         post_time = 0.0
+        coarse_time = 0.0
         for _ in range(gamma):
             w = np.maximum(x, _WEIGHT_FLOOR)
+            t0 = time.perf_counter()
             C = self._coarse_tpm(P, partition, w, level)
+            coarse_time += time.perf_counter() - t0
             coarse_x0 = np.bincount(
                 partition.block_of, weights=w, minlength=partition.n_blocks
             )
@@ -370,6 +392,10 @@ class MultigridSolver:
         mon.vcycle_level(
             cycle, level, n, nnz, partition.n_blocks, pre_time, post_time
         )
+        if session is not None:
+            session.record_stage(role, "smooth.pre", pre_time)
+            session.record_stage(role, "smooth.post", post_time)
+            session.record_stage(role, "coarse_build", coarse_time)
         return x
 
 

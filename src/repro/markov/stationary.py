@@ -14,15 +14,13 @@ solver whose registry entry is flagged ``matrix_free``; the others
 materialize via ``to_csr()`` or raise
 :class:`~repro.markov.linop.OperatorCapabilityError`.
 
-The historical ``SOLVER_NAMES`` tuple is deprecated: the registry is the
-source of truth now.  Importing it still works for one release (module
-``__getattr__`` emits a :class:`DeprecationWarning` and returns
-``("auto",) + solver_names()``).
+The historical ``SOLVER_NAMES`` tuple (deprecated since the registry
+landed) has been removed; use
+:func:`repro.markov.registry.solver_names`.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
 import numpy as np
@@ -32,8 +30,9 @@ from repro.markov.chain import MarkovChain
 from repro.markov.classify import is_irreducible
 from repro.markov.linop import AssembledOperator, as_operator, ensure_csr
 from repro.markov.monitor import SolverMonitor
-from repro.markov.registry import get_solver, solver_names
+from repro.markov.registry import get_solver
 from repro.markov.solvers import StationaryResult
+from repro.obs.profile import instrument_operator
 
 # Importing the solver modules populates the registry (each registers
 # itself with @register_solver); multigrid registers "multigrid".
@@ -46,22 +45,9 @@ import repro.markov.solvers.krylov  # noqa: F401
 import repro.markov.solvers.power  # noqa: F401
 import repro.markov.solvers.sor  # noqa: F401
 
-__all__ = ["stationary_distribution", "SOLVER_NAMES"]
+__all__ = ["stationary_distribution"]
 
 _DIRECT_CUTOFF = 20_000
-
-
-def __getattr__(name: str):
-    if name == "SOLVER_NAMES":
-        warnings.warn(
-            "SOLVER_NAMES is deprecated; use "
-            "repro.markov.registry.solver_names() (the registry is the "
-            "source of truth for available solvers)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return ("auto",) + solver_names()
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _resolve_auto(op, n: int) -> str:
@@ -133,6 +119,10 @@ def stationary_distribution(
         raise ValueError(
             "chain is reducible: the stationary distribution is not unique"
         )
+    # Every solver consumes the operator through this one dispatch point,
+    # so wrapping here profiles all of them.  No-op unless a
+    # repro.obs.profile session is active.
+    op = instrument_operator(op, role=f"solver.{entry.name}")
     return entry.fn(
         op, tol=tol, max_iter=max_iter, x0=x0, monitor=monitor, **kwargs
     )

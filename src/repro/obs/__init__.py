@@ -14,6 +14,13 @@ Three layers, designed to compose into one artifact per run:
     Run manifests (schema ``repro.run-trace/1``): spec, versions, span
     tree, stage timings, peak RSS, result digests, the embedded
     ``repro.solver-trace/1`` solver trace, and the metrics snapshot.
+:mod:`repro.obs.profile`
+    Operator-level profiling: an instrumenting ``TransitionOperator``
+    wrapper (matvec/rmatvec calls, bytes moved, per-call wall time,
+    attributed per solver / multigrid level / measure kernel) and an
+    optional deterministic stack profiler with collapsed-stack and
+    speedscope export.  Snapshots land in run manifests as the
+    ``profile`` section (schema ``repro.profile/1``).
 
 The CLI surfaces all of it: ``python -m repro analyze --metrics out.json``
 writes a manifest and ``python -m repro stats out.json`` pretty-prints one.
@@ -44,6 +51,14 @@ from repro.obs.manifest import (
     peak_rss_bytes,
     write_run_manifest,
 )
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    InstrumentedOperator,
+    ProfileSession,
+    get_profile_session,
+    instrument_operator,
+    profiled,
+)
 
 __all__ = [
     "Span",
@@ -65,4 +80,10 @@ __all__ = [
     "format_run_manifest",
     "peak_rss_bytes",
     "digest_array",
+    "PROFILE_SCHEMA",
+    "InstrumentedOperator",
+    "ProfileSession",
+    "get_profile_session",
+    "instrument_operator",
+    "profiled",
 ]

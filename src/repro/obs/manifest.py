@@ -106,6 +106,7 @@ def build_run_manifest(
     registry: Optional[MetricsRegistry] = None,
     argv: Optional[List[str]] = None,
     resilience: Optional[List[Dict[str, Any]]] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a ``repro.run-trace/1`` manifest dict.
 
@@ -142,8 +143,20 @@ def build_run_manifest(
         backend degradations, checkpoint resumes, fault injections);
         defaults to ``analysis.resilience_events`` when the analysis ran
         on the resilient path.
+    profile:
+        A ``repro.profile/1`` snapshot dict (hot-path operator
+        attribution); defaults to the active
+        :class:`repro.obs.profile.ProfileSession`'s snapshot when one is
+        open while the manifest is built, else the section is omitted.
     """
     registry = get_registry() if registry is None else registry
+
+    if profile is None:
+        from repro.obs.profile import get_profile_session
+
+        session = get_profile_session()
+        if session is not None and session.operators:
+            profile = session.snapshot()
 
     spec_dict: Optional[Dict[str, Any]] = None
     if spec is None and analysis is not None:
@@ -213,6 +226,7 @@ def build_run_manifest(
         "digests": digests,
         "solver_trace": solver_trace,
         "resilience": list(resilience) if resilience else None,
+        "profile": profile,
         "metrics": {
             "snapshot": registry.to_dict(),
             "prometheus": registry.render_prometheus(),
@@ -347,6 +361,17 @@ def format_run_manifest(manifest: Dict[str, Any]) -> str:
         lines.append("resilience:")
         for ev in resilience:
             lines.append("  " + _format_resilience_event(ev))
+    profile = manifest.get("profile") or {}
+    hot_path = profile.get("hot_path") or []
+    if hot_path:
+        lines.append("hot path (operator attribution):")
+        for row in hot_path:
+            mb = row.get("bytes", 0) / 1e6
+            lines.append(
+                f"  {row['role'] + '.' + row['op']:<36} "
+                f"{row['seconds']:9.4f} s  {row['calls']:>8} calls"
+                + (f"  {mb:10.1f} MB" if mb else "")
+            )
     snapshot = (manifest.get("metrics") or {}).get("snapshot") or {}
     if snapshot:
         lines.append(f"metrics ({len(snapshot)}):")

@@ -37,6 +37,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "get_registry",
+    "render_snapshot_prometheus",
 ]
 
 _LabelKey = Tuple[Tuple[str, str], ...]
@@ -55,7 +56,18 @@ def _render_labels(key: _LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the text exposition format (backslash,
+    double quote, line feed)."""
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    """Escape HELP text per the text exposition format.
+
+    Unlike label values, HELP lines escape only backslash and line feed;
+    double quotes are literal.
+    """
+    return value.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _format_value(v: float) -> str:
@@ -80,7 +92,7 @@ class _Metric:
 
     def _type_line(self) -> List[str]:
         return [
-            f"# HELP {self.name} {_escape(self.help)}",
+            f"# HELP {self.name} {_escape_help(self.help)}",
             f"# TYPE {self.name} {self.kind}",
         ]
 
@@ -286,6 +298,46 @@ class MetricsRegistry:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly snapshot ``{metric name: {type, help, samples}}``."""
         return {name: m.to_dict() for name, m in sorted(self._metrics.items())}
+
+
+def render_snapshot_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Re-render a registry JSON snapshot as Prometheus exposition text.
+
+    ``repro stats --prometheus`` uses this when a run manifest carries
+    only the ``metrics.snapshot`` section (older manifests, or manifests
+    stripped for size), so histograms still come out with their
+    ``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` series and
+    properly escaped label values.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload.get("type", "untyped")
+        lines.append(f"# HELP {name} {_escape_help(payload.get('help', ''))}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in payload.get("samples", []):
+            key = _label_key(sample.get("labels") or {})
+            if kind == "histogram":
+                counts = sample.get("bucket_counts", [])
+                for bound, c in zip(payload.get("buckets", []), counts):
+                    le = _render_labels(key, [("le", _format_value(bound))])
+                    lines.append(f"{name}_bucket{le} {int(c)}")
+                le = _render_labels(key, [("le", "+Inf")])
+                lines.append(f"{name}_bucket{le} {int(sample.get('count', 0))}")
+                lines.append(
+                    f"{name}_sum{_render_labels(key)} "
+                    f"{_format_value(sample.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(key)} "
+                    f"{int(sample.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(key)} "
+                    f"{_format_value(sample.get('value', 0.0))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 #: The process-wide default registry used by instrumented library code.

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.markov.linop import TransitionOperator, as_operator
+from repro.obs.profile import instrument_operator
 
 __all__ = [
     "FirstPassageSummary",
@@ -65,7 +66,9 @@ def first_passage_survival(
     ``max_steps`` (the mean is then a lower bound; ``p_unabsorbed`` says
     by how much).
     """
-    operator: TransitionOperator = as_operator(op)
+    operator: TransitionOperator = instrument_operator(
+        as_operator(op), role="measure.first_passage"
+    )
     n = operator.shape[0]
     mask = np.asarray(target_mask, dtype=bool)
     if mask.shape != (n,):
@@ -119,7 +122,9 @@ def tv_settling_time(
     bound, matching :func:`repro.markov.transient.mixing_time`)."""
     if not 0.0 < epsilon < 1.0:
         raise ValueError("epsilon must be in (0, 1)")
-    operator: TransitionOperator = as_operator(op)
+    operator: TransitionOperator = instrument_operator(
+        as_operator(op), role="measure.tv_settling"
+    )
     x = np.asarray(start, dtype=float).copy()
     pi = np.asarray(stationary, dtype=float)
     for k in range(max_steps + 1):
@@ -138,7 +143,9 @@ def expected_value_trajectory(
     """``E[f(X_k)]`` for ``k = 0..n_steps`` through the operator protocol."""
     if n_steps < 0:
         raise ValueError("n_steps must be non-negative")
-    operator: TransitionOperator = as_operator(op)
+    operator: TransitionOperator = instrument_operator(
+        as_operator(op), role="measure.expected_value"
+    )
     x = np.asarray(start, dtype=float).copy()
     f = np.asarray(per_state_values, dtype=float)
     out = np.empty(n_steps + 1)

@@ -1,0 +1,243 @@
+"""Unit tests for the benchmark registry, suite runner and compare gate.
+
+Registry behaviour mirrors the solver/scenario registries (duplicate
+rejection, choose-from errors); the suite runner's report must carry the
+``repro.bench/1`` schema with a stable environment fingerprint; and the
+compare gate must trip on an injected 2x regression while staying silent
+on a self-comparison and on micro-benchmark jitter below the absolute
+floor.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    benchmark_names,
+    compare_reports,
+    default_output_path,
+    environment_fingerprint,
+    format_comparison,
+    get_benchmark,
+    load_report,
+    run_benchmark,
+    run_suite,
+    suite_benchmarks,
+    suite_names,
+    write_report,
+)
+from repro.bench.registry import BenchmarkEntry, register_benchmark
+
+
+def _entry(name="t/unit", rounds=3, warmup=1, fn=None):
+    def factory():
+        calls = []
+
+        def workload():
+            calls.append(1)
+            if fn is not None:
+                return fn(len(calls))
+            return {"calls": len(calls)}
+
+        return workload
+
+    return BenchmarkEntry(
+        name=name, factory=factory, suites=("unit",), rounds=rounds,
+        warmup=warmup, description="unit fixture",
+    )
+
+
+class TestRegistry:
+    def test_builtin_battery_registered(self):
+        names = benchmark_names()
+        # The acceptance grid: all four scenarios on both common backends.
+        for scenario in ("baseline", "alexander-offset", "bangbang-freq",
+                         "mesochronous-settle"):
+            for backend in ("assembled", "matrix-free"):
+                assert f"scenario/{scenario}@{backend}" in names
+        assert {"smoke", "ext-op", "parallel", "scenarios"} <= set(suite_names())
+
+    def test_suite_selection(self):
+        smoke = suite_benchmarks("smoke")
+        assert all("smoke" in e.suites for e in smoke)
+        assert len(suite_benchmarks(None)) == len(benchmark_names())
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite_benchmarks("no-such-suite")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            get_benchmark("no/such-bench")
+
+    def test_duplicate_registration_rejected(self):
+        name = "unit/duplicate-probe"
+        register_benchmark(name, suites=("unit-probe",))(lambda: (lambda: None))
+        with pytest.raises(ValueError, match="already registered"):
+            register_benchmark(name, suites=("unit-probe",))(
+                lambda: (lambda: None)
+            )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="rounds"):
+            register_benchmark("unit/bad-rounds", suites=("u",), rounds=0)
+        with pytest.raises(ValueError, match="suite"):
+            register_benchmark("unit/no-suites", suites=())
+
+
+class TestRunner:
+    def test_run_benchmark_rows(self):
+        row = run_benchmark(_entry(rounds=4, warmup=2))
+        assert row["rounds"] == 4 and row["warmup"] == 2
+        assert len(row["times_s"]) == 4
+        assert row["min_s"] == min(row["times_s"])
+        assert row["min_s"] <= row["mean_s"]
+        # warmup calls run before the timed ones and meta is the last
+        # workload return: 2 warmup + 4 timed = 6.
+        assert row["meta"] == {"calls": 6}
+
+    def test_run_suite_report_shape(self):
+        seen = []
+        report = run_suite(
+            names=["operator/rmatvec-assembled"], rounds=1, warmup=0,
+            progress=lambda entry, row: seen.append(entry.name),
+        )
+        assert report["schema"] == BENCH_SCHEMA
+        assert seen == ["operator/rmatvec-assembled"]
+        assert report["results"][0]["rounds"] == 1
+        assert report["fingerprint"]["python"]
+
+    def test_fingerprint_stability(self):
+        # Two fingerprints of one environment must be identical -- compare
+        # relies on it to distinguish machine changes from regressions.
+        assert environment_fingerprint() == environment_fingerprint()
+        for key in ("python", "numpy", "scipy", "repro", "system",
+                    "machine", "cpu_count", "python_implementation"):
+            assert key in environment_fingerprint()
+
+    def test_report_round_trip(self, tmp_path):
+        report = {
+            "schema": BENCH_SCHEMA, "suite": "unit", "created_unix": 0.0,
+            "fingerprint": environment_fingerprint(),
+            "results": [],
+        }
+        path = tmp_path / "BENCH_unit.json"
+        write_report(str(path), report)
+        assert load_report(str(path)) == report
+        with pytest.raises(ValueError, match="schema"):
+            bad = tmp_path / "bad.json"
+            bad.write_text(json.dumps({"schema": "nope"}))
+            load_report(str(bad))
+
+    def test_default_output_paths(self):
+        assert default_output_path("ext-op") == "BENCH_ext_op.json"
+        assert default_output_path("parallel") == "BENCH_parallel.json"
+        assert default_output_path("smoke") == "BENCH_smoke.json"
+        assert default_output_path(None) == "BENCH_all.json"
+
+
+def _report(times):
+    return {
+        "schema": BENCH_SCHEMA, "suite": "unit", "created_unix": 0.0,
+        "fingerprint": environment_fingerprint(),
+        "results": [
+            {"name": name, "min_s": t, "mean_s": t, "times_s": [t],
+             "rounds": 1, "warmup": 0, "suites": ["unit"], "meta": {}}
+            for name, t in times.items()
+        ],
+    }
+
+
+class TestCompare:
+    def test_self_comparison_passes(self):
+        report = _report({"a": 1.0, "b": 0.25})
+        cmp = compare_reports(report, copy.deepcopy(report))
+        assert cmp.exit_code == 0
+        assert all(r.status == "ok" for r in cmp.rows)
+
+    def test_injected_2x_regression_fails(self):
+        base = _report({"a": 1.0, "b": 0.25})
+        cur = _report({"a": 2.0, "b": 0.25})
+        cmp = compare_reports(base, cur)
+        assert cmp.exit_code == 1
+        assert [r.name for r in cmp.regressions] == ["a"]
+        assert cmp.regressions[0].ratio == pytest.approx(2.0)
+
+    def test_threshold_boundary(self):
+        base = _report({"a": 1.0})
+        assert compare_reports(base, _report({"a": 1.4})).exit_code == 0
+        assert compare_reports(base, _report({"a": 1.6})).exit_code == 1
+        # A custom threshold moves the gate.
+        assert compare_reports(
+            base, _report({"a": 1.6}), threshold=1.0
+        ).exit_code == 0
+
+    def test_micro_jitter_below_absolute_floor_never_regresses(self):
+        # 3x slower but only 2 ms absolute: scheduler noise, not a
+        # regression.
+        base = _report({"micro": 0.001})
+        cur = _report({"micro": 0.003})
+        assert compare_reports(base, cur).exit_code == 0
+        # Dropping the floor makes the same delta trip the gate.
+        assert compare_reports(base, cur, min_delta_s=0.0).exit_code == 1
+
+    def test_improvement_and_membership_changes(self):
+        base = _report({"a": 1.0, "gone": 1.0})
+        cur = _report({"a": 0.4, "new": 1.0})
+        cmp = compare_reports(base, cur)
+        assert cmp.exit_code == 0
+        by_name = {r.name: r.status for r in cmp.rows}
+        assert by_name == {"a": "improved", "gone": "removed", "new": "added"}
+
+    def test_fingerprint_change_warns_but_does_not_fail(self):
+        base = _report({"a": 1.0})
+        cur = copy.deepcopy(base)
+        cur["fingerprint"]["numpy"] = "0.0.1"
+        cmp = compare_reports(base, cur)
+        assert cmp.exit_code == 0
+        assert "numpy" in cmp.fingerprint_changes
+        assert "fingerprint changed" in format_comparison(cmp)
+
+    def test_comparison_serializes(self):
+        cmp = compare_reports(_report({"a": 1.0}), _report({"a": 2.0}))
+        payload = cmp.to_dict()
+        assert payload["schema"] == "repro.bench-compare/1"
+        assert payload["regressed"] == 1
+        json.dumps(payload)  # JSON-safe
+
+    def test_invalid_gate_parameters(self):
+        base = _report({"a": 1.0})
+        with pytest.raises(ValueError, match="threshold"):
+            compare_reports(base, base, threshold=0.0)
+        with pytest.raises(ValueError, match="min_delta"):
+            compare_reports(base, base, min_delta_s=-1.0)
+
+
+class TestCLI:
+    def test_bench_cli_run_compare_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "base.json"
+        assert main([
+            "bench", "run", "--name", "operator/rmatvec-assembled",
+            "--rounds", "1", "--warmup", "0", "--output", str(out),
+        ]) == 0
+        assert load_report(str(out))["results"][0]["name"] == (
+            "operator/rmatvec-assembled"
+        )
+        # Same baseline twice: exit 0.
+        assert main(["bench", "compare", str(out), str(out)]) == 0
+        # Synthetic 2x slowdown: exit nonzero, and the JSON report names it.
+        slow = json.loads(out.read_text())
+        slow["results"][0]["min_s"] *= 2.0
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slow))
+        cmp_path = tmp_path / "cmp.json"
+        assert main([
+            "bench", "compare", str(out), str(slow_path),
+            "--report", str(cmp_path),
+        ]) == 1
+        assert json.loads(cmp_path.read_text())["regressed"] == 1
+        assert main(["bench", "report", str(out)]) == 0
+        assert main(["bench", "list"]) == 0
+        capsys.readouterr()

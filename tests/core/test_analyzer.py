@@ -75,11 +75,13 @@ class TestAnalyzeCDR:
         assert trace["iterations"] == analysis.solver_result.iterations
         assert trace["method"] == analysis.solver_result.method
 
-    def test_legacy_timing_properties_deprecated(self, analysis):
-        with pytest.deprecated_call():
-            assert analysis.form_time == analysis.build_seconds
-        with pytest.deprecated_call():
-            assert analysis.solve_time == analysis.solve_seconds
+    def test_legacy_timing_properties_removed(self, analysis):
+        # form_time/solve_time were deprecated aliases of build_seconds /
+        # solve_seconds; both are gone now.
+        assert not hasattr(analysis, "form_time")
+        assert not hasattr(analysis, "solve_time")
+        assert analysis.build_seconds > 0.0
+        assert analysis.solve_seconds > 0.0
 
     def test_report_format(self, analysis):
         report = analysis.report()

@@ -159,14 +159,16 @@ class TestRegistry:
                 res.distribution, ref, atol=1e-7, err_msg=entry.name
             )
 
-    def test_solver_names_deprecation(self):
+    def test_solver_names_alias_removed(self):
+        # The deprecated SOLVER_NAMES tuple is gone; the registry is the
+        # only source of truth for available solvers.
         import repro.markov as markov
         import repro.markov.stationary as stationary
 
         for module in (markov, stationary):
-            with pytest.warns(DeprecationWarning, match="SOLVER_NAMES"):
-                names = module.SOLVER_NAMES
-            assert names == ("auto",) + solver_names()
+            with pytest.raises(AttributeError):
+                module.SOLVER_NAMES
+        assert len(solver_names()) == 8
 
 
 class TestIterateFixedPoint:

@@ -9,8 +9,12 @@ versus without one (min filters scheduler noise).
 
 import time
 
+import numpy as np
+
 from repro import CDRSpec, analyze_cdr
+from repro.markov.linop import as_operator
 from repro.obs import Tracer, use_tracer
+from repro.obs.profile import instrument_operator, profiled
 
 
 def _min_wall(fn, rounds):
@@ -57,3 +61,41 @@ def test_resilient_happy_path_overhead_below_five_percent():
         f"resilient {guarded:.3f}s vs baseline {baseline:.3f}s "
         f"({overhead:+.1%} overhead)"
     )
+
+
+def test_profiling_off_overhead_below_five_percent():
+    # instrument_operator is compiled into every solver dispatch and every
+    # measure kernel.  With no active ProfileSession it must collapse to a
+    # contextvar lookup + None check -- the baseline-scenario analysis may
+    # not slow down just because the hook exists.  Both arms below run the
+    # exact same code (the hook is unconditionally present), so this pins
+    # the absolute cost of the disabled hook against an active-session run
+    # and, more importantly, fails if someone makes the no-session path
+    # allocate.
+    spec = CDRSpec()
+    run = lambda: analyze_cdr(spec, solver="auto")
+
+    def under_session():
+        with profiled(metrics=False):
+            run()
+
+    run()  # warm caches outside the measurement
+    baseline = _min_wall(run, 5)
+    counting = _min_wall(under_session, 5)
+    overhead = (counting - baseline) / baseline
+    assert overhead < 0.05, (
+        f"profiled {counting:.3f}s vs baseline {baseline:.3f}s "
+        f"({overhead:+.1%} overhead)"
+    )
+
+
+def test_disabled_hook_cost_is_nanoscale():
+    # Direct micro-check of the no-session fast path: a million identity
+    # pass-throughs must complete in well under a second (~100ns each),
+    # i.e. the hook is one ContextVar.get() and a None test.
+    op = as_operator(np.eye(4))
+    t0 = time.perf_counter()
+    for _ in range(1_000_000):
+        instrument_operator(op, role="noop")
+    per_call = (time.perf_counter() - t0) / 1e6
+    assert per_call < 2e-6, f"disabled hook costs {per_call * 1e9:.0f}ns/call"
