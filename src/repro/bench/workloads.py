@@ -20,6 +20,13 @@ Four suites, registered at import time (see :mod:`repro.bench.registry`):
 ``scenarios``
     The scenario grid alone (a superset marker on the same benchmarks the
     smoke suite uses), for benchmarking catalog changes in isolation.
+``hierarchy``
+    The solve-context trajectory: hierarchy construction cost vs cached
+    reuse, and dense parameter sweeps cold vs through a
+    :class:`~repro.markov.SolveContext` (shared hierarchy + warm starts)
+    at two model sizes (the ``BENCH_hierarchy.json`` artifact).  The
+    headline number is ``warm_vs_cold_tail_ratio`` on the M=512 chain
+    (15360 states): per-point cost excluding the first (cold) point.
 """
 
 from __future__ import annotations
@@ -294,3 +301,173 @@ def _register_parallel_benchmarks() -> None:
 
 
 _register_parallel_benchmarks()
+
+# ---------------------------------------------------------------------- #
+# solve contexts: hierarchy reuse and warm-started sweeps
+# ---------------------------------------------------------------------- #
+
+#: Dense nw_std grid of the hierarchy sweeps -- adjacent points differ by
+#: 1e-4 in noise std, the regime of a publication-grade BER-vs-noise
+#: curve, where warm starts pay the most.
+_DENSE_SWEEP_VALUES = (0.1, 0.1001, 0.1002, 0.1003)
+
+
+def _dense_sweep(M: int, solve_context=None):
+    from repro.cdr.sweep import sweep_parameter
+
+    return sweep_parameter(
+        _ext_op_spec(M),
+        "nw_std",
+        list(_DENSE_SWEEP_VALUES),
+        solver="multigrid",
+        tol=1e-10,
+        solve_context=solve_context,
+    )
+
+
+def _per_point_seconds(records) -> list:
+    return [float(r["form_time_s"] + r["solve_time_s"]) for r in records]
+
+
+def _tail_mean(xs) -> float:
+    tail = xs[1:]
+    return float(sum(tail) / len(tail))
+
+
+def _register_hierarchy_benchmarks() -> None:
+    @register_benchmark(
+        "hierarchy/build-cold-M512",
+        suites=("hierarchy",),
+        rounds=3,
+        warmup=1,
+        description="build_hierarchy from scratch on the 15360-state "
+        "assembled chain (what every cold multigrid solve pays)",
+    )
+    def _bench_build_cold():
+        from repro.markov import build_hierarchy
+        from repro.markov.registry import get_backend
+
+        model = get_backend("assembled").build(_ext_op_spec(512))
+
+        def workload():
+            hierarchy = build_hierarchy(
+                model.chain, strategy=model.multigrid_strategy()
+            )
+            return {
+                "n_states": hierarchy.n_states,
+                "levels": hierarchy.n_levels,
+                "coarsest": hierarchy.level_sizes[-1],
+            }
+
+        return workload
+
+    @register_benchmark(
+        "hierarchy/reuse-cached-M512",
+        suites=("hierarchy",),
+        rounds=3,
+        warmup=1,
+        description="1000x SolveContext.hierarchy_for on a primed cache "
+        "(the digest-lookup cost a reused hierarchy pays instead)",
+    )
+    def _bench_reuse_cached():
+        from repro.markov import SolveContext
+        from repro.markov.registry import get_backend
+
+        model = get_backend("assembled").build(_ext_op_spec(512))
+        ctx = SolveContext()
+        ctx.hierarchy_for(model.chain, strategy=model.multigrid_strategy())
+
+        def workload():
+            for _ in range(1000):
+                hierarchy = ctx.hierarchy_for(model.chain)
+            return {
+                "lookups": 1000,
+                "hits": ctx.hits,
+                "levels": hierarchy.n_levels,
+            }
+
+        return workload
+
+    for M in (128, 512):
+
+        @register_benchmark(
+            f"hierarchy/sweep-cold-M{M}",
+            suites=("hierarchy",),
+            rounds=1,
+            warmup=0,
+            description=f"{len(_DENSE_SWEEP_VALUES)}-point dense nw_std "
+            f"sweep at M={M}, no solve context (hierarchy rebuilt and "
+            "iteration count paid in full at every point)",
+        )
+        def _cold_factory(M=M):
+            def workload():
+                records = _dense_sweep(M)
+                per_point = _per_point_seconds(records)
+                return {
+                    "M": M,
+                    "n_states": records[0]["n_states"],
+                    "points": len(records),
+                    "iterations": [r["iterations"] for r in records],
+                    "per_point_tail_s": _tail_mean(per_point),
+                }
+
+            return workload
+
+        @register_benchmark(
+            f"hierarchy/sweep-warm-M{M}",
+            suites=("hierarchy",),
+            rounds=1,
+            warmup=0,
+            description=f"the same dense sweep at M={M} through a fresh "
+            "SolveContext: one hierarchy build, every later point "
+            "warm-started from its neighbor",
+        )
+        def _warm_factory(M=M):
+            from repro.markov import SolveContext
+
+            def workload():
+                ctx = SolveContext()
+                records = _dense_sweep(M, solve_context=ctx)
+                per_point = _per_point_seconds(records)
+                return {
+                    "M": M,
+                    "n_states": records[0]["n_states"],
+                    "points": len(records),
+                    "iterations": [r["iterations"] for r in records],
+                    "warm_started": [r["warm_started"] for r in records],
+                    "per_point_tail_s": _tail_mean(per_point),
+                    "context": ctx.stats(),
+                }
+
+            return workload
+
+    @register_benchmark(
+        "hierarchy/speedup-M512",
+        suites=("hierarchy",),
+        rounds=1,
+        warmup=0,
+        description="cold and warm dense sweeps back to back at M=512; "
+        "meta.warm_vs_cold_tail_ratio is the acceptance headline "
+        "(>= 2x per point excluding the first)",
+    )
+    def _bench_speedup():
+        from repro.markov import SolveContext
+
+        def workload():
+            cold = _per_point_seconds(_dense_sweep(512))
+            ctx = SolveContext()
+            warm_records = _dense_sweep(512, solve_context=ctx)
+            warm = _per_point_seconds(warm_records)
+            return {
+                "n_states": warm_records[0]["n_states"],
+                "cold_per_point_tail_s": _tail_mean(cold),
+                "warm_per_point_tail_s": _tail_mean(warm),
+                "warm_vs_cold_tail_ratio": _tail_mean(cold) / _tail_mean(warm),
+                "warm_iterations": [r["iterations"] for r in warm_records],
+                "context": ctx.stats(),
+            }
+
+        return workload
+
+
+_register_hierarchy_benchmarks()

@@ -430,6 +430,18 @@ def _assemble(
     else:
         E = sp.csr_matrix((n, n))
     chain = MarkovChain(P)
+    # Structure identity for hierarchy caching (repro.markov.context):
+    # dimensions, counter/step layout, the n_r shift pattern and the data
+    # source's transition structure -- every noise probability excluded,
+    # so sweep points differing only in noise rates share one digest even
+    # though near-zero probabilities shift the CSR sparsity pattern.
+    ds_P = data_source.chain.P.tocsr()
+    chain.set_structure_token((
+        "cdr-assembled", D, C, M, N, g,
+        tuple(int(v) for v in nr_steps.values),
+        tuple(int(data_source.symbol(s)) for s in range(D)),
+        ds_P.indptr.tobytes(), ds_P.indices.tobytes(),
+    ))
     form_time = time.perf_counter() - start
     memory_bytes = int(
         P.data.nbytes + P.indices.nbytes + P.indptr.nbytes

@@ -262,6 +262,13 @@ class CampaignResult:
     failed_seeds: List[Dict[str, Any]] = field(default_factory=list)
     resumed_seeds: int = 0
     mode: str = "discretized"
+    #: Markov-chain predictions for the same design point (present when
+    #: the campaign was given a ``reference_spec``): the analytic BER /
+    #: slip rate the pooled estimates must converge to.
+    reference: Optional[Dict[str, Any]] = None
+    #: Hierarchy-cache statistics of the campaign's solve context (see
+    #: :class:`~repro.markov.SolveContext`); ``None`` without a reference.
+    context_stats: Optional[Dict[str, Any]] = None
 
     @property
     def n_symbols(self) -> int:
@@ -295,6 +302,8 @@ class CampaignResult:
             parts.append(f"{self.resumed_seeds} seeds replayed from checkpoint")
         if self.failed_seeds:
             parts.append(f"{len(self.failed_seeds)} seeds FAILED")
+        if self.reference:
+            parts.append(f"chain predicts BER {self.reference['ber']:.3e}")
         return "; ".join(parts)
 
 
@@ -310,6 +319,8 @@ def simulate_cdr_campaign(
     mode: str = "discretized",
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    reference_spec=None,
+    solve_context=None,
     **sim_kwargs,
 ) -> CampaignResult:
     """Run :func:`simulate_cdr` once per seed, with per-seed checkpoints.
@@ -322,7 +333,37 @@ def simulate_cdr_campaign(
     seed fully determines its RNG stream, the pooled campaign statistics
     after a mid-campaign kill and resume are bit-identical to an
     uninterrupted campaign.
+
+    ``reference_spec`` (a :class:`~repro.core.spec.CDRSpec`) additionally
+    solves the Markov chain of the same design point **once per
+    campaign** -- through the shared ``solve_context`` when one is passed
+    (so a surrounding sweep's cached hierarchy and warm-start vectors are
+    reused), through a fresh :class:`~repro.markov.SolveContext`
+    otherwise -- and attaches the analytic predictions as
+    :attr:`CampaignResult.reference`.
     """
+    reference = None
+    context_stats = None
+    if reference_spec is not None:
+        from repro.core.analyzer import analyze_cdr
+        from repro.markov.context import SolveContext
+
+        if solve_context is None:
+            solve_context = SolveContext()
+        analysis = analyze_cdr(reference_spec, solve_context=solve_context)
+        reference = {
+            "ber": analysis.ber,
+            "ber_discrete": analysis.ber_discrete,
+            "slip_rate": analysis.slip_rate,
+            "phase_rms": analysis.phase_rms,
+            "n_states": analysis.n_states,
+            "iterations": analysis.solver_result.iterations,
+            "warm_started": bool(
+                getattr(analysis.solver_result, "warm_started", False)
+            ),
+        }
+        context_stats = solve_context.stats()
+
     checkpointer = None
     resumed = 0
     if checkpoint_path is not None:
@@ -381,5 +422,6 @@ def simulate_cdr_campaign(
             if checkpointer is not None:
                 checkpointer.record(index, record)
     return CampaignResult(
-        records=records, failed_seeds=failed, resumed_seeds=resumed, mode=mode
+        records=records, failed_seeds=failed, resumed_seeds=resumed, mode=mode,
+        reference=reference, context_stats=context_stats,
     )

@@ -294,6 +294,31 @@ class CDRTransitionOperator:
         acc.sum_duplicates()
         return sp.diags(1.0 / block_mass).dot(acc).tocsr()
 
+    def structure_token(self):
+        """Hashable structure identity (noise probabilities excluded).
+
+        Two operators with equal tokens have identical state layouts and
+        branch/shift structure, so a coarsening hierarchy or warm-start
+        vector built for one is valid for the other -- this is what lets
+        sweep points differing only in ``nw_std``/``nr`` rates share one
+        cached hierarchy (see :func:`repro.markov.context.structural_digest`).
+        The decision masses ``q_vec`` and the drift/data ``scalar``
+        weights are *values*, not structure, and are deliberately left
+        out; what remains is the (src, dst, shift) roll topology.
+        """
+        return (
+            "cdr",
+            self.D,
+            self.C,
+            self.M,
+            self.counter_length,
+            self.phase_step_units,
+            tuple(
+                (src, dst, shift % self.M, q_vec is None)
+                for src, dst, shift, q_vec, _ in self._terms
+            ),
+        )
+
     def slip_row_sums(self) -> np.ndarray:
         """Per-state probability of a phase-wrap (cycle-slip) transition.
 

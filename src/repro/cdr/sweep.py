@@ -46,10 +46,14 @@ class SweepResult(List[Dict[str, Any]]):
         records: Iterable[Dict[str, Any]] = (),
         failed_points: Optional[List[Dict[str, Any]]] = None,
         resumed_points: int = 0,
+        context_stats: Optional[Dict[str, Any]] = None,
     ) -> None:
         super().__init__(records)
         self.failed_points: List[Dict[str, Any]] = failed_points or []
         self.resumed_points = resumed_points
+        #: Hierarchy-cache / warm-start counters of the sweep's
+        #: :class:`~repro.markov.SolveContext`; ``None`` for cold sweeps.
+        self.context_stats: Optional[Dict[str, Any]] = context_stats
 
     @property
     def n_failed(self) -> int:
@@ -59,6 +63,13 @@ class SweepResult(List[Dict[str, Any]]):
         parts = [f"{len(self)} points completed"]
         if self.resumed_points:
             parts.append(f"{self.resumed_points} replayed from checkpoint")
+        if self.context_stats:
+            cs = self.context_stats
+            parts.append(
+                f"hierarchy cache {cs['hierarchy_hits']} hits / "
+                f"{cs['hierarchy_misses']} misses, "
+                f"{cs['warm_starts']} warm starts"
+            )
         if self.failed_points:
             kinds = ", ".join(
                 f"point {e['index']} ({e['error_type']})"
@@ -102,6 +113,8 @@ def sweep_parameter(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     analyze_fn: Optional[Callable[..., Any]] = None,
+    solve_context=None,
+    warm_start: Optional[bool] = None,
 ) -> SweepResult:
     """Analyze ``base_spec`` with ``parameter`` swept over ``values``.
 
@@ -136,8 +149,31 @@ def sweep_parameter(
         The per-point analysis callable, defaulting to
         :func:`~repro.core.analyzer.analyze_cdr`.  Injection point for the
         fault harness (and for tests that stub the analyzer).
+    solve_context:
+        A :class:`~repro.markov.SolveContext` shared by every point: one
+        coarsening hierarchy per chain *structure* (sweep points that
+        differ only in noise parameters share one) and warm starts from
+        the nearest solved neighbor (the previously completed point of
+        the same structure).  The context's cache statistics land on
+        :attr:`SweepResult.context_stats`.
+    warm_start:
+        ``True`` builds an internal context when none was passed (so
+        adjacent points warm-start each other); ``False`` disables warm
+        starting on the context for the duration of the sweep (hierarchy
+        reuse stays on).  The default, ``None``, enables warm starts
+        exactly when a ``solve_context`` is provided -- cold sweeps stay
+        bit-identical to earlier releases, which checkpoint replay
+        depends on.
     """
     analyze = analyze_cdr if analyze_fn is None else analyze_fn
+    if solve_context is None and warm_start:
+        from repro.markov.context import SolveContext
+
+        solve_context = SolveContext()
+    restore_warm: Optional[bool] = None
+    if solve_context is not None and warm_start is False:
+        restore_warm = solve_context.warm_start
+        solve_context.warm_start = False
     registry = get_registry()
     counter = registry.counter(
         "repro_sweep_points_total", "Design points analyzed by sweeps"
@@ -165,53 +201,72 @@ def sweep_parameter(
         if resume:
             checkpointer.resume()
 
+    extra_kwargs: Dict[str, Any] = {}
+    if resilience is not None:
+        extra_kwargs["resilience"] = resilience
+    if solve_context is not None:
+        extra_kwargs["solve_context"] = solve_context
+
     records: List[Dict[str, Any]] = []
     failed: List[Dict[str, Any]] = []
-    with span("cdr.sweep", parameter=parameter, n_values=len(values)):
-        for index, value in enumerate(values):
-            if checkpointer is not None and checkpointer.is_done(index):
-                records.append(checkpointer.completed_record(index))
-                resumed += 1
-                continue
-            spec = base_spec.replace(**{parameter: value})
-            with span(
-                "cdr.sweep.point", parameter=parameter, value=value
-            ) as point_span:
-                try:
-                    result = analyze(
-                        spec, solver=solver, tol=tol, backend=backend,
-                        **({} if resilience is None else {"resilience": resilience}),
-                    )
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                except Exception as exc:  # noqa: BLE001 - per-point isolation
-                    entry = {
-                        "index": index,
-                        parameter: _json_safe(value),
-                        "value": _json_safe(value),
-                        "error_type": type(exc).__name__,
-                        "message": str(exc),
-                    }
-                    events = getattr(exc, "attempts", None)
-                    if events:
-                        entry["attempts"] = events
-                    failed.append(entry)
-                    failure_counter.inc(error_type=type(exc).__name__)
-                    point_span.set_attributes(
-                        failed=True, error_type=type(exc).__name__
-                    )
-                    if checkpointer is not None:
-                        checkpointer.record_failure(index, entry)
+    try:
+        with span("cdr.sweep", parameter=parameter, n_values=len(values)):
+            for index, value in enumerate(values):
+                if checkpointer is not None and checkpointer.is_done(index):
+                    records.append(checkpointer.completed_record(index))
+                    resumed += 1
                     continue
-            counter.inc()
-            record = _record_from_analysis(parameter, value, result)
-            resilience_events = getattr(result, "resilience_events", None)
-            if resilience_events:
-                record["resilience_events"] = resilience_events
-            records.append(record)
-            if checkpointer is not None:
-                checkpointer.record(index, record)
-    return SweepResult(records, failed_points=failed, resumed_points=resumed)
+                spec = base_spec.replace(**{parameter: value})
+                with span(
+                    "cdr.sweep.point", parameter=parameter, value=value
+                ) as point_span:
+                    try:
+                        result = analyze(
+                            spec, solver=solver, tol=tol, backend=backend,
+                            **extra_kwargs,
+                        )
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:  # noqa: BLE001 - per-point isolation
+                        entry = {
+                            "index": index,
+                            parameter: _json_safe(value),
+                            "value": _json_safe(value),
+                            "error_type": type(exc).__name__,
+                            "message": str(exc),
+                        }
+                        events = getattr(exc, "attempts", None)
+                        if events:
+                            entry["attempts"] = events
+                        failed.append(entry)
+                        failure_counter.inc(error_type=type(exc).__name__)
+                        point_span.set_attributes(
+                            failed=True, error_type=type(exc).__name__
+                        )
+                        if checkpointer is not None:
+                            checkpointer.record_failure(index, entry)
+                        continue
+                counter.inc()
+                record = _record_from_analysis(parameter, value, result)
+                if solve_context is not None:
+                    record["warm_started"] = bool(
+                        getattr(result.solver_result, "warm_started", False)
+                    )
+                resilience_events = getattr(result, "resilience_events", None)
+                if resilience_events:
+                    record["resilience_events"] = resilience_events
+                records.append(record)
+                if checkpointer is not None:
+                    checkpointer.record(index, record)
+    finally:
+        if restore_warm is not None:
+            solve_context.warm_start = restore_warm
+    return SweepResult(
+        records,
+        failed_points=failed,
+        resumed_points=resumed,
+        context_stats=solve_context.stats() if solve_context is not None else None,
+    )
 
 
 def sweep_counter_length(

@@ -222,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated values, e.g. 1,2,4,8")
     p_sw.add_argument("--solver", default="auto")
     p_sw.add_argument("--tol", type=float, default=1e-10)
+    p_sw.add_argument("--warm-start", action="store_true",
+                      help="share one solve context across the sweep: "
+                           "coarsening hierarchies are built once per chain "
+                           "structure and each point warm-starts from the "
+                           "previous solution (off by default so checkpoint "
+                           "replay stays bit-identical)")
     _add_resilience_arguments(p_sw, interval=False)
     _add_metrics_argument(p_sw)
 
@@ -436,6 +442,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("error: --values is empty", file=sys.stderr)
         return 2
     kwargs = _resilience_kwargs(args)
+    if args.warm_start:
+        kwargs["warm_start"] = True
     with _RunObservation(args.metrics) as obs_run:
         records = sweep_parameter(
             spec, args.parameter, values, solver=args.solver, tol=args.tol,
@@ -449,6 +457,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "records": list(records),
                 "failed_points": records.failed_points,
                 "resumed_points": records.resumed_points,
+                "context_stats": records.context_stats,
             },
         )
     print(format_table(
@@ -456,7 +465,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         columns=[args.parameter, "ber", "slip_rate", "phase_rms",
                  "n_states", "solve_time_s"],
     ))
-    if records.resumed_points or records.failed_points:
+    if records.resumed_points or records.failed_points or records.context_stats:
         print(records.summary(), file=sys.stderr)
     return 1 if records.failed_points and not records else 0
 

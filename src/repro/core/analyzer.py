@@ -191,6 +191,7 @@ def _solve_and_measure(
     checkpoint_path: Optional[str] = None,
     checkpoint_interval: int = 25,
     resume: bool = False,
+    solve_context=None,
 ) -> CDRAnalysis:
     """The solve + measures stages, recorded under the open ``root`` span."""
     if solver == "auto":
@@ -207,10 +208,31 @@ def _solve_and_measure(
     if solver == "multigrid":
         # The paper's structured coarsening plus heavy Gauss-Jacobi
         # smoothing: CDR chains are drift-dominated, where extra cheap
-        # sweeps per V-cycle pay for themselves several times over.
-        solver_kwargs.setdefault("strategy", model.multigrid_strategy())
+        # sweeps per V-cycle pay for themselves several times over.  With
+        # a solve context the coarsening partitions come from its cache
+        # (built once per chain structure, with the model's phase-pairing
+        # -- a bare assembled CSR carries no phase structure to discover).
+        if solve_context is not None and "strategy" not in solver_kwargs:
+            solver_kwargs.setdefault(
+                "hierarchy",
+                solve_context.hierarchy_for(
+                    model.chain, strategy=model.multigrid_strategy()
+                ),
+            )
+        else:
+            solver_kwargs.setdefault("strategy", model.multigrid_strategy())
         solver_kwargs.setdefault("nu_pre", 8)
         solver_kwargs.setdefault("nu_post", 8)
+    elif solver == "krylov" and solve_context is not None:
+        # The cached hierarchy doubles as the AMG preconditioner.
+        solver_kwargs.setdefault("preconditioner", "amg")
+        solver_kwargs.setdefault(
+            "hierarchy",
+            solve_context.hierarchy_for(
+                model.chain, strategy=model.multigrid_strategy()
+            ),
+        )
+    x0 = solver_kwargs.pop("x0", None)
 
     # Always record the solver's per-iteration events so run manifests can
     # embed the full repro.solver-trace/1 story; tee to a caller monitor.
@@ -231,9 +253,10 @@ def _solve_and_measure(
                 model, solver, max_iter, solver_kwargs, resilience
             )
             outcome = resilient_stationary(
-                model.chain, policy, tol=tol, monitor=monitor,
+                model.chain, policy, tol=tol, x0=x0, monitor=monitor,
                 checkpoint_path=checkpoint_path,
                 checkpoint_interval=checkpoint_interval, resume=resume,
+                solve_context=solve_context,
             )
             result = outcome.result
             resilience_events = outcome.events()
@@ -241,10 +264,17 @@ def _solve_and_measure(
                 attempts=len(outcome.attempts), escalations=outcome.escalations
             )
         else:
+            warmed = False
+            if x0 is None and solve_context is not None:
+                x0 = solve_context.warm_start_for(model.chain)
+                warmed = x0 is not None
             result = stationary_distribution(
                 model.chain, method=solver, tol=tol, max_iter=max_iter,
-                monitor=monitor, **solver_kwargs,
+                monitor=monitor, x0=x0, **solver_kwargs,
             )
+            result.warm_started = warmed
+            if solve_context is not None and result.converged:
+                solve_context.record_solution(model.chain, result.distribution)
         solve_span.set_attributes(
             method=result.method,
             iterations=result.iterations,
@@ -294,6 +324,7 @@ def analyze_model(
     checkpoint_path: Optional[str] = None,
     checkpoint_interval: int = 25,
     resume: bool = False,
+    solve_context=None,
     **solver_kwargs,
 ) -> CDRAnalysis:
     """Analyze an already-built model (see :func:`analyze_cdr`).
@@ -310,6 +341,7 @@ def analyze_model(
             backend=backend, resilience=resilience,
             checkpoint_path=checkpoint_path,
             checkpoint_interval=checkpoint_interval, resume=resume,
+            solve_context=solve_context,
         )
 
 
@@ -323,6 +355,7 @@ def analyze_cdr(
     checkpoint_path: Optional[str] = None,
     checkpoint_interval: int = 25,
     resume: bool = False,
+    solve_context=None,
     **solver_kwargs,
 ) -> CDRAnalysis:
     """Build and analyze a CDR design point.
@@ -354,6 +387,14 @@ def analyze_cdr(
         Solver-state checkpointing for the resilient path (the CLI's
         ``--checkpoint`` / ``--resume`` flags); see
         :class:`~repro.resilience.SolverCheckpointer`.
+    solve_context:
+        Optional :class:`~repro.markov.SolveContext`.  Supplies the
+        cached coarsening hierarchy to multigrid / Krylov+AMG solves,
+        warm-starts the iteration from the context's last solution of a
+        structurally identical chain (``x0`` in ``solver_kwargs`` takes
+        precedence), and records the converged distribution back into
+        the context.  Sweeps and Monte-Carlo campaigns share one context
+        across all their points.
     tol, max_iter, solver_kwargs:
         Forwarded to the solver.  Pass
         ``monitor=repro.markov.RecordingMonitor()`` here to capture the
@@ -378,6 +419,7 @@ def analyze_cdr(
                 backend=entry.name, resilience=resilience,
                 checkpoint_path=checkpoint_path,
                 checkpoint_interval=checkpoint_interval, resume=resume,
+                solve_context=solve_context,
             )
         except Exception as exc:
             from repro.resilience import BudgetExceeded
@@ -422,6 +464,7 @@ def analyze_cdr(
             backend=free_entry.name, resilience=resilience,
             checkpoint_path=checkpoint_path,
             checkpoint_interval=checkpoint_interval, resume=resume,
+            solve_context=solve_context,
         )
     analysis.resilience_events.insert(0, degradation_event)
     return analysis

@@ -183,6 +183,56 @@ class KroneckerDescriptor:
             )
         return self.to_sparse()
 
+    def restrict(self, partition, weights=None) -> sp.csr_matrix:
+        """Weighted Galerkin coarse operator (see ``lumped_tpm``).
+
+        Built term by term so the full Kronecker product never exists as
+        one matrix: each term's COO triplets are generated from its
+        factor products via :meth:`to_sparse`-style expansion of that
+        single term, aggregated into coarse block coordinates.  Transient
+        memory is O(nnz of one term), not O(nnz of the sum).
+        """
+        from repro.markov.lumping import prepare_block_weights
+
+        if partition.n_states != self.n:
+            raise ValueError("partition size does not match descriptor size")
+        w, block_mass = prepare_block_weights(partition, weights)
+        block = partition.block_of
+        nb = partition.n_blocks
+        acc = sp.csr_matrix((nb, nb))
+        for coeff, mats in self._terms:
+            term = mats[0]
+            for A in mats[1:]:
+                term = sp.kron(term, A, format="coo")
+            term = term.tocoo()
+            chunk = sp.coo_matrix(
+                (coeff * w[term.row] * term.data,
+                 (block[term.row], block[term.col])),
+                shape=(nb, nb),
+            ).tocsr()
+            acc = acc + chunk
+        acc.sum_duplicates()
+        return sp.diags(1.0 / block_mass).dot(acc).tocsr()
+
+    def structure_token(self):
+        """Hashable structure identity: factor sparsity patterns only.
+
+        Coefficients and factor *values* are excluded (they carry the
+        noise parameters); the per-term factor shapes and index patterns
+        are the structure.  Used by
+        :func:`repro.markov.context.structural_digest`.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for _, mats in self._terms:
+            for A in mats:
+                A = A.tocsr()
+                h.update(np.asarray(A.shape, dtype=np.int64).tobytes())
+                h.update(np.ascontiguousarray(A.indptr).tobytes())
+                h.update(np.ascontiguousarray(A.indices).tobytes())
+        return ("kronecker", tuple(self._dims), self.n_terms, h.hexdigest())
+
     def power_iteration_stationary(
         self,
         tol: float = 1e-10,

@@ -43,9 +43,20 @@ from repro.markov.monitor import (
 from repro.markov.multigrid import (
     MultigridOptions,
     MultigridSolver,
+    coarsening_names,
+    get_coarsening,
     pairing_hierarchy,
     pairwise_strength_partition,
+    register_coarsening,
     solve_multigrid,
+    strength_of_connection_partition,
+)
+from repro.markov.context import (
+    AMGPreconditioner,
+    CoarseningHierarchy,
+    SolveContext,
+    build_hierarchy,
+    structural_digest,
 )
 from repro.markov.passage import (
     expected_visits,
@@ -92,6 +103,7 @@ from repro.markov.linop import (
     as_operator,
     ensure_csr,
     operator_residual,
+    unwrap_operator,
 )
 from repro.markov.registry import (
     BackendEntry,
@@ -144,6 +156,16 @@ __all__ = [
     "solve_multigrid",
     "pairing_hierarchy",
     "pairwise_strength_partition",
+    "strength_of_connection_partition",
+    "register_coarsening",
+    "get_coarsening",
+    "coarsening_names",
+    "SolveContext",
+    "CoarseningHierarchy",
+    "AMGPreconditioner",
+    "build_hierarchy",
+    "structural_digest",
+    "unwrap_operator",
     "SolverMonitor",
     "NullMonitor",
     "MultiSolveRecorder",

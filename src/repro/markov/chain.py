@@ -76,7 +76,7 @@ class MarkovChain:
         trusted internal builder); default is to validate.
     """
 
-    __slots__ = ("_P", "_labels", "_label_index")
+    __slots__ = ("_P", "_labels", "_label_index", "_structure_token")
 
     def __init__(
         self,
@@ -100,6 +100,7 @@ class MarkovChain:
         else:
             self._labels = None
         self._label_index = None
+        self._structure_token = None
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -122,6 +123,22 @@ class MarkovChain:
     @property
     def state_labels(self) -> Optional[List]:
         return self._labels
+
+    def structure_token(self):
+        """Value-free structure identity set by a model builder, or None.
+
+        Trusted builders (e.g. :func:`repro.cdr.model.build_cdr_chain`)
+        describe the chain's *structure* -- dimensions, branch layout,
+        shift pattern -- with every noise-dependent probability excluded,
+        so :func:`repro.markov.context.structural_digest` can key
+        hierarchy caches by structure instead of by sparsity pattern
+        (which wobbles when near-zero probabilities drop out).
+        """
+        return self._structure_token
+
+    def set_structure_token(self, token) -> None:
+        """Attach a hashable structure identity (builders only)."""
+        self._structure_token = token
 
     def label_of(self, index: int):
         """Label of state ``index`` (the index itself if unlabeled)."""

@@ -48,6 +48,7 @@ __all__ = [
     "TransitionOperator",
     "AssembledOperator",
     "as_operator",
+    "unwrap_operator",
     "ensure_csr",
     "operator_residual",
 ]
@@ -87,13 +88,14 @@ class AssembledOperator:
     what the hand-written solvers did with their local ``PT = P.T.tocsr()``.
     """
 
-    __slots__ = ("P", "_PT")
+    __slots__ = ("P", "_PT", "_structure_token")
 
-    def __init__(self, P: sp.spmatrix) -> None:
+    def __init__(self, P: sp.spmatrix, structure_token=None) -> None:
         self.P = P.tocsr()
         if self.P.shape[0] != self.P.shape[1]:
             raise ValueError("transition matrix must be square")
         self._PT: Optional[sp.csr_matrix] = None
+        self._structure_token = structure_token
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -123,6 +125,16 @@ class AssembledOperator:
     def to_csr(self) -> sp.csr_matrix:
         return self.P
 
+    def structure_token(self):
+        """Value-free structure identity inherited from the source chain.
+
+        ``None`` for plain matrices; :func:`as_operator` propagates a
+        :class:`~repro.markov.chain.MarkovChain`'s builder-set token so
+        structural digests agree no matter which wrapper a call site
+        hands around.
+        """
+        return self._structure_token
+
     def restrict(
         self, partition: Partition, weights: Optional[np.ndarray] = None
     ) -> sp.csr_matrix:
@@ -143,7 +155,7 @@ def as_operator(obj) -> TransitionOperator:
     if isinstance(obj, AssembledOperator):
         return obj
     if isinstance(obj, MarkovChain):
-        return AssembledOperator(obj.P)
+        return AssembledOperator(obj.P, structure_token=obj.structure_token())
     if sp.issparse(obj):
         return AssembledOperator(obj.tocsr())
     if isinstance(obj, np.ndarray):
@@ -159,6 +171,18 @@ def as_operator(obj) -> TransitionOperator:
         "expected a MarkovChain, a sparse/dense matrix, or an object with "
         "matvec/rmatvec/shape"
     )
+
+
+def unwrap_operator(op):
+    """Strip profiling wrappers, returning the underlying operator.
+
+    :class:`~repro.obs.profile.InstrumentedOperator` forwards only the
+    protocol methods, so structural interrogation (coarsening factories,
+    structural digests) must reach the real operator underneath.
+    """
+    while hasattr(op, "inner") and hasattr(op, "role"):
+        op = op.inner
+    return op
 
 
 def ensure_csr(obj) -> sp.csr_matrix:

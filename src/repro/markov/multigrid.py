@@ -66,7 +66,12 @@ __all__ = [
     "MultigridSolver",
     "solve_multigrid",
     "pairwise_strength_partition",
+    "strength_of_connection_partition",
     "pairing_hierarchy",
+    "register_coarsening",
+    "get_coarsening",
+    "coarsening_names",
+    "resolve_strategy",
 ]
 
 _WEIGHT_FLOOR = 1e-300
@@ -115,6 +120,53 @@ def pairwise_strength_partition(P: sp.csr_matrix) -> Partition:
     return Partition(block_of)
 
 
+def strength_of_connection_partition(
+    P: sp.csr_matrix, theta: float = 0.25, max_aggregate: int = 8
+) -> Partition:
+    """Algebraic strength-of-connection aggregation (AMG-style).
+
+    For each unaggregated state ``i`` (in index order) a new aggregate is
+    seeded from ``i`` plus its *strong* unaggregated neighbours: ``j`` is
+    strong for ``i`` when the symmetric coupling ``P[i, j] + P[j, i]`` is
+    at least ``theta`` times the strongest off-diagonal coupling of row
+    ``i``.  Aggregates are capped at ``max_aggregate`` members (strongest
+    first) so the coarse problem keeps enough resolution for the
+    Koury-McAllister-Stewart correction to be effective.
+
+    Unlike the paper's phase-pairing this needs no structural knowledge,
+    so it applies to arbitrary chains (the bang-bang frequency loop, the
+    mesochronous retimer) where the phase-grid lumping does not.
+    """
+    if not 0.0 < theta <= 1.0:
+        raise ValueError("theta must be in (0, 1]")
+    if max_aggregate < 2:
+        raise ValueError("max_aggregate must be at least 2")
+    n = P.shape[0]
+    S = (P + P.T).tocsr()
+    S.setdiag(0.0)
+    S.eliminate_zeros()
+    indptr, indices, data = S.indptr, S.indices, S.data
+    block_of = np.full(n, -1, dtype=np.int64)
+    next_block = 0
+    for i in range(n):
+        if block_of[i] != -1:
+            continue
+        row = indices[indptr[i]:indptr[i + 1]]
+        vals = data[indptr[i]:indptr[i + 1]]
+        if vals.size:
+            strong = (vals >= theta * vals.max()) & (block_of[row] == -1)
+            members = row[strong]
+            if members.size > max_aggregate - 1:
+                order = np.argsort(vals[strong])[::-1]
+                members = members[order[: max_aggregate - 1]]
+        else:
+            members = row[:0]
+        block_of[i] = next_block
+        block_of[members] = next_block
+        next_block += 1
+    return Partition(block_of)
+
+
 def pairing_hierarchy(
     partitions: Sequence[Partition],
 ) -> CoarseningStrategy:
@@ -135,6 +187,91 @@ def pairing_hierarchy(
             )
         return part
     return strategy
+
+
+# --------------------------------------------------------------------- #
+# coarsening-strategy registry
+# --------------------------------------------------------------------- #
+
+# name -> factory(operator) -> CoarseningStrategy.  The factory receives
+# the (unwrapped) fine operator so structural strategies can interrogate
+# it; purely algebraic strategies ignore it.
+_COARSENERS: dict = {}
+
+
+def register_coarsening(name: str):
+    """Decorator registering a coarsening-strategy factory under ``name``."""
+    def deco(factory):
+        if name in _COARSENERS:
+            raise ValueError(f"coarsening strategy {name!r} already registered")
+        _COARSENERS[name] = factory
+        return factory
+    return deco
+
+
+def get_coarsening(name: str):
+    """Factory for a registered coarsening strategy (KeyError lists names)."""
+    try:
+        return _COARSENERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown coarsening strategy {name!r}; "
+            f"registered: {', '.join(sorted(_COARSENERS))}"
+        ) from None
+
+
+def coarsening_names() -> tuple:
+    return tuple(sorted(_COARSENERS))
+
+
+def resolve_strategy(strategy, op) -> CoarseningStrategy:
+    """Coerce a strategy spec (name / callable / None) to a callable.
+
+    ``op`` is unwrapped from any profiling instrumentation first so
+    structural factories (phase-pairing) see the real operator.
+    """
+    from repro.markov.linop import unwrap_operator
+
+    if strategy is None:
+        return _default_strategy
+    if callable(strategy):
+        return strategy
+    return get_coarsening(strategy)(unwrap_operator(op))
+
+
+@register_coarsening("pairwise")
+def _pairwise_factory(op) -> CoarseningStrategy:
+    return _default_strategy
+
+
+@register_coarsening("algebraic")
+def _algebraic_factory(op, theta: float = 0.25) -> CoarseningStrategy:
+    def strategy(level: int, P) -> Optional[Partition]:
+        if not sp.issparse(P):
+            P = ensure_csr(P)
+        return strength_of_connection_partition(P, theta=theta)
+    return strategy
+
+
+@register_coarsening("phase-pairing")
+def _phase_pairing_factory(op) -> CoarseningStrategy:
+    builder = getattr(op, "multigrid_strategy", None)
+    if builder is None:
+        raise OperatorCapabilityError(
+            f"{type(op).__name__} has no multigrid_strategy(); the "
+            "phase-pairing coarsening needs the CDR phase-grid structure "
+            "-- use 'algebraic' or 'pairwise' instead"
+        )
+    return builder()
+
+
+@register_coarsening("auto")
+def _auto_factory(op) -> CoarseningStrategy:
+    # Structured lumping when the operator knows its phase grid (the
+    # paper's strategy), algebraic strength-of-connection otherwise.
+    if getattr(op, "multigrid_strategy", None) is not None:
+        return _phase_pairing_factory(op)
+    return _algebraic_factory(op)
 
 
 @dataclass
@@ -195,17 +332,28 @@ class MultigridSolver:
     Parameters
     ----------
     strategy:
-        Coarsening strategy; defaults to generic pairwise strongest-coupling
-        aggregation at every level.
+        Coarsening strategy (callable or registered name); defaults to
+        generic pairwise strongest-coupling aggregation at every level.
     options:
         Numerical options (see :class:`MultigridOptions`).
+    hierarchy:
+        A prebuilt :class:`~repro.markov.context.CoarseningHierarchy`;
+        when given its cached partitions *are* the strategy (construction
+        is skipped, only the per-solve iterate re-weighting of the coarse
+        operators remains -- the construction/use split of the solve
+        context layer).  Mutually exclusive with ``strategy``.
     """
 
     def __init__(
         self,
         strategy: Optional[CoarseningStrategy] = None,
         options: Optional[MultigridOptions] = None,
+        hierarchy=None,
     ) -> None:
+        if hierarchy is not None:
+            if strategy is not None:
+                raise ValueError("pass either strategy or hierarchy, not both")
+            strategy = hierarchy.as_strategy()
         self._strategy = strategy or _default_strategy
         self.options = options or MultigridOptions()
         self._levels_used = 0
@@ -401,7 +549,7 @@ class MultigridSolver:
 
 def solve_multigrid(
     P,
-    strategy: Optional[CoarseningStrategy] = None,
+    strategy=None,
     tol: float = 1e-10,
     max_cycles: int = 200,
     x0: Optional[np.ndarray] = None,
@@ -411,8 +559,15 @@ def solve_multigrid(
     cycle_type: str = "V",
     monitor: Optional[SolverMonitor] = None,
     on_iterate=None,
+    hierarchy=None,
 ) -> StationaryResult:
-    """Convenience wrapper around :class:`MultigridSolver`."""
+    """Convenience wrapper around :class:`MultigridSolver`.
+
+    ``strategy`` may be a callable, a registered coarsening name
+    (see :func:`coarsening_names`), or ``None`` for the generic pairwise
+    default; ``hierarchy`` takes a prebuilt
+    :class:`~repro.markov.context.CoarseningHierarchy` instead.
+    """
     options = MultigridOptions(
         tol=tol,
         max_cycles=max_cycles,
@@ -421,9 +576,11 @@ def solve_multigrid(
         coarsest_size=coarsest_size,
         cycle_type=cycle_type,
     )
-    return MultigridSolver(strategy=strategy, options=options).solve(
-        P, x0=x0, monitor=monitor, on_iterate=on_iterate
-    )
+    if hierarchy is None and isinstance(strategy, str):
+        strategy = resolve_strategy(strategy, as_operator(P))
+    return MultigridSolver(
+        strategy=strategy, options=options, hierarchy=hierarchy
+    ).solve(P, x0=x0, monitor=monitor, on_iterate=on_iterate)
 
 
 @register_solver(
@@ -434,6 +591,10 @@ def solve_multigrid(
     fallback_priority=10,
 )
 def _dispatch_multigrid(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    context = kwargs.pop("context", None)
+    hierarchy = kwargs.pop("hierarchy", None)
+    if context is not None and hierarchy is None:
+        hierarchy = context.hierarchy_for(P)
     return solve_multigrid(
         P,
         strategy=kwargs.pop("strategy", None),
@@ -445,5 +606,6 @@ def _dispatch_multigrid(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, *
         coarsest_size=kwargs.pop("coarsest_size", 512),
         cycle_type=kwargs.pop("cycle_type", "V"),
         monitor=monitor,
+        hierarchy=hierarchy,
         **kwargs,
     )

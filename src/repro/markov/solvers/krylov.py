@@ -3,13 +3,34 @@
 The paper mentions that aggregation/disaggregation can accelerate "possibly
 the Krylov subspace methods"; here GMRES / BiCGStab from scipy are applied
 to the augmented nonsingular system (one stationary equation replaced by the
-normalization), optionally preconditioned with an ILU factorization.
+normalization), optionally preconditioned.
+
+Preconditioners:
+
+``"auto"`` (default)
+    ILU when the matrix is assembled, none otherwise -- the historical
+    behaviour.
+``"ilu"``
+    Incomplete-LU right preconditioning.  Needs the assembled matrix:
+    requesting it explicitly on a matrix-free operator raises a typed
+    :class:`~repro.markov.linop.OperatorCapabilityError` (it used to be
+    silently skipped, which made matrix-free solves look mysteriously
+    slower instead of failing loudly).
+``"amg"``
+    One V-cycle of an aggregation hierarchy
+    (:class:`~repro.markov.context.AMGPreconditioner`), fully
+    matrix-free.  Pass ``hierarchy=`` a prebuilt
+    :class:`~repro.markov.context.CoarseningHierarchy` or a
+    :class:`~repro.markov.context.SolveContext` (whose cache then makes
+    repeated solves of one structure pay the hierarchy build once);
+    omitted, a hierarchy is built on the spot.
+``None``
+    Unpreconditioned.
 
 Matrix-free capable: for an unassembled
 :class:`~repro.markov.linop.TransitionOperator` the augmented system is
 applied as ``y = x - P^T x`` with the last entry overwritten by ``sum(x)``
--- no matrix is formed.  ILU preconditioning requires the assembled matrix
-and is silently skipped on matrix-free backends.
+-- no matrix is formed.
 """
 
 from __future__ import annotations
@@ -20,13 +41,41 @@ from typing import Optional
 import numpy as np
 from scipy.sparse.linalg import LinearOperator, bicgstab, gmres, spilu
 
-from repro.markov.linop import AssembledOperator, as_operator, operator_residual
+from repro.markov.linop import (
+    AssembledOperator,
+    OperatorCapabilityError,
+    as_operator,
+    operator_residual,
+)
 from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.registry import register_solver
 from repro.markov.solvers.direct import augmented_system
 from repro.markov.solvers.result import StationaryResult, prepare_initial_guess
 
 __all__ = ["solve_krylov"]
+
+_PRECONDITIONERS = (None, "auto", "ilu", "amg")
+
+
+def _amg_preconditioner(op, hierarchy, weights):
+    """Resolve the ``hierarchy`` argument into an AMG ``M`` operator."""
+    from repro.markov.context import (
+        AMGPreconditioner,
+        CoarseningHierarchy,
+        SolveContext,
+        build_hierarchy,
+    )
+
+    if hierarchy is None:
+        hierarchy = build_hierarchy(op)
+    elif isinstance(hierarchy, SolveContext):
+        hierarchy = hierarchy.hierarchy_for(op)
+    elif not isinstance(hierarchy, CoarseningHierarchy):
+        raise TypeError(
+            "hierarchy must be a CoarseningHierarchy or SolveContext, "
+            f"got {type(hierarchy).__name__}"
+        )
+    return AMGPreconditioner(op, hierarchy, weights=weights)
 
 
 def solve_krylov(
@@ -35,10 +84,11 @@ def solve_krylov(
     max_iter: int = 5_000,
     x0: Optional[np.ndarray] = None,
     variant: str = "gmres",
-    preconditioner: Optional[str] = "ilu",
+    preconditioner: Optional[str] = "auto",
     restart: int = 50,
     monitor: Optional[SolverMonitor] = None,
     on_iterate=None,
+    hierarchy=None,
 ) -> StationaryResult:
     """Solve the augmented system with GMRES or BiCGStab.
 
@@ -47,13 +97,19 @@ def solve_krylov(
     variant:
         ``"gmres"`` (default) or ``"bicgstab"``.
     preconditioner:
-        ``"ilu"`` for an incomplete-LU right preconditioner, ``None`` to
-        disable (ILU can fail on highly structured singular-ish systems;
-        in that case the solver transparently retries unpreconditioned).
-        ILU needs the assembled matrix, so it is skipped for matrix-free
-        operators.
+        ``"auto"`` (ILU when assembled, none otherwise), ``"ilu"``,
+        ``"amg"`` (one hierarchy V-cycle, matrix-free capable) or
+        ``None``.  ILU can fail on highly structured singular-ish
+        systems; in that case the solver transparently retries
+        unpreconditioned.  Explicit ``"ilu"`` on a matrix-free operator
+        raises :class:`~repro.markov.linop.OperatorCapabilityError`.
     restart:
         GMRES restart length.
+    hierarchy:
+        For ``preconditioner="amg"``: a prebuilt
+        :class:`~repro.markov.context.CoarseningHierarchy` or a
+        :class:`~repro.markov.context.SolveContext`; built fresh when
+        omitted.
     monitor:
         Optional :class:`~repro.markov.monitor.SolverMonitor`.  One event
         per scipy callback (each GMRES restart cycle / each BiCGStab
@@ -63,21 +119,36 @@ def solve_krylov(
     """
     if variant not in ("gmres", "bicgstab"):
         raise ValueError(f"unknown Krylov variant {variant!r}")
-    if preconditioner not in (None, "ilu"):
-        raise ValueError(f"unknown preconditioner {preconditioner!r}")
+    if preconditioner not in _PRECONDITIONERS:
+        raise ValueError(
+            f"unknown preconditioner {preconditioner!r}; "
+            f"expected one of {_PRECONDITIONERS}"
+        )
     op = as_operator(P)
     n = op.shape[0]
+    assembled = isinstance(op, AssembledOperator)
+    resolved = preconditioner
+    if resolved == "auto":
+        resolved = "ilu" if assembled else None
+    if resolved == "ilu" and not assembled:
+        raise OperatorCapabilityError(
+            f"{type(op).__name__} cannot be ILU-preconditioned: ILU "
+            "factorization needs the assembled sparsity pattern.  Use "
+            "preconditioner='amg' (matrix-free) or None"
+        )
     x_init = prepare_initial_guess(n, x0)
     b = np.zeros(n)
     b[n - 1] = 1.0
 
     M = None
-    if isinstance(op, AssembledOperator):
+    suffix = ""
+    if assembled:
         A = augmented_system(op.P).tocsc()
-        if preconditioner == "ilu":
+        if resolved == "ilu":
             try:
                 ilu = spilu(A, drop_tol=1e-5, fill_factor=10)
                 M = LinearOperator((n, n), matvec=ilu.solve)
+                suffix = "+ilu"
             except RuntimeError:
                 M = None
         A_op = LinearOperator((n, n), matvec=A.dot)
@@ -90,7 +161,12 @@ def solve_krylov(
 
         A_op = LinearOperator((n, n), matvec=apply_augmented)
 
-    method = f"krylov-{variant}" + ("" if M is None else "+ilu")
+    if resolved == "amg":
+        amg = _amg_preconditioner(op, hierarchy, weights=x_init)
+        M = amg.as_linear_operator()
+        suffix = "+amg"
+
+    method = f"krylov-{variant}{suffix}"
     recorder, mon = instrument(method, n, tol, monitor)
     start = time.perf_counter()
 
@@ -147,11 +223,16 @@ def solve_krylov(
 @register_solver(
     "krylov",
     matrix_free=True,
-    description="GMRES/BiCGStab on the augmented system (ILU when assembled)",
+    description="GMRES/BiCGStab on the augmented system (ILU/AMG "
+    "preconditioning)",
     default_max_iter=5_000,
     fallback_priority=20,
 )
 def _dispatch_krylov(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kwargs):
+    context = kwargs.pop("context", None)
+    hierarchy = kwargs.pop("hierarchy", None)
+    if context is not None and hierarchy is None:
+        hierarchy = context
     return solve_krylov(
         P,
         tol=tol,
@@ -159,6 +240,7 @@ def _dispatch_krylov(P, *, tol=1e-10, max_iter=None, x0=None, monitor=None, **kw
         x0=x0,
         monitor=monitor,
         variant=kwargs.pop("variant", "gmres"),
-        preconditioner=kwargs.pop("preconditioner", "ilu"),
+        preconditioner=kwargs.pop("preconditioner", "auto"),
+        hierarchy=hierarchy,
         **kwargs,
     )

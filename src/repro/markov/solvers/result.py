@@ -155,6 +155,10 @@ class StationaryResult:
         (direct/eigen solves record a single entry).
     solve_time:
         Wall-clock seconds spent inside the solver.
+    warm_started:
+        Whether the solve started from a reused stationary vector rather
+        than the uniform guess (set by the solve-context layer; solvers
+        themselves leave it False).
     """
 
     distribution: np.ndarray
@@ -164,6 +168,7 @@ class StationaryResult:
     method: str
     residual_history: List[float] = field(default_factory=list)
     solve_time: float = 0.0
+    warm_started: bool = False
 
     def __post_init__(self) -> None:
         self.distribution = np.asarray(self.distribution, dtype=float)

@@ -298,6 +298,8 @@ def _format_resilience_event(ev: Dict[str, Any]) -> str:
             line += f", residual {ev['residual']:.3e}"
         if ev.get("perturbed_x0"):
             line += " (perturbed x0)"
+        if ev.get("warm_x0"):
+            line += " (warm x0)"
         if ev.get("error_type"):
             line += f" -- {ev['error_type']}: {ev.get('message', '')}"
         return line

@@ -182,6 +182,10 @@ class AttemptRecord:
     residual: Optional[float] = None
     wall_seconds: float = 0.0
     perturbed_x0: bool = False
+    #: The attempt started from a warm vector -- either a solve-context
+    #: solution of a structurally identical chain, or the last finite
+    #: iterate of the previous (failed) attempt in this chain.
+    warm_x0: bool = False
 
     def to_event(self) -> Dict[str, Any]:
         return {
@@ -194,6 +198,7 @@ class AttemptRecord:
             "residual": self.residual,
             "wall_seconds": self.wall_seconds,
             "perturbed_x0": self.perturbed_x0,
+            "warm_x0": self.warm_x0,
         }
 
 
@@ -271,6 +276,7 @@ def resilient_stationary(
     checkpoint_path: Optional[str] = None,
     checkpoint_interval: int = 25,
     resume: bool = False,
+    solve_context=None,
 ) -> ResilientSolveOutcome:
     """Solve for the stationary vector with guards, fallback and checkpoints.
 
@@ -294,6 +300,16 @@ def resilient_stationary(
         Load ``checkpoint_path`` (when it exists) and seed ``x0`` from the
         snapshot; a checkpoint for a different operator size raises
         :class:`~repro.resilience.errors.CheckpointMismatch`.
+    solve_context:
+        Optional :class:`~repro.markov.SolveContext`.  Its cached
+        coarsening hierarchy feeds multigrid and Krylov+AMG attempts (so
+        the second fallback rung is preconditioned instead of cold), a
+        remembered solution of a structurally identical chain seeds
+        ``x0`` when none was given, and the converged distribution is
+        recorded back into the context.  Independently of the context,
+        escalation chains the iterate forward: the last finite iterate
+        of a failed attempt becomes the next rung's starting vector, so
+        later methods inherit the progress already paid for.
 
     Raises
     ------
@@ -326,6 +342,11 @@ def resilient_stationary(
             x0 = snapshot.vector
             resumed_iteration = snapshot.iteration
 
+    context_warm = False
+    if x0 is None and solve_context is not None:
+        x0 = solve_context.warm_start_for(op)
+        context_warm = x0 is not None
+
     registry = get_registry()
     attempts_counter = registry.counter(
         "repro_fallback_attempts_total",
@@ -338,8 +359,25 @@ def resilient_stationary(
 
     attempts: List[AttemptRecord] = []
     checkpoint_saves = 0
+    # Last finite iterate seen by *any* attempt: on escalation it becomes
+    # the next rung's starting vector, so a fallback method resumes from
+    # the progress the failed one already made instead of restarting cold.
+    last_iterate: Dict[str, Optional[np.ndarray]] = {"x": None}
 
-    def run_attempt(step: FallbackStep, guess, perturbed: bool) -> Any:
+    def _usable_iterate() -> Optional[np.ndarray]:
+        x = last_iterate["x"]
+        if x is None:
+            return None
+        x = np.asarray(x, dtype=float)
+        if x.shape != (n,) or not np.all(np.isfinite(x)):
+            return None
+        x = np.clip(x, 0.0, None)
+        total = x.sum()
+        if total <= 0:
+            return None
+        return x / total
+
+    def run_attempt(step: FallbackStep, guess, perturbed: bool, warm: bool) -> Any:
         nonlocal checkpoint_saves
         _check_memory_budget(policy, step.method)
         guard = policy.guard
@@ -348,6 +386,15 @@ def resilient_stationary(
                 guard, wall_clock_budget=step.wall_clock_budget
             )
         kwargs = dict(step.kwargs)
+        if solve_context is not None:
+            # Feed the cached hierarchy to the methods that can use it.
+            # The analyzer may already have put one in the head step's
+            # kwargs; setdefault keeps that (and any explicit strategy).
+            if step.method == "multigrid" and "strategy" not in kwargs:
+                kwargs.setdefault("hierarchy", solve_context.hierarchy_for(op))
+            elif step.method == "krylov":
+                kwargs.setdefault("preconditioner", "amg")
+                kwargs.setdefault("hierarchy", solve_context.hierarchy_for(op))
         checkpointer = None
         if checkpoint_path is not None:
             checkpointer = SolverCheckpointer(
@@ -356,7 +403,13 @@ def resilient_stationary(
                 method=step.method,
                 job={"n_states": n},
             )
-            kwargs["on_iterate"] = checkpointer
+
+        def on_iterate(iteration: int, vector: np.ndarray) -> None:
+            last_iterate["x"] = vector
+            if checkpointer is not None:
+                checkpointer(iteration, vector)
+
+        kwargs["on_iterate"] = on_iterate
         start = time.perf_counter()
         with span(
             "resilience.attempt", method=step.method, perturbed_x0=perturbed
@@ -380,7 +433,7 @@ def resilient_stationary(
                     error_type=type(exc).__name__, message=str(exc),
                     iterations=getattr(exc, "iteration", None),
                     residual=getattr(exc, "residual", None),
-                    wall_seconds=wall, perturbed_x0=perturbed,
+                    wall_seconds=wall, perturbed_x0=perturbed, warm_x0=warm,
                 ))
                 attempt_span.set_attributes(
                     status="failed", error=type(exc).__name__
@@ -394,7 +447,7 @@ def resilient_stationary(
             attempts.append(AttemptRecord(
                 method=step.method, status="converged",
                 iterations=result.iterations, residual=result.residual,
-                wall_seconds=wall, perturbed_x0=perturbed,
+                wall_seconds=wall, perturbed_x0=perturbed, warm_x0=warm,
             ))
             attempt_span.set_attributes(
                 status="converged", iterations=result.iterations
@@ -405,32 +458,35 @@ def resilient_stationary(
             return result
 
     last_error: Optional[BaseException] = None
+    guess = x0
+    warm = context_warm
     for step in policy.steps:
         try:
-            result = run_attempt(step, x0, perturbed=False)
+            result = run_attempt(step, guess, perturbed=False, warm=warm)
             break
         except BudgetExceeded as exc:
             if exc.budget == "memory":
                 raise  # escalating methods cannot recover memory
             last_error = exc
-            continue
         except SolverStagnated as exc:
             last_error = exc
             if policy.retry_perturbed:
                 try:
                     result = run_attempt(
-                        step, _perturbed_guess(n, x0, policy), perturbed=True
+                        step, _perturbed_guess(n, guess, policy),
+                        perturbed=True, warm=warm,
                     )
                     break
                 except (SolverFailure, ArithmeticError, OperatorCapabilityError) as retry_exc:
                     last_error = retry_exc
-            continue
         except (SolverFailure, ArithmeticError, OperatorCapabilityError) as exc:
             # ArithmeticError: a sweep annihilated the iterate / singular LU;
             # OperatorCapabilityError: the step needs the assembled matrix
             # on a matrix-free operator.  Both escalate like any failure.
             last_error = exc
-            continue
+        carried = _usable_iterate()
+        if carried is not None:
+            guess, warm = carried, True
     else:
         registry.counter(
             "repro_fallback_exhausted_total",
@@ -448,6 +504,9 @@ def resilient_stationary(
             "repro_fallback_escalations_total",
             "Solves that needed at least one fallback escalation",
         ).inc()
+    result.warm_started = attempts[-1].warm_x0
+    if solve_context is not None and result.converged:
+        solve_context.record_solution(op, result.distribution)
     return ResilientSolveOutcome(
         result=result,
         attempts=attempts,

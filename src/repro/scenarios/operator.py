@@ -19,10 +19,13 @@ exactly what cross-backend golden verification wants.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import hashlib
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.markov.lumping import Partition, prepare_block_weights
 
 __all__ = ["BranchSumOperator"]
 
@@ -120,6 +123,46 @@ class BranchSumOperator:
         for w, _ in self._terms:
             out += w
         return out
+
+    def restrict(
+        self, partition: Partition, weights: Optional[np.ndarray] = None
+    ) -> sp.csr_matrix:
+        """Weighted Galerkin coarse operator, built from the branch terms.
+
+        Equivalent to ``lumped_tpm(self.to_csr(), partition, weights)``
+        but assembled directly in coarse block coordinates: each branch
+        contributes one length-``n`` triplet batch
+        ``(block[i], block[dest[i]], w_i * weight_b(i))``, so transient
+        memory stays O(n) per term.  This is what lets matrix-free
+        multigrid and the AMG preconditioner coarsen scenario chains
+        without the fine TPM ever existing.
+        """
+        if partition.n_states != self.n:
+            raise ValueError("partition size does not match operator size")
+        w, block_mass = prepare_block_weights(partition, weights)
+        block = partition.block_of
+        nb = partition.n_blocks
+        acc = sp.csr_matrix((nb, nb))
+        for bw, d in self._terms:
+            chunk = sp.coo_matrix(
+                (w * bw, (block, block[d])), shape=(nb, nb)
+            ).tocsr()
+            acc = acc + chunk
+        acc.sum_duplicates()
+        return sp.diags(1.0 / block_mass).dot(acc).tocsr()
+
+    def structure_token(self):
+        """Hashable structure identity: destinations, not probabilities.
+
+        Branch weights are values (they move under parameter sweeps);
+        the destination maps are the chain's topology.  Used by
+        :func:`repro.markov.context.structural_digest` to key cached
+        coarsening hierarchies.
+        """
+        h = hashlib.sha256()
+        for _, d in self._terms:
+            h.update(np.ascontiguousarray(d).tobytes())
+        return ("branch-sum", self.n, self.n_terms, h.hexdigest())
 
     def to_csr(self) -> sp.csr_matrix:
         """Materialize the identical TPM the terms describe."""

@@ -117,7 +117,7 @@ class TestKrylov:
 
     def test_bad_preconditioner(self, two_state_chain):
         with pytest.raises(ValueError, match="preconditioner"):
-            solve_krylov(two_state_chain.P, preconditioner="amg")
+            solve_krylov(two_state_chain.P, preconditioner="cholesky")
 
 
 class TestDirect:

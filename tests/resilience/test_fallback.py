@@ -212,3 +212,78 @@ class TestCheckpointResume:
         )
         assert outcome.resumed_from_iteration is None
         assert outcome.result.converged
+
+
+class TestWarmChaining:
+    """Iterate chaining across rungs + solve-context warm starts."""
+
+    def test_failed_rung_iterate_seeds_the_next(self):
+        from repro.markov import stationary_distribution
+
+        chain = birth_death_fixture(64)
+        policy = FallbackPolicy(
+            steps=(
+                FallbackStep("power", max_iter=40),  # real progress, no converge
+                FallbackStep("power", max_iter=5000),
+            ),
+            retry_perturbed=False,
+        )
+        outcome = resilient_stationary(chain, policy, tol=1e-12)
+        assert [a.status for a in outcome.attempts] == ["failed", "converged"]
+        assert outcome.attempts[0].warm_x0 is False
+        assert outcome.attempts[1].warm_x0 is True
+        # The carried iterate must buy iterations: the warm second rung
+        # finishes in fewer steps than the same method run cold.
+        cold = stationary_distribution(chain, method="power", tol=1e-12)
+        assert outcome.attempts[1].iterations < cold.iterations
+        assert outcome.result.warm_started
+
+    def test_events_carry_the_warm_flag(self):
+        chain = birth_death_fixture(64)
+        policy = FallbackPolicy(
+            steps=(
+                FallbackStep("power", max_iter=40),
+                FallbackStep("power", max_iter=5000),
+            ),
+            retry_perturbed=False,
+        )
+        outcome = resilient_stationary(chain, policy, tol=1e-12)
+        events = outcome.events()
+        assert events[0]["warm_x0"] is False
+        assert events[1]["warm_x0"] is True
+
+    def test_solve_context_warm_starts_second_call(self):
+        from repro.markov import SolveContext
+
+        chain = birth_death_fixture(64)
+        ctx = SolveContext()
+        # Pin the head to power so iteration counts are informative (the
+        # default multigrid head direct-solves a 64-state chain in one
+        # V-cycle, warm or cold).
+        policy = FallbackPolicy(
+            steps=(FallbackStep("power", max_iter=5000),),
+            retry_perturbed=False,
+        )
+        first = resilient_stationary(chain, policy, tol=1e-10, solve_context=ctx)
+        second = resilient_stationary(chain, policy, tol=1e-10, solve_context=ctx)
+        assert first.attempts[0].warm_x0 is False
+        assert second.attempts[0].warm_x0 is True
+        assert second.result.iterations < first.result.iterations
+        assert ctx.stats()["warm_starts"] == 1
+        np.testing.assert_allclose(
+            second.result.distribution, first.result.distribution, atol=1e-8
+        )
+
+    def test_explicit_x0_beats_the_context(self):
+        from repro.markov import SolveContext, solve_direct
+
+        chain = birth_death_fixture(64)
+        ctx = SolveContext()
+        ctx.record_solution(chain, solve_direct(chain).distribution)
+        n = chain.n_states
+        outcome = resilient_stationary(
+            chain, tol=1e-10, x0=np.full(n, 1.0 / n), solve_context=ctx,
+        )
+        # A caller-provided x0 is not a context warm start.
+        assert outcome.attempts[0].warm_x0 is False
+        assert ctx.stats()["warm_starts"] == 0

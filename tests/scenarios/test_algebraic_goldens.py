@@ -1,0 +1,91 @@
+"""Algebraic coarsening against the catalog goldens.
+
+The phase-pairing coarsening of the paper needs a phase grid; the
+bang-bang frequency loop and the mesochronous retimer are exactly the
+catalog entries where extra state structure makes that lumping either
+unavailable or not obviously right.  These tests pin the acceptance
+criterion that both scenarios solve through the *algebraic*
+strength-of-connection hierarchy and still reproduce the checked-in
+golden measures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.markov import stationary_distribution
+from repro.scenarios import get_scenario, load_golden
+
+pytestmark = [pytest.mark.scenario, pytest.mark.amg]
+
+SCENARIOS = ["bangbang-freq", "mesochronous-settle"]
+
+
+def _algebraic_solve(name):
+    scenario = get_scenario(name)
+    params = scenario.params_for("fast")
+    model = scenario.build(params, backend="assembled")
+    result = stationary_distribution(
+        model.chain, method="multigrid", strategy="algebraic",
+        coarsest_size=64, tol=1e-11,
+    )
+    return scenario, params, model, result
+
+
+def _stationary_measures(name, params, model, pi):
+    """The golden measures derivable from the stationary vector alone."""
+    if name == "bangbang-freq":
+        from repro.cdr.phase_error import PhaseGrid
+
+        M = int(params["n_phase_points"])
+        F = int(params["freq_max"])
+        phi = np.tile(PhaseGrid(M).values, 2 * F + 1)
+        return {
+            "p_freq_locked": float(pi[F * M:(F + 1) * M].sum()),
+            "phase_rms_ui": float(np.sqrt(np.dot(pi, phi ** 2))),
+        }
+    cdr_model = model.extras["model"]
+    phase_pi = cdr_model.phase_marginal(pi)
+    values = cdr_model.grid.values
+    threshold = float(params["error_threshold_ui"])
+    return {
+        "phase_rms_ui": float(np.sqrt(np.dot(phase_pi, values ** 2))),
+        "stationary_error_rate": float(
+            phase_pi[np.abs(values) > threshold].sum()
+        ),
+    }
+
+
+class TestAlgebraicCoarseningGoldens:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_hierarchy_actually_coarsens(self, name):
+        from repro.markov import build_hierarchy
+
+        scenario = get_scenario(name)
+        model = scenario.build(scenario.params_for("fast"), backend="assembled")
+        hierarchy = build_hierarchy(
+            model.chain, strategy="algebraic", coarsest_size=64
+        )
+        assert hierarchy.n_levels > 1
+        assert hierarchy.level_sizes[-1] < model.n_states
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_algebraic_solve_matches_reference(self, name):
+        _, _, model, result = _algebraic_solve(name)
+        assert result.converged
+        reference = stationary_distribution(
+            model.chain, method="krylov", tol=1e-12
+        )
+        assert np.abs(result.distribution - reference.distribution).sum() < 1e-7
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_stationary_measures_match_golden(self, name):
+        scenario, params, model, result = _algebraic_solve(name)
+        assert result.converged
+        golden = load_golden(name, "fast")
+        measured = _stationary_measures(name, params, model, result.distribution)
+        for measure, value in measured.items():
+            np.testing.assert_allclose(
+                value, golden.measures[measure], rtol=1e-5, atol=1e-8,
+                err_msg=f"{name}:{measure} drifted from the golden under "
+                        "algebraic coarsening",
+            )
