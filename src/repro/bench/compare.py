@@ -41,7 +41,7 @@ class ComparisonRow:
     """One benchmark's baseline-vs-current verdict."""
 
     name: str
-    status: str  # "ok" | "regressed" | "improved" | "added" | "removed"
+    status: str  # "ok" | "regressed" | "improved" | "added" | "removed" | "skipped"
     base_min_s: float = float("nan")
     cur_min_s: float = float("nan")
     ratio: float = float("nan")
@@ -112,17 +112,27 @@ def compare_reports(
     cur_rows = {r["name"]: r for r in current.get("results", [])}
     rows: List[ComparisonRow] = []
     for name in sorted(set(base_rows) | set(cur_rows)):
-        if name not in cur_rows:
-            rows.append(
-                ComparisonRow(
-                    name, "removed", base_min_s=base_rows[name]["min_s"]
+        # A row without ``min_s`` is a skip row (e.g. "insufficient cpus"):
+        # there is no timing on that side, so the benchmark can neither
+        # regress nor improve -- report it as skipped, never gate on it.
+        if "min_s" not in cur_rows.get(name, {}) or "min_s" not in base_rows.get(name, {}):
+            if name in base_rows and name in cur_rows:
+                rows.append(
+                    ComparisonRow(
+                        name,
+                        "skipped",
+                        base_min_s=float(base_rows[name].get("min_s", float("nan"))),
+                        cur_min_s=float(cur_rows[name].get("min_s", float("nan"))),
+                    )
                 )
-            )
+                continue
+        if name not in cur_rows:
+            base_min = base_rows[name].get("min_s", float("nan"))
+            rows.append(ComparisonRow(name, "removed", base_min_s=float(base_min)))
             continue
         if name not in base_rows:
-            rows.append(
-                ComparisonRow(name, "added", cur_min_s=cur_rows[name]["min_s"])
-            )
+            cur_min = cur_rows[name].get("min_s", float("nan"))
+            rows.append(ComparisonRow(name, "added", cur_min_s=float(cur_min)))
             continue
         base_min = float(base_rows[name]["min_s"])
         cur_min = float(cur_rows[name]["min_s"])

@@ -58,6 +58,10 @@ class BenchmarkEntry:
     rounds: int
     warmup: int
     description: str = ""
+    #: Minimum ``os.cpu_count()`` for the timing to be meaningful.  On a
+    #: smaller machine the runner emits an explicit ``skipped`` row instead
+    #: of a misleading oversubscribed timing.
+    min_cpus: int = 1
 
 
 _BENCHMARKS: Dict[str, BenchmarkEntry] = {}
@@ -70,6 +74,7 @@ def register_benchmark(
     rounds: int = 5,
     warmup: int = 1,
     description: str = "",
+    min_cpus: int = 1,
 ) -> Callable[[Callable[[], Callable[[], Any]]], Callable[[], Callable[[], Any]]]:
     """Register the decorated factory as the benchmark ``name``."""
     if rounds < 1:
@@ -78,6 +83,8 @@ def register_benchmark(
         raise ValueError("warmup must be non-negative")
     if not suites:
         raise ValueError("a benchmark must belong to at least one suite")
+    if min_cpus < 1:
+        raise ValueError("min_cpus must be at least 1")
 
     def decorate(factory):
         if name in _BENCHMARKS:
@@ -89,6 +96,7 @@ def register_benchmark(
             rounds=rounds,
             warmup=warmup,
             description=description,
+            min_cpus=min_cpus,
         )
         return factory
 

@@ -71,7 +71,25 @@ def run_benchmark(
 
     Returns the report row: name, suites, all round timings, ``min_s`` /
     ``mean_s``, and whatever dict the workload returned as ``meta``.
+
+    A benchmark whose ``min_cpus`` exceeds this machine's ``os.cpu_count()``
+    is not run at all: oversubscribed parallel timings are noise, not data.
+    It returns an explicit *skip row* instead (``skipped`` reason plus the
+    cpu requirement), so the checked-in artifact records that the benchmark
+    was consciously not measured rather than silently absent.
     """
+    import os
+
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < entry.min_cpus:
+        return {
+            "name": entry.name,
+            "suites": list(entry.suites),
+            "description": entry.description,
+            "skipped": "insufficient cpus",
+            "required_cpus": entry.min_cpus,
+            "cpu_count": cpu_count,
+        }
     rounds = entry.rounds if rounds is None else rounds
     warmup = entry.warmup if warmup is None else warmup
     workload = entry.factory()
@@ -124,11 +142,19 @@ def run_suite(
         results.append(row)
         if progress is not None:
             progress(entry, row)
+    fingerprint = environment_fingerprint()
+    skipped = [r["name"] for r in results if r.get("skipped")]
+    if skipped:
+        fingerprint["note"] = (
+            f"{len(skipped)} benchmark(s) skipped on this "
+            f"{fingerprint['cpu_count']}-cpu machine "
+            f"(insufficient cpus): {', '.join(skipped)}"
+        )
     return {
         "schema": BENCH_SCHEMA,
         "suite": suite or "all",
         "created_unix": time.time(),
-        "fingerprint": environment_fingerprint(),
+        "fingerprint": fingerprint,
         "results": results,
     }
 

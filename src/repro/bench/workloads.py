@@ -13,10 +13,13 @@ Four suites, registered at import time (see :mod:`repro.bench.registry`):
     both backends (the ``BENCH_ext_op.json`` artifact).
 ``parallel``
     ROADMAP item 2's sweep-parallelism trajectory: one small nw_std sweep
-    run serially and fanned out over 2 and 4 worker processes (the
-    ``BENCH_parallel.json`` artifact).  Pool startup and per-worker
-    imports are *inside* the timing on purpose -- that is the cost a user
-    actually pays for a parallel sweep.
+    run serially and fanned out over 2 and 4 workers of the elastic
+    executor (:mod:`repro.exec`; the ``BENCH_parallel.json`` artifact).
+    Pool startup and per-worker imports are *inside* the timing on
+    purpose -- that is the cost a user actually pays for a parallel
+    sweep.  The multi-worker entries declare ``min_cpus`` and are
+    recorded as explicit skip rows on machines too small to time them
+    honestly.
 ``scenarios``
     The scenario grid alone (a superset marker on the same benchmarks the
     smoke suite uses), for benchmarking catalog changes in isolation.
@@ -30,8 +33,6 @@ Four suites, registered at import time (see :mod:`repro.bench.registry`):
 """
 
 from __future__ import annotations
-
-import dataclasses
 
 import numpy as np
 
@@ -243,20 +244,31 @@ _register_ext_op_benchmarks()
 
 
 # ---------------------------------------------------------------------- #
-# parallel sweeps
+# parallel sweeps (through the elastic executor, repro.exec)
 # ---------------------------------------------------------------------- #
 
 #: The swept parameter values of the parallel benchmark's workload.
 _SWEEP_VALUES = (0.06, 0.07, 0.08, 0.09, 0.10, 0.11)
 
 
-def _sweep_point(nw_std: float):
-    """One sweep design point (module-level for process-pool pickling)."""
-    from repro.core.analyzer import analyze_cdr
+def _parallel_sweep(jobs):
+    """One nw_std sweep through :func:`sweep_parameter` (jobs=None: serial)."""
+    from repro.cdr.sweep import sweep_parameter
 
-    spec = dataclasses.replace(_small_spec(), nw_std=float(nw_std))
-    res = analyze_cdr(spec, solver="auto")
-    return float(res.ber)
+    result = sweep_parameter(
+        _small_spec(), "nw_std", list(_SWEEP_VALUES),
+        solver="auto", jobs=jobs,
+    )
+    meta = {
+        "jobs": jobs or 1,
+        "points": len(result),
+        "failed": len(result.failed_points),
+        "ber_sum": float(sum(r["ber"] for r in result)),
+    }
+    if result.exec_stats:
+        meta["mode"] = result.exec_stats["mode"]
+        meta["workers_lost"] = result.exec_stats["workers_lost"]
+    return meta
 
 
 @register_benchmark(
@@ -264,12 +276,12 @@ def _sweep_point(nw_std: float):
     suites=("parallel",),
     rounds=3,
     warmup=1,
-    description=f"{len(_SWEEP_VALUES)}-point nw_std sweep, serial loop",
+    description=f"{len(_SWEEP_VALUES)}-point nw_std sweep, serial "
+    "sweep_parameter loop (the parallel baselines' denominator)",
 )
 def _bench_sweep_serial():
     def workload():
-        bers = [_sweep_point(v) for v in _SWEEP_VALUES]
-        return {"jobs": 1, "points": len(bers), "ber_sum": float(sum(bers))}
+        return _parallel_sweep(None)
 
     return workload
 
@@ -282,20 +294,14 @@ def _register_parallel_benchmarks() -> None:
             suites=("parallel",),
             rounds=3,
             warmup=1,
-            description=f"{len(_SWEEP_VALUES)}-point nw_std sweep fanned "
-            f"out over {jobs} worker processes (pool startup included)",
+            min_cpus=jobs,
+            description=f"{len(_SWEEP_VALUES)}-point nw_std sweep through "
+            f"the elastic executor over {jobs} worker processes "
+            "(pool startup included)",
         )
         def _factory(jobs=jobs):
             def workload():
-                from concurrent.futures import ProcessPoolExecutor
-
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    bers = list(pool.map(_sweep_point, _SWEEP_VALUES))
-                return {
-                    "jobs": jobs,
-                    "points": len(bers),
-                    "ber_sum": float(sum(bers)),
-                }
+                return _parallel_sweep(jobs)
 
             return workload
 

@@ -269,6 +269,9 @@ class CampaignResult:
     #: Hierarchy-cache statistics of the campaign's solve context (see
     #: :class:`~repro.markov.SolveContext`); ``None`` without a reference.
     context_stats: Optional[Dict[str, Any]] = None
+    #: :class:`~repro.exec.ExecStats` dict of the elastic executor;
+    #: ``None`` for serial campaigns.
+    exec_stats: Optional[Dict[str, Any]] = None
 
     @property
     def n_symbols(self) -> int:
@@ -321,6 +324,10 @@ def simulate_cdr_campaign(
     resume: bool = False,
     reference_spec=None,
     solve_context=None,
+    jobs: Optional[int] = None,
+    point_timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    exec_config=None,
     **sim_kwargs,
 ) -> CampaignResult:
     """Run :func:`simulate_cdr` once per seed, with per-seed checkpoints.
@@ -341,6 +348,14 @@ def simulate_cdr_campaign(
     reused), through a fresh :class:`~repro.markov.SolveContext`
     otherwise -- and attaches the analytic predictions as
     :attr:`CampaignResult.reference`.
+
+    ``jobs`` routes the per-seed loop through the elastic process-pool
+    executor (:func:`repro.exec.elastic_campaign`): per-seed wall-clock
+    timeouts (``point_timeout_s``), retry of infrastructure faults
+    (``max_retries``), worker respawn with exactly-once requeue, and
+    serial degradation when the pool cannot be sustained.  The reference
+    solve (when requested) always runs in-parent, once, before the pool
+    comes up.
     """
     reference = None
     context_stats = None
@@ -363,6 +378,25 @@ def simulate_cdr_campaign(
             ),
         }
         context_stats = solve_context.stats()
+
+    if jobs is not None or exec_config is not None:
+        from repro.exec import ExecConfig, elastic_campaign
+
+        if exec_config is None:
+            exec_config = ExecConfig(
+                jobs=int(jobs), timeout_s=point_timeout_s,
+                max_retries=max_retries,
+            )
+        records, failed, resumed, stats = elastic_campaign(
+            grid, nw, nr, counter_length, phase_step_units, data_source,
+            n_symbols, seeds, mode=mode, checkpoint_path=checkpoint_path,
+            resume=resume, sim_kwargs=sim_kwargs, config=exec_config,
+        )
+        return CampaignResult(
+            records=records, failed_seeds=failed, resumed_seeds=resumed,
+            mode=mode, reference=reference, context_stats=context_stats,
+            exec_stats=stats.to_dict(),
+        )
 
     checkpointer = None
     resumed = 0
@@ -399,11 +433,12 @@ def simulate_cdr_campaign(
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:  # noqa: BLE001 - per-seed isolation
+                from repro.resilience.errors import failure_entry
+
                 entry = {
                     "index": index,
                     "seed": int(seed),
-                    "error_type": type(exc).__name__,
-                    "message": str(exc),
+                    **failure_entry(exc),
                 }
                 failed.append(entry)
                 if checkpointer is not None:

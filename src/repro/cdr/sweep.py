@@ -54,6 +54,10 @@ class SweepResult(List[Dict[str, Any]]):
         #: Hierarchy-cache / warm-start counters of the sweep's
         #: :class:`~repro.markov.SolveContext`; ``None`` for cold sweeps.
         self.context_stats: Optional[Dict[str, Any]] = context_stats
+        #: :class:`~repro.exec.ExecStats` dict of the elastic executor
+        #: (jobs, retries, timeouts, respawns, ...); ``None`` for serial
+        #: sweeps.
+        self.exec_stats: Optional[Dict[str, Any]] = None
 
     @property
     def n_failed(self) -> int:
@@ -63,6 +67,21 @@ class SweepResult(List[Dict[str, Any]]):
         parts = [f"{len(self)} points completed"]
         if self.resumed_points:
             parts.append(f"{self.resumed_points} replayed from checkpoint")
+        if self.exec_stats:
+            es = self.exec_stats
+            exec_part = f"{es['jobs']} jobs ({es['mode']})"
+            extras = [
+                f"{es[k]} {label}"
+                for k, label in (
+                    ("retries", "retries"), ("timeouts", "timeouts"),
+                    ("workers_lost", "workers lost"),
+                    ("respawns", "respawns"), ("warm_starts", "warm starts"),
+                )
+                if es.get(k)
+            ]
+            if extras:
+                exec_part += ": " + ", ".join(extras)
+            parts.append(exec_part)
         if self.context_stats:
             cs = self.context_stats
             parts.append(
@@ -115,6 +134,10 @@ def sweep_parameter(
     analyze_fn: Optional[Callable[..., Any]] = None,
     solve_context=None,
     warm_start: Optional[bool] = None,
+    jobs: Optional[int] = None,
+    point_timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    exec_config=None,
 ) -> SweepResult:
     """Analyze ``base_spec`` with ``parameter`` swept over ``values``.
 
@@ -164,7 +187,47 @@ def sweep_parameter(
         exactly when a ``solve_context`` is provided -- cold sweeps stay
         bit-identical to earlier releases, which checkpoint replay
         depends on.
+    jobs:
+        Route the sweep through the elastic process-pool executor
+        (:func:`repro.exec.elastic_sweep`) with this many workers.
+        ``None`` (the default) keeps the in-process serial loop.  The
+        elastic path adds per-point wall-clock timeouts
+        (``point_timeout_s``), retry of infrastructure faults with
+        exponential backoff (``max_retries``), automatic respawn of
+        killed/hung workers with exactly-once requeue of their in-flight
+        points, and graceful degradation to serial execution when the
+        pool cannot be sustained.  ``solve_context`` cannot be combined
+        with ``jobs``: the context's value-driven hierarchy cache would
+        make results depend on worker completion order; pass
+        ``warm_start=True`` instead to get deterministic warm-start
+        lineages across workers.
+    point_timeout_s / max_retries / exec_config:
+        Elastic-executor knobs (ignored without ``jobs``).
+        ``exec_config`` (a :class:`repro.exec.ExecConfig`) overrides
+        everything for full control, e.g. heartbeat cadence or the
+        retry schedule.
     """
+    if jobs is not None or exec_config is not None:
+        if solve_context is not None:
+            raise ValueError(
+                "solve_context cannot be shared across executor workers "
+                "(its hierarchy cache is completion-order dependent); use "
+                "warm_start=True for deterministic cross-worker warm starts"
+            )
+        from repro.exec import ExecConfig, elastic_sweep
+
+        if exec_config is None:
+            exec_config = ExecConfig(
+                jobs=int(jobs), timeout_s=point_timeout_s,
+                max_retries=max_retries,
+            )
+        return elastic_sweep(
+            base_spec, parameter, list(values), solver=solver, tol=tol,
+            backend=backend, resilience=resilience,
+            checkpoint_path=checkpoint_path, resume=resume,
+            warm_start=warm_start, analyze_fn=analyze_fn,
+            config=exec_config,
+        )
     analyze = analyze_cdr if analyze_fn is None else analyze_fn
     if solve_context is None and warm_start:
         from repro.markov.context import SolveContext
@@ -228,12 +291,13 @@ def sweep_parameter(
                     except (KeyboardInterrupt, SystemExit):
                         raise
                     except Exception as exc:  # noqa: BLE001 - per-point isolation
+                        from repro.resilience.errors import failure_entry
+
                         entry = {
                             "index": index,
                             parameter: _json_safe(value),
                             "value": _json_safe(value),
-                            "error_type": type(exc).__name__,
-                            "message": str(exc),
+                            **failure_entry(exc),
                         }
                         events = getattr(exc, "attempts", None)
                         if events:

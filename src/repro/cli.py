@@ -227,7 +227,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "coarsening hierarchies are built once per chain "
                            "structure and each point warm-starts from the "
                            "previous solution (off by default so checkpoint "
-                           "replay stays bit-identical)")
+                           "replay stays bit-identical); with --jobs, warm "
+                           "starts run along deterministic per-worker "
+                           "lineages instead of a shared context")
+    p_sw.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="run the sweep on an elastic pool of N worker "
+                           "processes: killed/hung workers are respawned and "
+                           "their points requeued exactly once; falls back "
+                           "to serial execution if the pool cannot be "
+                           "sustained (default: in-process serial sweep)")
+    p_sw.add_argument("--point-timeout", type=float, default=None,
+                      metavar="SECONDS", dest="point_timeout",
+                      help="per-point wall-clock budget under --jobs; a "
+                           "point running longer is killed and retried "
+                           "(PointTimeout)")
+    p_sw.add_argument("--max-retries", type=int, default=2, metavar="N",
+                      help="retries per point for infrastructure faults "
+                           "(worker lost, timeout, corrupt payload) under "
+                           "--jobs, with exponential backoff "
+                           "(default: %(default)s)")
     _add_resilience_arguments(p_sw, interval=False)
     _add_metrics_argument(p_sw)
 
@@ -259,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scenario subset to run (default: %(default)s)")
     p_fl.add_argument("--only", metavar="NAME", action="append", default=None,
                       help="run only the named scenario (repeatable)")
+    p_fl.add_argument("--suite", choices=("core", "workers", "all"),
+                      default="core",
+                      help="battery to run: 'core' injects numerical faults "
+                           "into solves, 'workers' injects process faults "
+                           "(SIGKILL, hangs, corrupt payloads, pool-start "
+                           "failure) into the elastic executor "
+                           "(default: %(default)s)")
 
     p_sc = sub.add_parser(
         "scenarios",
@@ -444,6 +469,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     kwargs = _resilience_kwargs(args)
     if args.warm_start:
         kwargs["warm_start"] = True
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print("error: --jobs must be at least 1", file=sys.stderr)
+            return 2
+        kwargs["jobs"] = args.jobs
+        kwargs["point_timeout_s"] = args.point_timeout
+        kwargs["max_retries"] = args.max_retries
+    elif args.point_timeout is not None:
+        print("error: --point-timeout requires --jobs (timeouts are "
+              "enforced across a process boundary)", file=sys.stderr)
+        return 2
     with _RunObservation(args.metrics) as obs_run:
         records = sweep_parameter(
             spec, args.parameter, values, solver=args.solver, tol=args.tol,
@@ -458,6 +494,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "failed_points": records.failed_points,
                 "resumed_points": records.resumed_points,
                 "context_stats": records.context_stats,
+                "exec_stats": records.exec_stats,
             },
         )
     print(format_table(
@@ -465,7 +502,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         columns=[args.parameter, "ber", "slip_rate", "phase_rms",
                  "n_states", "solve_time_s"],
     ))
-    if records.resumed_points or records.failed_points or records.context_stats:
+    if (records.resumed_points or records.failed_points
+            or records.context_stats or records.exec_stats):
         print(records.summary(), file=sys.stderr)
     return 1 if records.failed_points and not records else 0
 
@@ -519,7 +557,9 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.resilience.faults import format_fault_report, run_fault_suite
 
-    outcomes = run_fault_suite(profile=args.profile, names=args.only)
+    outcomes = run_fault_suite(
+        profile=args.profile, names=args.only, suite=args.suite
+    )
     print(format_fault_report(outcomes))
     missed = [o for o in outcomes if not o.caught]
     return 1 if missed else 0
@@ -618,6 +658,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         suite = None if args.suite == "all" else args.suite
 
         def progress(entry, row):
+            if row.get("skipped"):
+                print(f"  {entry.name:<42} skipped: {row['skipped']}",
+                      file=sys.stderr)
+                return
             print(f"  {entry.name:<42} min {row['min_s']:9.4f} s  "
                   f"mean {row['mean_s']:9.4f} s  ({row['rounds']} rounds)",
                   file=sys.stderr)
@@ -658,6 +702,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"({len(report['results'])} benchmarks)")
     print("fingerprint: " + "  ".join(f"{k}={v}" for k, v in sorted(fp.items())))
     for row in report["results"]:
+        if row.get("skipped"):
+            print(f"  {row['name']:<42} skipped: {row['skipped']}")
+            continue
         print(f"  {row['name']:<42} min {row['min_s']:9.4f} s  "
               f"mean {row['mean_s']:9.4f} s  ({row['rounds']} rounds)")
     return 0

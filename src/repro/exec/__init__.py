@@ -1,0 +1,52 @@
+"""Fault-tolerant elastic execution of sweeps and Monte-Carlo campaigns.
+
+The package splits cleanly along the work-description/execution seam:
+
+* :mod:`repro.exec.runners` -- picklable descriptions of one point's work
+  (:class:`SweepPointRunner`, :class:`CampaignPointRunner`);
+* :mod:`repro.exec.worker` -- the worker-process protocol (task/result
+  tuples, heartbeat beacon, wire-integrity digests);
+* :mod:`repro.exec.pool` -- :class:`ElasticPool`: process lifecycle,
+  per-worker task queues, respawn;
+* :mod:`repro.exec.executor` -- the scheduler: dispatch-on-idle,
+  per-point timeouts, retry with backoff, exactly-once requeue, warm
+  lineages, graceful serial degradation, typed interruption;
+* :mod:`repro.exec.retry` -- :class:`RetryPolicy` (deterministic jitter)
+  and the injectable :class:`Clock`;
+* :mod:`repro.exec.drivers` -- :func:`elastic_sweep` /
+  :func:`elastic_campaign`, the ledger-integrated entry points
+  :func:`repro.cdr.sweep.sweep_parameter` and
+  :func:`repro.cdr.montecarlo.simulate_cdr_campaign` delegate to when
+  given ``jobs=``.
+
+Failure modes are typed (:class:`~repro.resilience.errors.PointTimeout`,
+:class:`~repro.resilience.errors.WorkerLost`,
+:class:`~repro.resilience.errors.PoolUnavailable`,
+:class:`~repro.resilience.errors.ExecutorInterrupted`) and join the
+PR-4 resilience taxonomy; the worker-chaos battery in
+:mod:`repro.resilience.worker_faults` exercises each one.
+"""
+
+from repro.exec.drivers import elastic_campaign, elastic_sweep
+from repro.exec.executor import ExecConfig, ExecStats, TimeoutTracker, run_points
+from repro.exec.pool import ElasticPool, WorkerHandle
+from repro.exec.retry import Clock, RetryPolicy
+from repro.exec.runners import CampaignPointRunner, SweepPointRunner, WorkerChaos
+from repro.exec.worker import wire_digest
+
+__all__ = [
+    "Clock",
+    "RetryPolicy",
+    "ExecConfig",
+    "ExecStats",
+    "TimeoutTracker",
+    "ElasticPool",
+    "WorkerHandle",
+    "SweepPointRunner",
+    "CampaignPointRunner",
+    "WorkerChaos",
+    "run_points",
+    "elastic_sweep",
+    "elastic_campaign",
+    "wire_digest",
+]

@@ -1,0 +1,268 @@
+"""Ledger-integrated elastic drivers for sweeps and MC campaigns.
+
+These are the functions :func:`repro.cdr.sweep.sweep_parameter` and
+:func:`repro.cdr.montecarlo.simulate_cdr_campaign` delegate to when given
+``jobs=``: they own the job fingerprint, the ``repro.points/1`` ledger
+(every resolved point is flushed immediately, so a kill at any instant is
+resumable), replay of already completed points, and the warm-lineage
+layout; the scheduling itself is :func:`repro.exec.executor.run_points`.
+
+Two fingerprint invariants worth stating:
+
+* with warm starts OFF the sweep job fingerprint is byte-identical to the
+  serial driver's, so a checkpoint written serially resumes in parallel
+  and vice versa;
+* with warm starts ON the fingerprint additionally pins
+  ``warm_lineages`` (the number of warm chains).  On resume the lineage
+  count is recovered from the existing ledger -- NOT from the current
+  ``--jobs`` -- so resuming with a different worker count preserves the
+  chain structure and therefore the exact ``x0`` every point sees, which
+  is what makes a killed-then-resumed warm sweep bit-identical to an
+  uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.executor import ExecConfig, ExecStats, run_points
+from repro.exec.runners import CampaignPointRunner, SweepPointRunner, WorkerChaos
+from repro.obs import get_registry, span
+from repro.resilience.checkpoint import PointCheckpointer
+
+__all__ = ["elastic_sweep", "elastic_campaign"]
+
+
+def _lineage_chains(n: int, lineages: int) -> Dict[int, Optional[int]]:
+    """Predecessor map of ``n`` points split into contiguous chains."""
+    prev: Dict[int, Optional[int]] = {}
+    lineages = max(1, min(lineages, n)) if n else 1
+    base, extra = divmod(n, lineages)
+    start = 0
+    for chain in range(lineages):
+        length = base + (1 if chain < extra else 0)
+        for offset in range(length):
+            index = start + offset
+            prev[index] = None if offset == 0 else index - 1
+        start += length
+    return prev
+
+
+def elastic_sweep(
+    base_spec,
+    parameter: str,
+    values: Sequence,
+    *,
+    solver: str = "multigrid",
+    tol: float = 1e-10,
+    backend: Optional[str] = None,
+    resilience=None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    warm_start: Optional[bool] = None,
+    analyze_fn=None,
+    config: Optional[ExecConfig] = None,
+    chaos: Optional[WorkerChaos] = None,
+):
+    """Parallel :func:`~repro.cdr.sweep.sweep_parameter` over a worker pool.
+
+    Returns the same :class:`~repro.cdr.sweep.SweepResult` the serial
+    driver builds (records in sweep order, typed failure entries, replay
+    counters), with :attr:`~repro.cdr.sweep.SweepResult.exec_stats`
+    attached.  Warm starting is explicit (``warm_start=True``): points
+    chain into ``min(jobs, n)`` deterministic lineages and each point
+    seeds its solve from its chain predecessor's solution -- exec workers
+    never share a :class:`~repro.markov.SolveContext`, whose value-driven
+    hierarchy cache would make results depend on completion order.
+    """
+    from repro.cdr.sweep import SweepResult, _json_safe
+    from repro.core.serialize import spec_to_dict
+
+    config = config or ExecConfig()
+    values = list(values)
+    n = len(values)
+    warm = bool(warm_start)
+    spec_dict = spec_to_dict(base_spec)
+    job: Dict[str, Any] = {
+        "kind": "sweep",
+        "parameter": parameter,
+        "values": [_json_safe(v) for v in values],
+        "solver": solver,
+        "tol": tol,
+        "backend": backend,
+        "spec": spec_dict,
+    }
+    lineages = 0
+    if warm:
+        lineages = max(1, min(config.jobs, n)) if n else 1
+        if resume and checkpoint_path is not None:
+            peeked = PointCheckpointer.peek_job(checkpoint_path)
+            if peeked is not None and isinstance(
+                peeked.get("warm_lineages"), int
+            ):
+                lineages = peeked["warm_lineages"]
+        job["warm_lineages"] = lineages
+
+    records_by_index: Dict[int, Dict[str, Any]] = {}
+    failed_by_index: Dict[int, Dict[str, Any]] = {}
+    seed_aux: Dict[int, Dict[str, Any]] = {}
+    resumed = 0
+    checkpointer = None
+    if checkpoint_path is not None:
+        checkpointer = PointCheckpointer(checkpoint_path, job)
+        if resume and checkpointer.resume():
+            for key, record in checkpointer.completed.items():
+                index = int(key)
+                records_by_index[index] = record
+                seed_aux[index] = checkpointer.aux_for(index) or {}
+                resumed += 1
+
+    prev = _lineage_chains(n, lineages) if warm else {}
+    runner = SweepPointRunner(
+        spec_dict=spec_dict, parameter=parameter, solver=solver, tol=tol,
+        backend=backend, resilience=resilience, warm=warm,
+        analyze_fn=analyze_fn, chaos=chaos,
+    )
+    pending: List[Tuple[int, Dict[str, Any]]] = [
+        (index, {"value": values[index]})
+        for index in range(n)
+        if index not in records_by_index
+    ]
+
+    registry = get_registry()
+    counter = registry.counter(
+        "repro_sweep_points_total", "Design points analyzed by sweeps"
+    )
+    failure_counter = registry.counter(
+        "repro_sweep_point_failures_total", "Sweep points that failed"
+    )
+
+    def on_done(index: int, record: Dict[str, Any], aux: Dict[str, Any]) -> None:
+        records_by_index[index] = record
+        counter.inc()
+        if checkpointer is not None:
+            checkpointer.record(
+                index, record, aux=aux if (warm and aux) else None
+            )
+
+    def on_failed(index: int, entry: Dict[str, Any]) -> None:
+        full: Dict[str, Any] = {
+            "index": index,
+            parameter: _json_safe(values[index]),
+            "value": _json_safe(values[index]),
+        }
+        full.update(entry)
+        failed_by_index[index] = full
+        failure_counter.inc(error_type=full.get("error_type", "unknown"))
+        if checkpointer is not None:
+            checkpointer.record_failure(index, full)
+
+    with span(
+        "cdr.sweep", parameter=parameter, n_values=n, jobs=config.jobs,
+        elastic=True,
+    ):
+        stats = run_points(
+            runner, pending, config, prev=prev, seed_aux=seed_aux,
+            on_done=on_done, on_failed=on_failed,
+            label=f"sweep:{parameter}",
+        )
+
+    if warm:
+        # derived from the records (replays included) so the counter is
+        # identical across kill/resume splits of the same sweep
+        stats.warm_starts = sum(
+            1 for r in records_by_index.values() if r.get("warm_started")
+        )
+    result = SweepResult(
+        [records_by_index[i] for i in sorted(records_by_index)],
+        failed_points=[failed_by_index[i] for i in sorted(failed_by_index)],
+        resumed_points=resumed,
+        context_stats=None,
+    )
+    result.exec_stats = stats.to_dict()
+    return result
+
+
+def elastic_campaign(
+    grid,
+    nw,
+    nr,
+    counter_length: int,
+    phase_step_units: int,
+    data_source,
+    n_symbols: int,
+    seeds: Sequence[int],
+    *,
+    mode: str = "discretized",
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    sim_kwargs: Optional[Dict[str, Any]] = None,
+    config: Optional[ExecConfig] = None,
+    chaos: Optional[WorkerChaos] = None,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]], int, ExecStats]:
+    """Parallel per-seed Monte-Carlo loop; seeds are fully independent.
+
+    Returns ``(records, failed, resumed, stats)`` for
+    :func:`~repro.cdr.montecarlo.simulate_cdr_campaign` to assemble into
+    its :class:`~repro.cdr.montecarlo.CampaignResult`.  The job
+    fingerprint matches the serial driver's exactly, so serial and
+    elastic runs resume each other's ledgers.
+    """
+    config = config or ExecConfig()
+    seeds = [int(s) for s in seeds]
+    records_by_index: Dict[int, Dict[str, Any]] = {}
+    failed_by_index: Dict[int, Dict[str, Any]] = {}
+    resumed = 0
+    checkpointer = None
+    if checkpoint_path is not None:
+        checkpointer = PointCheckpointer(checkpoint_path, {
+            "kind": "mc-campaign",
+            "n_symbols": int(n_symbols),
+            "seeds": seeds,
+            "mode": mode,
+            "counter_length": int(counter_length),
+            "phase_step_units": int(phase_step_units),
+            "n_phase_points": int(grid.n_points),
+        })
+        if resume and checkpointer.resume():
+            for key, record in checkpointer.completed.items():
+                index = int(key)
+                records_by_index[index] = record
+                resumed += 1
+
+    runner = CampaignPointRunner(
+        grid=grid, nw=nw, nr=nr, counter_length=int(counter_length),
+        phase_step_units=int(phase_step_units), data_source=data_source,
+        n_symbols=int(n_symbols), mode=mode,
+        sim_kwargs=dict(sim_kwargs or {}), chaos=chaos,
+    )
+    pending = [
+        (index, {"seed": seed})
+        for index, seed in enumerate(seeds)
+        if index not in records_by_index
+    ]
+
+    def on_done(index: int, record: Dict[str, Any], aux: Dict[str, Any]) -> None:
+        records_by_index[index] = record
+        if checkpointer is not None:
+            checkpointer.record(index, record)
+
+    def on_failed(index: int, entry: Dict[str, Any]) -> None:
+        full: Dict[str, Any] = {"index": index, "seed": seeds[index]}
+        full.update(entry)
+        failed_by_index[index] = full
+        if checkpointer is not None:
+            checkpointer.record_failure(index, full)
+
+    with span(
+        "cdr.mc_campaign", mode=mode, n_seeds=len(seeds), jobs=config.jobs,
+        elastic=True,
+    ):
+        stats = run_points(
+            runner, pending, config, on_done=on_done, on_failed=on_failed,
+            label="mc-campaign",
+        )
+
+    records = [records_by_index[i] for i in sorted(records_by_index)]
+    failed = [failed_by_index[i] for i in sorted(failed_by_index)]
+    return records, failed, resumed, stats

@@ -1,0 +1,565 @@
+"""The elastic scheduler: dispatch, timeouts, retries, exactly-once requeue.
+
+:func:`run_points` drives a set of independent (or lineage-chained)
+points through an :class:`~repro.exec.pool.ElasticPool`:
+
+* **dispatch-on-idle** -- each ready worker holds at most one point, so
+  on worker death the parent knows exactly which point to requeue
+  (`exactly-once`: a point re-enters the queue only through the
+  scheduler's own record of the assignment, and late replies from a
+  worker already declared lost are discarded by dispatch sequence
+  number);
+* **per-point wall-clock timeouts** -- a worker that holds a point past
+  ``timeout_s`` is SIGKILLed and the point requeued as
+  :class:`~repro.resilience.errors.PointTimeout`;
+* **liveness** -- worker processes are sentinel-checked every tick and
+  heartbeat-checked (a daemon thread in the worker beats even while the
+  main thread is deep in a solve, so staleness means frozen, not busy);
+* **retry with exponential backoff + deterministic jitter** -- only
+  *infrastructure* faults retry (:class:`WorkerLost` /
+  :class:`PointTimeout` / corrupt payloads); a point whose analysis
+  raises fails deterministically and is recorded immediately, exactly
+  like the serial drivers;
+* **elastic respawn** -- lost workers are replaced (fresh process, fresh
+  queue) within ``max_respawns``; when the pool cannot be started or
+  sustained the remaining points degrade gracefully to serial in-parent
+  execution (no timeout enforcement there -- there is no process
+  boundary left to kill across);
+* **warm lineages** -- points chained by ``prev`` warm-start from the
+  nearest successfully solved ancestor's solution, shipped back in the
+  point's ``aux`` payload;
+* **typed interruption** -- SIGINT/SIGTERM terminates the workers and
+  raises :class:`~repro.resilience.errors.ExecutorInterrupted`; every
+  completed point was already flushed through ``on_done`` (the ledger),
+  so ``--resume`` continues the campaign.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exec.pool import ElasticPool, WorkerHandle
+from repro.exec.retry import Clock, RetryPolicy
+from repro.exec.worker import wire_digest
+from repro.obs import get_registry
+from repro.resilience.errors import (
+    ExecutorInterrupted,
+    PointTimeout,
+    PoolUnavailable,
+    WorkerLost,
+    failure_entry,
+)
+
+__all__ = ["ExecConfig", "ExecStats", "TimeoutTracker", "run_points"]
+
+
+@dataclass
+class ExecConfig:
+    """Knobs of one elastic run (CLI: ``--jobs/--point-timeout/--max-retries``)."""
+
+    jobs: int = 1
+    #: Per-point wall-clock budget; None disables timeout enforcement.
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    retry: Optional[RetryPolicy] = None
+    heartbeat_s: float = 0.5
+    #: A worker holding a point with no message for this long is frozen.
+    stale_after_s: Optional[float] = None
+    #: Lost-worker replacement budget; exhausting it degrades to serial.
+    max_respawns: Optional[int] = None
+    serial_fallback: bool = True
+    start_method: Optional[str] = None
+    poll_s: float = 0.05
+    clock: Clock = field(default_factory=Clock)
+    #: Chaos hook: make pool start fail (exercises serial degradation).
+    fail_start: bool = False
+
+    def retry_policy(self) -> RetryPolicy:
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy(max_retries=self.max_retries)
+
+    def stale_budget_s(self) -> float:
+        if self.stale_after_s is not None:
+            return self.stale_after_s
+        return max(5.0, 10.0 * self.heartbeat_s)
+
+    def respawn_budget(self) -> int:
+        if self.max_respawns is not None:
+            return self.max_respawns
+        return max(2 * self.jobs, 4)
+
+
+@dataclass
+class ExecStats:
+    """What the elastic run did, for manifests and ``repro stats``."""
+
+    jobs: int = 1
+    mode: str = "pool"
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    requeues: int = 0
+    timeouts: int = 0
+    workers_lost: int = 0
+    respawns: int = 0
+    heartbeats: int = 0
+    warm_starts: int = 0
+    serial_points: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "mode": self.mode,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "timeouts": self.timeouts,
+            "workers_lost": self.workers_lost,
+            "respawns": self.respawns,
+            "heartbeats": self.heartbeats,
+            "warm_starts": self.warm_starts,
+            "serial_points": self.serial_points,
+        }
+
+
+class TimeoutTracker:
+    """Wall-clock accounting of armed deadlines against an injectable clock.
+
+    Keys are opaque (the executor uses worker ids).  Everything is driven
+    by ``clock.monotonic()`` so tests exercise timeout accounting with a
+    fake clock instead of sleeping.
+    """
+
+    def __init__(self, clock: Clock, timeout_s: Optional[float]) -> None:
+        self.clock = clock
+        self.timeout_s = timeout_s
+        self._armed: Dict[Any, float] = {}
+
+    def arm(self, key: Any) -> None:
+        self._armed[key] = self.clock.monotonic()
+
+    def disarm(self, key: Any) -> None:
+        self._armed.pop(key, None)
+
+    def elapsed(self, key: Any) -> Optional[float]:
+        start = self._armed.get(key)
+        return None if start is None else self.clock.monotonic() - start
+
+    def overdue(self) -> List[Any]:
+        """Keys whose armed deadline has passed (empty when no timeout)."""
+        if self.timeout_s is None:
+            return []
+        now = self.clock.monotonic()
+        return [k for k, t0 in self._armed.items() if now - t0 > self.timeout_s]
+
+
+# point states
+_PENDING = "pending"
+_RETRY = "retry-wait"
+_INFLIGHT = "in-flight"
+_DONE = "done"
+_FAILED = "failed"
+
+
+class _Point:
+    __slots__ = (
+        "index", "payload", "prev", "state", "seq", "wake_at",
+        "infra_failures", "had_x0",
+    )
+
+    def __init__(self, index: int, payload: Dict[str, Any], prev: Optional[int]):
+        self.index = index
+        self.payload = payload
+        self.prev = prev
+        self.state = _PENDING
+        self.seq: Optional[int] = None
+        self.wake_at: Optional[float] = None
+        self.infra_failures = 0
+        self.had_x0 = False
+
+
+class _DegradeToSerial(Exception):
+    """Internal: the pool cannot be sustained; finish remaining serially."""
+
+
+def run_points(
+    runner: Any,
+    points: List[Tuple[int, Dict[str, Any]]],
+    config: ExecConfig,
+    *,
+    prev: Optional[Dict[int, Optional[int]]] = None,
+    seed_aux: Optional[Dict[int, Dict[str, Any]]] = None,
+    on_done: Optional[Callable[[int, Dict[str, Any], Dict[str, Any]], None]] = None,
+    on_failed: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    label: str = "exec",
+) -> ExecStats:
+    """Run every point through the pool; returns the run's :class:`ExecStats`.
+
+    ``points`` are ``(index, payload)`` pairs still to compute; already
+    resolved predecessors (checkpoint replays) are passed via ``seed_aux``
+    (index -> aux payload, possibly empty) so lineage successors can warm
+    from them.  ``prev`` maps an index to its lineage predecessor (absent
+    or None = chain head).  ``on_done(index, record, aux)`` /
+    ``on_failed(index, entry)`` fire exactly once per point, in completion
+    order, as results arrive -- this is where the caller's ledger write
+    goes, which is what makes a kill at any instant resumable.
+    """
+    prev = dict(prev or {})
+    clock = config.clock
+    policy = config.retry_policy()
+    stats = ExecStats(jobs=config.jobs)
+    registry = get_registry()
+    hb_counter = registry.counter(
+        "repro_exec_heartbeats_total", "Worker heartbeats seen by the executor"
+    )
+    lost_counter = registry.counter(
+        "repro_exec_workers_lost_total", "Workers the executor declared lost"
+    )
+    retry_counter = registry.counter(
+        "repro_exec_retries_total", "Point retries after infrastructure faults"
+    )
+    workers_gauge = registry.gauge(
+        "repro_exec_workers_alive", "Live workers of the current elastic run"
+    )
+
+    table: Dict[int, _Point] = {
+        index: _Point(index, dict(payload), prev.get(index))
+        for index, payload in points
+    }
+    unresolved = set(table)
+    # aux payloads of successfully resolved points (this run + replays).
+    resolved_aux: Dict[int, Dict[str, Any]] = {
+        int(i): dict(aux or {}) for i, aux in (seed_aux or {}).items()
+    }
+
+    def _is_resolved(index: Optional[int]) -> bool:
+        if index is None:
+            return True
+        point = table.get(index)
+        if point is None:  # not scheduled this run => replayed/absent
+            return True
+        return point.state in (_DONE, _FAILED)
+
+    def _x0_for(index: int) -> Optional[Dict[str, Any]]:
+        """Nearest successfully solved ancestor's solution, if any."""
+        ancestor = prev.get(index)
+        while ancestor is not None:
+            aux = resolved_aux.get(ancestor)
+            if aux is not None and "x" in aux:
+                return aux["x"]
+            ancestor = prev.get(ancestor)
+        return None
+
+    def _resolve_success(
+        index: int, record: Dict[str, Any], aux: Dict[str, Any]
+    ) -> None:
+        point = table[index]
+        point.state = _DONE
+        unresolved.discard(index)
+        resolved_aux[index] = aux
+        stats.completed += 1
+        if point.had_x0:
+            stats.warm_starts += 1
+        if on_done is not None:
+            on_done(index, record, aux)
+
+    def _resolve_failure(index: int, entry: Dict[str, Any]) -> None:
+        point = table[index]
+        point.state = _FAILED
+        unresolved.discard(index)
+        stats.failed += 1
+        if on_failed is not None:
+            on_failed(index, entry)
+
+    def _infra_fault(index: int, exc: Exception) -> None:
+        """An infrastructure fault hit an in-flight point: requeue or fail."""
+        point = table[index]
+        point.seq = None
+        point.infra_failures += 1
+        stats.requeues += 1
+        if policy.should_retry(point.infra_failures):
+            point.state = _RETRY
+            point.wake_at = clock.monotonic() + policy.delay_s(
+                point.infra_failures, token=f"{label}:{index}"
+            )
+            stats.retries += 1
+            retry_counter.inc(error_type=type(exc).__name__)
+        else:
+            entry = failure_entry(exc)
+            entry["exec_attempts"] = point.infra_failures
+            _resolve_failure(index, entry)
+
+    # ------------------------------------------------------------------ #
+    # serial execution (degradation path and final fallback)
+    # ------------------------------------------------------------------ #
+
+    def _run_serial(indices: List[int]) -> None:
+        stats.mode = (
+            "serial-fallback" if stats.mode == "pool" else stats.mode
+        )
+        try:
+            state = runner.setup()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 - every point inherits it
+            entry = failure_entry(exc)
+            for index in sorted(indices):
+                if index in unresolved:
+                    _resolve_failure(index, dict(entry))
+            return
+        # chains are contiguous index ranges, so index order respects
+        # every lineage dependency.
+        for index in sorted(indices):
+            if index not in unresolved:
+                continue
+            point = table[index]
+            payload = dict(point.payload)
+            x0 = _x0_for(index)
+            point.had_x0 = x0 is not None
+            if x0 is not None:
+                payload["x0"] = x0
+            stats.serial_points += 1
+            try:
+                record, aux = runner.run(state, index, payload)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 - per-point isolation
+                entry = failure_entry(exc)
+                attempts = getattr(exc, "attempts", None)
+                if attempts and isinstance(attempts, list):
+                    entry["attempts"] = attempts
+                _resolve_failure(index, entry)
+                continue
+            aux.pop("__corrupt_wire__", None)  # no wire to corrupt in-process
+            _resolve_success(index, record, aux)
+
+    # ------------------------------------------------------------------ #
+    # pool execution
+    # ------------------------------------------------------------------ #
+
+    def _run_pool() -> None:
+        pool = ElasticPool(
+            runner, config.jobs, heartbeat_s=config.heartbeat_s,
+            start_method=config.start_method, clock=clock,
+            fail_start=config.fail_start,
+        )
+        pool.start()
+        tracker = TimeoutTracker(clock, config.timeout_s)
+        stale_budget = config.stale_budget_s()
+        respawn_budget = config.respawn_budget()
+        next_seq = [0]
+
+        def _clear_task(handle: Optional[WorkerHandle]) -> None:
+            if handle is not None:
+                handle.task = None
+                handle.dispatched_at = None
+                tracker.disarm(handle.wid)
+
+        def _maybe_respawn() -> None:
+            if not unresolved:
+                return
+            if stats.respawns < respawn_budget:
+                pool.spawn_worker()
+                stats.respawns += 1
+
+        def _lose_worker(handle: WorkerHandle, exc_factory) -> None:
+            """Declare one worker lost; requeue its point exactly once."""
+            task = handle.task
+            _clear_task(handle)
+            pool.kill_worker(handle)
+            stats.workers_lost += 1
+            lost_counter.inc()
+            if task is not None:
+                seq, index = task
+                point = table.get(index)
+                # the point re-enters the queue only via this record of
+                # the assignment (exactly-once requeue)
+                if point is not None and point.state == _INFLIGHT and point.seq == seq:
+                    _infra_fault(index, exc_factory(index, point))
+            _maybe_respawn()
+
+        def _handle_message(message: Tuple[Any, ...]) -> None:
+            kind, wid = message[0], message[1]
+            handle = pool.workers.get(wid)
+            if handle is not None:
+                handle.last_seen = clock.monotonic()
+            if kind == "heartbeat":
+                stats.heartbeats += 1
+                hb_counter.inc()
+            elif kind == "ready":
+                if handle is not None:
+                    handle.ready = True
+            elif kind == "started":
+                pass  # dispatch time anchors the timeout clock
+            elif kind == "init_error":
+                if handle is not None:
+                    entry = message[2]
+                    _lose_worker(handle, lambda index, point: WorkerLost(
+                        f"worker {wid} failed to initialize: {entry.get('message')}",
+                        index=index, worker_id=wid, reason="init-error",
+                        attempts=point.infra_failures + 1,
+                    ))
+            elif kind == "done":
+                _, _, seq, index, record, aux, digest = message
+                point = table.get(index)
+                if point is None or point.state != _INFLIGHT or point.seq != seq:
+                    return  # late reply from a superseded attempt
+                if wire_digest(record, aux) != digest:
+                    # the worker's output cannot be trusted: drop the
+                    # worker, requeue the point
+                    if handle is not None:
+                        _lose_worker(handle, lambda i, p: WorkerLost(
+                            f"worker {wid} returned a corrupt payload for point {i}",
+                            index=i, worker_id=wid, reason="corrupt-payload",
+                            attempts=p.infra_failures + 1,
+                        ))
+                    else:
+                        _infra_fault(index, WorkerLost(
+                            f"corrupt payload for point {index}",
+                            index=index, worker_id=wid,
+                            reason="corrupt-payload",
+                            attempts=point.infra_failures + 1,
+                        ))
+                    return
+                _clear_task(handle)
+                _resolve_success(index, record, aux)
+            elif kind == "point_error":
+                _, _, seq, index, entry = message
+                point = table.get(index)
+                if point is None or point.state != _INFLIGHT or point.seq != seq:
+                    return
+                _clear_task(handle)
+                # deterministic analysis failure: recorded, never retried
+                _resolve_failure(index, dict(entry))
+            elif kind == "bye":
+                pass
+
+        def _check_liveness() -> None:
+            now = clock.monotonic()
+            for handle in pool.live_workers():
+                if not handle.alive():
+                    exitcode = handle.process.exitcode
+                    _lose_worker(handle, lambda index, point: WorkerLost(
+                        f"worker {handle.wid} died (exitcode {exitcode}) "
+                        f"holding point {index}",
+                        index=index, worker_id=handle.wid, exitcode=exitcode,
+                        reason="killed", attempts=point.infra_failures + 1,
+                    ))
+                    continue
+                if (handle.task is not None or not handle.ready) and (
+                    now - handle.last_seen > stale_budget
+                ):
+                    _lose_worker(handle, lambda index, point: WorkerLost(
+                        f"worker {handle.wid} heartbeat stale for "
+                        f">{stale_budget:.1f}s holding point {index}",
+                        index=index, worker_id=handle.wid,
+                        reason="stale-heartbeat",
+                        attempts=point.infra_failures + 1,
+                    ))
+
+        def _check_timeouts() -> None:
+            for wid in tracker.overdue():
+                handle = pool.workers.get(wid)
+                if handle is None or handle.task is None:
+                    tracker.disarm(wid)
+                    continue
+                stats.timeouts += 1
+                elapsed = tracker.elapsed(wid)
+                _lose_worker(handle, lambda index, point: PointTimeout(
+                    f"point {index} exceeded its {config.timeout_s:.1f}s "
+                    f"budget (ran {elapsed:.1f}s in worker {wid})",
+                    index=index, timeout_s=config.timeout_s,
+                    attempts=point.infra_failures + 1,
+                ))
+
+        def _dispatch_ready() -> None:
+            idle = [h for h in pool.live_workers() if h.idle]
+            if not idle:
+                return
+            now = clock.monotonic()
+            for index in sorted(unresolved):
+                if not idle:
+                    break
+                point = table[index]
+                if point.state == _RETRY:
+                    if point.wake_at is not None and point.wake_at > now:
+                        continue
+                    point.state = _PENDING
+                if point.state != _PENDING or not _is_resolved(point.prev):
+                    continue
+                payload = dict(point.payload)
+                x0 = _x0_for(index)
+                point.had_x0 = x0 is not None
+                if x0 is not None:
+                    payload["x0"] = x0
+                seq = next_seq[0]
+                next_seq[0] += 1
+                point.seq = seq
+                point.state = _INFLIGHT
+                handle = idle.pop(0)
+                pool.dispatch(handle, seq, index, payload)
+                tracker.arm(handle.wid)
+
+        interrupted = False
+        previous_sigterm = None
+
+        def _sigterm(signum, frame):  # noqa: ARG001 - signal signature
+            raise KeyboardInterrupt("SIGTERM")
+
+        try:
+            previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
+        except (ValueError, OSError):  # non-main thread: SIGINT still works
+            previous_sigterm = None
+        try:
+            while unresolved:
+                for message in pool.poll(config.poll_s):
+                    _handle_message(message)
+                _check_liveness()
+                _check_timeouts()
+                workers_gauge.set(len(pool.workers))
+                if unresolved and not pool.workers:
+                    raise _DegradeToSerial()
+                _dispatch_ready()
+        except KeyboardInterrupt:
+            interrupted = True
+            raise ExecutorInterrupted(
+                f"elastic run interrupted: {stats.completed} completed, "
+                f"{stats.failed} failed, {len(unresolved)} pending "
+                "(completed points are flushed; rerun with --resume)",
+                completed=stats.completed, failed=stats.failed,
+                pending=len(unresolved),
+            ) from None
+        finally:
+            if previous_sigterm is not None:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            if interrupted:
+                pool.terminate()
+            else:
+                pool.stop()
+            workers_gauge.set(0)
+
+    try:
+        _run_pool()
+    except (PoolUnavailable, _DegradeToSerial) as exc:
+        if not config.serial_fallback:
+            if isinstance(exc, _DegradeToSerial):
+                raise PoolUnavailable(
+                    "worker pool could not be sustained and serial "
+                    "fallback is disabled"
+                ) from None
+            raise
+        try:
+            _run_serial(sorted(unresolved))
+        except KeyboardInterrupt:
+            raise ExecutorInterrupted(
+                f"serial-fallback run interrupted: {stats.completed} "
+                f"completed, {stats.failed} failed, {len(unresolved)} pending "
+                "(completed points are flushed; rerun with --resume)",
+                completed=stats.completed, failed=stats.failed,
+                pending=len(unresolved),
+            ) from None
+    return stats

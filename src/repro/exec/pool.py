@@ -1,0 +1,187 @@
+"""The elastic process pool: spawn, watch, kill, respawn.
+
+:class:`ElasticPool` owns the worker processes and the plumbing -- one
+private task queue per worker plus one shared result queue -- and nothing
+else: all scheduling policy (dispatch order, timeouts, retries, requeues)
+lives in :mod:`repro.exec.executor`.  The one-queue-per-worker shape is
+deliberate: a shared work-stealing queue makes exactly-once requeue
+unprovable (a worker can die between dequeue and acknowledgement, and the
+parent cannot know whether the point was taken), whereas with
+parent-mediated dispatch the parent always knows precisely which point a
+dead worker was holding.  Work stealing still happens -- idle workers are
+handed whatever eligible point is next -- it is just mediated by the
+parent instead of raced through a shared queue.
+
+Start method: ``fork`` when the platform offers it, so workers inherit
+the runner (including un-picklable test/chaos closures) and any shared
+operators by copy-on-write; otherwise ``spawn``, for which runners carry
+a serialized spec and rebuild state in ``setup()``.  A pool that cannot
+be brought up raises :class:`~repro.resilience.errors.PoolUnavailable`,
+which the executor turns into graceful serial degradation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as _queue
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exec.retry import Clock
+from repro.exec.worker import worker_main
+from repro.resilience.errors import PoolUnavailable
+
+__all__ = ["WorkerHandle", "ElasticPool"]
+
+
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    def __init__(self, wid: int, process, task_queue, now: float) -> None:
+        self.wid = wid
+        self.process = process
+        self.task_queue = task_queue
+        #: The single outstanding ``(seq, index)`` this worker holds, or None.
+        self.task: Optional[Tuple[int, int]] = None
+        #: When the outstanding task was dispatched (parent clock).
+        self.dispatched_at: Optional[float] = None
+        #: Last time any message from this worker was received.
+        self.last_seen = now
+        #: Setup finished; worker is accepting tasks.
+        self.ready = False
+
+    @property
+    def idle(self) -> bool:
+        return self.ready and self.task is None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ElasticPool:
+    """Worker processes + message plumbing for the elastic executor."""
+
+    def __init__(
+        self,
+        runner: Any,
+        jobs: int,
+        *,
+        heartbeat_s: float = 0.5,
+        start_method: Optional[str] = None,
+        clock: Optional[Clock] = None,
+        fail_start: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.runner = runner
+        self.jobs = jobs
+        self.heartbeat_s = heartbeat_s
+        self.clock = clock or Clock()
+        self._fail_start = fail_start
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        self.start_method = start_method
+        self._ctx = None
+        self.result_queue = None
+        self.workers: Dict[int, WorkerHandle] = {}
+        self._next_wid = 0
+        #: Total processes ever started (respawns = spawned - jobs).
+        self.spawned = 0
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    def start(self) -> None:
+        """Bring up ``jobs`` workers; :class:`PoolUnavailable` on failure."""
+        if self._fail_start:
+            raise PoolUnavailable(
+                "injected pool-start failure (chaos battery)"
+            )
+        try:
+            self._ctx = mp.get_context(self.start_method)
+            self.result_queue = self._ctx.Queue()
+            for _ in range(self.jobs):
+                self.spawn_worker()
+        except PoolUnavailable:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any bring-up failure degrades
+            self.terminate()
+            raise PoolUnavailable(
+                f"worker pool could not be started ({type(exc).__name__}: {exc})"
+            ) from exc
+
+    def spawn_worker(self) -> WorkerHandle:
+        """Start one fresh worker with its own (empty) task queue.
+
+        Respawned workers never reuse a dead worker's queue: whatever task
+        was in it is requeued by the scheduler from its own records, which
+        is what makes the exactly-once argument local and checkable.
+        """
+        wid = self._next_wid
+        self._next_wid += 1
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(wid, self.runner, task_queue, self.result_queue,
+                  self.heartbeat_s),
+            name=f"repro-exec-{wid}",
+            daemon=True,
+        )
+        process.start()
+        handle = WorkerHandle(wid, process, task_queue, self.clock.monotonic())
+        self.workers[wid] = handle
+        self.spawned += 1
+        return handle
+
+    def kill_worker(self, handle: WorkerHandle) -> None:
+        """SIGKILL one worker and drop it from the pool."""
+        try:
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+        except Exception:  # noqa: BLE001 - already dead / reaped
+            pass
+        handle.task_queue.cancel_join_thread()
+        self.workers.pop(handle.wid, None)
+
+    def dispatch(
+        self, handle: WorkerHandle, seq: int, index: int, payload: Dict[str, Any]
+    ) -> None:
+        handle.task_queue.put(("task", seq, index, payload))
+        handle.task = (seq, index)
+        handle.dispatched_at = self.clock.monotonic()
+
+    def poll(self, timeout: float) -> List[Tuple[Any, ...]]:
+        """Drain available worker messages, waiting at most ``timeout``."""
+        messages: List[Tuple[Any, ...]] = []
+        try:
+            messages.append(self.result_queue.get(timeout=timeout))
+        except _queue.Empty:
+            return messages
+        while True:
+            try:
+                messages.append(self.result_queue.get_nowait())
+            except _queue.Empty:
+                return messages
+
+    def live_workers(self) -> List[WorkerHandle]:
+        return list(self.workers.values())
+
+    def stop(self, grace_s: float = 5.0) -> None:
+        """Orderly shutdown: stop-message, short join, then SIGKILL."""
+        for handle in self.live_workers():
+            try:
+                handle.task_queue.put(("stop",))
+            except Exception:  # noqa: BLE001 - queue torn down
+                pass
+        for handle in self.live_workers():
+            handle.process.join(timeout=grace_s)
+        self.terminate()
+
+    def terminate(self) -> None:
+        """SIGKILL every remaining worker; never raises."""
+        for handle in self.live_workers():
+            self.kill_worker(handle)
+        if self.result_queue is not None:
+            self.result_queue.cancel_join_thread()

@@ -1,0 +1,83 @@
+"""Retry schedule and injectable clock for the elastic executor.
+
+Two deliberately boring pieces that everything timing-related in
+:mod:`repro.exec` goes through:
+
+* :class:`Clock` -- the executor's only source of time and sleep, so unit
+  tests drive timeout accounting and backoff waits with a fake clock
+  instead of real wall time;
+* :class:`RetryPolicy` -- exponential backoff with *deterministic* jitter:
+  the jitter fraction is derived from a hash of ``(token, attempt)``, not
+  from an RNG, so the same point retried after the same failures waits the
+  same schedule on every run (a requirement of bit-identical crash-resume)
+  while distinct points still decorrelate their retries.
+
+Only infrastructure faults are retried (:class:`~repro.resilience.errors.WorkerLost`,
+:class:`~repro.resilience.errors.PointTimeout`, corrupt payloads); a point
+whose *analysis* raises is a deterministic failure -- rerunning it would
+fail identically -- and is recorded without retry, matching the serial
+sweep's semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+__all__ = ["Clock", "RetryPolicy"]
+
+
+class Clock:
+    """Monotonic time + sleep, swappable for a fake in tests."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+def _hash_frac(token: str) -> float:
+    """Deterministic uniform-ish fraction in [0, 1) from a string token."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded, hash-seeded jitter.
+
+    The delay before retry attempt ``attempt`` (1-based: 1 = first retry)
+    is ``min(base_delay_s * factor**(attempt-1), max_delay_s)`` stretched
+    by up to ``jitter_frac`` according to the hash of ``(token, attempt)``.
+    ``max_retries`` bounds how many retries a point gets before its typed
+    infrastructure error is recorded as the point's failure.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.25
+    factor: float = 2.0
+    max_delay_s: float = 8.0
+    jitter_frac: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be at least 1")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be in [0, 1]")
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether retry number ``attempt`` (1-based) is still allowed."""
+        return attempt <= self.max_retries
+
+    def delay_s(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered by ``token``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(self.base_delay_s * self.factor ** (attempt - 1), self.max_delay_s)
+        return base * (1.0 + self.jitter_frac * _hash_frac(f"{token}#{attempt}"))

@@ -1,0 +1,196 @@
+"""Picklable per-point work descriptions for the elastic executor.
+
+A *runner* is the executor's separation of work description from
+execution (the nipype-style split the ROADMAP calls for): a small
+picklable dataclass that says how to compute ONE point, shipped to every
+worker once.  ``setup()`` runs once per worker process and returns the
+shared per-worker state (rebuilt from the serialized spec, so the spawn
+start method works identically to fork); ``run(state, index, payload)``
+computes one point and returns ``(record, aux)`` where both are JSON-safe
+dicts -- ``record`` is exactly what the serial driver would have put in
+the ledger, ``aux`` is side-band data that never enters the record digest
+(warm-start solution vectors, chaos markers).
+
+Determinism note: exec workers deliberately do NOT share a
+:class:`~repro.markov.SolveContext`.  Its hierarchy cache is built from
+operator *values*, so which hierarchy a point reuses would depend on
+completion order -- unacceptable for bit-identical crash-resume.  Warm
+starts are instead explicit: the scheduler threads the predecessor's
+solution into ``payload["x0"]`` along deterministic lineage chains.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["WorkerChaos", "SweepPointRunner", "CampaignPointRunner"]
+
+
+@dataclass
+class WorkerChaos:
+    """One-shot fault injection inside a worker, for the chaos battery.
+
+    ``kind`` is ``"sigkill"`` (the worker SIGKILLs itself mid-point),
+    ``"hang"`` (the point blocks far past any sane timeout) or
+    ``"corrupt"`` (the returned payload is marked so the worker sends a
+    bogus integrity digest).  The injection fires the first time point
+    ``index`` runs and then arms ``flag_path`` on the shared filesystem,
+    so the retried attempt -- possibly in a respawned worker -- succeeds.
+    """
+
+    kind: str
+    index: int
+    flag_path: str
+    hang_s: float = 3600.0
+
+    def _arm(self) -> bool:
+        """Atomically create the flag; True exactly once across processes."""
+        try:
+            fd = os.open(self.flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def before_point(self, index: int) -> None:
+        if index != self.index or self.kind not in ("sigkill", "hang"):
+            return
+        if not self._arm():
+            return
+        if self.kind == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(self.hang_s)
+
+    def after_point(self, index: int, aux: Dict[str, Any]) -> None:
+        if index != self.index or self.kind != "corrupt":
+            return
+        if self._arm():
+            aux["__corrupt_wire__"] = True
+
+
+@dataclass
+class SweepPointRunner:
+    """Compute one sweep point: ``payload = {"value": v, "x0": encoded?}``.
+
+    Produces the exact record :func:`repro.cdr.sweep.sweep_parameter`
+    builds serially (plus ``warm_started`` when warm lineages are on);
+    with ``warm=True`` the stationary solution rides back in ``aux["x"]``
+    (exact-bytes encoding) to seed the successor point's ``x0``.
+    """
+
+    spec_dict: Dict[str, Any]
+    parameter: str
+    solver: str = "multigrid"
+    tol: float = 1e-10
+    backend: Optional[str] = None
+    resilience: Any = None
+    warm: bool = False
+    analyze_fn: Optional[Callable[..., Any]] = None
+    chaos: Optional[WorkerChaos] = None
+    extra_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def setup(self) -> Dict[str, Any]:
+        from repro.core.analyzer import analyze_cdr
+        from repro.core.serialize import spec_from_dict
+
+        return {
+            "spec": spec_from_dict(self.spec_dict),
+            "analyze": analyze_cdr if self.analyze_fn is None else self.analyze_fn,
+        }
+
+    def run(
+        self, state: Dict[str, Any], index: int, payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        import numpy as np
+
+        from repro.cdr.sweep import _record_from_analysis
+        from repro.resilience.checkpoint import decode_array, encode_array
+
+        if self.chaos is not None:
+            self.chaos.before_point(index)
+        value = payload["value"]
+        spec = state["spec"].replace(**{self.parameter: value})
+        kwargs: Dict[str, Any] = dict(self.extra_kwargs)
+        if self.resilience is not None:
+            kwargs["resilience"] = self.resilience
+        x0_payload = payload.get("x0")
+        if x0_payload is not None:
+            kwargs["x0"] = decode_array(x0_payload)
+        result = state["analyze"](
+            spec, solver=self.solver, tol=self.tol, backend=self.backend,
+            **kwargs,
+        )
+        record = _record_from_analysis(self.parameter, value, result)
+        if self.warm:
+            record["warm_started"] = x0_payload is not None
+        resilience_events = getattr(result, "resilience_events", None)
+        if resilience_events:
+            record["resilience_events"] = resilience_events
+        aux: Dict[str, Any] = {}
+        if self.warm:
+            aux["x"] = encode_array(
+                np.asarray(result.solver_result.distribution, dtype=float)
+            )
+        if self.chaos is not None:
+            self.chaos.after_point(index, aux)
+        return record, aux
+
+
+@dataclass
+class CampaignPointRunner:
+    """Simulate one Monte-Carlo seed: ``payload = {"seed": s}``.
+
+    Seeds are fully independent (the seed determines its RNG stream), so
+    campaign points carry no lineage and no warm-start payloads.  The
+    simulation inputs (grid, distributions, data source) are held by
+    value; under the spawn start method they must pickle, which every
+    shipped implementation does.
+    """
+
+    grid: Any
+    nw: Any
+    nr: Any
+    counter_length: int
+    phase_step_units: int
+    data_source: Any
+    n_symbols: int
+    mode: str = "discretized"
+    sim_kwargs: Dict[str, Any] = field(default_factory=dict)
+    chaos: Optional[WorkerChaos] = None
+
+    def setup(self) -> Dict[str, Any]:
+        from repro.cdr.montecarlo import simulate_cdr
+
+        return {"simulate": simulate_cdr}
+
+    def run(
+        self, state: Dict[str, Any], index: int, payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        import numpy as np
+
+        if self.chaos is not None:
+            self.chaos.before_point(index)
+        seed = int(payload["seed"])
+        result = state["simulate"](
+            self.grid, self.nw, self.nr, self.counter_length,
+            self.phase_step_units, self.data_source, self.n_symbols,
+            rng=np.random.default_rng(seed), mode=self.mode,
+            **self.sim_kwargs,
+        )
+        record = {
+            "seed": seed,
+            "n_symbols": result.n_symbols,
+            "n_errors": result.n_errors,
+            "n_slips": result.n_slips,
+            "phase_mean": result.phase_mean,
+            "phase_rms": result.phase_rms,
+            "sim_time": result.sim_time,
+        }
+        aux: Dict[str, Any] = {}
+        if self.chaos is not None:
+            self.chaos.after_point(index, aux)
+        return record, aux

@@ -1,0 +1,119 @@
+"""Worker-process entry point and wire-integrity helpers.
+
+The protocol between the parent scheduler and a worker is a handful of
+tuples over two queues.  Parent -> worker, on the worker's private task
+queue (one outstanding task at a time, so the parent always knows exactly
+which point a dead worker was holding):
+
+``("task", seq, index, payload)``
+    Compute point ``index``.  ``seq`` is a globally unique dispatch
+    number; every reply echoes it so late messages from a worker that was
+    already declared lost (killed after a timeout, say) can be discarded
+    instead of double-recording the point.
+``("stop",)``
+    Drain and exit cleanly.
+
+Worker -> parent, on the shared result queue:
+
+``("ready", wid, pid)``             -- setup finished, worker wants work;
+``("started", wid, seq, index)``    -- point accepted (timeout clock anchor);
+``("done", wid, seq, index, record, aux, digest)`` -- point computed;
+``("point_error", wid, seq, index, entry)`` -- the *analysis* raised: a
+    deterministic point failure (``entry`` from
+    :func:`~repro.resilience.errors.failure_entry`), recorded, not retried;
+``("heartbeat", wid)``              -- liveness beacon from a daemon
+    thread, emitted even while the main thread is deep in a solve, so a
+    *hung* worker is distinguishable from a merely busy one;
+``("init_error", wid, entry)``      -- ``runner.setup()`` raised;
+``("bye", wid)``                    -- clean exit after ``stop``.
+
+``record``/``aux`` are JSON-safe dicts and ``digest`` is their SHA-256
+over a canonical JSON encoding: the parent recomputes it on receipt, and
+a mismatch means the payload was corrupted in flight (or the worker is
+compromised) -- classified as
+:class:`~repro.resilience.errors.WorkerLost` with reason
+``"corrupt-payload"`` and retried like any infrastructure fault.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+from typing import Any, Dict
+
+__all__ = ["wire_digest", "worker_main"]
+
+#: The digest a chaos-corrupted payload is sent with (never a real SHA-256
+#: of the payload, so verification always fails).
+_BOGUS_DIGEST = "0" * 64
+
+
+def wire_digest(record: Dict[str, Any], aux: Dict[str, Any]) -> str:
+    """Integrity digest of one point result as sent over the wire."""
+    blob = json.dumps(
+        {"record": record, "aux": aux}, sort_keys=True, default=str
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def worker_main(wid: int, runner: Any, task_queue, result_queue,
+                heartbeat_s: float) -> None:
+    """Run one worker: setup once, then serve tasks until ``stop``.
+
+    SIGINT is ignored so a Ctrl-C in the parent's terminal (delivered to
+    the whole foreground process group) does not race the parent's
+    orderly shutdown; the parent terminates workers explicitly.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread or exotic platform
+        pass
+
+    stop_beat = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beat.wait(heartbeat_s):
+            try:
+                result_queue.put(("heartbeat", wid))
+            except Exception:  # noqa: BLE001 - queue torn down, parent gone
+                return
+
+    beacon = threading.Thread(target=_beat, name=f"heartbeat-{wid}", daemon=True)
+    beacon.start()
+
+    from repro.resilience.errors import failure_entry
+
+    try:
+        state = runner.setup()
+    except Exception as exc:  # noqa: BLE001 - reported, not handled
+        result_queue.put(("init_error", wid, failure_entry(exc)))
+        stop_beat.set()
+        return
+    result_queue.put(("ready", wid, os.getpid()))
+
+    while True:
+        message = task_queue.get()
+        if message[0] == "stop":
+            break
+        _, seq, index, payload = message
+        result_queue.put(("started", wid, seq, index))
+        try:
+            record, aux = runner.run(state, index, payload)
+        except Exception as exc:  # noqa: BLE001 - per-point isolation
+            entry = failure_entry(exc)
+            attempts = getattr(exc, "attempts", None)
+            if attempts and isinstance(attempts, list):
+                entry["attempts"] = attempts
+            result_queue.put(("point_error", wid, seq, index, entry))
+            continue
+        if aux.pop("__corrupt_wire__", None):
+            digest = _BOGUS_DIGEST
+        else:
+            digest = wire_digest(record, aux)
+        result_queue.put(("done", wid, seq, index, record, aux, digest))
+
+    stop_beat.set()
+    result_queue.put(("bye", wid))

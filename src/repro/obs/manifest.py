@@ -315,6 +315,36 @@ def _format_resilience_event(ev: Dict[str, Any]) -> str:
     return " ".join(f"{k}={v}" for k, v in ev.items())
 
 
+def _format_failures_by_cause(failed: List[Dict[str, Any]]) -> List[str]:
+    """Group per-point failure entries by taxonomy family + leaf class.
+
+    The entries carry the typed failure through the ledger round-trip
+    (``taxonomy`` is the nearest resilience-taxonomy family, ``"external"``
+    for exceptions from outside it), so a 40-point sweep with mixed
+    failure modes reads as causes, not as 40 interchangeable errors.
+    """
+    groups: Dict[Any, List[Dict[str, Any]]] = {}
+    for entry in failed:
+        key = (entry.get("taxonomy", "external"),
+               entry.get("error_type", "unknown"))
+        groups.setdefault(key, []).append(entry)
+    lines = [f"failures by cause ({len(failed)} point(s)):"]
+    for (taxonomy, error_type) in sorted(groups):
+        entries = groups[(taxonomy, error_type)]
+        indices = ", ".join(str(e.get("index", "?")) for e in entries[:8])
+        if len(entries) > 8:
+            indices += ", ..."
+        label = error_type if taxonomy in (error_type, "external") \
+            else f"{taxonomy}/{error_type}"
+        lines.append(
+            f"  {label}: {len(entries)} point(s) [{indices}]"
+        )
+        message = entries[0].get("message")
+        if message:
+            lines.append(f"    e.g. {message}")
+    return lines
+
+
 def format_run_manifest(manifest: Dict[str, Any]) -> str:
     """Human-readable rendering of a run manifest (``repro stats``)."""
     lines: List[str] = []
@@ -350,6 +380,20 @@ def format_run_manifest(manifest: Dict[str, Any]) -> str:
                 lines.append(f"  {key}: {value:.6g}")
             elif not isinstance(value, (dict, list)):
                 lines.append(f"  {key}: {value}")
+    exec_stats = results.get("exec_stats") or {}
+    if exec_stats:
+        parts = [f"jobs={exec_stats.get('jobs')}",
+                 f"mode={exec_stats.get('mode')}"]
+        parts += [
+            f"{key}={exec_stats[key]}"
+            for key in ("completed", "failed", "retries", "timeouts",
+                        "workers_lost", "respawns", "warm_starts")
+            if exec_stats.get(key)
+        ]
+        lines.append("executor: " + "  ".join(parts))
+    failed = results.get("failed_points") or results.get("failed_seeds") or []
+    if failed:
+        lines.extend(_format_failures_by_cause(failed))
     trace = manifest.get("solver_trace")
     if trace:
         lines.append(

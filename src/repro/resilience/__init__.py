@@ -34,12 +34,18 @@ from repro.resilience.errors import (
     CheckpointCorrupted,
     CheckpointError,
     CheckpointMismatch,
+    ExecutorError,
+    ExecutorInterrupted,
     FallbackExhausted,
     NumericalContamination,
+    PointTimeout,
+    PoolUnavailable,
     ResilienceError,
     SolverDiverged,
     SolverFailure,
     SolverStagnated,
+    WorkerLost,
+    failure_entry,
 )
 from repro.resilience.fallback import (
     AttemptRecord,
@@ -68,6 +74,12 @@ __all__ = [
     "CheckpointCorrupted",
     "CheckpointMismatch",
     "FallbackExhausted",
+    "ExecutorError",
+    "PointTimeout",
+    "WorkerLost",
+    "PoolUnavailable",
+    "ExecutorInterrupted",
+    "failure_entry",
     # guards
     "GuardPolicy",
     "GuardedMonitor",

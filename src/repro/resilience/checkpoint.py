@@ -264,10 +264,26 @@ class PointCheckpointer:
         self.job = dict(job)
         self.completed: Dict[str, Dict[str, Any]] = {}
         self.failed: Dict[str, Dict[str, Any]] = {}
+        self.aux: Dict[str, Dict[str, Any]] = {}
 
     @property
     def job_digest(self) -> str:
         return _payload_digest(self.job)
+
+    @staticmethod
+    def peek_job(path: str) -> Optional[Dict[str, Any]]:
+        """The job fingerprint of an existing ledger, or None if absent.
+
+        Used by the elastic executor to recover resume-relevant execution
+        settings (e.g. the warm-start lineage count) *before* constructing
+        the job dict it will verify against -- those settings must match
+        the interrupted run, not the current command line.  Integrity is
+        still verified; corruption raises as usual.
+        """
+        if not os.path.exists(path):
+            return None
+        payload = _load_verified(path, POINTS_SCHEMA)
+        return dict(payload.get("job") or {})
 
     def resume(self) -> bool:
         """Load prior progress; returns False when no checkpoint exists."""
@@ -283,6 +299,7 @@ class PointCheckpointer:
             )
         self.completed = dict(payload.get("completed") or {})
         self.failed = dict(payload.get("failed") or {})
+        self.aux = dict(payload.get("aux") or {})
         return True
 
     def is_done(self, index: int) -> bool:
@@ -291,8 +308,19 @@ class PointCheckpointer:
     def completed_record(self, index: int) -> Dict[str, Any]:
         return self.completed[str(index)]
 
-    def record(self, index: int, record: Dict[str, Any]) -> None:
+    def aux_for(self, index: int) -> Optional[Dict[str, Any]]:
+        """Side-band payload saved with a completed point (or None)."""
+        return self.aux.get(str(index))
+
+    def record(
+        self,
+        index: int,
+        record: Dict[str, Any],
+        aux: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.completed[str(index)] = record
+        if aux is not None:
+            self.aux[str(index)] = aux
         self.failed.pop(str(index), None)
         self.save()
 
@@ -307,6 +335,8 @@ class PointCheckpointer:
             "completed": self.completed,
             "failed": self.failed,
         }
+        if self.aux:
+            payload["aux"] = self.aux
         _atomic_write_json(
             self.path,
             {

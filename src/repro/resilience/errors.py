@@ -27,6 +27,13 @@ pattern-matching error strings:
 ``FallbackExhausted``
     Every method in a :class:`~repro.resilience.fallback.FallbackPolicy`
     chain failed; carries the full attempt trail for the run manifest.
+``PointTimeout`` / ``WorkerLost`` / ``PoolUnavailable`` /
+``ExecutorInterrupted``
+    The executor-side failure modes of :mod:`repro.exec`: a sweep point
+    exceeded its wall-clock budget, a worker process died (or returned a
+    corrupt payload) while holding a point, the process pool could not be
+    started or sustained, and a campaign was interrupted by
+    SIGINT/SIGTERM after flushing its ledger.
 
 The module is intentionally dependency-light (stdlib only) so low-level
 code like :func:`repro.markov.solvers.result.iterate_fixed_point` can
@@ -48,6 +55,12 @@ __all__ = [
     "CheckpointCorrupted",
     "CheckpointMismatch",
     "FallbackExhausted",
+    "ExecutorError",
+    "PointTimeout",
+    "WorkerLost",
+    "PoolUnavailable",
+    "ExecutorInterrupted",
+    "failure_entry",
 ]
 
 
@@ -168,3 +181,136 @@ class FallbackExhausted(ResilienceError):
     def __init__(self, message: str, attempts: Sequence[Dict[str, Any]] = ()) -> None:
         super().__init__(message)
         self.attempts: List[Dict[str, Any]] = list(attempts)
+
+
+class ExecutorError(ResilienceError):
+    """Base class of the elastic-executor failure modes (:mod:`repro.exec`)."""
+
+
+class PointTimeout(ExecutorError):
+    """A sweep/campaign point exceeded its per-point wall-clock budget.
+
+    Attributes
+    ----------
+    index:
+        The 0-based point index within the campaign.
+    timeout_s:
+        The configured per-point budget in seconds.
+    attempts:
+        How many attempts (initial + retries) were made before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.timeout_s = timeout_s
+        self.attempts = attempts
+
+
+class WorkerLost(ExecutorError):
+    """A worker process died (or returned garbage) while holding a point.
+
+    ``reason`` distinguishes the flavors: ``"killed"`` (nonzero/signal
+    exit), ``"stale-heartbeat"`` (alive but unresponsive), and
+    ``"corrupt-payload"`` (the returned record failed its integrity
+    digest, so the worker's output cannot be trusted).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: Optional[int] = None,
+        worker_id: Optional[int] = None,
+        exitcode: Optional[int] = None,
+        reason: str = "killed",
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.worker_id = worker_id
+        self.exitcode = exitcode
+        self.reason = reason
+        self.attempts = attempts
+
+
+class PoolUnavailable(ExecutorError):
+    """The worker pool could not be started or sustained.
+
+    Raised internally to trigger graceful degradation to serial
+    execution; surfaces to the caller only when serial fallback was
+    explicitly disabled.
+    """
+
+
+class ExecutorInterrupted(ExecutorError):
+    """A campaign was interrupted (SIGINT/SIGTERM) and shut down cleanly.
+
+    By the time this is raised the workers have been terminated and every
+    completed point has been flushed to the ledger, so ``--resume`` can
+    continue the campaign.  ``completed``/``failed``/``pending`` count the
+    points in each state at interrupt time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        completed: int = 0,
+        failed: int = 0,
+        pending: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.completed = completed
+        self.failed = failed
+        self.pending = pending
+
+
+#: The taxonomy families failures are grouped under in ledgers, manifests
+#: and ``repro stats`` (leaf classes map onto the nearest family).
+_TAXONOMY_FAMILIES = (
+    "SolverDiverged",
+    "SolverStagnated",
+    "NumericalContamination",
+    "BudgetExceeded",
+    "PointTimeout",
+    "WorkerLost",
+    "PoolUnavailable",
+    "ExecutorInterrupted",
+    "CheckpointCorrupted",
+    "CheckpointMismatch",
+    "FallbackExhausted",
+    "SolverFailure",
+    "ExecutorError",
+    "CheckpointError",
+    "ResilienceError",
+)
+
+
+def failure_entry(exc: BaseException) -> Dict[str, Any]:
+    """The canonical ledger/manifest record of one failure.
+
+    Carries the exact exception class (``error_type``), the nearest
+    taxonomy family (``taxonomy`` -- ``"external"`` for exceptions from
+    outside the resilience taxonomy) and the message, so round-tripping a
+    failure through a ``repro.points/1`` ledger or a run manifest never
+    loses the *kind* of failure and ``repro stats`` can group by cause.
+    """
+    taxonomy = "external"
+    if isinstance(exc, ResilienceError):
+        names = {c.__name__ for c in type(exc).__mro__}
+        taxonomy = next(
+            (f for f in _TAXONOMY_FAMILIES if f in names), "ResilienceError"
+        )
+    return {
+        "error_type": type(exc).__name__,
+        "taxonomy": taxonomy,
+        "message": str(exc),
+    }

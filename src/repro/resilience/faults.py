@@ -398,24 +398,40 @@ FAULT_SCENARIOS: Dict[str, Callable[[str], FaultOutcome]] = {
 
 
 def run_fault_suite(
-    profile: str = "quick", names: Optional[Sequence[str]] = None
+    profile: str = "quick",
+    names: Optional[Sequence[str]] = None,
+    suite: str = "core",
 ) -> List[FaultOutcome]:
-    """Run the fault battery; one :class:`FaultOutcome` per scenario.
+    """Run a fault battery; one :class:`FaultOutcome` per scenario.
 
     ``profile`` is ``"quick"`` (CI smoke: tiny chains) or ``"full"``
-    (larger chains, same scenarios).  ``names`` restricts the battery to a
-    subset of :data:`FAULT_SCENARIOS`.
+    (larger chains, same scenarios).  ``suite`` picks the battery:
+    ``"core"`` (this module's solver/checkpoint faults), ``"workers"``
+    (the :mod:`repro.resilience.worker_faults` chaos battery against the
+    elastic executor) or ``"all"``.  ``names`` restricts the run to a
+    subset of the selected suite's scenarios.
     """
     if profile not in ("quick", "full"):
         raise ValueError(f"unknown fault profile {profile!r}; use 'quick' or 'full'")
-    selected = list(FAULT_SCENARIOS) if names is None else list(names)
-    unknown = [n for n in selected if n not in FAULT_SCENARIOS]
+    scenarios: Dict[str, Callable[[str], FaultOutcome]] = {}
+    if suite in ("core", "all"):
+        scenarios.update(FAULT_SCENARIOS)
+    if suite in ("workers", "all"):
+        from repro.resilience.worker_faults import WORKER_FAULT_SCENARIOS
+
+        scenarios.update(WORKER_FAULT_SCENARIOS)
+    if not scenarios:
+        raise ValueError(
+            f"unknown fault suite {suite!r}; use 'core', 'workers' or 'all'"
+        )
+    selected = list(scenarios) if names is None else list(names)
+    unknown = [n for n in selected if n not in scenarios]
     if unknown:
         raise ValueError(
             f"unknown fault scenario(s) {unknown}; choose from "
-            f"{sorted(FAULT_SCENARIOS)}"
+            f"{sorted(scenarios)}"
         )
-    return [FAULT_SCENARIOS[name](profile) for name in selected]
+    return [scenarios[name](profile) for name in selected]
 
 
 def format_fault_report(outcomes: Sequence[FaultOutcome]) -> str:

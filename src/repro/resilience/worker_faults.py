@@ -1,0 +1,189 @@
+"""Worker-chaos battery: prove the elastic executor survives real deaths.
+
+Where :mod:`repro.resilience.faults` injects *numerical* faults into
+solves, this battery injects *process* faults into the elastic executor
+(:mod:`repro.exec`) and grades the recovery:
+
+* ``worker_sigkill`` -- a worker SIGKILLs itself mid-point (OOM killer,
+  preemption); the parent must detect the death, respawn, requeue the
+  in-flight point exactly once and finish the sweep;
+* ``worker_hang`` -- a point blocks forever while its worker's heartbeat
+  thread keeps beating (deadlocked solve); the per-point timeout must
+  SIGKILL the worker and retry the point;
+* ``worker_corrupt_payload`` -- a worker returns a result whose wire
+  digest does not verify; the payload must be discarded, the worker
+  dropped, and the point recomputed;
+* ``pool_start_failure`` -- the pool cannot be brought up at all; the
+  sweep must degrade gracefully to serial in-parent execution and still
+  complete every point.
+
+Every scenario asserts the exactly-once invariant (each sweep point
+appears exactly once in the result, in order) on top of its specific
+recovery expectations.  ``repro faults --suite workers`` runs the
+battery; CI runs it under a hard timeout so a regression that reintroduces
+a hang fails loudly instead of wedging the job.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, Dict, List
+
+from repro.resilience.faults import FaultOutcome
+
+__all__ = ["WORKER_FAULT_SCENARIOS", "run_worker_fault_suite"]
+
+
+def _battery_sweep(profile: str, *, chaos=None, config=None):
+    """One small sweep through the elastic executor, chaos attached."""
+    from repro.core.spec import CDRSpec
+    from repro.exec import ExecConfig, elastic_sweep
+
+    spec = CDRSpec(
+        n_phase_points=32, n_clock_phases=16, counter_length=2,
+        max_run_length=2, nw_atoms=5,
+    )
+    values = [0.4, 0.5, 0.6] if profile == "quick" else [0.35, 0.4, 0.45, 0.5, 0.55, 0.6]
+    if config is None:
+        config = ExecConfig(jobs=2)
+    result = elastic_sweep(
+        spec, "transition_density", values, solver="power",
+        config=config, chaos=chaos,
+    )
+    return values, result
+
+
+def _grade(
+    name: str,
+    description: str,
+    expected: str,
+    values: List[float],
+    result,
+    checks: Dict[str, bool],
+) -> FaultOutcome:
+    """Exactly-once + scenario-specific recovery checks -> FaultOutcome."""
+    stats = result.exec_stats or {}
+    swept = [record["transition_density"] for record in result]
+    invariants = {
+        "every_point_exactly_once": swept == list(values),
+        "no_failed_points": not result.failed_points,
+        **checks,
+    }
+    caught = all(invariants.values())
+    failed_checks = sorted(k for k, ok in invariants.items() if not ok)
+    return FaultOutcome(
+        name=name, description=description, expected=expected, caught=caught,
+        diagnosis=expected if caught else None,
+        message=(
+            "recovered; " + result.summary() if caught
+            else f"violated: {', '.join(failed_checks)}; {result.summary()}"
+        ),
+        detail={"exec_stats": stats},
+    )
+
+
+def _scenario_worker_sigkill(profile: str) -> FaultOutcome:
+    from repro.exec import WorkerChaos
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chaos = WorkerChaos(
+            "sigkill", index=1, flag_path=os.path.join(tmp, "sigkill.flag")
+        )
+        values, result = _battery_sweep(profile, chaos=chaos)
+    stats = result.exec_stats or {}
+    return _grade(
+        "worker_sigkill",
+        "a worker SIGKILLs itself mid-point; parent must respawn and "
+        "requeue the point exactly once",
+        "WorkerLost",
+        values, result,
+        {
+            "worker_loss_detected": stats.get("workers_lost", 0) >= 1,
+            "point_requeued": stats.get("requeues", 0) >= 1,
+            "worker_respawned": stats.get("respawns", 0) >= 1
+            or stats.get("mode") != "pool",
+        },
+    )
+
+
+def _scenario_worker_hang(profile: str) -> FaultOutcome:
+    from repro.exec import ExecConfig, WorkerChaos
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chaos = WorkerChaos(
+            "hang", index=1, flag_path=os.path.join(tmp, "hang.flag")
+        )
+        values, result = _battery_sweep(
+            profile, chaos=chaos,
+            config=ExecConfig(jobs=2, timeout_s=3.0, heartbeat_s=0.2),
+        )
+    stats = result.exec_stats or {}
+    return _grade(
+        "worker_hang",
+        "a point blocks forever (heartbeats still flowing); the per-point "
+        "timeout must kill the worker and retry the point",
+        "PointTimeout",
+        values, result,
+        {
+            "timeout_fired": stats.get("timeouts", 0) >= 1,
+            "point_requeued": stats.get("requeues", 0) >= 1,
+        },
+    )
+
+
+def _scenario_worker_corrupt_payload(profile: str) -> FaultOutcome:
+    from repro.exec import WorkerChaos
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chaos = WorkerChaos(
+            "corrupt", index=1, flag_path=os.path.join(tmp, "corrupt.flag")
+        )
+        values, result = _battery_sweep(profile, chaos=chaos)
+    stats = result.exec_stats or {}
+    return _grade(
+        "worker_corrupt_payload",
+        "a worker returns a payload failing its integrity digest; it must "
+        "be discarded and the point recomputed",
+        "WorkerLost",
+        values, result,
+        {
+            "corruption_detected": stats.get("workers_lost", 0) >= 1,
+            "point_requeued": stats.get("requeues", 0) >= 1,
+        },
+    )
+
+
+def _scenario_pool_start_failure(profile: str) -> FaultOutcome:
+    from repro.exec import ExecConfig
+
+    values, result = _battery_sweep(
+        profile, config=ExecConfig(jobs=2, fail_start=True)
+    )
+    stats = result.exec_stats or {}
+    return _grade(
+        "pool_start_failure",
+        "the worker pool cannot be started; the sweep must degrade "
+        "gracefully to serial execution and still complete",
+        "PoolUnavailable",
+        values, result,
+        {
+            "degraded_to_serial": stats.get("mode") == "serial-fallback",
+            "all_points_ran_serially": stats.get("serial_points", 0)
+            == len(values),
+        },
+    )
+
+
+#: Scenario name -> callable(profile) -> FaultOutcome.
+WORKER_FAULT_SCENARIOS: Dict[str, Callable[[str], FaultOutcome]] = {
+    "worker_sigkill": _scenario_worker_sigkill,
+    "worker_hang": _scenario_worker_hang,
+    "worker_corrupt_payload": _scenario_worker_corrupt_payload,
+    "pool_start_failure": _scenario_pool_start_failure,
+}
+
+
+def run_worker_fault_suite(profile: str = "quick") -> List[FaultOutcome]:
+    """Run every worker-chaos scenario; one :class:`FaultOutcome` each."""
+    return [fn(profile) for fn in WORKER_FAULT_SCENARIOS.values()]

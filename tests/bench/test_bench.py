@@ -241,3 +241,69 @@ class TestCLI:
         assert main(["bench", "report", str(out)]) == 0
         assert main(["bench", "list"]) == 0
         capsys.readouterr()
+
+
+class TestSkipRows:
+    """min_cpus gating: explicit skip rows instead of dishonest timings."""
+
+    def _entry_with_min_cpus(self, min_cpus):
+        def factory():
+            def workload():
+                return {"ran": True}
+
+            return workload
+
+        return BenchmarkEntry(
+            name="t/parallel", factory=factory, suites=("unit",), rounds=2,
+            warmup=0, description="unit fixture", min_cpus=min_cpus,
+        )
+
+    def test_insufficient_cpus_yields_skip_row(self):
+        row = run_benchmark(self._entry_with_min_cpus(10**6))
+        assert row["skipped"] == "insufficient cpus"
+        assert row["required_cpus"] == 10**6
+        assert row["cpu_count"] >= 1
+        assert "min_s" not in row and "times_s" not in row
+
+    def test_sufficient_cpus_runs_normally(self):
+        row = run_benchmark(self._entry_with_min_cpus(1))
+        assert "skipped" not in row
+        assert row["meta"] == {"ran": True}
+
+    def test_run_suite_notes_skips_in_fingerprint(self, monkeypatch):
+        import repro.bench.suite as suite_mod
+
+        entries = (self._entry_with_min_cpus(10**6),
+                   self._entry_with_min_cpus(1))
+        monkeypatch.setattr(
+            suite_mod, "suite_benchmarks", lambda suite: entries
+        )
+        report = suite_mod.run_suite("unit")
+        skipped = [r for r in report["results"] if r.get("skipped")]
+        assert len(skipped) == 1
+        assert "insufficient cpus" in report["fingerprint"]["note"]
+        assert "t/parallel" in report["fingerprint"]["note"]
+
+    def test_compare_never_gates_on_skip_rows(self):
+        base = {"schema": BENCH_SCHEMA, "fingerprint": {}, "results": [
+            {"name": "p/4jobs", "min_s": 1.0},
+        ]}
+        cur = {"schema": BENCH_SCHEMA, "fingerprint": {}, "results": [
+            {"name": "p/4jobs", "skipped": "insufficient cpus"},
+        ]}
+        comparison = compare_reports(base, cur)
+        [row] = comparison.rows
+        assert row.status == "skipped"
+        assert comparison.exit_code == 0
+        assert "skipped" in format_comparison(comparison)
+
+    def test_parallel_suite_declares_cpu_requirements(self):
+        assert get_benchmark("parallel/sweep-serial").min_cpus == 1
+        assert get_benchmark("parallel/sweep-2jobs").min_cpus == 2
+        assert get_benchmark("parallel/sweep-4jobs").min_cpus == 4
+
+    def test_register_rejects_bad_min_cpus(self):
+        with pytest.raises(ValueError, match="min_cpus"):
+            register_benchmark(
+                "t/bad-cpus", suites=("unit",), min_cpus=0
+            )(lambda: None)

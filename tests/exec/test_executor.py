@@ -1,0 +1,268 @@
+"""Scheduler-level tests of :func:`repro.exec.run_points`.
+
+A cheap module-level toy runner (no Markov solves) keeps these fast while
+exercising the full process machinery: real forked workers, real
+SIGKILLs, real queues.  The invariant under every chaos scenario is
+exactly-once resolution -- each point fires ``on_done`` or ``on_failed``
+exactly once, whatever dies underneath it.
+"""
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import pytest
+
+from repro.exec import ExecConfig, RetryPolicy, WorkerChaos, run_points
+from repro.resilience import ExecutorInterrupted, PoolUnavailable
+
+#: Fast retry schedule so chaos tests do not sit in backoff waits.
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay_s=0.01, max_delay_s=0.05)
+
+
+@dataclass
+class ToyRunner:
+    """Picklable fixture runner: doubles the payload value."""
+
+    fail_on: Tuple[int, ...] = ()
+    sleep_s: float = 0.0
+    warm: bool = False
+    setup_fail: bool = False
+    chaos: Optional[WorkerChaos] = None
+    offset: int = field(default=100)
+
+    def setup(self):
+        if self.setup_fail:
+            raise RuntimeError("runner setup exploded")
+        return {"offset": self.offset}
+
+    def run(self, state, index, payload):
+        if self.chaos is not None:
+            self.chaos.before_point(index)
+        if index in self.fail_on:
+            raise ValueError(f"point {index} is deterministically bad")
+        if self.sleep_s:
+            time.sleep(self.sleep_s)
+        record = {
+            "index": index,
+            "y": payload["value"] * 2 + state["offset"],
+            "warmed": payload.get("x0") is not None,
+        }
+        aux = {"x": index} if self.warm else {}
+        if self.chaos is not None:
+            self.chaos.after_point(index, aux)
+        return record, aux
+
+
+@dataclass
+class RelentlessChaos(WorkerChaos):
+    """Chaos that never disarms: fires on every attempt of its point."""
+
+    def _arm(self):
+        return True
+
+
+def _collecting_callbacks():
+    done, failed = {}, {}
+
+    def on_done(index, record, aux):
+        assert index not in done and index not in failed  # exactly once
+        done[index] = (record, aux)
+
+    def on_failed(index, entry):
+        assert index not in done and index not in failed
+        failed[index] = entry
+
+    return done, failed, on_done, on_failed
+
+
+def _points(n):
+    return [(i, {"value": i}) for i in range(n)]
+
+
+class TestPoolHappyPath:
+    def test_all_points_complete(self):
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(), _points(6), ExecConfig(jobs=2),
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert sorted(done) == list(range(6))
+        assert not failed
+        assert stats.mode == "pool"
+        assert stats.completed == 6 and stats.failed == 0
+        assert done[3][0] == {"index": 3, "y": 106, "warmed": False}
+
+    def test_deterministic_failure_recorded_without_retry(self):
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(fail_on=(2,)), _points(4), ExecConfig(jobs=2),
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert sorted(done) == [0, 1, 3]
+        assert list(failed) == [2]
+        assert failed[2]["error_type"] == "ValueError"
+        assert failed[2]["taxonomy"] == "external"
+        assert stats.retries == 0  # analysis failures never retry
+
+    def test_warm_lineages_thread_x0(self):
+        done, _, on_done, on_failed = _collecting_callbacks()
+        prev = {0: None, 1: 0, 2: 1, 3: None, 4: 3}
+        stats = run_points(
+            ToyRunner(warm=True), _points(5), ExecConfig(jobs=2),
+            prev=prev, on_done=on_done, on_failed=on_failed,
+        )
+        warmed = {i: rec["warmed"] for i, (rec, _) in done.items()}
+        assert warmed == {0: False, 1: True, 2: True, 3: False, 4: True}
+        assert stats.warm_starts == 3
+
+    def test_chain_skips_failed_ancestor_to_nearest_solved(self):
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        prev = {0: None, 1: 0, 2: 1}
+        run_points(
+            ToyRunner(warm=True, fail_on=(1,)), _points(3),
+            ExecConfig(jobs=2), prev=prev,
+            on_done=on_done, on_failed=on_failed,
+        )
+        # point 2's predecessor failed; it warms from its grandparent 0
+        assert done[2][0]["warmed"] is True
+        assert list(failed) == [1]
+
+
+class TestChaos:
+    def test_sigkill_mid_point_requeued_exactly_once(self, tmp_path):
+        chaos = WorkerChaos("sigkill", index=1, flag_path=str(tmp_path / "f"))
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(chaos=chaos), _points(4),
+            ExecConfig(jobs=2, retry=FAST_RETRY),
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert sorted(done) == list(range(4)) and not failed
+        assert stats.workers_lost >= 1
+        assert stats.requeues >= 1
+        assert stats.respawns >= 1
+
+    def test_hang_is_timed_out_and_retried(self, tmp_path):
+        chaos = WorkerChaos(
+            "hang", index=1, flag_path=str(tmp_path / "f"), hang_s=3600.0
+        )
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(chaos=chaos), _points(3),
+            ExecConfig(
+                jobs=2, timeout_s=1.0, heartbeat_s=0.1, retry=FAST_RETRY
+            ),
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert sorted(done) == [0, 1, 2] and not failed
+        assert stats.timeouts >= 1
+
+    def test_corrupt_payload_discarded_and_recomputed(self, tmp_path):
+        chaos = WorkerChaos("corrupt", index=1, flag_path=str(tmp_path / "f"))
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(chaos=chaos), _points(3),
+            ExecConfig(jobs=2, retry=FAST_RETRY),
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert sorted(done) == [0, 1, 2] and not failed
+        assert stats.workers_lost >= 1  # the lying worker was dropped
+        assert "__corrupt_wire__" not in done[1][1]
+
+    def test_retry_budget_exhaustion_records_typed_failure(self, tmp_path):
+        # RelentlessChaos SIGKILLs every attempt of point 1, so its retry
+        # budget runs out and the typed WorkerLost is recorded.
+        chaos = RelentlessChaos(
+            "sigkill", index=1, flag_path=str(tmp_path / "unused")
+        )
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(chaos=chaos), _points(3),
+            ExecConfig(jobs=2, retry=RetryPolicy(max_retries=1,
+                                                 base_delay_s=0.01)),
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert sorted(done) == [0, 2]
+        assert failed[1]["error_type"] == "WorkerLost"
+        assert failed[1]["taxonomy"] == "WorkerLost"
+        assert failed[1]["exec_attempts"] == 2  # initial + 1 retry
+        assert stats.failed == 1
+
+
+class TestSerialDegradation:
+    def test_pool_start_failure_degrades_to_serial(self):
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(), _points(4), ExecConfig(jobs=2, fail_start=True),
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert sorted(done) == list(range(4)) and not failed
+        assert stats.mode == "serial-fallback"
+        assert stats.serial_points == 4
+
+    def test_fallback_disabled_raises_typed_error(self):
+        with pytest.raises(PoolUnavailable):
+            run_points(
+                ToyRunner(), _points(2),
+                ExecConfig(jobs=2, fail_start=True, serial_fallback=False),
+            )
+
+    def test_serial_setup_failure_fails_every_remaining_point(self):
+        done, failed, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(setup_fail=True), _points(3),
+            ExecConfig(jobs=2, fail_start=True),
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert not done and sorted(failed) == [0, 1, 2]
+        assert all(e["error_type"] == "RuntimeError" for e in failed.values())
+        assert stats.failed == 3
+
+    def test_serial_fallback_preserves_warm_chains(self):
+        done, _, on_done, on_failed = _collecting_callbacks()
+        stats = run_points(
+            ToyRunner(warm=True), _points(4),
+            ExecConfig(jobs=2, fail_start=True),
+            prev={0: None, 1: 0, 2: 1, 3: 2},
+            on_done=on_done, on_failed=on_failed,
+        )
+        assert stats.warm_starts == 3
+        assert [done[i][0]["warmed"] for i in range(4)] == [
+            False, True, True, True,
+        ]
+
+
+class TestInterruption:
+    def test_sigterm_raises_typed_interrupt(self):
+        # A benign SIGTERM handler guards the window after run_points
+        # restores the previous handler (the late timer must not kill
+        # the test process if the run finishes early).
+        previous = signal.signal(signal.SIGTERM, lambda *a: None)
+        try:
+            timer = threading.Timer(
+                0.6, os.kill, args=(os.getpid(), signal.SIGTERM)
+            )
+            done, failed, on_done, on_failed = _collecting_callbacks()
+            timer.start()
+            try:
+                with pytest.raises(ExecutorInterrupted) as excinfo:
+                    run_points(
+                        ToyRunner(sleep_s=0.5), _points(8),
+                        ExecConfig(jobs=2, heartbeat_s=0.1),
+                        on_done=on_done, on_failed=on_failed,
+                    )
+            finally:
+                timer.cancel()
+            err = excinfo.value
+            assert err.pending > 0
+            assert err.completed == len(done)
+            assert err.completed + err.failed + err.pending == 8
+            # completed points were flushed through on_done before the
+            # interrupt -- the resume contract
+            assert all(done[i][0]["index"] == i for i in done)
+        finally:
+            signal.signal(signal.SIGTERM, previous)

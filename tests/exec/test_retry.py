@@ -1,0 +1,129 @@
+"""Backoff schedule and timeout accounting, driven by a fake clock.
+
+The retry schedule must be *deterministic* (hash-seeded jitter, no RNG):
+a killed-then-resumed run replays the same waits, which is part of the
+bit-identical-resume contract.  The timeout tracker is pure arithmetic
+over an injectable clock, so these tests never sleep.
+"""
+
+import pytest
+
+from repro.exec import Clock, ExecConfig, RetryPolicy, TimeoutTracker
+
+
+class FakeClock(Clock):
+    """A clock the test advances by hand."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+        self.slept = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.slept.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic(self):
+        p = RetryPolicy(max_retries=5)
+        a = [p.delay_s(k, token="sweep:3") for k in range(1, 6)]
+        b = [p.delay_s(k, token="sweep:3") for k in range(1, 6)]
+        assert a == b  # bit-identical, not just close
+
+    def test_distinct_tokens_decorrelate(self):
+        p = RetryPolicy()
+        assert p.delay_s(1, token="sweep:3") != p.delay_s(1, token="sweep:4")
+
+    def test_exponential_growth_capped(self):
+        p = RetryPolicy(
+            max_retries=10, base_delay_s=1.0, factor=2.0, max_delay_s=8.0,
+            jitter_frac=0.0,
+        )
+        assert [p.delay_s(k) for k in range(1, 6)] == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_bounded_by_fraction(self):
+        p = RetryPolicy(base_delay_s=1.0, factor=1.0, jitter_frac=0.25)
+        for k in range(1, 20):
+            d = p.delay_s(k, token=f"t{k}")
+            assert 1.0 <= d < 1.25
+
+    def test_should_retry_is_one_based_and_bounded(self):
+        p = RetryPolicy(max_retries=2)
+        assert p.should_retry(1) and p.should_retry(2)
+        assert not p.should_retry(3)
+        assert not RetryPolicy(max_retries=0).should_retry(1)
+
+    def test_attempt_must_be_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay_s(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="factor"):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ValueError, match="jitter_frac"):
+            RetryPolicy(jitter_frac=1.5)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+class TestTimeoutTracker:
+    def test_overdue_after_budget(self):
+        clock = FakeClock()
+        tracker = TimeoutTracker(clock, timeout_s=10.0)
+        tracker.arm("w0")
+        clock.advance(9.0)
+        assert tracker.overdue() == []
+        clock.advance(1.5)
+        assert tracker.overdue() == ["w0"]
+        assert tracker.elapsed("w0") == pytest.approx(10.5)
+
+    def test_disarm_clears_deadline(self):
+        clock = FakeClock()
+        tracker = TimeoutTracker(clock, timeout_s=1.0)
+        tracker.arm("w0")
+        tracker.disarm("w0")
+        clock.advance(100.0)
+        assert tracker.overdue() == []
+        assert tracker.elapsed("w0") is None
+
+    def test_rearm_resets_the_clock(self):
+        clock = FakeClock()
+        tracker = TimeoutTracker(clock, timeout_s=5.0)
+        tracker.arm("w0")
+        clock.advance(4.0)
+        tracker.arm("w0")  # new point dispatched to the same worker
+        clock.advance(4.0)
+        assert tracker.overdue() == []
+
+    def test_no_timeout_means_never_overdue(self):
+        clock = FakeClock()
+        tracker = TimeoutTracker(clock, timeout_s=None)
+        tracker.arm("w0")
+        clock.advance(1e9)
+        assert tracker.overdue() == []
+
+
+class TestExecConfig:
+    def test_derived_budgets(self):
+        cfg = ExecConfig(jobs=3, heartbeat_s=1.0)
+        assert cfg.stale_budget_s() == 10.0
+        assert cfg.respawn_budget() == 6
+        assert ExecConfig(jobs=1).respawn_budget() == 4
+
+    def test_explicit_overrides_win(self):
+        cfg = ExecConfig(jobs=3, stale_after_s=2.5, max_respawns=1)
+        assert cfg.stale_budget_s() == 2.5
+        assert cfg.respawn_budget() == 1
+
+    def test_retry_policy_inherits_max_retries(self):
+        assert ExecConfig(max_retries=7).retry_policy().max_retries == 7
+        custom = RetryPolicy(max_retries=1, base_delay_s=0.01)
+        assert ExecConfig(retry=custom).retry_policy() is custom

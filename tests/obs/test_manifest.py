@@ -146,3 +146,56 @@ class TestWriteLoadFormat:
         for name in ("Tracer", "span", "use_tracer", "get_registry",
                      "build_run_manifest", "RUN_TRACE_SCHEMA"):
             assert hasattr(obs, name)
+
+
+class TestFailuresByCause:
+    """Executor stats and failure grouping in the pretty-printed manifest."""
+
+    def _manifest(self, results):
+        return build_run_manifest(
+            kind="sweep", registry=MetricsRegistry(), results=results
+        )
+
+    def test_exec_stats_rendered(self):
+        m = self._manifest({
+            "exec_stats": {
+                "jobs": 4, "mode": "pool", "completed": 10, "failed": 0,
+                "retries": 2, "timeouts": 1, "workers_lost": 1,
+                "respawns": 1, "warm_starts": 6,
+            },
+        })
+        text = format_run_manifest(m)
+        assert "executor: jobs=4  mode=pool" in text
+        assert "retries=2" in text and "workers_lost=1" in text
+        assert "warm_starts=6" in text
+
+    def test_failures_grouped_by_taxonomy_and_type(self):
+        m = self._manifest({
+            "failed_points": [
+                {"index": 3, "error_type": "PointTimeout",
+                 "taxonomy": "PointTimeout", "message": "point 3 timed out"},
+                {"index": 7, "error_type": "PointTimeout",
+                 "taxonomy": "PointTimeout", "message": "point 7 timed out"},
+                {"index": 9, "error_type": "ValueError",
+                 "taxonomy": "external", "message": "bad spec"},
+            ],
+        })
+        text = format_run_manifest(m)
+        assert "failures by cause (3 point(s)):" in text
+        assert "PointTimeout: 2 point(s) [3, 7]" in text
+        assert "ValueError: 1 point(s) [9]" in text
+        assert "e.g. point 3 timed out" in text
+
+    def test_failed_seeds_also_grouped(self):
+        m = self._manifest({
+            "failed_seeds": [
+                {"index": 0, "seed": 11, "error_type": "RuntimeError",
+                 "taxonomy": "external", "message": "sim blew up"},
+            ],
+        })
+        assert "failures by cause (1 point(s)):" in format_run_manifest(m)
+
+    def test_no_failures_no_section(self):
+        text = format_run_manifest(self._manifest({"records": []}))
+        assert "failures by cause" not in text
+        assert "executor:" not in text

@@ -152,3 +152,48 @@ class TestPointCheckpointer:
         again.resume()
         assert again.is_done(3)
         assert "3" not in again.failed
+
+
+class TestPointCheckpointerAux:
+    """Side-band aux payloads (warm-start solutions) and job peeking."""
+
+    def test_aux_round_trips_with_its_point(self, tmp_path):
+        path = str(tmp_path / "points.json")
+        job = {"kind": "sweep"}
+        x = encode_array(np.linspace(0.0, 1.0, 7))
+        first = PointCheckpointer(path, job)
+        first.record(0, {"ber": 1e-9}, aux={"x": x})
+        first.record(1, {"ber": 1e-10})  # no aux for this one
+
+        back = PointCheckpointer(path, job)
+        assert back.resume()
+        aux = back.aux_for(0)
+        assert np.array_equal(decode_array(aux["x"]), np.linspace(0.0, 1.0, 7))
+        assert back.aux_for(1) is None
+
+    def test_ledger_without_aux_key_still_loads(self, tmp_path):
+        # PR-4-era ledgers never wrote an "aux" key; their digests must
+        # keep verifying and resume must see empty aux.
+        path = str(tmp_path / "points.json")
+        job = {"kind": "sweep"}
+        PointCheckpointer(path, job).record(0, {"ber": 1e-9})
+        payload = json.load(open(path))["payload"]
+        assert "aux" not in payload  # aux key only written when non-empty
+
+        back = PointCheckpointer(path, job)
+        assert back.resume()
+        assert back.aux_for(0) is None
+
+    def test_peek_job_reads_fingerprint_without_a_job(self, tmp_path):
+        path = str(tmp_path / "points.json")
+        job = {"kind": "sweep", "warm_lineages": 3}
+        PointCheckpointer(path, job).record(0, {})
+        assert PointCheckpointer.peek_job(path) == job
+        assert PointCheckpointer.peek_job(str(tmp_path / "nope.json")) is None
+
+    def test_peek_job_verifies_integrity(self, tmp_path):
+        path = str(tmp_path / "points.json")
+        PointCheckpointer(path, {"kind": "sweep"}).record(0, {})
+        corrupt_checkpoint(path, mode="payload")
+        with pytest.raises(CheckpointCorrupted):
+            PointCheckpointer.peek_job(path)

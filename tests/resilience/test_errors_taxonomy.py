@@ -1,0 +1,78 @@
+"""Executor error types and the taxonomy carried through failure entries.
+
+``failure_entry`` is what travels through the ledger and run manifests:
+the exact exception class plus the nearest taxonomy *family*, so
+``repro stats`` can group a campaign's failures by cause even after the
+exception objects themselves are long gone.
+"""
+
+import pytest
+
+from repro.resilience import (
+    ExecutorError,
+    ExecutorInterrupted,
+    PointTimeout,
+    PoolUnavailable,
+    ResilienceError,
+    SolverDiverged,
+    WorkerLost,
+    failure_entry,
+)
+
+
+class TestExecutorErrors:
+    def test_hierarchy(self):
+        for cls in (PointTimeout, WorkerLost, PoolUnavailable,
+                    ExecutorInterrupted):
+            assert issubclass(cls, ExecutorError)
+            assert issubclass(cls, ResilienceError)
+
+    def test_point_timeout_fields(self):
+        err = PointTimeout("too slow", index=3, timeout_s=5.0, attempts=2)
+        assert err.index == 3
+        assert err.timeout_s == 5.0
+        assert err.attempts == 2
+
+    def test_worker_lost_fields(self):
+        err = WorkerLost(
+            "gone", index=1, worker_id=2, exitcode=-9, reason="killed",
+            attempts=1,
+        )
+        assert err.worker_id == 2
+        assert err.exitcode == -9
+        assert err.reason == "killed"
+
+    def test_interrupted_carries_progress(self):
+        err = ExecutorInterrupted(
+            "stopped", completed=5, failed=1, pending=2
+        )
+        assert (err.completed, err.failed, err.pending) == (5, 1, 2)
+
+
+class TestFailureEntry:
+    def test_taxonomy_leaf_classes_map_to_themselves(self):
+        entry = failure_entry(PointTimeout("t", index=0, timeout_s=1.0))
+        assert entry["error_type"] == "PointTimeout"
+        assert entry["taxonomy"] == "PointTimeout"
+        entry = failure_entry(SolverDiverged("boom"))
+        assert entry["taxonomy"] == "SolverDiverged"
+
+    def test_subclass_maps_to_nearest_family(self):
+        class CustomLost(WorkerLost):
+            pass
+
+        entry = failure_entry(CustomLost("gone", index=0, worker_id=1))
+        assert entry["error_type"] == "CustomLost"
+        assert entry["taxonomy"] == "WorkerLost"
+
+    def test_external_exceptions_are_marked_external(self):
+        entry = failure_entry(ValueError("not ours"))
+        assert entry["error_type"] == "ValueError"
+        assert entry["taxonomy"] == "external"
+        assert entry["message"] == "not ours"
+
+    def test_entry_is_json_safe(self):
+        import json
+
+        entry = failure_entry(WorkerLost("x", index=0, worker_id=1))
+        assert json.loads(json.dumps(entry)) == entry

@@ -1,0 +1,60 @@
+"""Worker-chaos battery wiring: suite selection and recovery grading.
+
+The expensive scenarios themselves (SIGKILL mid-point, hang, corrupt
+payload, pool-start failure) are exercised at the scheduler level in
+``tests/exec/test_executor.py`` with a cheap toy runner; here we run the
+two cheapest *real-sweep* scenarios end to end through the battery and
+check the ``--suite`` plumbing that ``repro faults`` exposes.
+"""
+
+import pytest
+
+from repro.resilience.faults import FAULT_SCENARIOS, run_fault_suite
+from repro.resilience.worker_faults import WORKER_FAULT_SCENARIOS
+
+
+class TestSuiteSelection:
+    def test_core_suite_excludes_worker_scenarios(self):
+        outcomes = run_fault_suite(
+            "quick", names=["nan_matvec"], suite="core"
+        )
+        assert [o.name for o in outcomes] == ["nan_matvec"]
+        with pytest.raises(ValueError, match="unknown fault scenario"):
+            run_fault_suite("quick", names=["worker_sigkill"], suite="core")
+
+    def test_workers_suite_excludes_core_scenarios(self):
+        with pytest.raises(ValueError, match="unknown fault scenario"):
+            run_fault_suite("quick", names=["nan_matvec"], suite="workers")
+
+    def test_all_suite_spans_both(self):
+        names = set(FAULT_SCENARIOS) | set(WORKER_FAULT_SCENARIOS)
+        outcomes = run_fault_suite(
+            "quick", names=["nan_matvec", "pool_start_failure"], suite="all"
+        )
+        assert {o.name for o in outcomes} <= names
+        assert len(outcomes) == 2
+
+    def test_worker_scenario_catalog(self):
+        assert set(WORKER_FAULT_SCENARIOS) == {
+            "worker_sigkill",
+            "worker_hang",
+            "worker_corrupt_payload",
+            "pool_start_failure",
+        }
+
+
+class TestBatteryRecovery:
+    def test_sigkill_scenario_recovers_exactly_once(self):
+        [outcome] = run_fault_suite(
+            "quick", names=["worker_sigkill"], suite="workers"
+        )
+        assert outcome.caught, outcome.message
+        assert outcome.detail["exec_stats"]["workers_lost"] >= 1
+        assert "recovered" in outcome.message
+
+    def test_pool_start_failure_degrades_to_serial(self):
+        [outcome] = run_fault_suite(
+            "quick", names=["pool_start_failure"], suite="workers"
+        )
+        assert outcome.caught, outcome.message
+        assert outcome.detail["exec_stats"]["mode"] == "serial-fallback"

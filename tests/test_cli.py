@@ -240,3 +240,49 @@ class TestStatsCommand:
         rc = main(["stats", str(path)])
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestElasticSweepFlags:
+    """--jobs/--point-timeout/--max-retries and faults --suite plumbing."""
+
+    def test_jobs_flag_parses_with_defaults(self):
+        args = build_parser().parse_args([
+            "sweep", "--parameter", "counter_length", "--values", "1,2",
+        ])
+        assert args.jobs is None
+        assert args.point_timeout is None
+        assert args.max_retries == 2
+
+    def test_parallel_sweep_runs_and_reports_executor(self, capsys, tmp_path):
+        from repro.obs import load_run_manifest
+
+        path = tmp_path / "sweep.json"
+        rc = main(["sweep", *FAST, "--solver", "direct",
+                   "--parameter", "counter_length", "--values", "1,2",
+                   "--jobs", "2", "--metrics", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "2 jobs (pool)" in captured.err
+        m = load_run_manifest(str(path))
+        stats = m["results"]["exec_stats"]
+        assert stats["jobs"] == 2
+        assert stats["completed"] == 2
+
+    def test_jobs_must_be_positive(self, capsys):
+        rc = main(["sweep", *FAST, "--parameter", "counter_length",
+                   "--values", "1,2", "--jobs", "0"])
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_point_timeout_requires_jobs(self, capsys):
+        rc = main(["sweep", *FAST, "--parameter", "counter_length",
+                   "--values", "1,2", "--point-timeout", "5"])
+        assert rc == 2
+        assert "--point-timeout" in capsys.readouterr().err
+
+    def test_faults_suite_flag(self):
+        args = build_parser().parse_args(["faults", "--suite", "workers"])
+        assert args.suite == "workers"
+        assert build_parser().parse_args(["faults"]).suite == "core"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--suite", "bogus"])
