@@ -21,6 +21,7 @@ from typing import Any, Dict, List
 __all__ = [
     "DEFAULT_THRESHOLD",
     "DEFAULT_MIN_DELTA_S",
+    "MATERIAL_FINGERPRINT_KEYS",
     "ComparisonRow",
     "Comparison",
     "compare_reports",
@@ -34,6 +35,23 @@ DEFAULT_THRESHOLD = 0.5
 #: Absolute floor: slowdowns smaller than this many seconds never regress,
 #: whatever the ratio (micro-benchmark jitter protection).
 DEFAULT_MIN_DELTA_S = 0.005
+
+#: Fingerprint keys whose change *materially* affects timings: different
+#: hardware, interpreter, numeric stack or matvec kernel tier.  A changed
+#: ``repro`` version, by contrast, is the expected state of every PR that
+#: touches performance and never deserves a prominent warning.
+MATERIAL_FINGERPRINT_KEYS = frozenset(
+    {
+        "python",
+        "python_implementation",
+        "numpy",
+        "scipy",
+        "system",
+        "machine",
+        "cpu_count",
+        "kernels",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -64,6 +82,21 @@ class Comparison:
         return self.by_status("regressed")
 
     @property
+    def material_fingerprint_changes(self) -> Dict[str, Any]:
+        """The fingerprint changes that make timings non-comparable.
+
+        Subset of :attr:`fingerprint_changes` restricted to
+        :data:`MATERIAL_FINGERPRINT_KEYS`; this is what the formatter
+        warns prominently about.  The gate itself never fails on
+        fingerprint drift -- only on timing regressions.
+        """
+        return {
+            k: v
+            for k, v in self.fingerprint_changes.items()
+            if k in MATERIAL_FINGERPRINT_KEYS
+        }
+
+    @property
     def exit_code(self) -> int:
         return 1 if self.regressions else 0
 
@@ -73,6 +106,9 @@ class Comparison:
             "threshold": self.threshold,
             "min_delta_s": self.min_delta_s,
             "fingerprint_changes": dict(self.fingerprint_changes),
+            "material_fingerprint_changes": dict(
+                self.material_fingerprint_changes
+            ),
             "regressed": len(self.regressions),
             "rows": [
                 {
@@ -165,12 +201,23 @@ def format_comparison(comparison: Comparison) -> str:
         cur = f"{row.cur_min_s:.4f}s" if row.cur_min_s == row.cur_min_s else "-"
         ratio = f"{row.ratio:.2f}x" if row.ratio == row.ratio else "-"
         lines.append(f"{row.name:<42} {base:>10} {cur:>10} {ratio:>7}  {row.status}")
-    if comparison.fingerprint_changes:
+    material = comparison.material_fingerprint_changes
+    if material:
+        details = "; ".join(
+            f"{k}: {v['baseline']!r} -> {v['current']!r}"
+            for k, v in sorted(material.items())
+        )
         lines.append(
-            "WARNING: environment fingerprint changed "
-            f"({', '.join(sorted(comparison.fingerprint_changes))}); "
+            f"WARNING: environment fingerprint changed materially ({details}); "
             "timings may not be machine-comparable"
         )
+    else:
+        incidental = set(comparison.fingerprint_changes) - set(material)
+        if incidental:
+            lines.append(
+                "note: fingerprint drift in "
+                f"{', '.join(sorted(incidental))} (not timing-material)"
+            )
     n_reg = len(comparison.regressions)
     lines.append(
         f"{n_reg} regression(s) at threshold +{comparison.threshold:.0%} "

@@ -49,6 +49,7 @@ def environment_fingerprint() -> Dict[str, Any]:
     import scipy
 
     import repro
+    from repro.kernels import active_tier
 
     return {
         "python": sys.version.split()[0],
@@ -59,6 +60,9 @@ def environment_fingerprint() -> Dict[str, Any]:
         "system": platform.system(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        # Active matvec kernel tier: a baseline timed under cext/numba is
+        # not comparable to a run forced onto the numpy tier.
+        "kernels": active_tier(),
     }
 
 

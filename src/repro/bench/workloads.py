@@ -9,8 +9,11 @@ Four suites, registered at import time (see :mod:`repro.bench.registry`):
     analyze.  Everything here finishes in seconds.
 ``ext-op``
     ROADMAP item 1's matrix-free vs assembled trajectory: per-apply
-    micro-cost at M=1024 and end-to-end multigrid solves at M=128/512 on
-    both backends (the ``BENCH_ext_op.json`` artifact).
+    micro-cost at M=1024 and M=4096 (122880 states -- past the paper's
+    ~1e5 practical limit), blocked rmatmat at M=1024, and end-to-end
+    multigrid solves at M=128/512 on both backends (the
+    ``BENCH_ext_op.json`` artifact).  Every row records the kernel tier
+    it ran under.
 ``parallel``
     ROADMAP item 2's sweep-parallelism trajectory: one small nw_std sweep
     run serially and fanned out over 2 and 4 workers of the elastic
@@ -179,32 +182,73 @@ def _bench_analyze_small():
 # EXT-OP: matrix-free vs assembled, micro and end to end
 # ---------------------------------------------------------------------- #
 
+#: Columns per blocked-apply workload call (ext-op rmatmat rows).
+_BLOCK_COLUMNS = 8
+
+
 def _register_ext_op_benchmarks() -> None:
     for backend in ("assembled", "matrix-free"):
+        # M=1024 is the historical headline row; M=4096 (122880 states)
+        # is the >=1e5-state point where matrix-free must now *beat*
+        # assembled per apply (the bench-ext-op CI gate asserts it).
+        for M in (1024, 4096):
+
+            @register_benchmark(
+                f"ext-op/rmatvec-{backend}-M{M}",
+                suites=("ext-op",),
+                rounds=5,
+                warmup=1,
+                description=f"{_APPLIES}x rmatvec, {backend} backend, M={M} "
+                "(ROADMAP item 1's per-apply gap)",
+            )
+            def _micro_factory(backend=backend, M=M):
+                from repro.kernels import active_tier
+                from repro.markov.linop import as_operator
+                from repro.markov.registry import get_backend
+
+                model = get_backend(backend).build(_ext_op_spec(M))
+                op = as_operator(model.chain)
+                x = np.full(op.shape[0], 1.0 / op.shape[0])
+
+                def workload():
+                    for _ in range(_APPLIES):
+                        op.rmatvec(x)
+                    return {
+                        "backend": backend,
+                        "n_states": op.shape[0],
+                        "applies": _APPLIES,
+                        "kernel_tier": active_tier(),
+                    }
+
+                return workload
 
         @register_benchmark(
-            f"ext-op/rmatvec-{backend}-M1024",
+            f"ext-op/rmatmat-{backend}-M1024",
             suites=("ext-op",),
             rounds=5,
             warmup=1,
-            description=f"{_APPLIES}x rmatvec, {backend} backend, M=1024 "
-            "(ROADMAP item 1's per-apply gap)",
+            description=f"{_APPLIES}x blocked rmatmat ({_BLOCK_COLUMNS} "
+            f"columns), {backend} backend, M=1024",
         )
-        def _micro_factory(backend=backend):
-            from repro.markov.linop import as_operator
+        def _block_factory(backend=backend):
+            from repro.kernels import active_tier
+            from repro.markov.linop import as_operator, operator_rmatmat
             from repro.markov.registry import get_backend
 
             model = get_backend(backend).build(_ext_op_spec(1024))
             op = as_operator(model.chain)
-            x = np.full(op.shape[0], 1.0 / op.shape[0])
+            n = op.shape[0]
+            X = np.full((n, _BLOCK_COLUMNS), 1.0 / n)
 
             def workload():
                 for _ in range(_APPLIES):
-                    op.rmatvec(x)
+                    operator_rmatmat(op, X)
                 return {
                     "backend": backend,
-                    "n_states": op.shape[0],
+                    "n_states": n,
                     "applies": _APPLIES,
+                    "columns": _BLOCK_COLUMNS,
+                    "kernel_tier": active_tier(),
                 }
 
             return workload

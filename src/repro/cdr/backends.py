@@ -60,6 +60,8 @@ class KroneckerCDROperator:
     def __init__(self, structural: CDRTransitionOperator) -> None:
         self._structural = structural
         self.descriptor = structural.to_kronecker()
+        self._diag: Optional[np.ndarray] = None
+        self._row_sums: Optional[np.ndarray] = None
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -75,11 +77,33 @@ class KroneckerCDROperator:
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         return self.descriptor.rmatvec(x)
 
+    def matmat(self, V: np.ndarray) -> np.ndarray:
+        """Blocked ``P V``: one shuffle pass per term for all columns."""
+        return self.descriptor.matmat(V)
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        """Blocked ``P^T X`` through the descriptor's cached transposes."""
+        return self.descriptor.rmatmat(X)
+
     def diagonal(self) -> np.ndarray:
-        return self.descriptor.diagonal()
+        """``diag(P)``, computed once per backend instance (readonly).
+
+        Smoothers call this every sweep; the descriptor recomputes the
+        factor-diagonal Kronecker products per call, so cache here.
+        """
+        if self._diag is None:
+            diag = self.descriptor.diagonal()
+            diag.flags.writeable = False
+            self._diag = diag
+        return self._diag
 
     def row_sums(self) -> np.ndarray:
-        return self.descriptor.row_sums()
+        """``P 1``, computed once per backend instance (readonly)."""
+        if self._row_sums is None:
+            rows = self.descriptor.row_sums()
+            rows.flags.writeable = False
+            self._row_sums = rows
+        return self._row_sums
 
     def to_csr(self) -> sp.csr_matrix:
         # The descriptor's materialization keeps the Kronecker size guard
@@ -232,7 +256,9 @@ def _build_matrix_free(spec) -> OperatorCDRModel:
     start = time.perf_counter()
     with span("cdr.build_tpm", backend="matrix-free") as build_span:
         op = _structural_operator(spec)
-        build_span.set_attributes(n_states=op.n, n_terms=len(op._terms))
+        build_span.set_attributes(
+            n_states=op.n, n_terms=len(op._terms), kernel_tier=op.kernel_tier
+        )
     return OperatorCDRModel(
         op,
         backend="matrix-free",

@@ -32,6 +32,7 @@ from repro.cdr.loop_filter import counter_state_count
 from repro.cdr.model import _sign_masses
 from repro.cdr.phase_error import PhaseGrid
 from repro.fsm.stochastic import MarkovSource
+from repro.kernels import RollPlan, as_apply_block, as_apply_vector, get_kernel
 from repro.markov.lumping import Partition, prepare_block_weights
 from repro.markov.multigrid import CoarseningStrategy, pairing_hierarchy
 from repro.markov.solvers.result import StationaryResult
@@ -82,7 +83,16 @@ class CDRTransitionOperator:
         self._masses = _sign_masses(grid, nw)
         with span("cdr.compile_operator") as op_span:
             self._terms = self._compile_terms()
-            op_span.set_attributes(n_states=self.n, n_terms=len(self._terms))
+            self._plan = RollPlan(self._terms, self.D * self.C, self.M)
+            self._kernel = get_kernel()
+            op_span.set_attributes(
+                n_states=self.n,
+                n_terms=len(self._terms),
+                n_roll_terms=self._plan.n_terms,
+                kernel_tier=self._kernel.name,
+            )
+        self._diag: Optional[np.ndarray] = None
+        self._ones: Optional[np.ndarray] = None
         get_registry().counter(
             "repro_operator_compiles_total",
             "Matrix-free CDR operators compiled",
@@ -165,42 +175,59 @@ class CDRTransitionOperator:
     # operator applications
     # ------------------------------------------------------------------ #
 
+    @property
+    def kernel_tier(self) -> str:
+        """Name of the kernel tier this operator applies through."""
+        return self._kernel.name
+
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """``P^T x``: propagate a (row) distribution one symbol forward.
 
         Mass in source block ``b`` at phase ``m`` lands in destination
-        block ``b'`` at phase ``(m + shift) mod M`` -- a circular roll.
+        block ``b'`` at phase ``(m + shift) mod M`` -- a circular roll,
+        executed as contiguous-slice segments by the active kernel tier
+        (bit-identical to applying ``to_csr().T``).  A C-contiguous
+        float64 ``x`` is consumed without copying.
         """
-        x = np.asarray(x, dtype=float)
-        if x.shape != (self.n,):
-            raise ValueError(f"vector must have shape ({self.n},)")
-        M = self.M
-        xb = x.reshape(-1, M)
-        out = np.zeros_like(xb)
-        for src, dst, shift, q_vec, scalar in self._terms:
-            contrib = xb[src] if q_vec is None else xb[src] * q_vec
-            out[dst] += scalar * np.roll(contrib, shift)
-        return out.ravel()
+        x = as_apply_vector(x, self.n)
+        out = np.zeros(self.n)
+        self._kernel.roll_apply(self._plan.q, self._plan.scatter, x, out)
+        return out
 
     def matvec(self, v: np.ndarray) -> np.ndarray:
         """``P v`` (adjoint of :meth:`rmatvec`)."""
-        v = np.asarray(v, dtype=float)
-        if v.shape != (self.n,):
-            raise ValueError(f"vector must have shape ({self.n},)")
-        M = self.M
-        vb = v.reshape(-1, M)
-        out = np.zeros_like(vb)
-        for src, dst, shift, q_vec, scalar in self._terms:
-            pulled = scalar * np.roll(vb[dst], -shift)
-            out[src] += pulled if q_vec is None else pulled * q_vec
-        return out.ravel()
+        v = as_apply_vector(v, self.n)
+        out = np.zeros(self.n)
+        self._kernel.roll_apply(self._plan.q, self._plan.gather, v, out)
+        return out
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        """``P^T X`` for an ``(n, k)`` block of vectors in one pass.
+
+        The blocked kernels stream the weight table once per segment for
+        all ``k`` columns, amortizing the weight/index traffic that a
+        column-at-a-time loop would re-read ``k`` times; column ``j`` of
+        the result is bit-identical to ``rmatvec(X[:, j])``.
+        """
+        X = as_apply_block(X, self.n)
+        out = np.zeros_like(X)
+        self._kernel.roll_apply(self._plan.q, self._plan.scatter, X, out)
+        return out
+
+    def matmat(self, V: np.ndarray) -> np.ndarray:
+        """``P V`` for an ``(n, k)`` block (adjoint of :meth:`rmatmat`)."""
+        V = as_apply_block(V, self.n)
+        out = np.zeros_like(V)
+        self._kernel.roll_apply(self._plan.q, self._plan.gather, V, out)
+        return out
 
     def as_linear_operator(self):
         """scipy ``LinearOperator`` view (for Krylov methods)."""
         from scipy.sparse.linalg import LinearOperator
 
         return LinearOperator(
-            self.shape, matvec=self.matvec, rmatvec=self.rmatvec, dtype=float
+            self.shape, matvec=self.matvec, rmatvec=self.rmatvec,
+            matmat=self.matmat, rmatmat=self.rmatmat, dtype=float,
         )
 
     # ------------------------------------------------------------------ #
@@ -208,40 +235,57 @@ class CDRTransitionOperator:
     # ------------------------------------------------------------------ #
 
     def diagonal(self) -> np.ndarray:
-        """``diag(P)`` from the term structure (for Jacobi splittings)."""
-        M = self.M
-        diag = np.zeros((self.D * self.C, M))
-        for src, dst, shift, q_vec, scalar in self._terms:
-            if src == dst and shift % M == 0:
-                diag[src] += scalar * (q_vec if q_vec is not None else 1.0)
-        return diag.ravel()
+        """``diag(P)`` from the term structure (for Jacobi splittings).
+
+        Computed once from the terms and cached readonly: Jacobi/multigrid
+        smoothers call this every sweep, and rebuilding the block scratch
+        array per call was pure waste (ROADMAP item 1 bugfix sweep).
+        """
+        if self._diag is None:
+            M = self.M
+            diag = np.zeros((self.D * self.C, M))
+            for src, dst, shift, q_vec, scalar in self._terms:
+                if src == dst and shift % M == 0:
+                    diag[src] += scalar * (q_vec if q_vec is not None else 1.0)
+            diag = diag.ravel()
+            diag.flags.writeable = False
+            self._diag = diag
+        return self._diag
 
     def row_sums(self) -> np.ndarray:
-        """``P 1`` -- all ones for this stochastic-by-construction chain."""
-        return self.matvec(np.ones(self.n))
+        """``P 1`` -- all ones for this stochastic-by-construction chain.
+
+        The chain is row-stochastic by construction (decision masses and
+        branch/drift probabilities each sum to one), so this returns a
+        cached readonly ones vector instead of running a full
+        ``matvec(ones)`` on every call -- solver preambles and residual
+        checks call it per solve, which made it a measurable hot-path tax.
+        Use :meth:`stochasticity_defect` to *verify* ``P 1 = 1``
+        numerically (the test suite does).
+        """
+        if self._ones is None:
+            ones = np.ones(self.n)
+            ones.flags.writeable = False
+            self._ones = ones
+        return self._ones
+
+    def stochasticity_defect(self) -> float:
+        """``max |P 1 - 1|`` computed by an actual matvec (guard check).
+
+        :meth:`row_sums` answers from structure; this is the numerical
+        verification that the compiled plan really is row-stochastic.
+        """
+        return float(np.abs(self.matvec(np.ones(self.n)) - 1.0).max())
 
     def to_csr(self) -> sp.csr_matrix:
         """Materialize the explicit CSR matrix (identical to the builder's).
 
         Only needed by solvers that require the assembled sparsity pattern;
-        costs the O(nnz) memory the operator otherwise avoids.
+        costs the O(nnz) memory the operator otherwise avoids.  Built from
+        the coalesced plan so the matrix and the kernels agree bit for bit
+        (same merged values, same per-row column order).
         """
-        M, n = self.M, self.n
-        m_idx = np.arange(M)
-        rows, cols, vals = [], [], []
-        for src, dst, shift, q_vec, scalar in self._terms:
-            rows.append(src * M + m_idx)
-            cols.append(dst * M + (m_idx + shift) % M)
-            vals.append(
-                np.full(M, scalar) if q_vec is None else scalar * q_vec
-            )
-        P = sp.coo_matrix(
-            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
-            shape=(n, n),
-        ).tocsr()
-        P.sum_duplicates()
-        P.eliminate_zeros()
-        return P
+        return self._plan.to_csr()
 
     def restrict(
         self, partition: Partition, weights: Optional[np.ndarray] = None

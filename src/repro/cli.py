@@ -22,6 +22,10 @@ The commands mirror the library's main entry points:
     List the registered stationary solvers (with their matrix-free
     capability) and TPM backends -- the ``--solver`` / ``--backend``
     choices.
+``kernels``
+    Show the matvec kernel tiers (numpy / cext / numba): which are
+    available in this environment, why the others are not, and which one
+    ``$REPRO_KERNELS`` currently selects.
 ``faults``
     Run the deterministic fault-injection battery
     (:mod:`repro.resilience.faults`) and report whether every injected
@@ -269,6 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "solvers",
         help="list registered stationary solvers and TPM backends")
+
+    sub.add_parser(
+        "kernels",
+        help="show matvec kernel tiers (availability and active selection)")
 
     p_fl = sub.add_parser(
         "faults",
@@ -554,6 +562,35 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.kernels import (
+        KERNEL_ENV,
+        active_tier,
+        tier_availability,
+    )
+
+    selection = os.environ.get(KERNEL_ENV, "auto") or "auto"
+    try:
+        active = active_tier()
+    except RuntimeError as exc:
+        # A forced tier that cannot load: show the listing anyway, with
+        # the failure as the headline, and exit nonzero.
+        print(f"error: {exc}", file=sys.stderr)
+        active = None
+    print(f"matvec kernel tiers (${KERNEL_ENV}={selection}):")
+    for tier, reason in tier_availability().items():
+        if tier == active:
+            status = "active"
+        elif reason is None:
+            status = "available"
+        else:
+            status = f"unavailable: {reason}"
+        print(f"  {tier:<7} {status}")
+    return 0 if active is not None else 1
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.resilience.faults import format_fault_report, run_fault_suite
 
@@ -732,6 +769,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_stats(args)
         if args.command == "solvers":
             return _cmd_solvers(args)
+        if args.command == "kernels":
+            return _cmd_kernels(args)
         if args.command == "faults":
             return _cmd_faults(args)
         if args.command == "scenarios":

@@ -26,7 +26,12 @@ from scipy.sparse.linalg import LinearOperator
 
 from repro.obs import get_registry, span
 
-__all__ = ["KroneckerDescriptor", "kron_matvec", "synchronous_product"]
+__all__ = [
+    "KroneckerDescriptor",
+    "kron_matvec",
+    "kron_matmat",
+    "synchronous_product",
+]
 
 Matrix = Union[np.ndarray, sp.spmatrix]
 
@@ -56,6 +61,31 @@ def kron_matvec(factors: Sequence[sp.csr_matrix], v: np.ndarray) -> np.ndarray:
     return x.ravel()
 
 
+def kron_matmat(factors: Sequence[sp.csr_matrix], V: np.ndarray) -> np.ndarray:
+    """Blocked shuffle algorithm: ``(A_1 (x) ... (x) A_K) V`` for ``(n, k)``.
+
+    The column axis rides along as one extra (never-contracted) trailing
+    tensor axis, so each factor is still applied once -- the factor/index
+    traffic is amortized over all ``k`` columns instead of repeating the
+    full shuffle per column.
+    """
+    in_dims = [A.shape[1] for A in factors]
+    V = np.asarray(V, dtype=float)
+    if V.ndim != 2 or V.shape[0] != int(np.prod(in_dims)):
+        raise ValueError(
+            f"block of shape {V.shape} incompatible with factor dims {in_dims}"
+        )
+    k = V.shape[1]
+    x = V.reshape(in_dims + [k])
+    for axis, A in enumerate(factors):
+        x = np.moveaxis(x, axis, 0)
+        head, rest = x.shape[0], x.shape[1:]
+        x = A.dot(x.reshape(head, -1))
+        x = np.asarray(x).reshape((A.shape[0],) + rest)
+        x = np.moveaxis(x, 0, axis)
+    return x.reshape(-1, k)
+
+
 class KroneckerDescriptor:
     """A matrix represented as ``sum_t c_t * (A_{t,1} (x) ... (x) A_{t,K})``.
 
@@ -69,6 +99,7 @@ class KroneckerDescriptor:
             raise ValueError("component dims must be positive")
         self._dims = dims
         self._terms: List[Tuple[float, List[sp.csr_matrix]]] = []
+        self._termsT: Optional[List[Tuple[float, List[sp.csr_matrix]]]] = None
 
     @property
     def component_dims(self) -> List[int]:
@@ -105,7 +136,23 @@ class KroneckerDescriptor:
                 )
             mats.append(A)
         self._terms.append((float(coefficient), mats))
+        self._termsT = None
         return self
+
+    def _transposed_terms(self) -> List[Tuple[float, List[sp.csr_matrix]]]:
+        """Per-term transposed factors, cached.
+
+        ``rmatvec`` used to rebuild ``A.T.tocsr()`` for every factor on
+        *every* application -- an O(nnz) conversion tax paid thousands of
+        times per stationary solve.  Now the transposes are computed once
+        and invalidated by :meth:`add_term`.
+        """
+        if self._termsT is None:
+            self._termsT = [
+                (coeff, [A.T.tocsr() for A in mats])
+                for coeff, mats in self._terms
+            ]
+        return self._termsT
 
     # ------------------------------------------------------------------ #
     # linear algebra
@@ -123,14 +170,31 @@ class KroneckerDescriptor:
         """``M^T x`` (what power iteration on a row vector needs)."""
         x = np.asarray(x, dtype=float)
         out = np.zeros(self.n)
+        for coeff, mats in self._transposed_terms():
+            out += coeff * kron_matvec(mats, x)
+        return out
+
+    def matmat(self, V: np.ndarray) -> np.ndarray:
+        """Blocked ``M V`` via :func:`kron_matmat` (one shuffle per term)."""
+        V = np.asarray(V, dtype=float)
+        out = np.zeros((self.n, V.shape[1]))
         for coeff, mats in self._terms:
-            out += coeff * kron_matvec([A.T.tocsr() for A in mats], x)
+            out += coeff * kron_matmat(mats, V)
+        return out
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        """Blocked ``M^T X`` through the cached transposed factors."""
+        X = np.asarray(X, dtype=float)
+        out = np.zeros((self.n, X.shape[1]))
+        for coeff, mats in self._transposed_terms():
+            out += coeff * kron_matmat(mats, X)
         return out
 
     def as_linear_operator(self) -> LinearOperator:
         """A scipy ``LinearOperator`` view (matvec and rmatvec)."""
         return LinearOperator(
-            self.shape, matvec=self.matvec, rmatvec=self.rmatvec, dtype=float
+            self.shape, matvec=self.matvec, rmatvec=self.rmatvec,
+            matmat=self.matmat, rmatmat=self.rmatmat, dtype=float,
         )
 
     def diagonal(self) -> np.ndarray:

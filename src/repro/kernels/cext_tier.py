@@ -1,0 +1,217 @@
+"""The compiled-C kernel tier (ctypes, built on first use).
+
+A ~60-line C translation of the NumPy tier's two primitives, compiled
+once per machine with whatever C compiler is on ``PATH`` and loaded via
+:mod:`ctypes`.  No build-time dependency, no wheel: the shared object is
+cached under ``$REPRO_KERNELS_CACHE`` (default ``~/.cache/repro-kernels``)
+keyed by a hash of the source and compiler, so every later import is a
+single ``dlopen``.
+
+Bit-compatibility contract: the kernels perform exactly the multiply and
+add sequence of the NumPy tier (and of scipy's CSR matvec), and the
+build passes ``-ffp-contract=off`` so the compiler cannot fuse the
+multiply-add pairs into FMAs -- fusion changes the rounding and would
+break the cross-tier bit-identity invariant.  No ``-ffast-math``, no
+``-march=native`` (reassociation and machine-specific contraction are
+exactly the transformations we must forbid).
+
+When no compiler is available or the probe compile fails, the tier
+simply reports itself unavailable and selection falls through to NumPy.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["load_tier", "build_error"]
+
+name = "cext"
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* One coalesced roll-plan application (see repro/kernels/plan.py).
+   Segment k accumulates, for m in [a[k], b[k]):
+     out[(orow*M + m)*nvec + j] +=
+         (scale[k] * q[qrow*M + m + woff[k]]) * x[(irow*M + m + xoff[k])*nvec + j]
+   The multiply-then-add sequence must stay unfused (-ffp-contract=off)
+   to remain bit-identical to the NumPy tier and to CSR application. */
+void repro_roll_apply(const double *x, double *out, const double *q,
+                      const double *scale,
+                      const int64_t *orow, const int64_t *irow,
+                      const int64_t *qrow, const int64_t *a,
+                      const int64_t *b, const int64_t *xoff,
+                      const int64_t *woff,
+                      int64_t nseg, int64_t m_pts, int64_t nvec)
+{
+    for (int64_t k = 0; k < nseg; ++k) {
+        const double s = scale[k];
+        const double *ws = q + qrow[k] * m_pts + a[k] + woff[k];
+        const double *xs = x + (irow[k] * m_pts + a[k] + xoff[k]) * nvec;
+        double *o = out + (orow[k] * m_pts + a[k]) * nvec;
+        const int64_t len = b[k] - a[k];
+        if (nvec == 1) {
+            for (int64_t m = 0; m < len; ++m)
+                o[m] += (s * ws[m]) * xs[m];
+        } else {
+            for (int64_t m = 0; m < len; ++m) {
+                const double wm = s * ws[m];
+                const double *xr = xs + m * nvec;
+                double *orr = o + m * nvec;
+                for (int64_t j = 0; j < nvec; ++j)
+                    orr[j] += wm * xr[j];
+            }
+        }
+    }
+}
+
+/* CSR application for branch plans: out must be zero-initialized for
+   nvec > 1; for nvec == 1 rows are assigned (scipy csr_matvec's local
+   accumulator, bit for bit). */
+void repro_csr_apply(const double *x, double *out, const double *vals,
+                     const int64_t *cols, const int64_t *indptr,
+                     int64_t nrows, int64_t nvec)
+{
+    if (nvec == 1) {
+        for (int64_t i = 0; i < nrows; ++i) {
+            double acc = 0.0;
+            for (int64_t jj = indptr[i]; jj < indptr[i + 1]; ++jj)
+                acc += vals[jj] * x[cols[jj]];
+            out[i] = acc;
+        }
+    } else {
+        for (int64_t i = 0; i < nrows; ++i) {
+            double *o = out + i * nvec;
+            for (int64_t jj = indptr[i]; jj < indptr[i + 1]; ++jj) {
+                const double v = vals[jj];
+                const double *xr = x + cols[jj] * nvec;
+                for (int64_t j = 0; j < nvec; ++j)
+                    o[j] += v * xr[j];
+            }
+        }
+    }
+}
+"""
+
+_CFLAGS = ["-O3", "-fPIC", "-shared", "-ffp-contract=off"]
+
+_lib = None
+_load_attempted = False
+#: Human-readable reason the tier is unavailable (None when loaded/untried).
+build_error: Optional[str] = None
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get("REPRO_KERNELS_CACHE")
+    if configured:
+        return configured
+    return os.path.join(
+        os.environ.get("XDG_CACHE_HOME")
+        or os.path.join(os.path.expanduser("~"), ".cache"),
+        "repro-kernels",
+    )
+
+
+def _compiler() -> Optional[str]:
+    configured = os.environ.get("CC")
+    if configured:
+        return shutil.which(configured)
+    for cc in ("cc", "gcc", "clang"):
+        path = shutil.which(cc)
+        if path:
+            return path
+    return None
+
+
+def _build() -> ctypes.CDLL:
+    cc = _compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    digest = hashlib.sha256(
+        (_SOURCE + "\0" + " ".join(_CFLAGS) + "\0" + cc).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"repro-kernels-{digest}.so")
+    if not os.path.exists(so_path):
+        os.makedirs(cache, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=cache) as tmp:
+            src = os.path.join(tmp, "kernels.c")
+            with open(src, "w", encoding="utf-8") as fh:
+                fh.write(_SOURCE)
+            tmp_so = os.path.join(tmp, "kernels.so")
+            proc = subprocess.run(
+                [cc, *_CFLAGS, "-o", tmp_so, src],
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"{cc} failed ({proc.returncode}): {proc.stderr.strip()[:500]}"
+                )
+            # Atomic publish: concurrent builders (pool workers) race
+            # benignly -- last rename wins, every file is complete.
+            os.replace(tmp_so, so_path)
+    lib = ctypes.CDLL(so_path)
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    f64p = ctypes.POINTER(ctypes.c_double)
+    lib.repro_roll_apply.restype = None
+    lib.repro_roll_apply.argtypes = [f64p, f64p, f64p, f64p] + [i64p] * 7 + [
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64
+    ]
+    lib.repro_csr_apply.restype = None
+    lib.repro_csr_apply.argtypes = [
+        f64p, f64p, f64p, i64p, i64p, ctypes.c_int64, ctypes.c_int64
+    ]
+    return lib
+
+
+def load_tier():
+    """This module as a kernel tier, or None when it cannot be built."""
+    global _lib, _load_attempted, build_error
+    if not _load_attempted:
+        _load_attempted = True
+        try:
+            _lib = _build()
+        except Exception as exc:  # unavailable, never fatal
+            build_error = str(exc)
+            _lib = None
+    if _lib is None:
+        return None
+    import sys
+
+    return sys.modules[__name__]
+
+
+def _f64(arr: np.ndarray):
+    return arr.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def _i64(arr: np.ndarray):
+    return arr.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+
+def roll_apply(q: np.ndarray, segs, x: np.ndarray, out: np.ndarray) -> None:
+    nvec = 1 if x.ndim == 1 else x.shape[1]
+    _lib.repro_roll_apply(
+        _f64(x), _f64(out), _f64(q), _f64(segs.scale),
+        _i64(segs.orow), _i64(segs.irow), _i64(segs.qrow),
+        _i64(segs.a), _i64(segs.b), _i64(segs.xoff), _i64(segs.woff),
+        segs.n_segments, q.shape[1], nvec,
+    )
+
+
+def csr_apply(cs, x: np.ndarray, out: np.ndarray) -> None:
+    nvec = 1 if x.ndim == 1 else x.shape[1]
+    _lib.repro_csr_apply(
+        _f64(x), _f64(out), _f64(cs.vals), _i64(cs.cols), _i64(cs.indptr),
+        cs.n_rows, nvec,
+    )

@@ -102,7 +102,9 @@ from repro.markov.linop import (
     TransitionOperator,
     as_operator,
     ensure_csr,
+    operator_matmat,
     operator_residual,
+    operator_rmatmat,
     unwrap_operator,
 )
 from repro.markov.registry import (
@@ -189,6 +191,8 @@ __all__ = [
     "OperatorCapabilityError",
     "as_operator",
     "ensure_csr",
+    "operator_matmat",
+    "operator_rmatmat",
     "operator_residual",
     "SolverEntry",
     "register_solver",

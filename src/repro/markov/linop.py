@@ -27,10 +27,17 @@ Protocol summary (duck-typed; no inheritance required):
                           stationary iterations need)
 ``diagonal()``            ``diag(P)`` (Jacobi splittings)
 ``row_sums()``            ``P 1`` (stochasticity checks)
+``matmat(V)``             *optional* -- blocked ``P V`` for ``(n, k)`` blocks
+``rmatmat(X)``            *optional* -- blocked ``P^T X``; column ``j`` must
+                          be bit-identical to ``rmatvec(X[:, j])``
 ``to_csr()``              *optional* -- explicit CSR materialization
 ``restrict(partition,     *optional* -- weighted Galerkin coarse operator
 weights)``                (what matrix-free multigrid coarsening calls)
 ========================  ====================================================
+
+Call sites that want blocked applies without caring whether the backend
+implements them use :func:`operator_matmat` / :func:`operator_rmatmat`,
+which fall back to a column-at-a-time loop.
 """
 
 from __future__ import annotations
@@ -50,6 +57,8 @@ __all__ = [
     "as_operator",
     "unwrap_operator",
     "ensure_csr",
+    "operator_matmat",
+    "operator_rmatmat",
     "operator_residual",
 ]
 
@@ -115,6 +124,14 @@ class AssembledOperator:
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         return self._transpose().dot(x)
+
+    def matmat(self, V: np.ndarray) -> np.ndarray:
+        """Blocked ``P V`` -- scipy's CSR matmat, one pass for all columns."""
+        return self.P.dot(V)
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        """Blocked ``P^T X`` through the cached transpose."""
+        return self._transpose().dot(X)
 
     def diagonal(self) -> np.ndarray:
         return self.P.diagonal()
@@ -208,6 +225,28 @@ def ensure_csr(obj) -> sp.csr_matrix:
             "operator that implements to_csr()"
         )
     return to_csr()
+
+
+def operator_matmat(op: TransitionOperator, V: np.ndarray) -> np.ndarray:
+    """Blocked ``P V``, using the operator's native ``matmat`` when it has one.
+
+    Backends without a blocked apply get a column-at-a-time fallback, so
+    solvers can be written against blocks unconditionally.
+    """
+    matmat = getattr(op, "matmat", None)
+    if matmat is not None:
+        return matmat(V)
+    V = np.asarray(V, dtype=float)
+    return np.stack([op.matvec(V[:, j]) for j in range(V.shape[1])], axis=1)
+
+
+def operator_rmatmat(op: TransitionOperator, X: np.ndarray) -> np.ndarray:
+    """Blocked ``P^T X`` with the same native-or-fallback contract."""
+    rmatmat = getattr(op, "rmatmat", None)
+    if rmatmat is not None:
+        return rmatmat(X)
+    X = np.asarray(X, dtype=float)
+    return np.stack([op.rmatvec(X[:, j]) for j in range(X.shape[1])], axis=1)
 
 
 def operator_residual(op: TransitionOperator, x: np.ndarray) -> float:

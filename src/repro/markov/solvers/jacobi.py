@@ -32,7 +32,12 @@ from typing import Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.markov.linop import AssembledOperator, as_operator, operator_residual
+from repro.markov.linop import (
+    AssembledOperator,
+    as_operator,
+    operator_residual,
+    operator_rmatmat,
+)
 from repro.markov.monitor import SolverMonitor
 from repro.markov.registry import register_solver
 from repro.markov.solvers.result import StationaryResult, iterate_fixed_point
@@ -61,6 +66,8 @@ class _OperatorOffDiagonal:
         self._diag = diag
 
     def dot(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 2:
+            return operator_rmatmat(self._op, x) - self._diag[:, None] * x
         return self._op.rmatvec(x) - self._diag * x
 
 
@@ -110,16 +117,22 @@ def jacobi_sweeps(
 
     Exposed separately because the multigrid solver uses it as the
     smoother.  Pass ``split=jacobi_split(P)`` to reuse the splitting across
-    calls.
+    calls.  ``x`` may also be an ``(n, k)`` block of iterates: each column
+    is swept and renormalized independently, with the off-diagonal
+    applications going through the backend's blocked ``rmatmat`` when it
+    has one (this is what lets several warm-start candidates smooth in a
+    single kernel pass).
     """
     if not 0.0 < weight <= 1.0:
         raise ValueError("weight must be in (0, 1]")
     off, inv_diag = jacobi_split(P) if split is None else split
+    blocked = x.ndim == 2
+    scale = inv_diag[:, None] if blocked else inv_diag
     for _ in range(n_sweeps):
-        h = off.dot(x) * inv_diag
+        h = off.dot(x) * scale
         x = (1.0 - weight) * x + weight * h
-        total = x.sum()
-        if total <= 0:
+        total = x.sum(axis=0) if blocked else x.sum()
+        if np.any(total <= 0) if blocked else total <= 0:
             raise ArithmeticError("Jacobi sweep annihilated the iterate")
         x = x / total
     return x

@@ -46,6 +46,7 @@ from repro.markov.linop import (
     OperatorCapabilityError,
     as_operator,
     operator_residual,
+    operator_rmatmat,
 )
 from repro.markov.monitor import SolverMonitor, instrument
 from repro.markov.registry import register_solver
@@ -151,7 +152,7 @@ def solve_krylov(
                 suffix = "+ilu"
             except RuntimeError:
                 M = None
-        A_op = LinearOperator((n, n), matvec=A.dot)
+        A_op = LinearOperator((n, n), matvec=A.dot, matmat=A.dot)
     else:
         def apply_augmented(v: np.ndarray) -> np.ndarray:
             v = np.asarray(v, dtype=float)
@@ -159,7 +160,15 @@ def solve_krylov(
             y[n - 1] = v.sum()
             return y
 
-        A_op = LinearOperator((n, n), matvec=apply_augmented)
+        def apply_augmented_block(V: np.ndarray) -> np.ndarray:
+            V = np.asarray(V, dtype=float)
+            Y = V - operator_rmatmat(op, V)
+            Y[n - 1, :] = V.sum(axis=0)
+            return Y
+
+        A_op = LinearOperator(
+            (n, n), matvec=apply_augmented, matmat=apply_augmented_block
+        )
 
     if resolved == "amg":
         amg = _amg_preconditioner(op, hierarchy, weights=x_init)

@@ -76,12 +76,16 @@ def _versions() -> Dict[str, str]:
     import scipy
 
     import repro
+    from repro.kernels import active_tier
 
     return {
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,
         "scipy": scipy.__version__,
         "repro": repro.__version__,
+        # Which matvec kernel tier operators in this run applied through
+        # (numpy / cext / numba) -- timings are not comparable across tiers.
+        "kernels": active_tier(),
     }
 
 

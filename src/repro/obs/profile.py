@@ -10,7 +10,8 @@ the uninstrumented cost of the hooks is a single ``ContextVar.get()``:
     A transparent :class:`~repro.markov.linop.TransitionOperator` wrapper
     counting calls, per-call wall time and vector bytes moved for every
     protocol method (``matvec`` / ``rmatvec`` / ``diagonal`` /
-    ``row_sums`` and the optional ``to_csr`` / ``restrict``).  Solvers,
+    ``row_sums`` and the optional ``to_csr`` / ``restrict`` /
+    ``matmat`` / ``rmatmat``).  Solvers,
     multigrid levels and the scenario measure kernels wrap the operators
     they consume via :func:`instrument_operator`, which collapses to the
     identity when no session is active.
@@ -91,7 +92,8 @@ class InstrumentedOperator:
 
     Satisfies the full :class:`~repro.markov.linop.TransitionOperator`
     protocol and forwards the *optional* capabilities (``to_csr``,
-    ``restrict``) only when the wrapped operator has them, so capability
+    ``restrict``, the blocked ``matmat`` / ``rmatmat``) only when the
+    wrapped operator has them, so capability
     probes (``ensure_csr``, matrix-free multigrid) behave exactly as they
     would on the bare operator.  Every forwarded call is timed and its
     vector traffic (argument + result bytes) recorded on the session
@@ -137,7 +139,7 @@ class InstrumentedOperator:
         # operator (AttributeError propagates for absent ones) and counted
         # when present.  Everything else forwards untouched.
         attr = getattr(self.inner, name)
-        if name in ("to_csr", "restrict") and callable(attr):
+        if name in ("to_csr", "restrict", "matmat", "rmatmat") and callable(attr):
             def counted(*args, _attr=attr, _name=name, **kwargs):
                 t0 = time.perf_counter()
                 out = _attr(*args, **kwargs)
@@ -331,11 +333,14 @@ class ProfileSession:
             }
             entry.update(self.operator_info.get(role, {}))
             operators[role] = entry
+        from repro.kernels import active_tier
+
         return {
             "schema": PROFILE_SCHEMA,
             "operators": operators,
             "hot_path": self.hot_path(),
             "stacks_captured": self.stack_profiler is not None,
+            "kernel_tier": active_tier(),
         }
 
     # -- stack export ---------------------------------------------------- #

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.kernels import BranchPlan, as_apply_block, as_apply_vector, get_kernel
 from repro.markov.lumping import Partition, prepare_block_weights
 
 __all__ = ["BranchSumOperator"]
@@ -74,13 +75,20 @@ class BranchSumOperator:
         if not compiled:
             raise ValueError("all branch terms have zero weight")
         self._terms = compiled
-        rows = self.row_sums()
+        self._plan = BranchPlan(self.n, compiled)
+        self._kernel = get_kernel()
+        rows = np.zeros(self.n)
+        for w, _ in compiled:
+            rows += w
         worst = float(np.abs(rows - 1.0).max())
         if worst > validate_atol:
             raise ValueError(
                 f"branch weights are not row-stochastic "
                 f"(worst row-sum error {worst:.3e})"
             )
+        rows.flags.writeable = False
+        self._row_sums = rows
+        self._diag: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # TransitionOperator protocol
@@ -94,35 +102,69 @@ class BranchSumOperator:
     def n_terms(self) -> int:
         return len(self._terms)
 
+    @property
+    def kernel_tier(self) -> str:
+        """Name of the kernel tier this operator applies through."""
+        return self._kernel.name
+
     def matvec(self, v: np.ndarray) -> np.ndarray:
-        """``P v``: each state gathers its branch destinations' values."""
-        v = np.asarray(v, dtype=float)
+        """``P v``: each state gathers its branch destinations' values.
+
+        Applied through the compiled branch plan's CSR gather arrays --
+        bit-identical to ``to_csr() @ v`` on every kernel tier.
+        """
+        v = as_apply_vector(v, self.n)
         out = np.zeros(self.n)
-        for w, d in self._terms:
-            out += w * v[d]
+        self._kernel.csr_apply(self._plan.gather, v, out)
         return out
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
-        """``P^T x``: distribution mass scattered along every branch."""
-        x = np.asarray(x, dtype=float)
+        """``P^T x``: distribution mass scattered along every branch.
+
+        The scatter runs as a sequential CSR pass over destination-sorted
+        entries (bit-identical to ``to_csr().T @ x``) rather than the old
+        per-term ``np.add.at``, which paid a Python-level fancy-index
+        dispatch on every apply.
+        """
+        x = as_apply_vector(x, self.n)
         out = np.zeros(self.n)
-        for w, d in self._terms:
-            np.add.at(out, d, w * x)
+        self._kernel.csr_apply(self._plan.scatter, x, out)
+        return out
+
+    def matmat(self, V: np.ndarray) -> np.ndarray:
+        """``P V`` for an ``(n, k)`` block; columns match :meth:`matvec`."""
+        V = as_apply_block(V, self.n)
+        out = np.zeros_like(V)
+        self._kernel.csr_apply(self._plan.gather, V, out)
+        return out
+
+    def rmatmat(self, X: np.ndarray) -> np.ndarray:
+        """``P^T X`` for an ``(n, k)`` block; columns match :meth:`rmatvec`."""
+        X = as_apply_block(X, self.n)
+        out = np.zeros_like(X)
+        self._kernel.csr_apply(self._plan.scatter, X, out)
         return out
 
     def diagonal(self) -> np.ndarray:
-        idx = np.arange(self.n)
-        diag = np.zeros(self.n)
-        for w, d in self._terms:
-            stay = d == idx
-            diag[stay] += w[stay]
-        return diag
+        """``diag(P)``, computed once and cached readonly."""
+        if self._diag is None:
+            idx = np.arange(self.n)
+            diag = np.zeros(self.n)
+            for w, d in self._terms:
+                stay = d == idx
+                diag[stay] += w[stay]
+            diag.flags.writeable = False
+            self._diag = diag
+        return self._diag
 
     def row_sums(self) -> np.ndarray:
-        out = np.zeros(self.n)
-        for w, _ in self._terms:
-            out += w
-        return out
+        """Per-state branch-weight totals (cached from construction).
+
+        Validation already summed the terms once in ``__init__``; callers
+        get that readonly vector back instead of a fresh O(n_terms * n)
+        summation per call.
+        """
+        return self._row_sums
 
     def restrict(
         self, partition: Partition, weights: Optional[np.ndarray] = None
@@ -165,17 +207,17 @@ class BranchSumOperator:
         return ("branch-sum", self.n, self.n_terms, h.hexdigest())
 
     def to_csr(self) -> sp.csr_matrix:
-        """Materialize the identical TPM the terms describe."""
-        idx = np.arange(self.n)
-        rows = np.concatenate([idx] * len(self._terms))
-        cols = np.concatenate([d for _, d in self._terms])
-        vals = np.concatenate([w for w, _ in self._terms])
-        nz = vals > 0.0
-        P = sp.coo_matrix(
-            (vals[nz], (rows[nz], cols[nz])), shape=(self.n, self.n)
-        ).tocsr()
-        P.sum_duplicates()
-        return P
+        """Materialize the identical TPM the terms describe.
+
+        Built straight from the branch plan's canonical gather arrays
+        (sorted, duplicate-merged), so the assembled matrix and the
+        matrix-free kernels agree bit for bit by construction.
+        """
+        g = self._plan.gather
+        return sp.csr_matrix(
+            (g.vals.copy(), g.cols.copy(), g.indptr.copy()),
+            shape=(self.n, self.n),
+        )
 
     def __repr__(self) -> str:
         return f"BranchSumOperator(n={self.n}, terms={self.n_terms})"

@@ -1,0 +1,180 @@
+"""RollPlan / BranchPlan compilation: coalescing, support trim, CSR parity."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.kernels import BranchPlan, CSRArrays, RollPlan
+
+pytestmark = [pytest.mark.operator]
+
+
+def legacy_csr(terms, n_blocks, M):
+    """The pre-plan to_csr construction, kept as the reference."""
+    n = n_blocks * M
+    m_idx = np.arange(M)
+    rows, cols, vals = [], [], []
+    for src, dst, shift, q_vec, scalar in terms:
+        rows.append(src * M + m_idx)
+        cols.append(dst * M + (m_idx + shift) % M)
+        vals.append(np.full(M, scalar) if q_vec is None else scalar * q_vec)
+    P = sp.coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    ).tocsr()
+    P.sum_duplicates()
+    P.eliminate_zeros()
+    return P
+
+
+class TestRollPlanCoalescing:
+    def test_same_qvec_duplicates_sum_scalars(self):
+        M = 8
+        q = np.full(M, 0.5)
+        terms = [
+            (0, 1, 2, q, 0.25),
+            (0, 1, 2, q, 0.5),  # same (src, dst, shift, q_vec)
+            (1, 0, -2, None, 1.0),
+        ]
+        plan = RollPlan(terms, n_blocks=2, M=M)
+        assert plan.n_input_terms == 3
+        assert plan.n_terms == 2
+        k = int(np.flatnonzero((plan.src == 0) & (plan.dst == 1))[0])
+        assert plan.scale[k] == 0.75
+        ref = legacy_csr(terms, 2, M)
+        got = plan.to_csr()
+        assert (ref != got).nnz == 0
+        assert np.array_equal(ref.data, got.data)
+
+    def test_negative_shift_normalized_mod_M(self):
+        M = 8
+        terms = [(0, 0, -3, None, 0.5), (0, 0, M - 3, None, 0.5)]
+        plan = RollPlan(terms, n_blocks=1, M=M)
+        assert plan.n_terms == 1  # -3 == 5 (mod 8): one coalesced term
+        assert plan.scale[0] == 1.0
+
+    def test_distinct_qvecs_colliding_merge_to_dense_row(self):
+        # Two decisions landing on the same (src, dst, shift) -- the
+        # saturating-counter case.  The plan must materialize one merged
+        # weight row, and its CSR must match the legacy superposition.
+        M = 8
+        qa = np.zeros(M)
+        qa[:4] = 0.5
+        qb = np.zeros(M)
+        qb[2:] = 0.5
+        terms = [(0, 0, 1, qa, 0.4), (0, 0, 1, qb, 0.6)]
+        plan = RollPlan(terms, n_blocks=1, M=M)
+        assert plan.n_terms == 1
+        assert plan.scale[0] == 1.0  # merged rows carry scale 1
+        merged = plan.q[plan.qrow[0]]
+        assert np.array_equal(merged, 0.4 * qa + 0.6 * qb)
+        ref = legacy_csr(terms, 1, M)
+        got = plan.to_csr()
+        assert (ref != got).nnz == 0
+        assert np.array_equal(ref.data, got.data)
+
+    def test_zero_scalar_terms_dropped(self):
+        M = 4
+        terms = [(0, 0, 0, None, 1.0), (0, 1, 1, None, 0.0)]
+        plan = RollPlan(terms, n_blocks=2, M=M)
+        assert plan.n_terms == 1
+
+    def test_cancelling_duplicates_dropped(self):
+        M = 4
+        terms = [
+            (0, 0, 0, None, 1.0),
+            (0, 1, 1, None, 0.5),
+            (0, 1, 1, None, -0.5),
+        ]
+        plan = RollPlan(terms, n_blocks=2, M=M)
+        assert plan.n_terms == 1
+
+    def test_segments_trimmed_to_support(self):
+        # A weight row with support [2, 6) must never produce a segment
+        # touching weight indices outside it.
+        M = 8
+        q = np.zeros(M)
+        q[2:6] = 0.25
+        plan = RollPlan([(0, 1, 3, q, 1.0)], n_blocks=2, M=M)
+        for segs in (plan.scatter, plan.gather):
+            for _, _, qrow, _, a, b, xoff, woff in segs.rows():
+                w_lo, w_hi = a + woff, b + woff
+                assert 2 <= w_lo < w_hi <= 6
+
+    def test_segment_order_is_csr_order(self):
+        # For each output row, contributions must arrive in ascending
+        # source-column order: sorted by (orow, irow, xoff).
+        M = 16
+        rng = np.random.default_rng(3)
+        terms = [
+            (s, d, int(sh), None, 0.1)
+            for s, d, sh in zip(
+                rng.integers(0, 3, 20), rng.integers(0, 3, 20),
+                rng.integers(-5, 6, 20),
+            )
+        ]
+        plan = RollPlan(terms, n_blocks=3, M=M)
+        for segs in (plan.scatter, plan.gather):
+            keys = [(r[0], r[1], r[6]) for r in segs.rows()]
+            assert keys == sorted(keys)
+
+
+class TestCSRArrays:
+    def test_matches_scipy_canonical_form(self):
+        rng = np.random.default_rng(11)
+        n = 30
+        nnz = 200
+        rows = rng.integers(0, n, nnz).astype(np.int64)
+        cols = rng.integers(0, n, nnz).astype(np.int64)
+        vals = rng.normal(size=nnz)
+        cs = CSRArrays(rows, cols, vals, n)
+        ref = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        ref.sum_duplicates()
+        assert np.array_equal(cs.indptr, ref.indptr)
+        assert np.array_equal(cs.cols, ref.indices)
+        # Duplicate runs are summed sequentially, matching scipy's
+        # sum_duplicates bit for bit.
+        assert np.array_equal(cs.vals, ref.data)
+
+
+class TestBranchPlan:
+    def test_drops_zero_weights_and_matches_scipy(self):
+        rng = np.random.default_rng(5)
+        n = 25
+        w1 = rng.random(n)
+        w1[::3] = 0.0
+        w2 = 1.0 - w1
+        d1 = rng.integers(0, n, n)
+        d2 = rng.integers(0, n, n)
+        plan = BranchPlan(n, [(w1, d1), (w2, d2)])
+        live = int((w1 != 0).sum() + (w2 != 0).sum())
+        assert plan.nnz <= live  # duplicates may merge further
+        idx = np.arange(n)
+        ref = sp.coo_matrix(
+            (
+                np.concatenate([w1[w1 != 0], w2[w2 != 0]]),
+                (
+                    np.concatenate([idx[w1 != 0], idx[w2 != 0]]),
+                    np.concatenate([d1[w1 != 0], d2[w2 != 0]]),
+                ),
+            ),
+            shape=(n, n),
+        ).tocsr()
+        ref.sum_duplicates()
+        g = plan.gather
+        assert np.array_equal(g.indptr, ref.indptr)
+        assert np.array_equal(g.cols, ref.indices)
+        assert np.array_equal(g.vals, ref.data)
+
+    def test_scatter_is_transpose(self):
+        rng = np.random.default_rng(6)
+        n = 20
+        w = np.full(n, 1.0)
+        d = rng.integers(0, n, n)
+        plan = BranchPlan(n, [(w, d)])
+        s = plan.scatter
+        ref = sp.csr_matrix((w, (d, np.arange(n))), shape=(n, n))
+        ref.sum_duplicates()
+        assert np.array_equal(s.indptr, ref.indptr)
+        assert np.array_equal(s.cols, ref.indices)
+        assert np.array_equal(s.vals, ref.data)
